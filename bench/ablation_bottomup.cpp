@@ -1,0 +1,114 @@
+// Ablation A3: the bottom-up restriction of §3.2. Without it the memory
+// heuristic greedily deletes whole maximal subtrees ("we always experience
+// the strongest reduction ... if we prune the largest subtree"), which
+// wrecks selectivity almost immediately; with it prunings stay incremental.
+//
+// Part 1 runs the auction workload (whose trees are shallow — the two
+// modes coincide there, itself a result worth knowing). Part 2 uses deep
+// random Boolean trees where the restriction visibly changes behavior.
+
+#include <cstdio>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "common/env.hpp"
+#include "core/engine.hpp"
+#include "experiment/centralized.hpp"
+#include "selectivity/estimator.hpp"
+
+namespace {
+
+using namespace dbsp;
+
+/// Deep random Boolean tree over numeric attributes (arity 2, depth ~5).
+std::unique_ptr<Node> deep_tree(const Schema& schema, std::mt19937_64& rng,
+                                std::size_t depth) {
+  std::uniform_int_distribution<std::uint32_t> attr(
+      0, static_cast<std::uint32_t>(schema.attribute_count() - 1));
+  std::uniform_int_distribution<std::int64_t> val(0, 50);
+  if (depth == 0) {
+    const Op ops[] = {Op::Eq, Op::Lt, Op::Le, Op::Gt, Op::Ge};
+    return Node::leaf(
+        Predicate(AttributeId(attr(rng)), ops[rng() % 5], Value(val(rng))));
+  }
+  std::vector<std::unique_ptr<Node>> children;
+  children.push_back(deep_tree(schema, rng, depth - 1));
+  children.push_back(deep_tree(schema, rng, depth - 1));
+  return rng() % 2 == 0 ? Node::and_(std::move(children))
+                        : Node::or_(std::move(children));
+}
+
+void deep_tree_comparison() {
+  Schema schema;
+  for (int i = 0; i < 8; ++i) {
+    schema.add_attribute("a" + std::to_string(i), ValueType::Int);
+  }
+  const SelectivityEstimator estimator(
+      LeafSelectivityFn([](const Predicate& p) {
+        return 0.05 + 0.9 * static_cast<double>(p.hash() % 997) / 997.0;
+      }));
+
+  std::printf("part 2: 1000 deep random trees (depth 5), memory dimension,\n"
+              "        500 prunings under each mode\n\n");
+  std::printf("%-12s %16s %18s %18s\n", "restriction", "prunings",
+              "bytes removed", "total possible");
+  for (const bool bottom_up : {true, false}) {
+    std::mt19937_64 rng(99);
+    std::vector<std::unique_ptr<Subscription>> subs;
+    std::size_t before = 0;
+    for (std::uint32_t i = 0; i < 1000; ++i) {
+      auto tree = simplify(deep_tree(schema, rng, 5));
+      if (tree->is_constant()) continue;
+      subs.push_back(std::make_unique<Subscription>(SubscriptionId(i), std::move(tree)));
+      before += subs.back()->root().size_bytes();
+    }
+    PruneEngineConfig cfg;
+    cfg.dimension = PruneDimension::MemoryUsage;
+    cfg.bottom_up = bottom_up;
+    PruningEngine engine(estimator, cfg);
+    for (auto& s : subs) engine.register_subscription(*s);
+    const std::size_t total = engine.total_possible();
+    engine.prune(500);
+    std::size_t after = 0;
+    for (const auto& s : subs) after += s->root().size_bytes();
+    std::printf("%-12s %16zu %18zu %18zu\n", bottom_up ? "bottom-up" : "greedy",
+                engine.performed(), before - after, total);
+  }
+  std::printf("\ngreedy removes maximal subtrees first (more bytes per pruning)\n"
+              "but each cut is a far larger semantic jump; and without the\n"
+              "restriction the prunings-to-exhaustion count is order-dependent,\n"
+              "so the paper's proportional x-axis needs bottom-up.\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace dbsp;
+  CentralizedConfig cfg;
+  cfg.subscriptions = static_cast<std::size_t>(env_int("DBSP_SUBS", 6000));
+  cfg.events = static_cast<std::size_t>(env_int("DBSP_EVENTS", 1500));
+  cfg.fractions = {0.0, 0.1, 0.25, 0.5};
+
+  std::printf("=== Ablation A3: bottom-up restriction (memory dimension) ===\n");
+  std::printf("part 1: auction workload, %zu subscriptions, %zu events\n\n",
+              cfg.subscriptions, cfg.events);
+  std::printf("%-12s %-10s %16s %18s %14s\n", "restriction", "fraction",
+              "prunings", "assoc. reduction", "match frac.");
+
+  for (const bool bottom_up : {true, false}) {
+    cfg.bottom_up = bottom_up;
+    const auto result = run_centralized(cfg, PruneDimension::MemoryUsage);
+    for (const auto& p : result.points) {
+      std::printf("%-12s %-10.2f %16zu %18.4f %14.6f\n",
+                  bottom_up ? "bottom-up" : "greedy", p.fraction,
+                  p.prunings_performed, p.association_reduction, p.matching_fraction);
+    }
+    std::printf("(total possible prunings under this mode: %zu)\n\n",
+                result.total_possible_prunings);
+  }
+  std::printf("auction trees are shallow (And-of-Or-groups), so both modes\n"
+              "coincide there; deep trees separate them:\n\n");
+  deep_tree_comparison();
+  return 0;
+}

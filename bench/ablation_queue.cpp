@@ -1,0 +1,131 @@
+// Ablation A1: the §3.4 priority-queue scheme vs a naive full rescan that
+// re-scores every subscription's candidates before each pruning. Both pick
+// the same prunings (greedy over the same composite key); the queue pays
+// O(log n) per step after an O(n) build, the rescan O(n · candidates) per
+// step. Prints selection wall time and verifies the chosen sequences agree.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/timer.hpp"
+#include "core/engine.hpp"
+#include "selectivity/estimator.hpp"
+#include "selectivity/stats.hpp"
+#include "workload/event_gen.hpp"
+#include "workload/subscription_gen.hpp"
+
+namespace {
+
+using namespace dbsp;
+
+std::vector<std::unique_ptr<Subscription>> make_subs(const AuctionDomain& domain,
+                                                     std::size_t n) {
+  AuctionSubscriptionGenerator gen(domain, 1);
+  std::vector<std::unique_ptr<Subscription>> subs;
+  subs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    subs.push_back(std::make_unique<Subscription>(SubscriptionId(i), gen.next_tree()));
+  }
+  return subs;
+}
+
+/// Naive baseline: before every pruning, enumerate and score candidates of
+/// every subscription, pick the lexicographically best. Returns the chosen
+/// composite keys in order.
+std::vector<std::array<double, 3>> naive_rescan(
+    std::vector<std::unique_ptr<Subscription>>& subs,
+    const SelectivityEstimator& estimator, std::size_t steps) {
+  const HeuristicScorer scorer(estimator);
+  const auto order = default_order(PruneDimension::NetworkLoad);
+  std::vector<OriginalProfile> originals;
+  originals.reserve(subs.size());
+  for (const auto& s : subs) originals.push_back(scorer.profile(s->root()));
+
+  std::vector<std::array<double, 3>> keys;
+  for (std::size_t step = 0; step < steps; ++step) {
+    bool found = false;
+    std::array<double, 3> best_key{};
+    std::size_t best_sub = 0;
+    Node::Path best_path;
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+      for (const auto& path : enumerate_prunings(subs[i]->root())) {
+        const auto key =
+            composite_key(scorer.score(subs[i]->root(), path, originals[i]), order);
+        if (!found || key < best_key) {
+          found = true;
+          best_key = key;
+          best_sub = i;
+          best_path = path;
+        }
+      }
+    }
+    if (!found) break;
+    apply_pruning(*subs[best_sub], best_path);
+    keys.push_back(best_key);
+  }
+  return keys;
+}
+
+}  // namespace
+
+int main() {
+  const auto n_subs = static_cast<std::size_t>(env_int("DBSP_SUBS", 1500));
+  const auto steps = static_cast<std::size_t>(env_int("DBSP_PRUNINGS", 600));
+
+  const WorkloadConfig wl;
+  const AuctionDomain domain(wl);
+  EventStats stats(domain.schema());
+  AuctionEventGenerator training(domain, 3);
+  for (int i = 0; i < 8000; ++i) stats.observe(training.next());
+  stats.finalize();
+  const SelectivityEstimator estimator(stats);
+
+  std::printf("=== Ablation A1: priority queue vs naive rescan ===\n");
+  std::printf("%zu subscriptions, %zu prunings, network dimension\n\n", n_subs, steps);
+
+  // Priority queue (the paper's scheme).
+  auto queue_subs = make_subs(domain, n_subs);
+  PruneEngineConfig cfg;
+  cfg.dimension = PruneDimension::NetworkLoad;
+  Stopwatch queue_watch;
+  queue_watch.start();
+  PruningEngine engine(estimator, cfg);
+  for (auto& s : queue_subs) engine.register_subscription(*s);
+  const std::size_t queue_done = engine.prune(steps);
+  queue_watch.stop();
+
+  // Naive rescan baseline.
+  auto naive_subs = make_subs(domain, n_subs);
+  Stopwatch naive_watch;
+  naive_watch.start();
+  const auto naive_keys = naive_rescan(naive_subs, estimator, steps);
+  naive_watch.stop();
+
+  std::printf("%-18s %12s %14s\n", "strategy", "prunings", "seconds");
+  std::printf("%-18s %12zu %14.4f\n", "priority_queue", queue_done, queue_watch.seconds());
+  std::printf("%-18s %12zu %14.4f\n", "naive_rescan", naive_keys.size(),
+              naive_watch.seconds());
+  std::printf("speedup: %.1fx\n\n", naive_watch.seconds() / queue_watch.seconds());
+
+  // Both are greedy over the same objective: the sequence of chosen
+  // composite keys must agree step for step (tie *victims* may differ).
+  const auto order = default_order(PruneDimension::NetworkLoad);
+  std::size_t agree = 0;
+  const std::size_t comparable = std::min(naive_keys.size(), engine.history().size());
+  for (std::size_t i = 0; i < comparable; ++i) {
+    const auto queue_key = composite_key(engine.history()[i].scores, order);
+    bool same = true;
+    for (int k = 0; k < 3; ++k) {
+      if (std::abs(queue_key[k] - naive_keys[i][k]) > 1e-9) same = false;
+    }
+    if (same) ++agree;
+  }
+  std::printf("identical greedy key sequence: %zu / %zu steps\n", agree, comparable);
+  // Exact ties between structurally different subscriptions can make the
+  // two greedy runs diverge benignly; demand near-perfect agreement.
+  return (agree >= comparable - comparable / 100 && queue_done == naive_keys.size())
+             ? 0
+             : 1;
+}

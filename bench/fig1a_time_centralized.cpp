@@ -1,0 +1,20 @@
+// Figure 1(a): time efficiency (centralized) — average filtering time per
+// event vs the proportional number of prunings, one curve per heuristic.
+// Paper shape: eff fastest up to ~43% of prunings, then sel overtakes;
+// mem is the slowest throughout.
+
+#include <iostream>
+
+#include "fig_common.hpp"
+
+int main() {
+  using namespace dbsp;
+  const auto cfg = bench::centralized_config_from_env();
+  bench::print_scale_banner(cfg.subscriptions, cfg.events);
+  const auto series = bench::centralized_series(
+      cfg, "Time", [](const CentralizedPoint& p) { return p.filter_time_per_event; });
+  print_figure(std::cout, "Fig 1(a): Time efficiency (centralized)",
+               "proportional number of prunings", "filtering time per event [s]",
+               series);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Figure 1(b): expected network load (centralized) — proportional number of
+// matching events vs pruning fraction. Paper shape: sel stays flat longest
+// (bend ~75%), eff bends at ~50%, mem explodes almost immediately (~5%).
+
+#include <iostream>
+
+#include "fig_common.hpp"
+
+int main() {
+  using namespace dbsp;
+  const auto cfg = bench::centralized_config_from_env();
+  bench::print_scale_banner(cfg.subscriptions, cfg.events);
+  const auto series = bench::centralized_series(
+      cfg, "Events", [](const CentralizedPoint& p) { return p.matching_fraction; });
+  print_figure(std::cout, "Fig 1(b): Expected network load (centralized)",
+               "proportional number of prunings", "proport. no. of matching events",
+               series);
+  return 0;
+}

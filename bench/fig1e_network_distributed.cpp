@@ -1,0 +1,19 @@
+// Figure 1(e): actual network load (distributed) — proportional increase in
+// routed event messages vs the unoptimized overlay. Paper shape: sel bends
+// at ~75% of prunings (+37% there), eff at ~50% (+26%), mem at ~5%.
+
+#include <iostream>
+
+#include "fig_common.hpp"
+
+int main() {
+  using namespace dbsp;
+  const auto cfg = bench::distributed_config_from_env();
+  bench::print_scale_banner(cfg.subscriptions, cfg.events);
+  const auto series = bench::distributed_series(
+      cfg, "Network", [](const DistributedPoint& p) { return p.network_increase; });
+  print_figure(std::cout, "Fig 1(e): Actual network load (distributed)",
+               "proportional number of prunings",
+               "proport. increase in network load", series);
+  return 0;
+}

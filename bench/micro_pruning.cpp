@@ -1,0 +1,124 @@
+// Micro-benchmarks of the pruning machinery: candidate enumeration, scoring
+// and end-to-end engine throughput per dimension.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "selectivity/estimator.hpp"
+#include "selectivity/stats.hpp"
+#include "workload/event_gen.hpp"
+#include "workload/subscription_gen.hpp"
+
+namespace {
+
+using namespace dbsp;
+
+struct Fixture {
+  WorkloadConfig cfg;
+  std::unique_ptr<AuctionDomain> domain;
+  std::unique_ptr<EventStats> stats;
+  std::unique_ptr<SelectivityEstimator> estimator;
+
+  Fixture() {
+    cfg.seed = 7;
+    domain = std::make_unique<AuctionDomain>(cfg);
+    stats = std::make_unique<EventStats>(domain->schema());
+    AuctionEventGenerator training(*domain, 3);
+    for (int i = 0; i < 5000; ++i) stats->observe(training.next());
+    stats->finalize();
+    estimator = std::make_unique<SelectivityEstimator>(*stats);
+  }
+
+  [[nodiscard]] std::vector<std::unique_ptr<Subscription>> subs(std::size_t n) const {
+    AuctionSubscriptionGenerator gen(*domain, 1);
+    std::vector<std::unique_ptr<Subscription>> out;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      out.push_back(std::make_unique<Subscription>(SubscriptionId(i), gen.next_tree()));
+    }
+    return out;
+  }
+};
+
+void BM_EnumerateCandidates(benchmark::State& state) {
+  Fixture fx;
+  const auto subs = fx.subs(512);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& sub = *subs[i++ % subs.size()];
+    benchmark::DoNotOptimize(enumerate_prunings(sub.root()));
+  }
+}
+BENCHMARK(BM_EnumerateCandidates);
+
+void BM_ScoreCandidate(benchmark::State& state) {
+  Fixture fx;
+  const auto subs = fx.subs(512);
+  const HeuristicScorer scorer(*fx.estimator);
+  struct Prepared {
+    const Subscription* sub;
+    Node::Path path;
+    OriginalProfile orig;
+  };
+  std::vector<Prepared> prepared;
+  for (const auto& s : subs) {
+    const auto paths = enumerate_prunings(s->root());
+    if (paths.empty()) continue;
+    prepared.push_back({s.get(), paths.front(), scorer.profile(s->root())});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& p = prepared[i++ % prepared.size()];
+    benchmark::DoNotOptimize(scorer.score(p.sub->root(), p.path, p.orig));
+  }
+}
+BENCHMARK(BM_ScoreCandidate);
+
+void BM_EngineFullSweep(benchmark::State& state) {
+  Fixture fx;
+  const auto dim = static_cast<PruneDimension>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto subs = fx.subs(2000);
+    PruneEngineConfig cfg;
+    cfg.dimension = dim;
+    PruningEngine engine(*fx.estimator, cfg);
+    state.ResumeTiming();
+    for (auto& s : subs) engine.register_subscription(*s);
+    benchmark::DoNotOptimize(engine.prune(engine.total_possible()));
+    state.PauseTiming();
+    subs.clear();
+    state.ResumeTiming();
+  }
+  state.SetLabel(to_string(dim));
+}
+BENCHMARK(BM_EngineFullSweep)
+    ->Arg(static_cast<int>(PruneDimension::NetworkLoad))
+    ->Arg(static_cast<int>(PruneDimension::MemoryUsage))
+    ->Arg(static_cast<int>(PruneDimension::Throughput))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulatePruning(benchmark::State& state) {
+  Fixture fx;
+  const auto subs = fx.subs(512);
+  struct Target {
+    const Subscription* sub;
+    Node::Path path;
+  };
+  std::vector<Target> targets;
+  for (const auto& s : subs) {
+    for (const auto& p : enumerate_prunings(s->root())) targets.push_back({s.get(), p});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& t = targets[i++ % targets.size()];
+    benchmark::DoNotOptimize(simulate_pruning(t.sub->root(), t.path));
+  }
+}
+BENCHMARK(BM_SimulatePruning);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Micro-benchmarks of the selectivity substrate: statistics training,
+// predicate estimation and tree-level interval estimation.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "selectivity/estimator.hpp"
+#include "selectivity/stats.hpp"
+#include "workload/event_gen.hpp"
+#include "workload/subscription_gen.hpp"
+
+namespace {
+
+using namespace dbsp;
+
+void BM_StatsTraining(benchmark::State& state) {
+  WorkloadConfig cfg;
+  const AuctionDomain domain(cfg);
+  AuctionEventGenerator gen(domain, 3);
+  const auto events = gen.generate(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    EventStats stats(domain.schema());
+    for (const auto& e : events) stats.observe(e);
+    stats.finalize();
+    benchmark::DoNotOptimize(stats.events_observed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_StatsTraining)->Arg(1000)->Arg(10000);
+
+void BM_PredicateEstimate(benchmark::State& state) {
+  WorkloadConfig cfg;
+  const AuctionDomain domain(cfg);
+  EventStats stats(domain.schema());
+  AuctionEventGenerator gen(domain, 3);
+  for (int i = 0; i < 10000; ++i) stats.observe(gen.next());
+  stats.finalize();
+
+  // Sample predicates out of generated subscriptions.
+  AuctionSubscriptionGenerator sub_gen(domain, 1);
+  std::vector<Predicate> preds;
+  for (int i = 0; i < 200; ++i) {
+    sub_gen.next_tree()->for_each_leaf(
+        [&](const Node& leaf) { preds.push_back(leaf.predicate()); });
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats.predicate_selectivity(preds[i++ % preds.size()]));
+  }
+}
+BENCHMARK(BM_PredicateEstimate);
+
+void BM_TreeEstimate(benchmark::State& state) {
+  WorkloadConfig cfg;
+  const AuctionDomain domain(cfg);
+  EventStats stats(domain.schema());
+  AuctionEventGenerator gen(domain, 3);
+  for (int i = 0; i < 10000; ++i) stats.observe(gen.next());
+  stats.finalize();
+  const SelectivityEstimator estimator(stats);
+
+  AuctionSubscriptionGenerator sub_gen(domain, 1);
+  const auto trees = sub_gen.generate(512);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.estimate(*trees[i++ % trees.size()]));
+  }
+}
+BENCHMARK(BM_TreeEstimate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Quickstart: declare a schema, register Boolean subscriptions through the
+// textual DSL, match events with the counting filter engine, then watch
+// dimension-based pruning generalize a routing entry step by step.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "event/event.hpp"
+#include "filter/counting_matcher.hpp"
+#include "selectivity/estimator.hpp"
+#include "subscription/parser.hpp"
+
+int main() {
+  using namespace dbsp;
+
+  // 1. A schema: the attributes events may carry.
+  Schema schema;
+  schema.add_attribute("category", ValueType::String);
+  schema.add_attribute("price", ValueType::Double);
+  schema.add_attribute("condition", ValueType::String);
+  schema.add_attribute("seller_rating", ValueType::Double);
+
+  // 2. Subscriptions are arbitrary Boolean filter expressions.
+  const char* texts[] = {
+      "category = 'science_fiction' and price < 15",
+      "category in ('mystery', 'thriller') and condition = 'new' and price < 30",
+      "(category = 'art' or category = 'photography') and seller_rating >= 95",
+  };
+  std::vector<std::unique_ptr<Subscription>> subs;
+  CountingMatcher matcher(schema);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    subs.push_back(std::make_unique<Subscription>(
+        SubscriptionId(i), parse_subscription(texts[i], schema)));
+    matcher.add(*subs.back());
+  }
+
+  // 3. Match an event against all subscriptions at once.
+  const Event listing = EventBuilder(schema)
+                            .with("category", "mystery")
+                            .with("price", 12.5)
+                            .with("condition", "new")
+                            .with("seller_rating", 88.0)
+                            .build();
+  std::vector<SubscriptionId> matches;
+  matcher.match(listing, matches);
+  std::cout << "event " << listing.to_string(schema) << "\nmatches:";
+  for (const auto id : matches) std::cout << " #" << id.value();
+  std::cout << "\n\n";
+
+  // 4. Dimension-based pruning: generalize subscriptions to save routing
+  //    state. Here we prune twice on the memory dimension.
+  const SelectivityEstimator estimator(
+      LeafSelectivityFn([](const Predicate&) { return 0.1; }));
+  PruneEngineConfig config;
+  config.dimension = PruneDimension::MemoryUsage;
+  PruningEngine engine(estimator, config, &matcher);
+  for (auto& s : subs) engine.register_subscription(*s);
+
+  std::cout << "total possible prunings: " << engine.total_possible() << "\n";
+  std::cout << "associations before: " << matcher.association_count() << "\n";
+  for (int step = 0; step < 2 && engine.prune_one(); ++step) {
+    const auto& applied = engine.history().back();
+    std::cout << "pruned subscription #" << applied.sub.value()
+              << " (saved " << applied.scores.mem_improvement << " bytes)\n";
+    std::cout << "  now: "
+              << subs[applied.sub.value()]->to_string(schema) << "\n";
+  }
+  std::cout << "associations after: " << matcher.association_count() << "\n";
+  return 0;
+}

@@ -1,0 +1,133 @@
+#include "broker/broker.hpp"
+
+#include <algorithm>
+
+namespace dbsp {
+
+Broker::Broker(BrokerId id, const Schema& schema, SimulatedNetwork& net)
+    : id_(id), net_(&net), matcher_(schema) {}
+
+void Broker::subscribe_local(SubscriptionId id, ClientId client,
+                             std::unique_ptr<Node> tree) {
+  std::shared_ptr<const Node> wire_copy(tree->clone().release());
+  Subscription& sub = table_.add_local(id, client, std::move(tree));
+  matcher_.add(sub);
+  forward_subscription(BrokerId{}, id, wire_copy);
+}
+
+void Broker::forward_subscription(BrokerId except, SubscriptionId id,
+                                  const std::shared_ptr<const Node>& tree) {
+  for (const BrokerId neighbor : net_->neighbors(id_)) {
+    if (neighbor == except) continue;
+    Message m;
+    m.type = Message::Type::Subscribe;
+    m.sub_id = id;
+    m.sub_tree = tree;
+    net_->send(id_, neighbor, std::move(m));
+  }
+}
+
+void Broker::unsubscribe_local(SubscriptionId id) {
+  const RoutingTable::Entry* existing = table_.find(id);
+  if (existing == nullptr || !existing->local) {
+    throw std::invalid_argument("broker: unsubscribe of unknown or non-local subscription");
+  }
+  auto entry = table_.remove(id);
+  matcher_.remove(*entry->sub);
+  Message m;
+  m.type = Message::Type::Unsubscribe;
+  m.sub_id = id;
+  for (const BrokerId neighbor : net_->neighbors(id_)) {
+    net_->send(id_, neighbor, m);
+  }
+}
+
+void Broker::publish_local(const Event& event, std::uint64_t seq) {
+  route_event(BrokerId{}, event, seq);
+}
+
+void Broker::handle(BrokerId from, const Message& message) {
+  switch (message.type) {
+    case Message::Type::Event:
+      route_event(from, message.event, message.event_seq);
+      break;
+    case Message::Type::Subscribe: {
+      Subscription& sub =
+          table_.add_remote(message.sub_id, from, message.sub_tree->clone());
+      matcher_.add(sub);
+      forward_subscription(from, message.sub_id, message.sub_tree);
+      break;
+    }
+    case Message::Type::Unsubscribe: {
+      auto entry = table_.remove(message.sub_id);
+      if (entry) {
+        matcher_.remove(*entry->sub);
+        Message m;
+        m.type = Message::Type::Unsubscribe;
+        m.sub_id = message.sub_id;
+        for (const BrokerId neighbor : net_->neighbors(id_)) {
+          if (neighbor != from) net_->send(id_, neighbor, m);
+        }
+      }
+      break;
+    }
+  }
+}
+
+void Broker::route_event(BrokerId from, const Event& event, std::uint64_t seq) {
+  ++events_filtered_;
+  scratch_matches_.clear();
+  scratch_targets_.clear();
+
+  filter_time_.start();
+  matcher_.match(event, scratch_matches_);
+  filter_time_.stop();
+
+  for (const SubscriptionId sid : scratch_matches_) {
+    const RoutingTable::Entry* entry = table_.find(sid);
+    if (entry == nullptr) continue;
+    if (entry->local) {
+      ++notifications_;
+      if (record_notifications_) notification_log_.emplace_back(sid, seq);
+    } else if (entry->from != from) {
+      // Forward toward the subscriber's broker, once per neighbor.
+      if (std::find(scratch_targets_.begin(), scratch_targets_.end(), entry->from) ==
+          scratch_targets_.end()) {
+        scratch_targets_.push_back(entry->from);
+      }
+    }
+  }
+  for (const BrokerId target : scratch_targets_) {
+    Message m;
+    m.type = Message::Type::Event;
+    m.event = event;
+    m.event_seq = seq;
+    net_->send(id_, target, std::move(m));
+  }
+}
+
+std::vector<Subscription*> Broker::remote_subscriptions() {
+  std::vector<Subscription*> out;
+  table_.for_each([&](RoutingTable::Entry& e) {
+    if (!e.local) out.push_back(e.sub.get());
+  });
+  return out;
+}
+
+std::size_t Broker::remote_association_count() const {
+  std::size_t total = 0;
+  table_.for_each([&](const RoutingTable::Entry& e) {
+    if (!e.local) total += matcher_.associations_of(e.sub->id());
+  });
+  return total;
+}
+
+void Broker::reset_metrics() {
+  filter_time_.reset();
+  notifications_ = 0;
+  events_filtered_ = 0;
+  notification_log_.clear();
+  matcher_.reset_counters();
+}
+
+}  // namespace dbsp

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/timer.hpp"
+#include "broker/simnet.hpp"
+#include "filter/counting_matcher.hpp"
+#include "routing/routing_table.hpp"
+
+namespace dbsp {
+
+/// A content-based broker: routing table + counting matcher + forwarding
+/// logic over the simulated network (subscription-forwarding routing on an
+/// acyclic overlay, §2.1).
+///
+/// Notifications are decided by *local* entries, which stay unpruned, so
+/// end-to-end delivery is exact regardless of how remote entries were
+/// pruned; pruning remote entries can only add transit traffic that the
+/// next broker post-filters.
+class Broker {
+ public:
+  Broker(BrokerId id, const Schema& schema, SimulatedNetwork& net);
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  /// Registers a subscription of a directly connected client and forwards
+  /// it to all neighbors.
+  void subscribe_local(SubscriptionId id, ClientId client, std::unique_ptr<Node> tree);
+
+  /// Cancels a local client's subscription and floods the unsubscription.
+  /// No specialized handling vs un-optimized routing is needed (§2.2):
+  /// every broker simply drops its (possibly pruned) entry. Callers owning
+  /// PruningEngines over remote entries must unregister the id there too.
+  void unsubscribe_local(SubscriptionId id);
+
+  /// Publishes an event received from a directly connected publisher.
+  void publish_local(const Event& event, std::uint64_t seq);
+
+  /// Delivers one network message to this broker.
+  void handle(BrokerId from, const Message& message);
+
+  [[nodiscard]] BrokerId id() const { return id_; }
+  [[nodiscard]] RoutingTable& table() { return table_; }
+  [[nodiscard]] const RoutingTable& table() const { return table_; }
+  [[nodiscard]] CountingMatcher& matcher() { return matcher_; }
+  [[nodiscard]] const CountingMatcher& matcher() const { return matcher_; }
+
+  /// Remote (prunable) subscriptions — the pruning engine's inputs.
+  [[nodiscard]] std::vector<Subscription*> remote_subscriptions();
+
+  /// Predicate/subscription associations contributed by remote entries
+  /// (the distributed memory metric, Fig. 1(f)).
+  [[nodiscard]] std::size_t remote_association_count() const;
+
+  // --- Metrics ------------------------------------------------------------
+  [[nodiscard]] std::uint64_t notifications_delivered() const { return notifications_; }
+  [[nodiscard]] std::uint64_t events_filtered() const { return events_filtered_; }
+  /// CPU time spent matching events against the routing table.
+  [[nodiscard]] double filter_seconds() const { return filter_time_.seconds(); }
+  void reset_metrics();
+
+  /// (subscription, event_seq) notification log for correctness checks;
+  /// recorded only while `record_notifications` is set.
+  void set_record_notifications(bool on) { record_notifications_ = on; }
+  [[nodiscard]] const std::vector<std::pair<SubscriptionId, std::uint64_t>>&
+  notification_log() const {
+    return notification_log_;
+  }
+
+ private:
+  /// Matches and forwards an event arriving from `from` (invalid id =
+  /// local publisher).
+  void route_event(BrokerId from, const Event& event, std::uint64_t seq);
+  void forward_subscription(BrokerId except, SubscriptionId id,
+                            const std::shared_ptr<const Node>& tree);
+
+  BrokerId id_;
+  SimulatedNetwork* net_;
+  RoutingTable table_;
+  CountingMatcher matcher_;
+
+  Stopwatch filter_time_;
+  std::uint64_t notifications_ = 0;
+  std::uint64_t events_filtered_ = 0;
+  bool record_notifications_ = false;
+  std::vector<std::pair<SubscriptionId, std::uint64_t>> notification_log_;
+  std::vector<SubscriptionId> scratch_matches_;
+  std::vector<BrokerId> scratch_targets_;
+};
+
+}  // namespace dbsp

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "routing/messages.hpp"
+
+namespace dbsp {
+
+/// In-process network simulation between brokers: FIFO links with
+/// per-link and aggregate traffic accounting. The paper's evaluation is
+/// simulation-based (10 Mbps LAN); we count messages and bytes — the
+/// actual-network-load metric of Fig. 1(e) — and can convert bytes to
+/// estimated wire seconds via a configurable bandwidth.
+class SimulatedNetwork {
+ public:
+  struct Config {
+    double bandwidth_bytes_per_sec = 10e6 / 8.0;  // 10 Mbps, as in the paper
+    double latency_sec = 0.5e-3;
+  };
+
+  explicit SimulatedNetwork(std::size_t broker_count);
+  SimulatedNetwork(std::size_t broker_count, Config config);
+
+  /// Declares an undirected link. Topology must stay acyclic (checked by
+  /// the overlay, not here).
+  void connect(BrokerId a, BrokerId b);
+
+  [[nodiscard]] bool connected(BrokerId a, BrokerId b) const;
+  [[nodiscard]] const std::vector<BrokerId>& neighbors(BrokerId b) const;
+  [[nodiscard]] std::size_t broker_count() const { return adjacency_.size(); }
+
+  /// Enqueues a message on the directed link from->to (must be connected).
+  void send(BrokerId from, BrokerId to, Message message);
+
+  struct Delivery {
+    BrokerId from;
+    BrokerId to;
+    Message message;
+  };
+  /// Pops the oldest in-flight delivery, if any.
+  [[nodiscard]] std::optional<Delivery> pop();
+  [[nodiscard]] bool idle() const { return in_flight_.empty(); }
+
+  struct TrafficStats {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t event_messages = 0;
+    std::uint64_t control_messages = 0;
+    /// Estimated seconds the wire was busy (bytes/bandwidth + per-message
+    /// latency), summed over links.
+    double wire_seconds = 0.0;
+  };
+  [[nodiscard]] const TrafficStats& total() const { return total_; }
+  [[nodiscard]] const TrafficStats& link(BrokerId from, BrokerId to) const;
+  void reset_stats();
+
+ private:
+  [[nodiscard]] std::size_t link_index(BrokerId from, BrokerId to) const;
+
+  Config config_;
+  std::vector<std::vector<BrokerId>> adjacency_;
+  // Directed link stats in a dense matrix (broker counts are small).
+  std::vector<TrafficStats> link_stats_;
+  TrafficStats total_;
+  std::deque<Delivery> in_flight_;
+};
+
+}  // namespace dbsp

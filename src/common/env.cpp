@@ -1,0 +1,24 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace dbsp {
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<std::int64_t>(v);
+}
+
+bool env_bool(const char* name, bool fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  const std::string_view v(raw);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace dbsp

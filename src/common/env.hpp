@@ -1,0 +1,16 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dbsp {
+
+/// Reads an integer configuration knob from the environment, falling back
+/// to `fallback` when unset or unparseable. Used by the bench harnesses for
+/// scale knobs (DBSP_SUBS, DBSP_EVENTS, ...).
+[[nodiscard]] std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Reads a boolean knob ("1", "true", "yes" are truthy).
+[[nodiscard]] bool env_bool(const char* name, bool fallback);
+
+}  // namespace dbsp

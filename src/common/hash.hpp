@@ -1,0 +1,14 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace dbsp {
+
+/// Mixes `v`'s hash into `seed` (boost::hash_combine recipe, 64-bit variant).
+template <class T>
+void hash_combine(std::size_t& seed, const T& v) {
+  seed ^= std::hash<T>{}(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+}  // namespace dbsp

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace dbsp {
+
+/// Strongly typed integer id. `Tag` distinguishes id families at compile
+/// time so an AttributeId cannot be passed where a SubscriptionId is
+/// expected. The raw value is a dense index suitable for vector lookups.
+template <class Tag>
+class StrongId {
+ public:
+  using value_type = std::uint32_t;
+  static constexpr value_type kInvalid = static_cast<value_type>(-1);
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(value_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(StrongId a, StrongId b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(StrongId a, StrongId b) { return a.value_ < b.value_; }
+
+ private:
+  value_type value_ = kInvalid;
+};
+
+struct AttributeTag {};
+struct PredicateTag {};
+struct SubscriptionTag {};
+struct BrokerTag {};
+struct ClientTag {};
+
+using AttributeId = StrongId<AttributeTag>;
+using PredicateId = StrongId<PredicateTag>;
+using SubscriptionId = StrongId<SubscriptionTag>;
+using BrokerId = StrongId<BrokerTag>;
+using ClientId = StrongId<ClientTag>;
+
+}  // namespace dbsp
+
+namespace std {
+template <class Tag>
+struct hash<dbsp::StrongId<Tag>> {
+  size_t operator()(dbsp::StrongId<Tag> id) const noexcept {
+    return std::hash<typename dbsp::StrongId<Tag>::value_type>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace dbsp {
+
+/// Deterministic random source used by all workload generation. A thin
+/// wrapper over mt19937_64 so every generator in the project draws from the
+/// same, seedable stream and experiments are reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi);
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool chance(double p);
+  /// Log-normal draw with the given underlying normal parameters.
+  [[nodiscard]] double log_normal(double mu, double sigma);
+  /// Normal draw.
+  [[nodiscard]] double normal(double mean, double stddev);
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipf distribution over {0, .., n-1} with exponent `s`, drawn via a
+/// precomputed cumulative table (n is workload-sized, a few thousand at
+/// most, so table construction is cheap and draws are O(log n)).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double s);
+
+  [[nodiscard]] std::size_t operator()(Rng& rng) const;
+
+  /// Probability mass of rank `k` (used by tests and selectivity checks).
+  [[nodiscard]] double pmf(std::size_t k) const;
+
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace dbsp

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <chrono>
+
+namespace dbsp {
+
+/// Monotonic stopwatch for measuring filtering cost. Accumulates across
+/// start/stop pairs so per-event costs can be summed over a run.
+class Stopwatch {
+ public:
+  void start() { begin_ = Clock::now(); }
+  void stop() { accumulated_ += Clock::now() - begin_; }
+
+  /// Total accumulated time in seconds.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(accumulated_).count();
+  }
+
+  void reset() { accumulated_ = {}; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point begin_{};
+  Clock::duration accumulated_{};
+};
+
+}  // namespace dbsp

@@ -1,0 +1,107 @@
+#include "core/candidates.hpp"
+
+#include <stdexcept>
+
+namespace dbsp {
+
+namespace {
+
+/// Does `parent` behave conjunctively for children in polarity `positive`?
+/// (AND in positive polarity; OR under an odd number of NOTs, where by
+/// De Morgan it acts as a conjunction.)
+[[nodiscard]] bool conjunctive(const Node& parent, bool positive) {
+  return (parent.kind() == NodeKind::And && positive) ||
+         (parent.kind() == NodeKind::Or && !positive);
+}
+
+void enumerate_walk(const Node& node, bool positive, bool bottom_up,
+                    Node::Path& prefix, std::vector<Node::Path>& out) {
+  const bool flips = node.kind() == NodeKind::Not;
+  const bool child_positive = flips ? !positive : positive;
+  for (std::uint32_t i = 0; i < node.children().size(); ++i) {
+    const Node& child = *node.children()[i];
+    prefix.push_back(i);
+    if (conjunctive(node, child_positive) &&
+        (!bottom_up || internal_prunings(child, child_positive) == 0)) {
+      out.push_back(prefix);
+    }
+    enumerate_walk(child, child_positive, bottom_up, prefix, out);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+std::size_t internal_prunings(const Node& node, bool positive) {
+  switch (node.kind()) {
+    case NodeKind::Leaf:
+    case NodeKind::True:
+    case NodeKind::False:
+      return 0;
+    case NodeKind::Not:
+      return internal_prunings(*node.children()[0], !positive);
+    case NodeKind::And:
+    case NodeKind::Or: {
+      const bool conj = conjunctive(node, positive);
+      std::size_t total = 0;
+      for (const auto& c : node.children()) total += internal_prunings(*c, positive);
+      if (conj) {
+        // Every child can additionally be removed itself, except the last
+        // one standing.
+        total += node.children().size() - 1;
+      }
+      return total;
+    }
+  }
+  return 0;
+}
+
+std::vector<Node::Path> enumerate_prunings(const Node& root, bool bottom_up) {
+  std::vector<Node::Path> out;
+  Node::Path prefix;
+  enumerate_walk(root, /*positive=*/true, bottom_up, prefix, out);
+  return out;
+}
+
+bool is_prunable_child(const Node& root, const Node::Path& path) {
+  if (path.empty()) return false;  // the root itself is never pruned
+  const Node* parent = &root;
+  bool positive = true;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (parent->kind() == NodeKind::Not) positive = !positive;
+    if (path[i] >= parent->children().size()) return false;
+    parent = parent->children()[path[i]].get();
+  }
+  if (parent->kind() == NodeKind::Not) positive = !positive;
+  if (path.back() >= parent->children().size()) return false;
+  return conjunctive(*parent, positive);
+}
+
+std::unique_ptr<Node> simulate_pruning(const Node& root, const Node::Path& path) {
+  if (!is_prunable_child(root, path)) {
+    throw std::invalid_argument("pruning: target is not a prunable child");
+  }
+  auto copy = root.clone();
+  // Recompute the polarity at the target to pick the generalizing constant.
+  bool positive = true;
+  const Node* walk = copy.get();
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (walk->kind() == NodeKind::Not) positive = !positive;
+    walk = walk->children()[path[i]].get();
+  }
+  if (walk->kind() == NodeKind::Not) positive = !positive;
+  Node* parent = copy->resolve(Node::Path(path.begin(), path.end() - 1));
+  parent->children()[path.back()] = Node::constant(positive);
+  auto simplified = simplify(std::move(copy));
+  if (simplified->is_constant()) {
+    // Unreachable for valid targets; guard against future operator changes.
+    throw std::logic_error("pruning: tree collapsed to a constant");
+  }
+  return simplified;
+}
+
+void apply_pruning(Subscription& sub, const Node::Path& path) {
+  sub.replace_root(simulate_pruning(sub.root(), path));
+}
+
+}  // namespace dbsp

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "subscription/node.hpp"
+#include "subscription/subscription.hpp"
+
+namespace dbsp {
+
+/// Candidate enumeration and the pruning operator (DESIGN.md §1).
+///
+/// A pruning replaces the subtree at a node by the generalizing constant —
+/// TRUE in positive polarity (even number of NOT ancestors), FALSE in
+/// negative polarity — and simplifies. A node is a *prunable child* iff its
+/// parent behaves conjunctively in the node's polarity (AND in positive,
+/// OR in negative): only there does the replacement generalize the filter.
+/// With the bottom-up restriction (paper §3.2) a pruning is *valid* iff
+/// additionally no valid pruning exists inside the node's subtree, which
+/// makes the number of prunings to exhaustion order-invariant.
+
+/// Number of prunings inside the subtree rooted at `node` (excluding the
+/// removal of `node` itself), assuming the bottom-up restriction. For the
+/// root this is the subscription's total pruning capacity: the paper's
+/// denominator for the "proportional number of prunings" axis.
+[[nodiscard]] std::size_t internal_prunings(const Node& node, bool positive = true);
+
+/// Paths of all currently valid prunings. `bottom_up` enforces the
+/// restriction of §3.2 (on by default; off only for the ablation study).
+[[nodiscard]] std::vector<Node::Path> enumerate_prunings(const Node& root,
+                                                         bool bottom_up = true);
+
+/// True iff `path` addresses a prunable child (parent conjunctive in the
+/// node's polarity). Does not check the bottom-up restriction.
+[[nodiscard]] bool is_prunable_child(const Node& root, const Node::Path& path);
+
+/// Returns a copy of `root` with the node at `path` pruned and the tree
+/// simplified. Throws std::invalid_argument for an invalid target. The
+/// result is never a constant (pruning a prunable child of an n>=2-ary
+/// conjunctive node cannot collapse the tree).
+[[nodiscard]] std::unique_ptr<Node> simulate_pruning(const Node& root,
+                                                     const Node::Path& path);
+
+/// Applies a pruning in place: replaces the subscription's tree by the
+/// pruned, simplified version (bumps the subscription's generation).
+void apply_pruning(Subscription& sub, const Node::Path& path);
+
+}  // namespace dbsp

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dbsp {
+
+/// The optimization dimension a pruning run targets (paper §3).
+enum class PruneDimension : std::uint8_t {
+  NetworkLoad,  ///< minimize selectivity degradation Δ≈sel (§3.1)
+  MemoryUsage,  ///< maximize memory improvement Δ≈mem (§3.2)
+  Throughput,   ///< maximize throughput improvement Δ≈eff (§3.3)
+};
+
+[[nodiscard]] constexpr const char* to_string(PruneDimension d) {
+  switch (d) {
+    case PruneDimension::NetworkLoad: return "network";
+    case PruneDimension::MemoryUsage: return "memory";
+    case PruneDimension::Throughput: return "throughput";
+  }
+  return "?";
+}
+
+/// The paper's tie-break orders (§3.4): the primary dimension followed by
+/// the two others consulted on equal primary ratings.
+[[nodiscard]] constexpr std::array<PruneDimension, 3> default_order(PruneDimension primary) {
+  switch (primary) {
+    case PruneDimension::NetworkLoad:
+      return {PruneDimension::NetworkLoad, PruneDimension::Throughput,
+              PruneDimension::MemoryUsage};
+    case PruneDimension::MemoryUsage:
+      return {PruneDimension::MemoryUsage, PruneDimension::NetworkLoad,
+              PruneDimension::Throughput};
+    case PruneDimension::Throughput:
+      return {PruneDimension::Throughput, PruneDimension::NetworkLoad,
+              PruneDimension::MemoryUsage};
+  }
+  return {primary, primary, primary};
+}
+
+}  // namespace dbsp

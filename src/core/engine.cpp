@@ -1,0 +1,131 @@
+#include "core/engine.hpp"
+
+#include <stdexcept>
+
+namespace dbsp {
+
+PruningEngine::PruningEngine(const SelectivityEstimator& estimator,
+                             PruneEngineConfig config, CountingMatcher* matcher)
+    : config_(config), scorer_(estimator), matcher_(matcher) {}
+
+void PruningEngine::register_subscription(Subscription& sub) {
+  if (subs_.count(sub.id().value()) != 0) {
+    throw std::invalid_argument("pruning engine: duplicate subscription");
+  }
+  SubState state;
+  state.sub = &sub;
+  state.original = scorer_.profile(sub.root());
+  total_possible_ += internal_prunings(sub.root());
+  auto [it, inserted] = subs_.emplace(sub.id().value(), std::move(state));
+  (void)inserted;
+  push_best_candidate(it->second);
+}
+
+void PruningEngine::unregister_subscription(SubscriptionId id) {
+  // Queue entries for this subscription die lazily on pop.
+  subs_.erase(id.value());
+}
+
+void PruningEngine::push_best_candidate(const SubState& state) {
+  const auto order = config_.effective_order();
+  const auto candidates = enumerate_prunings(state.sub->root(), config_.bottom_up);
+  if (candidates.empty()) return;
+
+  bool have_best = false;
+  QueueEntry best;
+  for (const auto& path : candidates) {
+    const PruneScores scores = scorer_.score(state.sub->root(), path, state.original);
+    const auto key = composite_key(scores, order);
+    if (!have_best || key < best.key) {
+      have_best = true;
+      best.key = key;
+      best.path = path;
+      best.scores = scores;
+    }
+  }
+  best.sub = state.sub->id();
+  best.generation = state.sub->generation();
+  best.seq = next_seq_++;
+  queue_.push(std::move(best));
+}
+
+bool PruningEngine::prune_one() {
+  while (!queue_.empty()) {
+    QueueEntry top = queue_.top();
+    queue_.pop();
+    auto it = subs_.find(top.sub.value());
+    if (it == subs_.end()) continue;                              // unregistered
+    if (top.generation != it->second.sub->generation()) continue; // stale
+    apply_pruning(*it->second.sub, top.path);
+    if (matcher_ != nullptr && matcher_->contains(top.sub)) {
+      matcher_->reindex(*it->second.sub);
+    }
+    ++performed_;
+    history_.push_back({top.sub, top.scores});
+    push_best_candidate(it->second);
+    return true;
+  }
+  return false;
+}
+
+std::size_t PruningEngine::prune(std::size_t k) {
+  std::size_t done = 0;
+  while (done < k && prune_one()) ++done;
+  return done;
+}
+
+std::optional<double> PruningEngine::next_primary_rating() {
+  while (!queue_.empty()) {
+    const QueueEntry& top = queue_.top();
+    auto it = subs_.find(top.sub.value());
+    if (it == subs_.end() || top.generation != it->second.sub->generation()) {
+      queue_.pop();  // stale; discard and keep looking
+      continue;
+    }
+    return top.key[0];
+  }
+  return std::nullopt;
+}
+
+std::size_t PruningEngine::prune_until(double budget) {
+  // The queue key is oriented so smaller is better: Δ≈sel ascending,
+  // -Δ≈mem and -Δ≈eff ascending. A budget on the raw dimension value
+  // therefore translates to key[0] <= oriented budget.
+  const double oriented_budget =
+      config_.effective_order()[0] == PruneDimension::NetworkLoad ? budget : -budget;
+  std::size_t done = 0;
+  for (auto rating = next_primary_rating();
+       rating.has_value() && *rating <= oriented_budget;
+       rating = next_primary_rating()) {
+    if (!prune_one()) break;
+    ++done;
+  }
+  return done;
+}
+
+std::optional<PruneScores> PruningEngine::peek_best(SubscriptionId id) const {
+  auto it = subs_.find(id.value());
+  if (it == subs_.end()) return std::nullopt;
+  const auto candidates = enumerate_prunings(it->second.sub->root(), config_.bottom_up);
+  if (candidates.empty()) return std::nullopt;
+  const auto order = config_.effective_order();
+  std::optional<PruneScores> best;
+  std::array<double, 3> best_key{};
+  for (const auto& path : candidates) {
+    const PruneScores s = scorer_.score(it->second.sub->root(), path, it->second.original);
+    const auto key = composite_key(s, order);
+    if (!best || key < best_key) {
+      best = s;
+      best_key = key;
+    }
+  }
+  return best;
+}
+
+const OriginalProfile* PruningEngine::original_profile(SubscriptionId id) const {
+  auto it = subs_.find(id.value());
+  if (it == subs_.end()) return nullptr;
+  return &it->second.original;
+}
+
+}  // namespace dbsp

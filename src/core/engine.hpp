@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "core/candidates.hpp"
+#include "core/dimension.hpp"
+#include "core/heuristics.hpp"
+#include "filter/counting_matcher.hpp"
+#include "selectivity/estimator.hpp"
+#include "subscription/subscription.hpp"
+
+namespace dbsp {
+
+/// Configuration of a pruning run.
+struct PruneEngineConfig {
+  /// Primary optimization dimension; the tie-break order defaults to the
+  /// paper's §3.4 orders but can be overridden (ablation A4).
+  PruneDimension dimension = PruneDimension::NetworkLoad;
+  std::optional<std::array<PruneDimension, 3>> order;
+  /// Bottom-up restriction of §3.2. Disable only for ablation A3; without
+  /// it the total number of prunings is order-dependent.
+  bool bottom_up = true;
+
+  [[nodiscard]] std::array<PruneDimension, 3> effective_order() const {
+    return order.value_or(default_order(dimension));
+  }
+};
+
+/// The dimension-based pruning engine (paper §3.4).
+///
+/// Holds one priority queue whose entries are the current *best* candidate
+/// pruning of each registered subscription, keyed by the composite
+/// (primary, secondary, tertiary) heuristic rating. prune_one() pops the
+/// globally most effective pruning, applies it, resynchronizes the matcher
+/// and re-inserts the subscription's next-best candidate — exactly the
+/// scheme of §3.4. Stale queue entries (from superseded generations) are
+/// skipped lazily.
+class PruningEngine {
+ public:
+  /// `matcher` may be null for pure-algorithm runs (no index maintenance).
+  PruningEngine(const SelectivityEstimator& estimator, PruneEngineConfig config,
+                CountingMatcher* matcher = nullptr);
+
+  /// Registers a subscription in its *unpruned* state: captures the Δ≈sel /
+  /// Δ≈eff baseline, the total pruning capacity, and queues the best
+  /// candidate. The subscription must outlive the engine.
+  void register_subscription(Subscription& sub);
+  void unregister_subscription(SubscriptionId id);
+
+  /// Performs the globally most effective pruning. Returns false when no
+  /// valid pruning remains ("any other pruning removes a complete
+  /// subscription").
+  bool prune_one();
+  /// Performs up to `k` prunings; returns how many were performed.
+  std::size_t prune(std::size_t k);
+
+  /// §3.4's second stopping rule: prunes while the *next* pruning's rating
+  /// on the primary dimension is still within `budget`, i.e. while
+  /// Δ≈sel <= budget (network), Δ≈mem >= budget (memory) or
+  /// Δ≈eff >= budget (throughput). Returns the number performed.
+  std::size_t prune_until(double budget);
+
+  /// Σ over subscriptions of their pruning capacity a(root) — the paper's
+  /// x-axis denominator. Fixed at registration time.
+  [[nodiscard]] std::size_t total_possible() const { return total_possible_; }
+  [[nodiscard]] std::size_t performed() const { return performed_; }
+
+  /// Best candidate currently queued for a subscription (for tests).
+  [[nodiscard]] std::optional<PruneScores> peek_best(SubscriptionId id) const;
+
+  /// Rating of the globally best pending pruning on the primary dimension
+  /// (oriented: smaller is better), or nullopt when exhausted. Skips stale
+  /// queue entries without performing anything.
+  [[nodiscard]] std::optional<double> next_primary_rating();
+
+  struct Applied {
+    SubscriptionId sub;
+    PruneScores scores;
+  };
+  /// Chronological log of applied prunings (drives the ablation benches).
+  [[nodiscard]] const std::vector<Applied>& history() const { return history_; }
+
+  [[nodiscard]] const OriginalProfile* original_profile(SubscriptionId id) const;
+  [[nodiscard]] const PruneEngineConfig& config() const { return config_; }
+
+ private:
+  struct QueueEntry {
+    std::array<double, 3> key{};
+    std::uint64_t seq = 0;  // FIFO among exact ties, for determinism
+    std::uint64_t generation = 0;
+    SubscriptionId sub;
+    Node::Path path;
+    PruneScores scores;
+  };
+  struct Compare {
+    // priority_queue keeps the *largest* on top; invert to get the
+    // smallest composite key (the most effective pruning) on top.
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+      if (a.key != b.key) return a.key > b.key;
+      return a.seq > b.seq;
+    }
+  };
+  struct SubState {
+    Subscription* sub = nullptr;
+    OriginalProfile original;
+  };
+
+  /// Scores all valid candidates of `state.sub`'s current tree and pushes
+  /// the best one (if any).
+  void push_best_candidate(const SubState& state);
+
+  PruneEngineConfig config_;
+  HeuristicScorer scorer_;
+  CountingMatcher* matcher_;
+  std::unordered_map<SubscriptionId::value_type, SubState> subs_;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, Compare> queue_;
+  std::vector<Applied> history_;
+  std::size_t total_possible_ = 0;
+  std::size_t performed_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace dbsp

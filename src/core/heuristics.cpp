@@ -1,0 +1,23 @@
+#include "core/heuristics.hpp"
+
+#include "core/candidates.hpp"
+
+namespace dbsp {
+
+PruneScores HeuristicScorer::score(const Node& current, const Node::Path& path,
+                                   const OriginalProfile& original) const {
+  const auto pruned = simulate_pruning(current, path);
+
+  PruneScores s;
+  s.sel_degradation =
+      std::max(0.0, selectivity_degradation(original.sel, estimator_->estimate(*pruned)));
+  s.mem_improvement = static_cast<double>(current.size_bytes()) -
+                      static_cast<double>(pruned->size_bytes());
+  const double pruned_pmin = pruned->pmin() == Node::kPminUnsatisfiable
+                                 ? 0.0
+                                 : static_cast<double>(pruned->pmin());
+  s.eff_improvement = pruned_pmin - static_cast<double>(original.pmin);
+  return s;
+}
+
+}  // namespace dbsp

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <array>
+
+#include "core/dimension.hpp"
+#include "selectivity/estimator.hpp"
+#include "subscription/node.hpp"
+
+namespace dbsp {
+
+/// The three heuristic ratings of one candidate pruning (paper §3.1–3.3).
+struct PruneScores {
+  /// Δ≈sel: estimated selectivity degradation vs the *originally
+  /// registered* subscription. Smaller is better; >= 0 by construction.
+  double sel_degradation = 0.0;
+  /// Δ≈mem: bytes saved on the subscription tree vs the tree *immediately
+  /// before* this pruning. Larger is better; > 0 for every valid pruning.
+  double mem_improvement = 0.0;
+  /// Δ≈eff: pmin(pruned) − pmin(original). Larger (closer to zero) is
+  /// better: it preserves the counting matcher's evaluation trigger.
+  double eff_improvement = 0.0;
+};
+
+/// What the engine remembers about a subscription as registered, the fixed
+/// baseline of Δ≈sel and Δ≈eff (§3.1/§3.3 compare against the unpruned
+/// subscription on purpose — see the paper's discussion of accumulated
+/// degradation).
+struct OriginalProfile {
+  SelectivityEstimate sel;
+  std::uint32_t pmin = 0;
+};
+
+/// Maps a candidate's scores onto one dimension's axis, oriented so that
+/// *smaller is better* for every dimension (Δ≈sel ascending, Δ≈mem and
+/// Δ≈eff descending, as in §3.4).
+[[nodiscard]] inline double oriented_score(const PruneScores& s, PruneDimension d) {
+  switch (d) {
+    case PruneDimension::NetworkLoad: return s.sel_degradation;
+    case PruneDimension::MemoryUsage: return -s.mem_improvement;
+    case PruneDimension::Throughput: return -s.eff_improvement;
+  }
+  return 0.0;
+}
+
+/// Composite lexicographic key for a dimension order; entry 0 is the
+/// primary dimension, 1 and 2 break ties (§3.4).
+[[nodiscard]] inline std::array<double, 3> composite_key(
+    const PruneScores& s, const std::array<PruneDimension, 3>& order) {
+  return {oriented_score(s, order[0]), oriented_score(s, order[1]),
+          oriented_score(s, order[2])};
+}
+
+/// Prices candidate prunings. Stateless apart from the estimator; the
+/// engine owns the per-subscription OriginalProfiles.
+class HeuristicScorer {
+ public:
+  explicit HeuristicScorer(const SelectivityEstimator& estimator)
+      : estimator_(&estimator) {}
+
+  /// Captures the baseline of a freshly registered subscription.
+  [[nodiscard]] OriginalProfile profile(const Node& root) const {
+    return {estimator_->estimate(root), root.pmin()};
+  }
+
+  /// Scores pruning `path` on `current` (the possibly already-pruned tree)
+  /// against the original baseline. Consistent by construction with what
+  /// apply_pruning produces: the pruned tree is simulated and measured.
+  [[nodiscard]] PruneScores score(const Node& current, const Node::Path& path,
+                                  const OriginalProfile& original) const;
+
+  [[nodiscard]] const SelectivityEstimator& estimator() const { return *estimator_; }
+
+ private:
+  const SelectivityEstimator* estimator_;
+};
+
+}  // namespace dbsp

@@ -1,0 +1,49 @@
+#include "event/event.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dbsp {
+
+void Event::set(AttributeId attr, Value value) {
+  auto it = std::lower_bound(
+      pairs_.begin(), pairs_.end(), attr,
+      [](const auto& pair, AttributeId a) { return pair.first < a; });
+  if (it != pairs_.end() && it->first == attr) {
+    it->second = std::move(value);
+  } else {
+    pairs_.insert(it, {attr, std::move(value)});
+  }
+}
+
+const Value* Event::find(AttributeId attr) const {
+  auto it = std::lower_bound(
+      pairs_.begin(), pairs_.end(), attr,
+      [](const auto& pair, AttributeId a) { return pair.first < a; });
+  if (it != pairs_.end() && it->first == attr) return &it->second;
+  return nullptr;
+}
+
+std::size_t Event::wire_size_bytes() const {
+  std::size_t bytes = 8;  // message header
+  for (const auto& [attr, value] : pairs_) {
+    (void)attr;
+    bytes += sizeof(AttributeId::value_type) + value.size_bytes();
+  }
+  return bytes;
+}
+
+std::string Event::to_string(const Schema& schema) const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (const auto& [attr, value] : pairs_) {
+    if (!first) os << ", ";
+    first = false;
+    os << schema.name(attr) << '=' << value.to_string();
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace dbsp

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "event/schema.hpp"
+#include "event/value.hpp"
+
+namespace dbsp {
+
+/// An event message: a set of attribute-value pairs, stored sorted by
+/// AttributeId for O(log n) lookup and cheap iteration in the matcher.
+class Event {
+ public:
+  Event() = default;
+
+  /// Sets (or overwrites) an attribute.
+  void set(AttributeId attr, Value value);
+
+  [[nodiscard]] const Value* find(AttributeId attr) const;
+
+  [[nodiscard]] const std::vector<std::pair<AttributeId, Value>>& pairs() const {
+    return pairs_;
+  }
+  [[nodiscard]] std::size_t size() const { return pairs_.size(); }
+
+  /// Approximate wire size in bytes (attribute id + value payload per pair),
+  /// used by the simulated network's byte accounting.
+  [[nodiscard]] std::size_t wire_size_bytes() const;
+
+  [[nodiscard]] std::string to_string(const Schema& schema) const;
+
+ private:
+  std::vector<std::pair<AttributeId, Value>> pairs_;
+};
+
+/// Convenience builder so tests/examples can write
+/// EventBuilder(schema).with("price", 12.5).with("category", "fiction").build().
+class EventBuilder {
+ public:
+  explicit EventBuilder(const Schema& schema) : schema_(&schema) {}
+
+  EventBuilder& with(std::string_view attr, Value value) {
+    event_.set(schema_->at(attr), std::move(value));
+    return *this;
+  }
+
+  /// Consumes the accumulated event (the builder is spent afterwards).
+  [[nodiscard]] Event build() { return std::move(event_); }
+  [[nodiscard]] const Event& peek() const { return event_; }
+
+ private:
+  const Schema* schema_;
+  Event event_;
+};
+
+}  // namespace dbsp

@@ -1,0 +1,36 @@
+#include "event/schema.hpp"
+
+#include <stdexcept>
+
+namespace dbsp {
+
+AttributeId Schema::add_attribute(std::string name, ValueType type) {
+  if (auto it = by_name_.find(name); it != by_name_.end()) {
+    if (types_[it->second.value()] != type) {
+      throw std::invalid_argument("schema: attribute '" + name + "' re-declared with different type");
+    }
+    return it->second;
+  }
+  const AttributeId id(static_cast<AttributeId::value_type>(names_.size()));
+  names_.push_back(name);
+  types_.push_back(type);
+  by_name_.emplace(std::move(name), id);
+  return id;
+}
+
+std::optional<AttributeId> Schema::find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+AttributeId Schema::at(std::string_view name) const {
+  if (auto id = find(name)) return *id;
+  throw std::out_of_range("schema: unknown attribute '" + std::string(name) + "'");
+}
+
+const std::string& Schema::name(AttributeId id) const { return names_.at(id.value()); }
+
+ValueType Schema::type(AttributeId id) const { return types_.at(id.value()); }
+
+}  // namespace dbsp

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "event/value.hpp"
+
+namespace dbsp {
+
+/// Declares the attributes of an event domain and interns their names into
+/// dense AttributeIds. All events, predicates and indexes of one broker
+/// network share a Schema; dense ids keep per-attribute state in flat
+/// vectors on the hot filtering path.
+class Schema {
+ public:
+  /// Registers (or finds) an attribute. Re-adding with the same type is
+  /// idempotent; re-adding with a conflicting type throws.
+  AttributeId add_attribute(std::string name, ValueType type);
+
+  [[nodiscard]] std::optional<AttributeId> find(std::string_view name) const;
+
+  /// Lookup that throws std::out_of_range for unknown names; parser-facing.
+  [[nodiscard]] AttributeId at(std::string_view name) const;
+
+  [[nodiscard]] const std::string& name(AttributeId id) const;
+  [[nodiscard]] ValueType type(AttributeId id) const;
+  [[nodiscard]] std::size_t attribute_count() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<ValueType> types_;
+  std::unordered_map<std::string, AttributeId> by_name_;
+};
+
+}  // namespace dbsp

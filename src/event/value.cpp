@@ -1,0 +1,110 @@
+#include "event/value.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/hash.hpp"
+
+namespace dbsp {
+
+ValueType Value::type() const {
+  switch (data_.index()) {
+    case 0: return ValueType::Int;
+    case 1: return ValueType::Double;
+    case 2: return ValueType::String;
+    default: return ValueType::Bool;
+  }
+}
+
+double Value::numeric() const {
+  if (type() == ValueType::Int) return static_cast<double>(as_int());
+  return as_double();
+}
+
+bool Value::equals(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (type() == ValueType::Int && other.type() == ValueType::Int) {
+      return as_int() == other.as_int();
+    }
+    return numeric() == other.numeric();
+  }
+  if (type() != other.type()) return false;
+  switch (type()) {
+    case ValueType::String: return as_string() == other.as_string();
+    case ValueType::Bool: return as_bool() == other.as_bool();
+    default: return false;  // unreachable: numeric handled above
+  }
+}
+
+bool Value::less(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (type() == ValueType::Int && other.type() == ValueType::Int) {
+      return as_int() < other.as_int();
+    }
+    return numeric() < other.numeric();
+  }
+  if (type() != other.type()) return false;
+  switch (type()) {
+    case ValueType::String: return as_string() < other.as_string();
+    case ValueType::Bool: return static_cast<int>(as_bool()) < static_cast<int>(other.as_bool());
+    default: return false;
+  }
+}
+
+bool Value::key_less(const Value& other) const {
+  // Int and Double share a numeric key space so that an index keyed on
+  // Value treats 20 and 20.0 as the same point.
+  const bool an = is_numeric();
+  const bool bn = other.is_numeric();
+  if (an != bn || (!an && type() != other.type())) {
+    auto rank = [](const Value& v) {
+      return v.is_numeric() ? 0 : (v.type() == ValueType::String ? 1 : 2);
+    };
+    return rank(*this) < rank(other);
+  }
+  return less(other);
+}
+
+std::size_t Value::hash() const {
+  std::size_t seed = 0;
+  switch (type()) {
+    case ValueType::Int:
+      hash_combine(seed, 0);
+      hash_combine(seed, numeric());  // hash numerically so 20 == 20.0
+      break;
+    case ValueType::Double:
+      hash_combine(seed, 0);
+      hash_combine(seed, numeric());
+      break;
+    case ValueType::String:
+      hash_combine(seed, 1);
+      hash_combine(seed, as_string());
+      break;
+    case ValueType::Bool:
+      hash_combine(seed, 2);
+      hash_combine(seed, as_bool());
+      break;
+  }
+  return seed;
+}
+
+std::size_t Value::size_bytes() const {
+  std::size_t bytes = sizeof(Value);
+  if (type() == ValueType::String && as_string().capacity() > sizeof(std::string)) {
+    bytes += as_string().capacity();
+  }
+  return bytes;
+}
+
+std::string Value::to_string() const {
+  std::ostringstream os;
+  switch (type()) {
+    case ValueType::Int: os << as_int(); break;
+    case ValueType::Double: os << as_double(); break;
+    case ValueType::String: os << '\'' << as_string() << '\''; break;
+    case ValueType::Bool: os << (as_bool() ? "true" : "false"); break;
+  }
+  return os.str();
+}
+
+}  // namespace dbsp

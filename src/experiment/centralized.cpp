@@ -1,0 +1,101 @@
+#include "experiment/centralized.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "common/timer.hpp"
+#include "core/engine.hpp"
+#include "filter/counting_matcher.hpp"
+#include "selectivity/estimator.hpp"
+#include "selectivity/stats.hpp"
+#include "workload/event_gen.hpp"
+#include "workload/subscription_gen.hpp"
+
+namespace dbsp {
+
+CentralizedResult run_centralized(const CentralizedConfig& config,
+                                  PruneDimension dimension) {
+  const AuctionDomain domain(config.workload);
+
+  // Workload: identical across heuristics for a given seed.
+  AuctionSubscriptionGenerator sub_gen(domain, /*stream=*/1);
+  std::vector<std::unique_ptr<Subscription>> subs;
+  subs.reserve(config.subscriptions);
+  for (std::size_t i = 0; i < config.subscriptions; ++i) {
+    subs.push_back(std::make_unique<Subscription>(
+        SubscriptionId(static_cast<SubscriptionId::value_type>(i)),
+        sub_gen.next_tree()));
+  }
+  AuctionEventGenerator event_gen(domain, /*stream=*/2);
+  const std::vector<Event> events = event_gen.generate(config.events);
+
+  // Selectivity statistics from an independent training stream.
+  EventStats stats(domain.schema());
+  AuctionEventGenerator training_gen(domain, /*stream=*/3);
+  for (std::size_t i = 0; i < config.training_events; ++i) {
+    stats.observe(training_gen.next());
+  }
+  stats.finalize();
+  const SelectivityEstimator estimator(stats);
+
+  CountingMatcher matcher(domain.schema());
+  for (auto& s : subs) matcher.add(*s);
+
+  PruneEngineConfig engine_config;
+  engine_config.dimension = dimension;
+  engine_config.bottom_up = config.bottom_up;
+  engine_config.order = config.tie_break_order;
+  PruningEngine engine(estimator, engine_config, &matcher);
+  for (auto& s : subs) engine.register_subscription(*s);
+
+  CentralizedResult result;
+  result.dimension = dimension;
+  result.total_possible_prunings = engine.total_possible();
+  const double baseline_assocs = static_cast<double>(matcher.association_count());
+
+  std::vector<SubscriptionId> matches;
+  for (const double fraction : config.fractions) {
+    const auto target = static_cast<std::size_t>(
+        std::llround(fraction * static_cast<double>(result.total_possible_prunings)));
+    if (target > engine.performed()) engine.prune(target - engine.performed());
+
+    // Warm up caches/branch predictors so the first sampled fraction is
+    // not penalized relative to later ones.
+    const std::size_t warmup = std::min<std::size_t>(events.size(), 200);
+    for (std::size_t i = 0; i < warmup; ++i) {
+      matches.clear();
+      matcher.match(events[i], matches);
+    }
+
+    matcher.reset_counters();
+    Stopwatch watch;
+    watch.start();
+    for (const Event& e : events) {
+      matches.clear();
+      matcher.match(e, matches);
+    }
+    watch.stop();
+
+    CentralizedPoint p;
+    p.fraction = fraction;
+    p.prunings_performed = engine.performed();
+    p.filter_time_per_event =
+        config.events == 0 ? 0.0 : watch.seconds() / static_cast<double>(config.events);
+    const auto& counters = matcher.counters();
+    p.matches = counters.matches;
+    p.counter_increments = counters.counter_increments;
+    p.tree_evaluations = counters.tree_evaluations;
+    p.matching_fraction =
+        static_cast<double>(counters.matches) /
+        (static_cast<double>(config.events) * static_cast<double>(config.subscriptions));
+    p.associations = matcher.association_count();
+    p.association_reduction =
+        baseline_assocs == 0.0
+            ? 0.0
+            : 1.0 - static_cast<double>(p.associations) / baseline_assocs;
+    result.points.push_back(p);
+  }
+  return result;
+}
+
+}  // namespace dbsp

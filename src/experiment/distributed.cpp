@@ -1,0 +1,119 @@
+#include "experiment/distributed.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "broker/overlay.hpp"
+#include "core/engine.hpp"
+#include "selectivity/estimator.hpp"
+#include "selectivity/stats.hpp"
+#include "workload/event_gen.hpp"
+#include "workload/subscription_gen.hpp"
+
+namespace dbsp {
+
+DistributedResult run_distributed(const DistributedConfig& config,
+                                  PruneDimension dimension) {
+  const AuctionDomain domain(config.workload);
+  Overlay overlay(domain.schema(), config.brokers, Overlay::line(config.brokers));
+
+  // Subscriptions are registered round-robin across brokers and flooded
+  // through the overlay (subscription forwarding).
+  AuctionSubscriptionGenerator sub_gen(domain, /*stream=*/1);
+  for (std::size_t i = 0; i < config.subscriptions; ++i) {
+    const BrokerId at(static_cast<BrokerId::value_type>(i % config.brokers));
+    overlay.subscribe(at, ClientId(static_cast<ClientId::value_type>(i)),
+                      SubscriptionId(static_cast<SubscriptionId::value_type>(i)),
+                      sub_gen.next_tree());
+  }
+
+  EventStats stats(domain.schema());
+  AuctionEventGenerator training_gen(domain, /*stream=*/3);
+  for (std::size_t i = 0; i < config.training_events; ++i) {
+    stats.observe(training_gen.next());
+  }
+  stats.finalize();
+  const SelectivityEstimator estimator(stats);
+
+  // One engine per broker over its remote routing entries (§2.2: pruning
+  // applies only to subscriptions from non-local clients).
+  PruneEngineConfig engine_config;
+  engine_config.dimension = dimension;
+  engine_config.bottom_up = config.bottom_up;
+  std::vector<std::unique_ptr<PruningEngine>> engines;
+  engines.reserve(config.brokers);
+  for (std::size_t b = 0; b < config.brokers; ++b) {
+    Broker& broker = overlay.broker(BrokerId(static_cast<BrokerId::value_type>(b)));
+    auto engine = std::make_unique<PruningEngine>(estimator, engine_config,
+                                                  &broker.matcher());
+    for (Subscription* sub : broker.remote_subscriptions()) {
+      engine->register_subscription(*sub);
+    }
+    engines.push_back(std::move(engine));
+  }
+
+  AuctionEventGenerator event_gen(domain, /*stream=*/2);
+  const std::vector<Event> events = event_gen.generate(config.events);
+
+  DistributedResult result;
+  result.dimension = dimension;
+  for (const auto& e : engines) result.total_possible_prunings += e->total_possible();
+  const std::size_t baseline_remote_assocs = overlay.total_remote_associations();
+
+  std::uint64_t baseline_event_messages = 0;
+  for (const double fraction : config.fractions) {
+    for (auto& engine : engines) {
+      const auto target = static_cast<std::size_t>(
+          std::llround(fraction * static_cast<double>(engine->total_possible())));
+      if (target > engine->performed()) engine->prune(target - engine->performed());
+    }
+
+    // Warm-up pass (not measured) so the first sampled fraction is not
+    // penalized by cold caches.
+    const std::size_t warmup = std::min<std::size_t>(events.size(), 100);
+    for (std::size_t i = 0; i < warmup; ++i) {
+      overlay.publish(BrokerId(static_cast<BrokerId::value_type>(i % config.brokers)),
+                      events[i]);
+    }
+
+    overlay.reset_metrics();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const BrokerId at(static_cast<BrokerId::value_type>(i % config.brokers));
+      overlay.publish(at, events[i]);
+    }
+
+    DistributedPoint p;
+    p.fraction = fraction;
+    for (const auto& e : engines) p.prunings_performed += e->performed();
+    p.filter_time_per_event =
+        events.empty() ? 0.0
+                       : overlay.total_filter_seconds() / static_cast<double>(events.size());
+    p.event_messages = overlay.network().total().event_messages;
+    p.notifications = overlay.total_notifications();
+    p.remote_associations = overlay.total_remote_associations();
+    p.association_reduction =
+        baseline_remote_assocs == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(p.remote_associations) /
+                        static_cast<double>(baseline_remote_assocs);
+
+    if (result.points.empty()) {
+      baseline_event_messages = p.event_messages;
+      result.baseline_notifications = p.notifications;
+    } else if (p.notifications != result.baseline_notifications) {
+      throw std::logic_error(
+          "distributed experiment: pruning changed delivered notifications");
+    }
+    p.network_increase =
+        baseline_event_messages == 0
+            ? 0.0
+            : static_cast<double>(p.event_messages) /
+                      static_cast<double>(baseline_event_messages) -
+                  1.0;
+    result.points.push_back(p);
+  }
+  return result;
+}
+
+}  // namespace dbsp

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <vector>
+
+#include "core/dimension.hpp"
+#include "workload/auction_schema.hpp"
+
+namespace dbsp {
+
+/// Parameters of the distributed experiment (paper §4: five brokers
+/// connected as a line; subscriptions and publishers spread uniformly).
+struct DistributedConfig {
+  WorkloadConfig workload;
+  std::size_t brokers = 5;
+  std::size_t subscriptions = 10000;
+  std::size_t events = 2000;
+  std::size_t training_events = 20000;
+  std::vector<double> fractions = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5,
+                                   0.6, 0.7, 0.8, 0.9, 1.0};
+  bool bottom_up = true;
+};
+
+struct DistributedPoint {
+  double fraction = 0.0;
+  std::size_t prunings_performed = 0;
+  /// Fig 1(d): summed broker CPU filtering seconds per published event.
+  double filter_time_per_event = 0.0;
+  /// Fig 1(e): event messages / event messages(unpruned) - 1.
+  double network_increase = 0.0;
+  /// Fig 1(f): 1 - remote associations / remote associations(unpruned).
+  double association_reduction = 0.0;
+
+  std::uint64_t event_messages = 0;
+  std::uint64_t notifications = 0;
+  std::size_t remote_associations = 0;
+};
+
+struct DistributedResult {
+  PruneDimension dimension{};
+  std::size_t total_possible_prunings = 0;
+  /// Notifications at fraction 0 — must stay constant across the sweep
+  /// (pruning never loses or duplicates notifications); checked by the
+  /// harness and re-checked by tests.
+  std::uint64_t baseline_notifications = 0;
+  std::vector<DistributedPoint> points;
+};
+
+/// Runs the distributed sweep for one heuristic: builds the overlay,
+/// floods subscriptions, trains statistics, sets up one pruning engine per
+/// broker over that broker's *remote* entries, then alternates pruning and
+/// measurement. Throws std::logic_error if a pruning level changes the
+/// delivered notifications (routing-correctness guard).
+[[nodiscard]] DistributedResult run_distributed(const DistributedConfig& config,
+                                                PruneDimension dimension);
+
+}  // namespace dbsp

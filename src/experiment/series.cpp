@@ -1,0 +1,55 @@
+#include "experiment/series.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+namespace dbsp {
+
+void print_figure(std::ostream& os, const std::string& title,
+                  const std::string& x_label, const std::string& y_label,
+                  const std::vector<Series>& series) {
+  os << "=== " << title << " ===\n";
+  os << "x: " << x_label << "   y: " << y_label << "\n";
+
+  const int name_width = 16;
+  os << std::left << std::setw(10) << "x";
+  for (const auto& s : series) os << std::setw(name_width) << s.name;
+  os << "\n";
+
+  const std::size_t rows = series.empty() ? 0 : series.front().points.size();
+  os << std::setprecision(6);
+  for (std::size_t r = 0; r < rows; ++r) {
+    os << std::left << std::setw(10) << series.front().points[r].first;
+    for (const auto& s : series) {
+      if (r < s.points.size()) {
+        os << std::setw(name_width) << s.points[r].second;
+      } else {
+        os << std::setw(name_width) << "-";
+      }
+    }
+    os << "\n";
+  }
+
+  os << "csv," << x_label;
+  for (const auto& s : series) os << ',' << s.name;
+  os << "\n";
+  for (std::size_t r = 0; r < rows; ++r) {
+    os << "csv," << series.front().points[r].first;
+    for (const auto& s : series) {
+      os << ',' << (r < s.points.size() ? s.points[r].second : std::nan(""));
+    }
+    os << "\n";
+  }
+  os << "\n";
+}
+
+std::vector<double> fraction_grid(double step) {
+  std::vector<double> out;
+  for (double x = 0.0; x < 1.0 + 1e-9; x += step) out.push_back(std::min(x, 1.0));
+  if (out.back() < 1.0 - 1e-9) out.push_back(1.0);
+  return out;
+}
+
+}  // namespace dbsp

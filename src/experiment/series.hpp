@@ -1,0 +1,25 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dbsp {
+
+/// One curve of a figure: (x, y) points with a label, e.g. "Time_sel".
+struct Series {
+  std::string name;
+  std::vector<std::pair<double, double>> points;
+};
+
+/// Prints a figure as an aligned table — one row per x value, one column
+/// per series — mirroring the rows/series of the paper's plots, plus a
+/// machine-readable CSV block.
+void print_figure(std::ostream& os, const std::string& title,
+                  const std::string& x_label, const std::string& y_label,
+                  const std::vector<Series>& series);
+
+/// The standard pruning-fraction grid of the experiments: 0, step, ..., 1.
+[[nodiscard]] std::vector<double> fraction_grid(double step = 0.1);
+
+}  // namespace dbsp

@@ -1,0 +1,159 @@
+#include "filter/attribute_index.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dbsp {
+
+namespace {
+
+/// Ordered comparisons and Between only index numeric operands; predicates
+/// with non-numeric operands on those operators fall back to the scan list.
+bool numeric_indexable(const Predicate& pred) {
+  switch (pred.op()) {
+    case Op::Lt:
+    case Op::Le:
+    case Op::Gt:
+    case Op::Ge:
+      return pred.operand().is_numeric();
+    case Op::Between:
+      return pred.operands()[0].is_numeric() && pred.operands()[1].is_numeric();
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void AttributeIndex::insert_eq_key(const Value& key, PredicateId id) {
+  eq_[key].push_back(id);
+}
+
+void AttributeIndex::remove_eq_key(const Value& key, PredicateId id) {
+  auto it = eq_.find(key);
+  if (it == eq_.end()) throw std::logic_error("attribute index: eq key missing");
+  auto& vec = it->second;
+  auto pos = std::find(vec.begin(), vec.end(), id);
+  if (pos == vec.end()) throw std::logic_error("attribute index: eq predicate missing");
+  *pos = vec.back();
+  vec.pop_back();
+  if (vec.empty()) eq_.erase(it);
+}
+
+void AttributeIndex::insert(PredicateId id, const Predicate& pred) {
+  ++size_;
+  switch (pred.op()) {
+    case Op::Eq:
+      insert_eq_key(pred.operand(), id);
+      return;
+    case Op::In:
+      for (const auto& v : pred.operands()) insert_eq_key(v, id);
+      return;
+    case Op::Lt:
+    case Op::Le:
+      if (numeric_indexable(pred)) {
+        less_.emplace(pred.operand().numeric(),
+                      OrderedEntry{id, pred.op() == Op::Le});
+        return;
+      }
+      break;
+    case Op::Gt:
+    case Op::Ge:
+      if (numeric_indexable(pred)) {
+        greater_.emplace(pred.operand().numeric(),
+                         OrderedEntry{id, pred.op() == Op::Ge});
+        return;
+      }
+      break;
+    case Op::Between:
+      if (numeric_indexable(pred)) {
+        between_.emplace(pred.operands()[0].numeric(),
+                         IntervalEntry{id, pred.operands()[1].numeric()});
+        return;
+      }
+      break;
+    default:
+      break;
+  }
+  scan_.push_back(id);
+  scan_preds_.emplace(id, pred);
+}
+
+void AttributeIndex::remove(PredicateId id, const Predicate& pred) {
+  if (size_ == 0) throw std::logic_error("attribute index: remove from empty index");
+  --size_;
+  auto erase_ordered = [&](auto& map, double key) {
+    auto [lo, hi] = map.equal_range(key);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second.id == id) {
+        map.erase(it);
+        return;
+      }
+    }
+    throw std::logic_error("attribute index: ordered predicate missing");
+  };
+  switch (pred.op()) {
+    case Op::Eq:
+      remove_eq_key(pred.operand(), id);
+      return;
+    case Op::In:
+      for (const auto& v : pred.operands()) remove_eq_key(v, id);
+      return;
+    case Op::Lt:
+    case Op::Le:
+      if (numeric_indexable(pred)) {
+        erase_ordered(less_, pred.operand().numeric());
+        return;
+      }
+      break;
+    case Op::Gt:
+    case Op::Ge:
+      if (numeric_indexable(pred)) {
+        erase_ordered(greater_, pred.operand().numeric());
+        return;
+      }
+      break;
+    case Op::Between:
+      if (numeric_indexable(pred)) {
+        erase_ordered(between_, pred.operands()[0].numeric());
+        return;
+      }
+      break;
+    default:
+      break;
+  }
+  auto pos = std::find(scan_.begin(), scan_.end(), id);
+  if (pos == scan_.end()) throw std::logic_error("attribute index: scan predicate missing");
+  *pos = scan_.back();
+  scan_.pop_back();
+  scan_preds_.erase(id);
+}
+
+void AttributeIndex::collect(const Value& value, std::vector<PredicateId>& out) const {
+  if (auto it = eq_.find(value); it != eq_.end()) {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  if (value.is_numeric()) {
+    const double v = value.numeric();
+    // attr < c fulfilled iff c > v; attr <= c additionally at c == v.
+    for (auto it = less_.lower_bound(v); it != less_.end(); ++it) {
+      if (it->first > v || (it->second.inclusive && it->first == v)) {
+        out.push_back(it->second.id);
+      }
+    }
+    // attr > c fulfilled iff c < v; attr >= c additionally at c == v.
+    for (auto it = greater_.begin(); it != greater_.end() && it->first <= v; ++it) {
+      if (it->first < v || (it->second.inclusive && it->first == v)) {
+        out.push_back(it->second.id);
+      }
+    }
+    for (auto it = between_.begin(); it != between_.end() && it->first <= v; ++it) {
+      if (it->second.high >= v) out.push_back(it->second.id);
+    }
+  }
+  for (const auto id : scan_) {
+    if (scan_preds_.at(id).matches_value(value)) out.push_back(id);
+  }
+}
+
+}  // namespace dbsp

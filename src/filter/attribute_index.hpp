@@ -1,0 +1,62 @@
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "event/value.hpp"
+#include "subscription/predicate.hpp"
+
+namespace dbsp {
+
+/// Operator-segregated index of the predicates on one attribute. Given an
+/// event's value for the attribute, collect() appends every fulfilled
+/// predicate id exactly once.
+///
+/// Structure (per the two-step predicate-indexing scheme of counting
+/// matchers):
+///  * Eq and In members: hash map value -> predicate ids (O(1) probe);
+///  * Lt/Le: ordered multimap keyed by threshold, fulfilled iff
+///    threshold > v (or >= v for Le) — iterate the upper range;
+///  * Gt/Ge: ordered multimap, fulfilled iff threshold < v (<=) — iterate
+///    the lower range;
+///  * Between: ordered by low bound; candidates are intervals with
+///    low <= v, verified against the high bound;
+///  * Ne and string operators: scan list evaluated per event (these are
+///    rare in typical workloads; complexity documented in DESIGN.md).
+class AttributeIndex {
+ public:
+  void insert(PredicateId id, const Predicate& pred);
+  void remove(PredicateId id, const Predicate& pred);
+
+  /// Appends ids of all predicates fulfilled by `value`.
+  void collect(const Value& value, std::vector<PredicateId>& out) const;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  struct OrderedEntry {
+    PredicateId id;
+    bool inclusive = false;  // Le / Ge
+  };
+  struct IntervalEntry {
+    PredicateId id;
+    double high = 0.0;
+  };
+
+  void insert_eq_key(const Value& key, PredicateId id);
+  void remove_eq_key(const Value& key, PredicateId id);
+
+  std::unordered_map<Value, std::vector<PredicateId>> eq_;
+  std::multimap<double, OrderedEntry> less_;     // Lt/Le keyed by threshold
+  std::multimap<double, OrderedEntry> greater_;  // Gt/Ge keyed by threshold
+  std::multimap<double, IntervalEntry> between_; // keyed by low bound
+  // Ne + string ops: owning copies, so callers need not guarantee operand
+  // lifetime (predicates are small; scan predicates are rare).
+  std::vector<PredicateId> scan_;
+  std::unordered_map<PredicateId, Predicate> scan_preds_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dbsp

@@ -1,0 +1,207 @@
+#include "filter/counting_matcher.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace dbsp {
+
+CountingMatcher::CountingMatcher(const Schema& schema) : schema_(&schema) {
+  attr_index_.resize(schema.attribute_count());
+}
+
+std::uint32_t CountingMatcher::slot_of(SubscriptionId id) const {
+  auto it = slot_by_id_.find(id.value());
+  if (it == slot_by_id_.end()) throw std::out_of_range("matcher: unknown subscription");
+  return it->second;
+}
+
+bool CountingMatcher::contains(SubscriptionId id) const {
+  return slot_by_id_.count(id.value()) != 0;
+}
+
+void CountingMatcher::grow_predicate_arrays() {
+  const std::size_t needed = registry_.capacity();
+  if (pred_slots_.size() < needed) {
+    pred_slots_.resize(needed);
+    pred_epoch_.resize(needed, 0);
+  }
+}
+
+void CountingMatcher::index_tree(
+    Subscription& sub, std::vector<std::pair<PredicateId, std::uint32_t>>& preds) {
+  const std::uint32_t slot = slot_of(sub.id());
+  sub.root().for_each_leaf_mut([&](Node& leaf) {
+    const auto result = registry_.add_reference(leaf.predicate(), sub.id());
+    leaf.set_predicate_id(result.id);
+    grow_predicate_arrays();
+    if (result.new_predicate) {
+      const auto attr = registry_.predicate(result.id).attribute();
+      if (attr.value() >= attr_index_.size()) {
+        throw std::out_of_range("matcher: predicate on attribute outside schema");
+      }
+      attr_index_[attr.value()].insert(result.id, registry_.predicate(result.id));
+      pred_slots_[result.id.value()].clear();
+    }
+    auto& assoc = pred_slots_[result.id.value()];
+    if (result.new_association) {
+      assoc.push_back({slot, 1});
+    } else {
+      // Rare: the same predicate in another leaf of the same subscription.
+      auto entry = std::find_if(assoc.begin(), assoc.end(),
+                                [&](const PredSub& p) { return p.slot == slot; });
+      assert(entry != assoc.end());
+      ++entry->leaf_refs;
+    }
+    auto it = std::find_if(preds.begin(), preds.end(),
+                           [&](const auto& p) { return p.first == result.id; });
+    if (it == preds.end()) {
+      preds.emplace_back(result.id, 1);
+    } else {
+      ++it->second;
+    }
+  });
+}
+
+void CountingMatcher::release_snapshot(
+    SubscriptionId id, const std::vector<std::pair<PredicateId, std::uint32_t>>& preds) {
+  const std::uint32_t slot = slot_of(id);
+  for (const auto& [pid, count] : preds) {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      auto result = registry_.release_reference(pid, id);
+      auto& assoc = pred_slots_[pid.value()];
+      auto it = std::find_if(assoc.begin(), assoc.end(),
+                             [&](const PredSub& p) { return p.slot == slot; });
+      assert(it != assoc.end());
+      if (result.association_removed) {
+        *it = assoc.back();
+        assoc.pop_back();
+      } else {
+        --it->leaf_refs;
+      }
+      if (result.removed_predicate) {
+        const auto attr = result.removed_predicate->attribute();
+        attr_index_[attr.value()].remove(pid, *result.removed_predicate);
+      }
+    }
+  }
+}
+
+void CountingMatcher::set_pmin(std::uint32_t slot, std::uint32_t pmin) {
+  const std::uint32_t old = slots_[slot].pmin;
+  slots_[slot].pmin = pmin;
+  const bool was_always = slots_[slot].sub != nullptr && old == 0;
+  const bool is_always = pmin == 0;
+  if (was_always == is_always) return;
+  if (is_always) {
+    always_eval_.push_back(slot);
+  } else {
+    auto it = std::find(always_eval_.begin(), always_eval_.end(), slot);
+    if (it != always_eval_.end()) {
+      *it = always_eval_.back();
+      always_eval_.pop_back();
+    }
+  }
+}
+
+void CountingMatcher::add(Subscription& sub) {
+  if (contains(sub.id())) throw std::invalid_argument("matcher: duplicate subscription id");
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+    counter_.push_back(0);
+    counter_epoch_.push_back(0);
+  }
+  slot_by_id_.emplace(sub.id().value(), slot);
+  slots_[slot] = Slot{};
+  slots_[slot].sub = &sub;
+  index_tree(sub, slots_[slot].preds);
+  slots_[slot].pmin = 1;  // placeholder != 0 so set_pmin tracks the always list
+  set_pmin(slot, sub.root().pmin());
+  ++live_subs_;
+}
+
+void CountingMatcher::remove(Subscription& sub) {
+  const std::uint32_t slot = slot_of(sub.id());
+  // Pull the slot out of the always-eval list before releasing references.
+  set_pmin(slot, 1);
+  auto preds = std::move(slots_[slot].preds);
+  release_snapshot(sub.id(), preds);
+  slot_by_id_.erase(sub.id().value());
+  slots_[slot] = Slot{};
+  free_slots_.push_back(slot);
+  --live_subs_;
+}
+
+void CountingMatcher::reindex(Subscription& sub) {
+  const std::uint32_t slot = slot_of(sub.id());
+  auto old_preds = std::move(slots_[slot].preds);
+  slots_[slot].preds.clear();
+  // Index the new tree first so predicates shared between old and new trees
+  // never drop to zero references (which would thrash the attribute index).
+  index_tree(sub, slots_[slot].preds);
+  release_snapshot(sub.id(), old_preds);
+  set_pmin(slot, sub.root().pmin());
+}
+
+void CountingMatcher::match(const Event& event, std::vector<SubscriptionId>& out) {
+  ++epoch_;
+  ++counters_.events;
+  scratch_preds_.clear();
+  scratch_candidates_.clear();
+
+  for (const auto& [attr, value] : event.pairs()) {
+    if (attr.value() >= attr_index_.size()) continue;
+    attr_index_[attr.value()].collect(value, scratch_preds_);
+  }
+  counters_.predicate_hits += scratch_preds_.size();
+
+  if (pmin_trigger_) {
+    for (const PredicateId pid : scratch_preds_) {
+      pred_epoch_[pid.value()] = epoch_;
+      for (const PredSub& entry : pred_slots_[pid.value()]) {
+        const std::uint32_t slot = entry.slot;
+        if (counter_epoch_[slot] != epoch_) {
+          counter_epoch_[slot] = epoch_;
+          counter_[slot] = 0;
+        }
+        ++counters_.counter_increments;
+        const std::uint32_t before = counter_[slot];
+        counter_[slot] = before + entry.leaf_refs;
+        if (before < slots_[slot].pmin && counter_[slot] >= slots_[slot].pmin) {
+          scratch_candidates_.push_back(slot);
+        }
+      }
+    }
+    for (const std::uint32_t slot : always_eval_) scratch_candidates_.push_back(slot);
+  } else {
+    // Ablation mode: mark fulfilled predicates, evaluate everything.
+    for (const PredicateId pid : scratch_preds_) pred_epoch_[pid.value()] = epoch_;
+    for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+      if (slots_[slot].sub != nullptr) scratch_candidates_.push_back(slot);
+    }
+  }
+
+  for (const std::uint32_t slot : scratch_candidates_) {
+    const Slot& s = slots_[slot];
+    ++counters_.tree_evaluations;
+    const bool matched = s.sub->root().evaluate([&](const Node& leaf) {
+      const PredicateId pid = leaf.predicate_id();
+      return pid.valid() && pred_epoch_[pid.value()] == epoch_;
+    });
+    if (matched) {
+      ++counters_.matches;
+      out.push_back(s.sub->id());
+    }
+  }
+}
+
+std::size_t CountingMatcher::associations_of(SubscriptionId id) const {
+  return slots_[slot_of(id)].preds.size();
+}
+
+}  // namespace dbsp

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "event/event.hpp"
+#include "event/schema.hpp"
+#include "filter/attribute_index.hpp"
+#include "filter/predicate_registry.hpp"
+#include "subscription/subscription.hpp"
+
+namespace dbsp {
+
+/// The counting-based filtering engine for Boolean subscriptions
+/// (non-canonical algorithm of the paper's ref [2]).
+///
+/// Two-phase matching: (1) per-attribute indexes produce the set of
+/// predicates fulfilled by the event — each distinct predicate is tested at
+/// most once regardless of how many subscriptions use it; (2) counters over
+/// predicate/subscription associations find subscriptions whose number of
+/// fulfilled predicates reaches pmin, and only those have their Boolean
+/// tree evaluated (the pmin evaluation trigger central to the throughput
+/// heuristic of §3.3). Subscriptions with pmin == 0 (satisfiable through a
+/// NOT by absence of matches) are evaluated on every event.
+///
+/// The matcher does not own subscriptions; registered Subscription objects
+/// must outlive it and their addresses must be stable. Trees may only be
+/// mutated through the pruning engine, which calls reindex() afterwards.
+class CountingMatcher {
+ public:
+  explicit CountingMatcher(const Schema& schema);
+
+  /// Registers a subscription: interns its predicates, assigns leaf
+  /// predicate ids, indexes it for matching.
+  void add(Subscription& sub);
+  /// Unregisters; releases all predicate references.
+  void remove(Subscription& sub);
+  /// Re-synchronizes indexes and pmin after the subscription's tree changed
+  /// (e.g. a pruning). Cost is proportional to the tree size.
+  void reindex(Subscription& sub);
+
+  /// Appends ids of all subscriptions matching `event`. Non-const: advances
+  /// the matcher epoch and touches counters.
+  void match(const Event& event, std::vector<SubscriptionId>& out);
+
+  [[nodiscard]] bool contains(SubscriptionId id) const;
+  [[nodiscard]] std::size_t subscription_count() const { return live_subs_; }
+
+  /// Predicate/subscription association count (memory metric, Fig 1c/1f).
+  [[nodiscard]] std::size_t association_count() const {
+    return registry_.association_count();
+  }
+  /// Associations contributed by one subscription (= its distinct
+  /// predicates); lets experiments restrict the metric to non-local subs.
+  [[nodiscard]] std::size_t associations_of(SubscriptionId id) const;
+
+  [[nodiscard]] std::size_t live_predicates() const { return registry_.live_predicates(); }
+  [[nodiscard]] const PredicateRegistry& registry() const { return registry_; }
+
+  /// Disables the pmin evaluation trigger: every registered subscription's
+  /// tree is evaluated on every event (predicate indexes still run). Only
+  /// meant for the ablation study quantifying the trigger's value.
+  void set_pmin_trigger(bool enabled) { pmin_trigger_ = enabled; }
+  [[nodiscard]] bool pmin_trigger() const { return pmin_trigger_; }
+
+  /// Introspection counters accumulated across match() calls.
+  struct Counters {
+    std::uint64_t events = 0;
+    std::uint64_t predicate_hits = 0;      ///< fulfilled predicates found by indexes
+    std::uint64_t counter_increments = 0;  ///< association counter bumps
+    std::uint64_t tree_evaluations = 0;    ///< Boolean trees evaluated
+    std::uint64_t matches = 0;             ///< subscriptions matched
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  void reset_counters() { counters_ = {}; }
+
+ private:
+  struct Slot {
+    Subscription* sub = nullptr;
+    std::uint32_t pmin = 0;
+    /// Snapshot of the tree's predicate multiset at last (re)index:
+    /// (predicate id, leaf count). Used to diff on reindex/remove.
+    std::vector<std::pair<PredicateId, std::uint32_t>> preds;
+  };
+
+  [[nodiscard]] std::uint32_t slot_of(SubscriptionId id) const;
+  void index_tree(Subscription& sub, std::vector<std::pair<PredicateId, std::uint32_t>>& preds);
+  void release_snapshot(SubscriptionId id,
+                        const std::vector<std::pair<PredicateId, std::uint32_t>>& preds);
+  void set_pmin(std::uint32_t slot, std::uint32_t pmin);
+  void grow_predicate_arrays();
+
+  /// One association as seen from a predicate: the subscription's slot and
+  /// how many of its leaves carry this predicate. Counters advance by
+  /// `leaf_refs` so they count fulfilled *leaf occurrences* — pmin is a
+  /// bound on fulfilled leaves, not on distinct predicates (a predicate
+  /// duplicated across leaves must count once per leaf).
+  struct PredSub {
+    std::uint32_t slot = 0;
+    std::uint32_t leaf_refs = 0;
+  };
+
+  const Schema* schema_;
+  PredicateRegistry registry_;
+  std::vector<AttributeIndex> attr_index_;            // by attribute id
+  std::vector<std::vector<PredSub>> pred_slots_;      // by predicate id
+  std::vector<std::uint64_t> pred_epoch_;             // by predicate id
+
+  std::unordered_map<SubscriptionId::value_type, std::uint32_t> slot_by_id_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::uint32_t> counter_;
+  std::vector<std::uint64_t> counter_epoch_;
+  std::vector<std::uint32_t> always_eval_;  // slots with pmin == 0
+
+  std::uint64_t epoch_ = 0;
+  std::size_t live_subs_ = 0;
+  bool pmin_trigger_ = true;
+  std::vector<PredicateId> scratch_preds_;
+  std::vector<std::uint32_t> scratch_candidates_;
+  Counters counters_;
+};
+
+}  // namespace dbsp

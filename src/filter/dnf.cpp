@@ -1,0 +1,139 @@
+#include "filter/dnf.hpp"
+
+#include <algorithm>
+
+namespace dbsp {
+
+namespace {
+
+/// DNF of a subtree under a polarity; nullopt on inconvertible leaves or
+/// blowup. Conjunctions are predicate lists; TRUE is the empty conjunction
+/// set meaning... we never produce constants: input trees are constant-free.
+std::optional<std::vector<std::vector<Predicate>>> dnf_walk(
+    const Node& node, bool positive, std::size_t max_conjunctions);
+
+/// Cross product of two DNFs (the AND of two disjunctions).
+std::optional<std::vector<std::vector<Predicate>>> dnf_and(
+    const std::vector<std::vector<Predicate>>& a,
+    const std::vector<std::vector<Predicate>>& b, std::size_t max_conjunctions) {
+  if (a.size() * b.size() > max_conjunctions) return std::nullopt;
+  std::vector<std::vector<Predicate>> out;
+  out.reserve(a.size() * b.size());
+  for (const auto& ca : a) {
+    for (const auto& cb : b) {
+      std::vector<Predicate> merged = ca;
+      for (const auto& p : cb) {
+        // Drop duplicates within a conjunction (keeps counting thresholds
+        // equal to the number of distinct predicates).
+        if (std::none_of(merged.begin(), merged.end(),
+                         [&](const Predicate& q) { return q.equals(p); })) {
+          merged.push_back(p);
+        }
+      }
+      out.push_back(std::move(merged));
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<std::vector<Predicate>>> dnf_walk(
+    const Node& node, bool positive, std::size_t max_conjunctions) {
+  switch (node.kind()) {
+    case NodeKind::Leaf: {
+      if (positive) return std::vector<std::vector<Predicate>>{{node.predicate()}};
+      const auto negated = negate_predicate(node.predicate());
+      if (!negated) return std::nullopt;
+      return negated->alternatives;
+    }
+    case NodeKind::Not:
+      return dnf_walk(*node.children()[0], !positive, max_conjunctions);
+    case NodeKind::And:
+    case NodeKind::Or: {
+      // De Morgan: a negated And behaves as Or and vice versa.
+      const bool disjunctive = (node.kind() == NodeKind::Or) == positive;
+      std::optional<std::vector<std::vector<Predicate>>> acc;
+      for (const auto& child : node.children()) {
+        auto part = dnf_walk(*child, positive, max_conjunctions);
+        if (!part) return std::nullopt;
+        if (!acc) {
+          acc = std::move(part);
+          continue;
+        }
+        if (disjunctive) {
+          acc->insert(acc->end(), std::make_move_iterator(part->begin()),
+                      std::make_move_iterator(part->end()));
+          if (acc->size() > max_conjunctions) return std::nullopt;
+        } else {
+          acc = dnf_and(*acc, *part, max_conjunctions);
+          if (!acc) return std::nullopt;
+        }
+      }
+      return acc;
+    }
+    case NodeKind::True:
+      return std::vector<std::vector<Predicate>>{{}};
+    case NodeKind::False:
+      return std::vector<std::vector<Predicate>>{};
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<NegatedPredicate> negate_predicate(const Predicate& p) {
+  NegatedPredicate out;
+  switch (p.op()) {
+    case Op::Eq:
+      out.alternatives = {{Predicate(p.attribute(), Op::Ne, p.operand())}};
+      return out;
+    case Op::Ne:
+      out.alternatives = {{Predicate(p.attribute(), Op::Eq, p.operand())}};
+      return out;
+    case Op::Lt:
+      out.alternatives = {{Predicate(p.attribute(), Op::Ge, p.operand())}};
+      return out;
+    case Op::Le:
+      out.alternatives = {{Predicate(p.attribute(), Op::Gt, p.operand())}};
+      return out;
+    case Op::Gt:
+      out.alternatives = {{Predicate(p.attribute(), Op::Le, p.operand())}};
+      return out;
+    case Op::Ge:
+      out.alternatives = {{Predicate(p.attribute(), Op::Lt, p.operand())}};
+      return out;
+    case Op::Between:
+      out.alternatives = {{Predicate(p.attribute(), Op::Lt, p.operands()[0])},
+                          {Predicate(p.attribute(), Op::Gt, p.operands()[1])}};
+      return out;
+    case Op::In: {
+      std::vector<Predicate> all_ne;
+      all_ne.reserve(p.operands().size());
+      for (const auto& v : p.operands()) {
+        all_ne.emplace_back(p.attribute(), Op::Ne, v);
+      }
+      out.alternatives = {std::move(all_ne)};
+      return out;
+    }
+    case Op::Prefix:
+    case Op::Suffix:
+    case Op::Contains:
+      return std::nullopt;  // no complement operator exists
+  }
+  return std::nullopt;
+}
+
+std::optional<DnfForm> to_dnf(const Node& tree, std::size_t max_conjunctions) {
+  auto conjunctions = dnf_walk(tree, /*positive=*/true, max_conjunctions);
+  if (!conjunctions) return std::nullopt;
+  return DnfForm{std::move(*conjunctions)};
+}
+
+bool dnf_matches(const DnfForm& dnf, const Event& event) {
+  return std::any_of(
+      dnf.conjunctions.begin(), dnf.conjunctions.end(), [&](const auto& conj) {
+        return std::all_of(conj.begin(), conj.end(),
+                           [&](const Predicate& p) { return p.matches(event); });
+      });
+}
+
+}  // namespace dbsp

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "subscription/node.hpp"
+#include "subscription/predicate.hpp"
+
+namespace dbsp {
+
+/// Canonical (DNF) form of a Boolean subscription: a disjunction of
+/// conjunctions of predicates. The canonical filtering algorithms of the
+/// paper's refs [2]/[10] operate on this form; the paper's footnote 1
+/// ("subscriptions in DNF do not eliminate this disadvantage") refers to
+/// the blowup measured by the ablation bench built on this module.
+struct DnfForm {
+  std::vector<std::vector<Predicate>> conjunctions;
+};
+
+/// Negates a predicate into an equivalent positive form, possibly a small
+/// conjunction or disjunction:
+///   ¬(a = v)  -> a != v            ¬(a between lo..hi) -> a < lo OR a > hi
+///   ¬(a < v)  -> a >= v            ¬(a in {..})        -> AND of a != vi
+/// String pattern operators have no complement operator; nullopt then.
+/// Caveat: complements assume the attribute is present in the event (the
+/// usual closed-schema assumption of canonical matchers); on events missing
+/// the attribute both p and its complement evaluate false.
+struct NegatedPredicate {
+  /// Outer disjunction of inner conjunctions (at most 2x2 in practice).
+  std::vector<std::vector<Predicate>> alternatives;
+};
+[[nodiscard]] std::optional<NegatedPredicate> negate_predicate(const Predicate& p);
+
+/// Converts a subscription tree to DNF. Returns nullopt when the tree
+/// cannot be converted (negated string operator) or when the conversion
+/// exceeds `max_conjunctions` (the canonical blowup guard).
+[[nodiscard]] std::optional<DnfForm> to_dnf(const Node& tree,
+                                            std::size_t max_conjunctions = 4096);
+
+/// Evaluates a DNF form directly against an event (test oracle).
+[[nodiscard]] bool dnf_matches(const DnfForm& dnf, const Event& event);
+
+}  // namespace dbsp

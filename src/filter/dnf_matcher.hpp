@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "event/event.hpp"
+#include "event/schema.hpp"
+#include "filter/attribute_index.hpp"
+#include "filter/dnf.hpp"
+#include "subscription/subscription.hpp"
+
+namespace dbsp {
+
+/// Canonical counting matcher (refs [2]/[10]): subscriptions are converted
+/// to DNF and every conjunction gets a counter; a conjunction whose counter
+/// reaches its size fires its subscription. Simpler per-event logic than
+/// the non-canonical CountingMatcher (no tree evaluation at all) at the
+/// cost of the DNF blowup — the trade-off quantified by
+/// bench/ablation_canonical.
+///
+/// Unlike CountingMatcher this matcher does not support reindex-after-
+/// pruning; it is the baseline algorithm, not the pruning substrate.
+class DnfMatcher {
+ public:
+  explicit DnfMatcher(const Schema& schema);
+
+  /// Converts and indexes the subscription. Returns false (and indexes
+  /// nothing) when the tree is not DNF-convertible or exceeds
+  /// `max_conjunctions`.
+  bool add(const Subscription& sub, std::size_t max_conjunctions = 4096);
+  void remove(SubscriptionId id);
+
+  void match(const Event& event, std::vector<SubscriptionId>& out);
+
+  [[nodiscard]] std::size_t subscription_count() const { return subs_.size(); }
+  /// Total conjunction counters — the canonical algorithm's table size.
+  [[nodiscard]] std::size_t conjunction_count() const { return live_conjunctions_; }
+  /// Distinct predicates in the indexes.
+  [[nodiscard]] std::size_t predicate_count() const { return intern_.size(); }
+  /// Σ over conjunctions of their predicate count (association analogue).
+  [[nodiscard]] std::size_t association_count() const { return association_count_; }
+
+ private:
+  struct PredEntry {
+    Predicate pred;
+    std::vector<std::uint32_t> conjunctions;
+    std::uint32_t refs = 0;
+  };
+  struct Conjunction {
+    SubscriptionId sub;
+    std::uint32_t size = 0;
+    bool live = false;
+    std::vector<PredicateId> preds;
+  };
+
+  PredicateId intern(const Predicate& pred);
+  void release(PredicateId id);
+
+  const Schema* schema_;
+  std::vector<AttributeIndex> attr_index_;
+  std::unordered_map<Predicate, PredicateId> intern_;
+  std::vector<PredEntry> pred_entries_;
+  std::vector<PredicateId> free_preds_;
+
+  std::vector<Conjunction> conjunctions_;
+  std::vector<std::uint32_t> free_conjunctions_;
+  std::vector<std::uint32_t> counter_;
+  std::vector<std::uint64_t> counter_epoch_;
+  std::unordered_map<SubscriptionId::value_type, std::vector<std::uint32_t>> subs_;
+  std::unordered_map<SubscriptionId::value_type, std::uint64_t> sub_epoch_;
+
+  std::uint64_t epoch_ = 0;
+  std::size_t live_conjunctions_ = 0;
+  std::size_t association_count_ = 0;
+  std::vector<PredicateId> scratch_preds_;
+};
+
+}  // namespace dbsp

@@ -1,0 +1,3 @@
+#include "filter/naive_matcher.hpp"
+
+// Header-only; this translation unit keeps the build graph uniform.

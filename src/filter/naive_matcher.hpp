@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "event/event.hpp"
+#include "subscription/subscription.hpp"
+
+namespace dbsp {
+
+/// Reference matcher: evaluates every subscription tree directly against
+/// every event. O(subs × tree) per event — the correctness oracle for
+/// CountingMatcher and the "no indexing" baseline in the micro-benchmarks.
+class NaiveMatcher {
+ public:
+  void add(Subscription& sub) { subs_.push_back(&sub); }
+
+  void remove(SubscriptionId id) {
+    std::erase_if(subs_, [id](const Subscription* s) { return s->id() == id; });
+  }
+
+  void match(const Event& event, std::vector<SubscriptionId>& out) const {
+    for (const Subscription* s : subs_) {
+      if (s->matches(event)) out.push_back(s->id());
+    }
+  }
+
+  [[nodiscard]] std::size_t subscription_count() const { return subs_.size(); }
+
+ private:
+  std::vector<Subscription*> subs_;
+};
+
+}  // namespace dbsp

@@ -1,0 +1,221 @@
+#include "routing/codec.hpp"
+
+#include <cstring>
+#include <limits>
+
+namespace dbsp {
+
+void WireWriter::put_u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::put_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::put_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::put_f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(bits);
+}
+
+void WireWriter::put_string(const std::string& s) {
+  if (s.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw WireError("codec: string too long");
+  }
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void WireReader::need(std::size_t n) const {
+  if (pos_ + n > data_.size()) throw WireError("codec: truncated input");
+}
+
+std::uint8_t WireReader::get_u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t WireReader::get_u16() {
+  need(2);
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                    static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t WireReader::get_u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t WireReader::get_u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+double WireReader::get_f64() {
+  const std::uint64_t bits = get_u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string WireReader::get_string() {
+  const std::uint32_t len = get_u32();
+  need(len);
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+void encode_value(const Value& value, WireWriter& out) {
+  switch (value.type()) {
+    case ValueType::Int:
+      out.put_u8(0);
+      out.put_u64(static_cast<std::uint64_t>(value.as_int()));
+      break;
+    case ValueType::Double:
+      out.put_u8(1);
+      out.put_f64(value.as_double());
+      break;
+    case ValueType::String:
+      out.put_u8(2);
+      out.put_string(value.as_string());
+      break;
+    case ValueType::Bool:
+      out.put_u8(3);
+      out.put_u8(value.as_bool() ? 1 : 0);
+      break;
+  }
+}
+
+Value decode_value(WireReader& in) {
+  switch (in.get_u8()) {
+    case 0: return Value(static_cast<std::int64_t>(in.get_u64()));
+    case 1: return Value(in.get_f64());
+    case 2: return Value(in.get_string());
+    case 3: return Value(in.get_u8() != 0);
+    default: throw WireError("codec: unknown value tag");
+  }
+}
+
+void encode_event(const Event& event, WireWriter& out) {
+  if (event.size() > std::numeric_limits<std::uint16_t>::max()) {
+    throw WireError("codec: event too wide");
+  }
+  out.put_u16(static_cast<std::uint16_t>(event.size()));
+  for (const auto& [attr, value] : event.pairs()) {
+    out.put_u32(attr.value());
+    encode_value(value, out);
+  }
+}
+
+Event decode_event(WireReader& in) {
+  Event e;
+  const std::uint16_t count = in.get_u16();
+  for (std::uint16_t i = 0; i < count; ++i) {
+    const AttributeId attr(in.get_u32());
+    e.set(attr, decode_value(in));
+  }
+  return e;
+}
+
+void encode_predicate(const Predicate& pred, WireWriter& out) {
+  out.put_u32(pred.attribute().value());
+  out.put_u8(static_cast<std::uint8_t>(pred.op()));
+  if (pred.operands().size() > std::numeric_limits<std::uint16_t>::max()) {
+    throw WireError("codec: too many operands");
+  }
+  out.put_u16(static_cast<std::uint16_t>(pred.operands().size()));
+  for (const auto& v : pred.operands()) encode_value(v, out);
+}
+
+Predicate decode_predicate(WireReader& in) {
+  const AttributeId attr(in.get_u32());
+  const auto op = static_cast<Op>(in.get_u8());
+  const std::uint16_t count = in.get_u16();
+  std::vector<Value> operands;
+  operands.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) operands.push_back(decode_value(in));
+  switch (op) {
+    case Op::Between:
+      if (operands.size() != 2) throw WireError("codec: between needs two operands");
+      return Predicate(attr, std::move(operands[0]), std::move(operands[1]));
+    case Op::In:
+      return Predicate(attr, std::move(operands));
+    default:
+      if (operands.size() != 1) throw WireError("codec: operator needs one operand");
+      return Predicate(attr, op, std::move(operands[0]));
+  }
+}
+
+void encode_tree(const Node& tree, WireWriter& out) {
+  switch (tree.kind()) {
+    case NodeKind::Leaf:
+      out.put_u8(0);
+      encode_predicate(tree.predicate(), out);
+      return;
+    case NodeKind::And:
+    case NodeKind::Or:
+      out.put_u8(tree.kind() == NodeKind::And ? 1 : 2);
+      out.put_u16(static_cast<std::uint16_t>(tree.children().size()));
+      for (const auto& c : tree.children()) encode_tree(*c, out);
+      return;
+    case NodeKind::Not:
+      out.put_u8(3);
+      encode_tree(*tree.children()[0], out);
+      return;
+    case NodeKind::True:
+    case NodeKind::False:
+      // Stored trees are constant-free; constants never cross the wire.
+      throw WireError("codec: constant node in wire tree");
+  }
+}
+
+std::unique_ptr<Node> decode_tree(WireReader& in) {
+  const std::uint8_t tag = in.get_u8();
+  switch (tag) {
+    case 0:
+      return Node::leaf(decode_predicate(in));
+    case 1:
+    case 2: {
+      const std::uint16_t count = in.get_u16();
+      if (count == 0) throw WireError("codec: empty connective");
+      std::vector<std::unique_ptr<Node>> children;
+      children.reserve(count);
+      for (std::uint16_t i = 0; i < count; ++i) children.push_back(decode_tree(in));
+      return tag == 1 ? Node::and_(std::move(children))
+                      : Node::or_(std::move(children));
+    }
+    case 3:
+      return Node::not_(decode_tree(in));
+    default:
+      throw WireError("codec: unknown node tag");
+  }
+}
+
+std::size_t encoded_size(const Event& event) {
+  WireWriter w;
+  encode_event(event, w);
+  return w.size();
+}
+
+std::size_t encoded_size(const Node& tree) {
+  WireWriter w;
+  encode_tree(tree, w);
+  return w.size();
+}
+
+}  // namespace dbsp

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "event/event.hpp"
+#include "subscription/node.hpp"
+
+namespace dbsp {
+
+/// Raised when decoding hits truncated or malformed input.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Little-endian binary wire format of the broker protocol. The simulated
+/// network charges exactly these encoded sizes; a socket-based transport
+/// would ship these bytes as-is.
+///
+/// Layout (all integers little-endian):
+///   value   := tag u8 (0 int | 1 double | 2 string | 3 bool) payload
+///   event   := count u16, (attr u32, value)*
+///   pred    := attr u32, op u8, operand-count u16, value*
+///   tree    := kind u8 (0 leaf | 1 and | 2 or | 3 not), leaf: pred,
+///              and/or: count u16 + children, not: child
+class WireWriter {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_f64(double v);
+  void put_string(const std::string& s);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t get_u8();
+  [[nodiscard]] std::uint16_t get_u16();
+  [[nodiscard]] std::uint32_t get_u32();
+  [[nodiscard]] std::uint64_t get_u64();
+  [[nodiscard]] double get_f64();
+  [[nodiscard]] std::string get_string();
+
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+void encode_value(const Value& value, WireWriter& out);
+[[nodiscard]] Value decode_value(WireReader& in);
+
+void encode_event(const Event& event, WireWriter& out);
+[[nodiscard]] Event decode_event(WireReader& in);
+
+void encode_predicate(const Predicate& pred, WireWriter& out);
+[[nodiscard]] Predicate decode_predicate(WireReader& in);
+
+void encode_tree(const Node& tree, WireWriter& out);
+[[nodiscard]] std::unique_ptr<Node> decode_tree(WireReader& in);
+
+/// Exact encoded sizes (used for the simulated network's byte accounting).
+[[nodiscard]] std::size_t encoded_size(const Event& event);
+[[nodiscard]] std::size_t encoded_size(const Node& tree);
+
+}  // namespace dbsp

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "subscription/node.hpp"
+#include "subscription/predicate.hpp"
+
+namespace dbsp {
+
+/// Subscription covering (paper §2.3, the classic SIENA/REBECA
+/// optimization): subscription `a` covers `b` iff every event matching `b`
+/// also matches `a`; a covered `b` need not be forwarded upstream. Covering
+/// only applies to *conjunctive* subscriptions — the restriction the paper
+/// contrasts with pruning, which works on arbitrary Boolean trees. This
+/// module provides the syntactic checks; the pruning engine can be used on
+/// top ("pruning as an extension of covering") since a pruned entry covers
+/// the original by construction.
+
+/// True iff every value satisfying `p` also satisfies `q` (both on the
+/// same attribute; false for differing attributes). Sound but not complete
+/// for string operators: returns false when implication cannot be shown
+/// syntactically.
+[[nodiscard]] bool implies(const Predicate& p, const Predicate& q);
+
+/// True iff `node` is a conjunctive subscription: a single predicate or an
+/// AND of predicates (no OR/NOT anywhere).
+[[nodiscard]] bool is_conjunctive(const Node& node);
+
+/// Collects the predicates of a conjunctive subscription.
+[[nodiscard]] std::vector<const Predicate*> conjuncts(const Node& node);
+
+/// Syntactic covering test for conjunctive subscriptions: `a` covers `b`
+/// iff every conjunct of `a` is implied by some conjunct of `b`. Returns
+/// nullopt when either side is not conjunctive (covering does not apply —
+/// exactly the limitation motivating subscription pruning). A `true` is
+/// always sound: matches(b) ⊆ matches(a).
+[[nodiscard]] std::optional<bool> covers(const Node& a, const Node& b);
+
+}  // namespace dbsp

@@ -1,0 +1,143 @@
+#include "routing/merging.hpp"
+
+#include <algorithm>
+
+#include "routing/covering.hpp"
+
+namespace dbsp {
+
+namespace {
+
+/// Collects the finite value set of Eq/In predicates.
+[[nodiscard]] std::optional<std::vector<Value>> value_set(const Predicate& p) {
+  if (p.op() == Op::Eq) return std::vector<Value>{p.operand()};
+  if (p.op() == Op::In) return p.operands();
+  return std::nullopt;
+}
+
+/// Numeric endpoint helpers for ordered predicates. Between is handled
+/// separately; Lt/Le are upper bounds, Gt/Ge lower bounds.
+[[nodiscard]] bool is_upper(Op op) { return op == Op::Lt || op == Op::Le; }
+[[nodiscard]] bool is_lower(Op op) { return op == Op::Gt || op == Op::Ge; }
+
+}  // namespace
+
+std::optional<Predicate> merge_predicates(const Predicate& a, const Predicate& b) {
+  if (a.attribute() != b.attribute()) return std::nullopt;
+  if (a.equals(b)) return a;
+
+  // Containment: the weaker predicate is the union.
+  if (implies(a, b)) return b;
+  if (implies(b, a)) return a;
+
+  // Finite value sets: union into an In predicate.
+  const auto va = value_set(a);
+  const auto vb = value_set(b);
+  if (va && vb) {
+    std::vector<Value> merged = *va;
+    merged.insert(merged.end(), vb->begin(), vb->end());
+    return Predicate(a.attribute(), std::move(merged));
+  }
+
+  // Same-direction bounds were handled by the implication cases above.
+  // Overlapping Between ranges with numeric operands:
+  if (a.op() == Op::Between && b.op() == Op::Between &&
+      a.operands()[0].is_numeric() && b.operands()[0].is_numeric()) {
+    const double alo = a.operands()[0].numeric();
+    const double ahi = a.operands()[1].numeric();
+    const double blo = b.operands()[0].numeric();
+    const double bhi = b.operands()[1].numeric();
+    // Union is a single interval only when they overlap or touch.
+    if (std::max(alo, blo) <= std::min(ahi, bhi)) {
+      const bool use_a_lo = alo <= blo;
+      const bool use_a_hi = ahi >= bhi;
+      return Predicate(a.attribute(),
+                       use_a_lo ? a.operands()[0] : b.operands()[0],
+                       use_a_hi ? a.operands()[1] : b.operands()[1]);
+    }
+    return std::nullopt;
+  }
+
+  // Opposite-direction open bounds covering the whole line would need a
+  // TRUE predicate, which is not expressible; everything else has no
+  // single-predicate union.
+  (void)is_upper;
+  (void)is_lower;
+  return std::nullopt;
+}
+
+std::optional<std::unique_ptr<Node>> merge_conjunctions(const Node& a, const Node& b) {
+  if (!is_conjunctive(a) || !is_conjunctive(b)) return std::nullopt;
+
+  // Covering is the degenerate merger.
+  if (covers(a, b) == std::optional<bool>(true)) return a.clone();
+  if (covers(b, a) == std::optional<bool>(true)) return b.clone();
+
+  const auto pa = conjuncts(a);
+  const auto pb = conjuncts(b);
+  if (pa.size() != pb.size()) return std::nullopt;
+
+  // Match equal conjuncts pairwise; at most one position may differ.
+  // Conjunct order must not matter, so match greedily by equality.
+  std::vector<bool> used(pb.size(), false);
+  std::vector<const Predicate*> unmatched_a;
+  for (const Predicate* qa : pa) {
+    bool matched = false;
+    for (std::size_t j = 0; j < pb.size(); ++j) {
+      if (!used[j] && qa->equals(*pb[j])) {
+        used[j] = true;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) unmatched_a.push_back(qa);
+  }
+  if (unmatched_a.size() != 1) return std::nullopt;
+  const Predicate* qa = unmatched_a.front();
+  const Predicate* qb = nullptr;
+  for (std::size_t j = 0; j < pb.size(); ++j) {
+    if (!used[j]) {
+      qb = pb[j];
+      break;
+    }
+  }
+  if (qb == nullptr) return std::nullopt;
+
+  // Perfectness: with all other conjuncts equal, the union distributes
+  // over the conjunction iff the differing pair has a single-predicate
+  // union: (C ∧ p) ∨ (C ∧ q) == C ∧ (p ∨ q).
+  auto merged_pred = merge_predicates(*qa, *qb);
+  if (!merged_pred) return std::nullopt;
+
+  std::vector<std::unique_ptr<Node>> parts;
+  parts.push_back(Node::leaf(std::move(*merged_pred)));
+  for (const Predicate* p : pa) {
+    if (p != qa) parts.push_back(Node::leaf(*p));
+  }
+  if (parts.size() == 1) return std::move(parts.front());
+  return Node::and_(std::move(parts));
+}
+
+std::vector<std::unique_ptr<Node>> merge_all(
+    const std::vector<const Node*>& subscriptions) {
+  std::vector<std::unique_ptr<Node>> pool;
+  pool.reserve(subscriptions.size());
+  for (const Node* s : subscriptions) pool.push_back(s->clone());
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < pool.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < pool.size() && !changed; ++j) {
+        if (auto merged = merge_conjunctions(*pool[i], *pool[j])) {
+          pool[i] = std::move(*merged);
+          pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(j));
+          changed = true;
+        }
+      }
+    }
+  }
+  return pool;
+}
+
+}  // namespace dbsp

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "subscription/node.hpp"
+#include "subscription/predicate.hpp"
+
+namespace dbsp {
+
+/// Subscription merging (paper §2.3): summarizing several routing entries
+/// into one. Like covering, classical merging is restricted to conjunctive
+/// subscriptions; finding optimal mergers is NP-hard (Crespo et al.), so
+/// practical systems use *perfect pairwise* merging: two conjunctions are
+/// merged only when the merger matches exactly the union of their matches.
+/// This module implements that — it is both a usable routing optimization
+/// and the baseline the paper's pruning is positioned against ("we can use
+/// subscription pruning to solve the merging problem").
+
+/// Union of two predicates on the same attribute, when the union is itself
+/// expressible as a single predicate: Eq/In unions, overlapping or
+/// adjacent numeric ranges, prefix-of-prefix, etc. Returns nullopt when no
+/// single-predicate union exists.
+[[nodiscard]] std::optional<Predicate> merge_predicates(const Predicate& a,
+                                                        const Predicate& b);
+
+/// Perfect pairwise merger of two *conjunctive* subscriptions. Succeeds
+/// iff the two differ in at most one conjunct position and that pair has a
+/// single-predicate union (all other conjuncts equal): then
+/// matches(merger) == matches(a) ∪ matches(b). Returns nullopt otherwise
+/// (incl. non-conjunctive inputs).
+[[nodiscard]] std::optional<std::unique_ptr<Node>> merge_conjunctions(const Node& a,
+                                                                      const Node& b);
+
+/// Greedy merging pass over a set of conjunctive subscriptions: repeatedly
+/// merges perfect pairs until a fixpoint. Returns the merged set (inputs
+/// are cloned; non-conjunctive trees pass through untouched). The classic
+/// routing-table summarization, usable as a baseline against pruning.
+[[nodiscard]] std::vector<std::unique_ptr<Node>> merge_all(
+    const std::vector<const Node*>& subscriptions);
+
+}  // namespace dbsp

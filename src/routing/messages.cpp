@@ -1,0 +1,24 @@
+#include "routing/messages.hpp"
+
+#include "routing/codec.hpp"
+
+namespace dbsp {
+
+namespace {
+// type tag + event sequence / subscription id.
+constexpr std::size_t kHeaderBytes = 1 + 8;
+}  // namespace
+
+std::size_t Message::wire_size_bytes() const {
+  switch (type) {
+    case Type::Event:
+      return kHeaderBytes + encoded_size(event);
+    case Type::Subscribe:
+      return kHeaderBytes + (sub_tree ? encoded_size(*sub_tree) : 0);
+    case Type::Unsubscribe:
+      return kHeaderBytes;
+  }
+  return kHeaderBytes;
+}
+
+}  // namespace dbsp

@@ -1,0 +1,64 @@
+#include "routing/routing_table.hpp"
+
+#include <stdexcept>
+
+namespace dbsp {
+
+Subscription& RoutingTable::insert(SubscriptionId id, Entry entry) {
+  auto [it, inserted] = entries_.emplace(id.value(),
+                                         std::make_unique<Entry>(std::move(entry)));
+  if (!inserted) throw std::invalid_argument("routing table: duplicate subscription id");
+  return *it->second->sub;
+}
+
+Subscription& RoutingTable::add_local(SubscriptionId id, ClientId client,
+                                      std::unique_ptr<Node> tree) {
+  Entry e;
+  e.sub = std::make_unique<Subscription>(id, std::move(tree));
+  e.local = true;
+  e.client = client;
+  ++local_count_;
+  return insert(id, std::move(e));
+}
+
+Subscription& RoutingTable::add_remote(SubscriptionId id, BrokerId from,
+                                       std::unique_ptr<Node> tree) {
+  Entry e;
+  e.sub = std::make_unique<Subscription>(id, std::move(tree));
+  e.local = false;
+  e.from = from;
+  return insert(id, std::move(e));
+}
+
+std::unique_ptr<RoutingTable::Entry> RoutingTable::remove(SubscriptionId id) {
+  auto it = entries_.find(id.value());
+  if (it == entries_.end()) return nullptr;
+  auto entry = std::move(it->second);
+  entries_.erase(it);
+  if (entry->local) --local_count_;
+  return entry;
+}
+
+RoutingTable::Entry* RoutingTable::find(SubscriptionId id) {
+  auto it = entries_.find(id.value());
+  return it == entries_.end() ? nullptr : it->second.get();
+}
+
+const RoutingTable::Entry* RoutingTable::find(SubscriptionId id) const {
+  auto it = entries_.find(id.value());
+  return it == entries_.end() ? nullptr : it->second.get();
+}
+
+bool RoutingTable::contains(SubscriptionId id) const {
+  return entries_.count(id.value()) != 0;
+}
+
+void RoutingTable::for_each(const std::function<void(Entry&)>& fn) {
+  for (auto& [id, entry] : entries_) fn(*entry);
+}
+
+void RoutingTable::for_each(const std::function<void(const Entry&)>& fn) const {
+  for (const auto& [id, entry] : entries_) fn(*entry);
+}
+
+}  // namespace dbsp

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "subscription/subscription.hpp"
+
+namespace dbsp {
+
+/// One broker's routing state: every known subscription together with where
+/// it came from. Local entries (own clients) drive notifications and are
+/// never pruned; remote entries (forwarded by a neighbor) drive forwarding
+/// decisions toward that neighbor and are the pruning targets (§2.2:
+/// "pruning is only applied to subscriptions from non-local clients").
+class RoutingTable {
+ public:
+  struct Entry {
+    std::unique_ptr<Subscription> sub;
+    bool local = false;
+    BrokerId from;    ///< arriving neighbor (remote entries)
+    ClientId client;  ///< owning client (local entries)
+  };
+
+  Subscription& add_local(SubscriptionId id, ClientId client,
+                          std::unique_ptr<Node> tree);
+  Subscription& add_remote(SubscriptionId id, BrokerId from,
+                           std::unique_ptr<Node> tree);
+  /// Removes and returns the entry (so the caller can unregister it from
+  /// the matcher before destruction). Returns nullptr if unknown.
+  std::unique_ptr<Entry> remove(SubscriptionId id);
+
+  [[nodiscard]] Entry* find(SubscriptionId id);
+  [[nodiscard]] const Entry* find(SubscriptionId id) const;
+  [[nodiscard]] bool contains(SubscriptionId id) const;
+
+  void for_each(const std::function<void(Entry&)>& fn);
+  void for_each(const std::function<void(const Entry&)>& fn) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t local_count() const { return local_count_; }
+  [[nodiscard]] std::size_t remote_count() const { return size() - local_count_; }
+
+ private:
+  Subscription& insert(SubscriptionId id, Entry entry);
+
+  std::unordered_map<SubscriptionId::value_type, std::unique_ptr<Entry>> entries_;
+  std::size_t local_count_ = 0;
+};
+
+}  // namespace dbsp

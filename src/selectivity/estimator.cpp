@@ -1,0 +1,54 @@
+#include "selectivity/estimator.hpp"
+
+#include <stdexcept>
+
+namespace dbsp {
+
+SelectivityEstimator::SelectivityEstimator(const EventStats& stats)
+    : leaf_fn_([&stats](const Predicate& p) { return stats.predicate_selectivity(p); }) {}
+
+SelectivityEstimator::SelectivityEstimator(LeafSelectivityFn leaf_fn)
+    : leaf_fn_(std::move(leaf_fn)) {
+  if (!leaf_fn_) throw std::invalid_argument("estimator: null leaf oracle");
+}
+
+SelectivityEstimate SelectivityEstimator::estimate(const Node& node) const {
+  return walk(node, nullptr, /*positive=*/true);
+}
+
+SelectivityEstimate SelectivityEstimator::estimate_excluding(const Node& root,
+                                                             const Node* skip) const {
+  return walk(root, skip, /*positive=*/true);
+}
+
+SelectivityEstimate SelectivityEstimator::walk(const Node& node, const Node* skip,
+                                               bool positive) const {
+  if (&node == skip) {
+    // A pruned subtree is replaced by TRUE in positive polarity and FALSE in
+    // negative polarity — the generalizing constant either way.
+    return positive ? SelectivityEstimate::always() : SelectivityEstimate::never();
+  }
+  switch (node.kind()) {
+    case NodeKind::Leaf:
+      return SelectivityEstimate::point(leaf_fn_(node.predicate()));
+    case NodeKind::True:
+      return SelectivityEstimate::always();
+    case NodeKind::False:
+      return SelectivityEstimate::never();
+    case NodeKind::Not:
+      return walk(*node.children()[0], skip, !positive).negated();
+    case NodeKind::And: {
+      SelectivityEstimate acc = SelectivityEstimate::always();
+      for (const auto& c : node.children()) acc = acc.and_with(walk(*c, skip, positive));
+      return acc;
+    }
+    case NodeKind::Or: {
+      SelectivityEstimate acc = SelectivityEstimate::never();
+      for (const auto& c : node.children()) acc = acc.or_with(walk(*c, skip, positive));
+      return acc;
+    }
+  }
+  return SelectivityEstimate::never();
+}
+
+}  // namespace dbsp

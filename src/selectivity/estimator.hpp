@@ -1,0 +1,38 @@
+#pragma once
+
+#include <functional>
+
+#include "selectivity/estimate.hpp"
+#include "selectivity/stats.hpp"
+#include "subscription/node.hpp"
+
+namespace dbsp {
+
+/// Oracle mapping a predicate to its point selectivity estimate.
+using LeafSelectivityFn = std::function<double(const Predicate&)>;
+
+/// Computes sel≈ for a whole subscription tree from leaf estimates using
+/// the interval algebra of SelectivityEstimate (§3.1 / DESIGN.md §1).
+class SelectivityEstimator {
+ public:
+  /// Estimator backed by trained event statistics.
+  explicit SelectivityEstimator(const EventStats& stats);
+  /// Estimator backed by an arbitrary leaf oracle (tests, what-if analyses).
+  explicit SelectivityEstimator(LeafSelectivityFn leaf_fn);
+
+  [[nodiscard]] SelectivityEstimate estimate(const Node& node) const;
+
+  /// Estimate of the tree with the subtree at `skip` treated as pruned
+  /// (replaced by the polarity-appropriate constant). Used to price a
+  /// candidate pruning without materializing the pruned tree.
+  [[nodiscard]] SelectivityEstimate estimate_excluding(const Node& root,
+                                                       const Node* skip) const;
+
+ private:
+  [[nodiscard]] SelectivityEstimate walk(const Node& node, const Node* skip,
+                                         bool positive) const;
+
+  LeafSelectivityFn leaf_fn_;
+};
+
+}  // namespace dbsp

@@ -1,0 +1,23 @@
+#include "selectivity/exact.hpp"
+
+namespace dbsp {
+
+double measured_selectivity(const Node& tree, std::span<const Event> events) {
+  if (events.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const auto& e : events) {
+    if (tree.evaluate_event(e)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(events.size());
+}
+
+double measured_selectivity(const Predicate& pred, std::span<const Event> events) {
+  if (events.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const auto& e : events) {
+    if (pred.matches(e)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(events.size());
+}
+
+}  // namespace dbsp

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <span>
+
+#include "event/event.hpp"
+#include "subscription/node.hpp"
+
+namespace dbsp {
+
+/// Measured selectivity: the exact fraction of `events` matching `tree`.
+/// O(|events| * |tree|); the test oracle against which sel≈ soundness is
+/// checked, and the source of the "actual degradation" ablation.
+[[nodiscard]] double measured_selectivity(const Node& tree, std::span<const Event> events);
+
+/// Measured selectivity of a single predicate.
+[[nodiscard]] double measured_selectivity(const Predicate& pred,
+                                          std::span<const Event> events);
+
+}  // namespace dbsp

@@ -1,0 +1,88 @@
+#include "selectivity/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dbsp {
+
+void NumericHistogram::add(double v) {
+  assert(!finalized_);
+  pending_.push_back(v);
+}
+
+void NumericHistogram::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  total_ = pending_.size();
+  if (pending_.empty()) return;
+  const auto [mn, mx] = std::minmax_element(pending_.begin(), pending_.end());
+  lo_ = *mn;
+  hi_ = *mx;
+  if (hi_ <= lo_) hi_ = lo_ + 1.0;
+  width_ = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (const double v : pending_) {
+    auto bin = static_cast<std::size_t>((v - lo_) / width_);
+    bin = std::min(bin, counts_.size() - 1);
+    ++counts_[bin];
+  }
+  pending_.clear();
+  pending_.shrink_to_fit();
+}
+
+double NumericHistogram::cumulative_below(double x, bool inclusive) const {
+  assert(finalized_);
+  if (total_ == 0) return 0.0;
+  if (x < lo_ || (x == lo_ && !inclusive)) return 0.0;
+  if (x >= hi_) return 1.0;
+  const double offset = (x - lo_) / width_;
+  const auto bin = std::min(static_cast<std::size_t>(offset), counts_.size() - 1);
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i < bin; ++i) below += counts_[i];
+  const double in_bin_fraction = offset - static_cast<double>(bin);
+  const double partial = static_cast<double>(counts_[bin]) * in_bin_fraction;
+  return (static_cast<double>(below) + partial) / static_cast<double>(total_);
+}
+
+double NumericHistogram::fraction_less(double x) const {
+  return cumulative_below(x, /*inclusive=*/false);
+}
+
+double NumericHistogram::fraction_less_equal(double x) const {
+  // Uniform-within-bin interpolation cannot distinguish < from <=; nudge by
+  // half a bin-width ULP so point masses at bin edges are not lost entirely.
+  return cumulative_below(std::nextafter(x, hi_ + 1.0), /*inclusive=*/true);
+}
+
+double NumericHistogram::fraction_between(double lo, double hi) const {
+  if (hi < lo) return 0.0;
+  return std::max(0.0, fraction_less_equal(hi) - fraction_less(lo));
+}
+
+void ValueCounts::add(const Value& v) {
+  ++total_;
+  auto it = counts_.find(v);
+  if (it != counts_.end()) {
+    ++it->second;
+    return;
+  }
+  if (counts_.size() < max_distinct_) {
+    counts_.emplace(v, 1);
+  } else {
+    ++overflow_count_;
+    ++overflow_distinct_;  // upper bound: each overflow value assumed fresh
+  }
+}
+
+double ValueCounts::fraction_equal(const Value& v) const {
+  if (total_ == 0) return 0.0;
+  if (auto it = counts_.find(v); it != counts_.end()) {
+    return static_cast<double>(it->second) / static_cast<double>(total_);
+  }
+  if (overflow_distinct_ == 0) return 0.0;
+  const double overflow_mass =
+      static_cast<double>(overflow_count_) / static_cast<double>(total_);
+  return overflow_mass / static_cast<double>(overflow_distinct_);
+}
+
+}  // namespace dbsp

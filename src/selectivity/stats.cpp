@@ -1,0 +1,108 @@
+#include "selectivity/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace dbsp {
+
+EventStats::EventStats(const Schema& schema) : schema_(&schema) {
+  attrs_.resize(schema.attribute_count());
+  for (std::size_t i = 0; i < attrs_.size(); ++i) {
+    const auto type = schema.type(AttributeId(static_cast<AttributeId::value_type>(i)));
+    attrs_[i].numeric = type == ValueType::Int || type == ValueType::Double;
+  }
+}
+
+void EventStats::observe(const Event& event) {
+  assert(!finalized_);
+  ++events_observed_;
+  for (const auto& [attr, value] : event.pairs()) {
+    if (attr.value() >= attrs_.size()) continue;  // unknown attribute: ignore
+    auto& s = attrs_[attr.value()];
+    ++s.present;
+    if (s.numeric && value.is_numeric()) s.histogram.add(value.numeric());
+    s.values.add(value);
+  }
+}
+
+void EventStats::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  for (auto& s : attrs_) s.histogram.finalize();
+}
+
+double EventStats::presence(const AttributeStats& s) const {
+  if (events_observed_ == 0) return 0.0;
+  return static_cast<double>(s.present) / static_cast<double>(events_observed_);
+}
+
+double EventStats::predicate_selectivity(const Predicate& pred) const {
+  if (!finalized_) throw std::logic_error("EventStats: estimate before finalize()");
+  if (pred.attribute().value() >= attrs_.size()) return 0.0;
+  const auto& s = attrs_[pred.attribute().value()];
+  const double present = presence(s);
+  if (present == 0.0) return 0.0;
+
+  // Conditional selectivity given the attribute is present.
+  double cond = 0.0;
+  switch (pred.op()) {
+    case Op::Eq:
+      cond = s.values.fraction_equal(pred.operand());
+      break;
+    case Op::Ne:
+      cond = 1.0 - s.values.fraction_equal(pred.operand());
+      break;
+    case Op::Lt:
+    case Op::Le:
+    case Op::Gt:
+    case Op::Ge: {
+      if (!s.numeric || !pred.operand().is_numeric()) {
+        // Ordered string comparisons fall back to a domain scan.
+        std::uint64_t hits = 0;
+        std::uint64_t seen = 0;
+        s.values.for_each([&](const Value& v, std::uint64_t count) {
+          seen += count;
+          if (pred.matches_value(v)) hits += count;
+        });
+        cond = seen == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(seen);
+        break;
+      }
+      const double x = pred.operand().numeric();
+      switch (pred.op()) {
+        case Op::Lt: cond = s.histogram.fraction_less(x); break;
+        case Op::Le: cond = s.histogram.fraction_less_equal(x); break;
+        case Op::Gt: cond = 1.0 - s.histogram.fraction_less_equal(x); break;
+        default: cond = 1.0 - s.histogram.fraction_less(x); break;
+      }
+      break;
+    }
+    case Op::Between: {
+      if (s.numeric && pred.operands()[0].is_numeric() && pred.operands()[1].is_numeric()) {
+        cond = s.histogram.fraction_between(pred.operands()[0].numeric(),
+                                            pred.operands()[1].numeric());
+      }
+      break;
+    }
+    case Op::In: {
+      for (const auto& v : pred.operands()) cond += s.values.fraction_equal(v);
+      cond = std::min(cond, 1.0);
+      break;
+    }
+    case Op::Prefix:
+    case Op::Suffix:
+    case Op::Contains: {
+      std::uint64_t hits = 0;
+      std::uint64_t seen = 0;
+      s.values.for_each([&](const Value& v, std::uint64_t count) {
+        seen += count;
+        if (pred.matches_value(v)) hits += count;
+      });
+      cond = seen == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(seen);
+      break;
+    }
+  }
+  return std::clamp(present * cond, 0.0, 1.0);
+}
+
+}  // namespace dbsp

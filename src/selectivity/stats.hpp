@@ -1,0 +1,50 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "event/event.hpp"
+#include "event/schema.hpp"
+#include "selectivity/histogram.hpp"
+#include "subscription/predicate.hpp"
+
+namespace dbsp {
+
+/// Per-attribute distribution statistics trained on a sample of events.
+/// Brokers train this once on observed traffic (or a provided sample) and
+/// the pruning engine derives predicate selectivities from it — the paper's
+/// "time and space efficient" sel≈ source.
+class EventStats {
+ public:
+  explicit EventStats(const Schema& schema);
+
+  /// Accumulates one event into the statistics.
+  void observe(const Event& event);
+  /// Freezes histograms; must be called before estimation.
+  void finalize();
+
+  [[nodiscard]] std::size_t events_observed() const { return events_observed_; }
+
+  /// Point estimate of P[predicate fulfilled by a random event], including
+  /// the probability that the attribute is present at all.
+  [[nodiscard]] double predicate_selectivity(const Predicate& pred) const;
+
+  [[nodiscard]] const Schema& schema() const { return *schema_; }
+
+ private:
+  struct AttributeStats {
+    std::uint64_t present = 0;
+    NumericHistogram histogram;
+    ValueCounts values;
+    bool numeric = false;
+  };
+
+  [[nodiscard]] double presence(const AttributeStats& s) const;
+
+  const Schema* schema_;
+  std::vector<AttributeStats> attrs_;
+  std::size_t events_observed_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace dbsp

@@ -1,0 +1,239 @@
+#include "subscription/parser.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+namespace dbsp {
+namespace {
+
+enum class TokKind { Ident, Number, String, Symbol, End };
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) { advance(); }
+
+  [[nodiscard]] const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    while (pos_ < src_.size() && std::isspace(static_cast<unsigned char>(src_[pos_]))) ++pos_;
+    current_.pos = pos_;
+    if (pos_ >= src_.size()) {
+      current_ = {TokKind::End, "", pos_};
+      return;
+    }
+    const char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) || src_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_ = {TokKind::Ident, std::string(src_.substr(start, pos_ - start)), start};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+' ||
+        (c == '.' && pos_ + 1 < src_.size() &&
+         std::isdigit(static_cast<unsigned char>(src_[pos_ + 1])))) {
+      std::size_t start = pos_;
+      ++pos_;
+      while (pos_ < src_.size() &&
+             (std::isdigit(static_cast<unsigned char>(src_[pos_])) || src_[pos_] == '.' ||
+              src_[pos_] == 'e' || src_[pos_] == 'E' ||
+              ((src_[pos_] == '-' || src_[pos_] == '+') &&
+               (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E')))) {
+        ++pos_;
+      }
+      current_ = {TokKind::Number, std::string(src_.substr(start, pos_ - start)), start};
+      return;
+    }
+    if (c == '\'') {
+      std::size_t start = ++pos_;
+      std::string text;
+      while (pos_ < src_.size() && src_[pos_] != '\'') text.push_back(src_[pos_++]);
+      if (pos_ >= src_.size()) throw ParseError("unterminated string literal", start - 1);
+      ++pos_;  // closing quote
+      current_ = {TokKind::String, std::move(text), start - 1};
+      return;
+    }
+    // Multi-char symbols: <=, >=, !=
+    std::size_t start = pos_;
+    std::string sym(1, src_[pos_++]);
+    if ((sym == "<" || sym == ">" || sym == "!") && pos_ < src_.size() && src_[pos_] == '=') {
+      sym.push_back(src_[pos_++]);
+    }
+    current_ = {TokKind::Symbol, std::move(sym), start};
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  Token current_;
+};
+
+[[nodiscard]] std::string lowered(std::string_view s) {
+  std::string out(s);
+  for (auto& ch : out) ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  return out;
+}
+
+class Parser {
+ public:
+  Parser(std::string_view text, const Schema& schema) : lexer_(text), schema_(schema) {}
+
+  std::unique_ptr<Node> parse() {
+    auto expr = parse_or();
+    if (lexer_.peek().kind != TokKind::End) {
+      throw ParseError("unexpected trailing input", lexer_.peek().pos);
+    }
+    return expr;
+  }
+
+ private:
+  [[nodiscard]] bool peek_keyword(const char* kw) const {
+    return lexer_.peek().kind == TokKind::Ident && lowered(lexer_.peek().text) == kw;
+  }
+
+  void expect_symbol(const char* sym) {
+    const Token t = lexer_.take();
+    if (t.kind != TokKind::Symbol || t.text != sym) {
+      throw ParseError(std::string("expected '") + sym + "'", t.pos);
+    }
+  }
+
+  std::unique_ptr<Node> parse_or() {
+    std::vector<std::unique_ptr<Node>> parts;
+    parts.push_back(parse_and());
+    while (peek_keyword("or")) {
+      lexer_.take();
+      parts.push_back(parse_and());
+    }
+    if (parts.size() == 1) return std::move(parts.front());
+    return Node::or_(std::move(parts));
+  }
+
+  std::unique_ptr<Node> parse_and() {
+    std::vector<std::unique_ptr<Node>> parts;
+    parts.push_back(parse_unary());
+    while (peek_keyword("and")) {
+      lexer_.take();
+      parts.push_back(parse_unary());
+    }
+    if (parts.size() == 1) return std::move(parts.front());
+    return Node::and_(std::move(parts));
+  }
+
+  std::unique_ptr<Node> parse_unary() {
+    if (peek_keyword("not")) {
+      lexer_.take();
+      return Node::not_(parse_unary());
+    }
+    if (lexer_.peek().kind == TokKind::Symbol && lexer_.peek().text == "(") {
+      lexer_.take();
+      auto inner = parse_or();
+      expect_symbol(")");
+      return inner;
+    }
+    return parse_predicate();
+  }
+
+  Value parse_value() {
+    const Token t = lexer_.take();
+    switch (t.kind) {
+      case TokKind::Number: {
+        if (t.text.find_first_of(".eE") != std::string::npos) {
+          return Value(std::strtod(t.text.c_str(), nullptr));
+        }
+        return Value(static_cast<std::int64_t>(std::strtoll(t.text.c_str(), nullptr, 10)));
+      }
+      case TokKind::String:
+        return Value(t.text);
+      case TokKind::Ident: {
+        const std::string kw = lowered(t.text);
+        if (kw == "true") return Value(true);
+        if (kw == "false") return Value(false);
+        throw ParseError("expected a value, got identifier '" + t.text + "'", t.pos);
+      }
+      default:
+        throw ParseError("expected a value", t.pos);
+    }
+  }
+
+  std::unique_ptr<Node> parse_predicate() {
+    const Token name = lexer_.take();
+    if (name.kind != TokKind::Ident) throw ParseError("expected attribute name", name.pos);
+    const auto attr = schema_.find(name.text);
+    if (!attr) throw ParseError("unknown attribute '" + name.text + "'", name.pos);
+
+    const Token op = lexer_.take();
+    if (op.kind == TokKind::Symbol) {
+      Op o{};
+      if (op.text == "=") o = Op::Eq;
+      else if (op.text == "!=") o = Op::Ne;
+      else if (op.text == "<") o = Op::Lt;
+      else if (op.text == "<=") o = Op::Le;
+      else if (op.text == ">") o = Op::Gt;
+      else if (op.text == ">=") o = Op::Ge;
+      else throw ParseError("unknown operator '" + op.text + "'", op.pos);
+      return Node::leaf(Predicate(*attr, o, parse_value()));
+    }
+    if (op.kind == TokKind::Ident) {
+      const std::string kw = lowered(op.text);
+      if (kw == "between") {
+        Value low = parse_value();
+        if (!peek_keyword("and")) throw ParseError("expected 'and' in between", lexer_.peek().pos);
+        lexer_.take();
+        Value high = parse_value();
+        return Node::leaf(Predicate(*attr, std::move(low), std::move(high)));
+      }
+      if (kw == "in") {
+        expect_symbol("(");
+        std::vector<Value> values;
+        values.push_back(parse_value());
+        while (lexer_.peek().kind == TokKind::Symbol && lexer_.peek().text == ",") {
+          lexer_.take();
+          values.push_back(parse_value());
+        }
+        expect_symbol(")");
+        return Node::leaf(Predicate(*attr, std::move(values)));
+      }
+      if (kw == "prefix" || kw == "suffix" || kw == "contains") {
+        Value v = parse_value();
+        if (v.type() != ValueType::String) {
+          throw ParseError("string operator needs a string operand", op.pos);
+        }
+        const Op o = kw == "prefix" ? Op::Prefix : (kw == "suffix" ? Op::Suffix : Op::Contains);
+        return Node::leaf(Predicate(*attr, o, std::move(v)));
+      }
+      throw ParseError("unknown operator '" + op.text + "'", op.pos);
+    }
+    throw ParseError("expected operator", op.pos);
+  }
+
+  Lexer lexer_;
+  const Schema& schema_;
+};
+
+}  // namespace
+
+std::unique_ptr<Node> parse_subscription(std::string_view text, const Schema& schema) {
+  auto tree = simplify(Parser(text, schema).parse());
+  if (tree->is_constant()) {
+    throw ParseError("subscription simplifies to a constant", 0);
+  }
+  return tree;
+}
+
+}  // namespace dbsp

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "event/schema.hpp"
+#include "subscription/node.hpp"
+
+namespace dbsp {
+
+/// Error raised on malformed subscription text; carries the offending
+/// position for tooling.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string message, std::size_t position)
+      : std::runtime_error(std::move(message)), position_(position) {}
+  [[nodiscard]] std::size_t position() const { return position_; }
+
+ private:
+  std::size_t position_;
+};
+
+/// Parses the textual subscription DSL into a simplified tree. Grammar:
+///
+///   expr     := and_expr ("or" and_expr)*
+///   and_expr := unary ("and" unary)*
+///   unary    := "not" unary | "(" expr ")" | predicate
+///   predicate:= ident cmp value
+///             | ident "between" value "and" value
+///             | ident "in" "(" value ("," value)* ")"
+///             | ident ("prefix"|"suffix"|"contains") string
+///   cmp      := "=" | "!=" | "<" | "<=" | ">" | ">="
+///   value    := number | 'single quoted string' | true | false
+///
+/// Attribute names must exist in `schema`. Keywords are case-insensitive.
+[[nodiscard]] std::unique_ptr<Node> parse_subscription(std::string_view text,
+                                                       const Schema& schema);
+
+}  // namespace dbsp

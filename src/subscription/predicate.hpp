@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "event/event.hpp"
+#include "event/schema.hpp"
+#include "event/value.hpp"
+
+namespace dbsp {
+
+/// Comparison operator of a predicate (attribute-operator-value triple).
+enum class Op : std::uint8_t {
+  Eq,        ///< attribute == value
+  Ne,        ///< attribute != value (and attribute present)
+  Lt,        ///< attribute <  value (numeric/string order)
+  Le,        ///< attribute <= value
+  Gt,        ///< attribute >  value
+  Ge,        ///< attribute >= value
+  Between,   ///< low <= attribute <= high (two operands)
+  In,        ///< attribute ∈ {operands...}
+  Prefix,    ///< string attribute starts with operand
+  Suffix,    ///< string attribute ends with operand
+  Contains,  ///< string attribute contains operand
+};
+
+[[nodiscard]] const char* to_string(Op op);
+
+/// A single condition on one event attribute. Predicates are immutable
+/// after construction; equal predicates (same attribute, operator and
+/// operands) are de-duplicated by the filter engine so that each is
+/// evaluated at most once per event regardless of how many subscriptions
+/// reference it.
+class Predicate {
+ public:
+  Predicate(AttributeId attr, Op op, Value operand);
+  /// Between: low <= attr <= high.
+  Predicate(AttributeId attr, Value low, Value high);
+  /// In: attr ∈ operands (operands are deduplicated and sorted).
+  Predicate(AttributeId attr, std::vector<Value> operands);
+
+  [[nodiscard]] AttributeId attribute() const { return attr_; }
+  [[nodiscard]] Op op() const { return op_; }
+  [[nodiscard]] const std::vector<Value>& operands() const { return operands_; }
+  [[nodiscard]] const Value& operand() const { return operands_.front(); }
+
+  /// True iff the event fulfills this predicate. A missing attribute never
+  /// fulfills a predicate (including Ne).
+  [[nodiscard]] bool matches(const Event& event) const;
+  /// True iff `value` (the event's value for this attribute) satisfies the
+  /// condition.
+  [[nodiscard]] bool matches_value(const Value& value) const;
+
+  /// Structural equality — the de-duplication key of the filter engine.
+  [[nodiscard]] bool equals(const Predicate& other) const;
+  [[nodiscard]] std::size_t hash() const;
+
+  /// Deterministic model size in bytes used by the memory heuristic mem≈:
+  /// fixed predicate header plus operand payload. Independent of allocator
+  /// round-up so heuristic values are reproducible across platforms.
+  [[nodiscard]] std::size_t size_bytes() const;
+
+  [[nodiscard]] std::string to_string(const Schema& schema) const;
+
+  friend bool operator==(const Predicate& a, const Predicate& b) { return a.equals(b); }
+
+ private:
+  AttributeId attr_;
+  Op op_;
+  std::vector<Value> operands_;
+};
+
+}  // namespace dbsp
+
+namespace std {
+template <>
+struct hash<dbsp::Predicate> {
+  size_t operator()(const dbsp::Predicate& p) const noexcept { return p.hash(); }
+};
+}  // namespace std

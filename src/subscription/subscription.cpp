@@ -1,0 +1,4 @@
+#include "subscription/subscription.hpp"
+
+// Subscription is header-only today; this translation unit anchors the
+// class for future out-of-line growth and keeps the build graph uniform.

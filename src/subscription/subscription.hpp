@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/ids.hpp"
+#include "subscription/node.hpp"
+
+namespace dbsp {
+
+/// A registered subscription: an id plus the current (possibly pruned)
+/// Boolean filter tree. Mutations bump `generation`, which the pruning
+/// engine uses to invalidate stale priority-queue entries.
+class Subscription {
+ public:
+  Subscription(SubscriptionId id, std::unique_ptr<Node> root)
+      : id_(id), root_(std::move(root)) {
+    if (!root_) throw std::invalid_argument("subscription: null tree");
+  }
+
+  [[nodiscard]] SubscriptionId id() const { return id_; }
+  [[nodiscard]] const Node& root() const { return *root_; }
+  [[nodiscard]] Node& root() { return *root_; }
+
+  /// Replaces the tree (after a pruning) and bumps the generation.
+  void replace_root(std::unique_ptr<Node> root) {
+    if (!root) throw std::invalid_argument("subscription: null tree");
+    root_ = std::move(root);
+    ++generation_;
+  }
+
+  /// Takes the tree out for an in-place transformation (prune + simplify);
+  /// the caller must hand a tree back via replace_root().
+  [[nodiscard]] std::unique_ptr<Node> release_root() { return std::move(root_); }
+
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
+  [[nodiscard]] bool matches(const Event& event) const {
+    return root_->evaluate_event(event);
+  }
+
+  [[nodiscard]] std::string to_string(const Schema& schema) const {
+    return root_->to_string(schema);
+  }
+
+ private:
+  SubscriptionId id_;
+  std::unique_ptr<Node> root_;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace dbsp

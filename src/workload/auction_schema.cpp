@@ -1,0 +1,68 @@
+#include "workload/auction_schema.hpp"
+
+namespace dbsp {
+
+namespace {
+
+std::vector<std::string> named_pool(const char* const* base, std::size_t base_n,
+                                    const char* prefix, std::size_t n) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < base_n) {
+      out.emplace_back(base[i]);
+    } else {
+      out.push_back(std::string(prefix) + std::to_string(i));
+    }
+  }
+  return out;
+}
+
+constexpr const char* kCategories[] = {
+    "fiction", "mystery", "science_fiction", "fantasy", "romance", "thriller",
+    "history", "biography", "science", "technology", "children", "young_adult",
+    "poetry", "art", "cooking", "travel", "religion", "business", "health",
+    "sports", "comics", "reference", "philosophy", "music"};
+
+constexpr const char* kLocations[] = {
+    "usa", "uk", "germany", "canada", "australia", "france", "new_zealand",
+    "japan", "italy", "spain", "netherlands", "ireland", "sweden", "brazil",
+    "india", "switzerland"};
+
+}  // namespace
+
+AuctionDomain::AuctionDomain(const WorkloadConfig& config) : config_(config) {
+  category = schema_.add_attribute("category", ValueType::String);
+  title = schema_.add_attribute("title", ValueType::String);
+  author = schema_.add_attribute("author", ValueType::String);
+  format = schema_.add_attribute("format", ValueType::String);
+  condition = schema_.add_attribute("condition", ValueType::String);
+  price = schema_.add_attribute("price", ValueType::Double);
+  buy_now = schema_.add_attribute("buy_now", ValueType::Double);
+  bids = schema_.add_attribute("bids", ValueType::Int);
+  seller_rating = schema_.add_attribute("seller_rating", ValueType::Double);
+  year = schema_.add_attribute("year", ValueType::Int);
+  pages = schema_.add_attribute("pages", ValueType::Int);
+  shipping = schema_.add_attribute("shipping", ValueType::Double);
+  ends_in_hours = schema_.add_attribute("ends_in_hours", ValueType::Double);
+  location = schema_.add_attribute("location", ValueType::String);
+  is_signed = schema_.add_attribute("is_signed", ValueType::Bool);
+  first_edition = schema_.add_attribute("first_edition", ValueType::Bool);
+
+  categories_ = named_pool(kCategories, std::size(kCategories), "category_",
+                           config.categories);
+  locations_ = named_pool(kLocations, std::size(kLocations), "location_",
+                          config.locations);
+  titles_.reserve(config.titles);
+  for (std::size_t i = 0; i < config.titles; ++i) {
+    titles_.push_back("title_" + std::to_string(i));
+  }
+  authors_.reserve(config.authors);
+  for (std::size_t i = 0; i < config.authors; ++i) {
+    authors_.push_back("author_" + std::to_string(i));
+  }
+  formats_ = {"paperback", "hardcover", "ebook", "audiobook"};
+  conditions_ = {"new", "like_new", "very_good", "good", "acceptable"};
+}
+
+}  // namespace dbsp

@@ -1,0 +1,77 @@
+#include "workload/event_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dbsp {
+
+namespace {
+
+/// Weighted pick over a small list; weights need not be normalized.
+template <class T>
+const T& weighted_pick(Rng& rng, const std::vector<T>& items,
+                       const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double u = rng.uniform_real(0.0, total);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return items[i];
+  }
+  return items.back();
+}
+
+double round_cents(double v) { return std::round(v * 100.0) / 100.0; }
+
+}  // namespace
+
+AuctionEventGenerator::AuctionEventGenerator(const AuctionDomain& domain,
+                                             std::uint64_t stream)
+    : domain_(&domain),
+      rng_(domain.config().seed * 0x9e3779b97f4a7c15ULL + stream + 1),
+      category_dist_(domain.categories().size(), domain.config().zipf_categories),
+      title_dist_(domain.titles().size(), domain.config().zipf_titles),
+      location_dist_(domain.locations().size(), domain.config().zipf_locations) {}
+
+Event AuctionEventGenerator::next() {
+  const AuctionDomain& d = *domain_;
+  Event e;
+
+  const std::size_t title_idx = title_dist_(rng_);
+  e.set(d.category, d.categories()[category_dist_(rng_)]);
+  e.set(d.title, d.titles()[title_idx]);
+  e.set(d.author, d.author_of_title(title_idx));
+  e.set(d.format, weighted_pick(rng_, d.formats(), {0.45, 0.30, 0.15, 0.10}));
+  e.set(d.condition,
+        weighted_pick(rng_, d.conditions(), {0.15, 0.20, 0.25, 0.30, 0.10}));
+
+  const double price = round_cents(std::clamp(rng_.log_normal(2.7, 0.9), 0.5, 500.0));
+  e.set(d.price, price);
+  if (rng_.chance(0.6)) {
+    e.set(d.buy_now, round_cents(price * rng_.uniform_real(1.2, 2.5)));
+  }
+  e.set(d.bids, static_cast<std::int64_t>(
+                    std::min(200.0, std::floor(rng_.log_normal(1.2, 1.1)))));
+  e.set(d.seller_rating,
+        std::round(std::clamp(rng_.normal(92.0, 8.0), 50.0, 100.0) * 10.0) / 10.0);
+  e.set(d.year, static_cast<std::int64_t>(
+                    2006 - std::min(150.0, std::floor(rng_.log_normal(2.0, 1.1)))));
+  e.set(d.pages, static_cast<std::int64_t>(
+                     std::clamp(rng_.normal(320.0, 120.0), 20.0, 2000.0)));
+  e.set(d.shipping,
+        rng_.chance(0.3) ? 0.0 : round_cents(rng_.uniform_real(1.0, 15.0)));
+  e.set(d.ends_in_hours, std::round(rng_.uniform_real(0.0, 168.0) * 10.0) / 10.0);
+  e.set(d.location, d.locations()[location_dist_(rng_)]);
+  e.set(d.is_signed, rng_.chance(0.03));
+  e.set(d.first_edition, rng_.chance(0.08));
+  return e;
+}
+
+std::vector<Event> AuctionEventGenerator::generate(std::size_t n) {
+  std::vector<Event> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next());
+  return out;
+}
+
+}  // namespace dbsp

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "event/event.hpp"
+#include "workload/auction_schema.hpp"
+
+namespace dbsp {
+
+/// Generates auction listing events following the characteristic skewed
+/// distributions of online book auctions: Zipfian popularity of categories,
+/// titles, authors and seller locations; log-normal prices and bid counts;
+/// quality-skewed conditions. Deterministic for a given (config.seed,
+/// stream) pair.
+class AuctionEventGenerator {
+ public:
+  /// `stream` decouples independent event streams (e.g. the statistics
+  /// training sample vs. the published workload) drawn from one seed.
+  AuctionEventGenerator(const AuctionDomain& domain, std::uint64_t stream = 0);
+
+  [[nodiscard]] Event next();
+
+  /// Convenience: a batch of `n` events.
+  [[nodiscard]] std::vector<Event> generate(std::size_t n);
+
+ private:
+  const AuctionDomain* domain_;
+  Rng rng_;
+  ZipfDistribution category_dist_;
+  ZipfDistribution title_dist_;
+  ZipfDistribution location_dist_;
+};
+
+}  // namespace dbsp

@@ -1,0 +1,202 @@
+#include "workload/subscription_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dbsp {
+
+namespace {
+
+std::unique_ptr<Node> and_of(std::vector<std::unique_ptr<Node>> parts) {
+  if (parts.size() == 1) return std::move(parts.front());
+  return Node::and_(std::move(parts));
+}
+
+}  // namespace
+
+AuctionSubscriptionGenerator::AuctionSubscriptionGenerator(const AuctionDomain& domain,
+                                                           std::uint64_t stream)
+    : domain_(&domain),
+      rng_(domain.config().seed * 0xbf58476d1ce4e5b9ULL + stream + 17),
+      category_dist_(domain.categories().size(), domain.config().zipf_categories),
+      title_dist_(domain.titles().size(), domain.config().zipf_titles),
+      author_dist_(domain.authors().size(), domain.config().zipf_authors),
+      location_dist_(domain.locations().size(), domain.config().zipf_locations) {}
+
+std::unique_ptr<Node> AuctionSubscriptionGenerator::maybe_negate(
+    std::unique_ptr<Node> node) {
+  if (rng_.chance(domain_->config().not_probability)) {
+    return Node::not_(std::move(node));
+  }
+  return node;
+}
+
+std::unique_ptr<Node> AuctionSubscriptionGenerator::category_is() {
+  return Node::leaf(Predicate(domain_->category, Op::Eq,
+                              domain_->categories()[category_dist_(rng_)]));
+}
+
+std::unique_ptr<Node> AuctionSubscriptionGenerator::price_ceiling() {
+  // Ceilings follow a distribution similar to prices themselves, so the
+  // selectivity of this predicate is spread over the whole unit interval.
+  const double ceiling =
+      std::round(std::clamp(rng_.log_normal(2.7, 1.1), 1.0, 400.0));
+  return Node::leaf(Predicate(domain_->price, Op::Lt, ceiling));
+}
+
+std::unique_ptr<Node> AuctionSubscriptionGenerator::price_band() {
+  const double lo = std::round(std::clamp(rng_.log_normal(2.3, 0.9), 1.0, 200.0));
+  const double hi = lo + std::round(std::clamp(rng_.log_normal(2.5, 0.8), 2.0, 250.0));
+  return Node::leaf(Predicate(domain_->price, Value(lo), Value(hi)));
+}
+
+std::unique_ptr<Node> AuctionSubscriptionGenerator::condition_at_least() {
+  // "At least <quality>": a prefix of the best-to-worst condition ranking.
+  const auto& conds = domain_->conditions();
+  const auto cut = static_cast<std::size_t>(rng_.uniform_int(1, 4));
+  if (cut == 1) {
+    return Node::leaf(Predicate(domain_->condition, Op::Eq, conds[0]));
+  }
+  std::vector<Value> values;
+  for (std::size_t i = 0; i < cut; ++i) values.emplace_back(conds[i]);
+  return Node::leaf(Predicate(domain_->condition, std::move(values)));
+}
+
+std::unique_ptr<Node> AuctionSubscriptionGenerator::format_in() {
+  const auto& formats = domain_->formats();
+  if (rng_.chance(0.5)) {
+    return Node::leaf(
+        Predicate(domain_->format, Op::Eq,
+                  formats[static_cast<std::size_t>(rng_.uniform_int(0, 3))]));
+  }
+  // Physical books only (paperback or hardcover) is the common case.
+  return Node::leaf(Predicate(domain_->format, {Value(formats[0]), Value(formats[1])}));
+}
+
+std::unique_ptr<Node> AuctionSubscriptionGenerator::rating_floor() {
+  const double floor = std::round(rng_.uniform_real(80.0, 99.0));
+  return Node::leaf(Predicate(domain_->seller_rating, Op::Ge, floor));
+}
+
+std::unique_ptr<Node> AuctionSubscriptionGenerator::author_anchor() {
+  return Node::leaf(
+      Predicate(domain_->author, Op::Eq, domain_->authors()[author_dist_(rng_)]));
+}
+
+std::unique_ptr<Node> AuctionSubscriptionGenerator::bargain_hunter(bool broad) {
+  std::vector<std::unique_ptr<Node>> parts;
+  if (!broad) parts.push_back(author_anchor());
+  parts.push_back(category_is());
+  parts.push_back(price_ceiling());
+  if (rng_.chance(0.6)) parts.push_back(condition_at_least());
+  if (rng_.chance(0.4)) parts.push_back(format_in());
+  if (rng_.chance(0.35)) {
+    parts.push_back(Node::leaf(Predicate(
+        domain_->shipping, Op::Le, std::round(rng_.uniform_real(0.0, 8.0)))));
+  }
+  if (rng_.chance(0.3)) parts.push_back(maybe_negate(rating_floor()));
+  if (rng_.chance(0.25)) {
+    parts.push_back(Node::leaf(Predicate(
+        domain_->ends_in_hours, Op::Lt, std::round(rng_.uniform_real(1.0, 72.0)))));
+  }
+  return and_of(std::move(parts));
+}
+
+std::unique_ptr<Node> AuctionSubscriptionGenerator::collector() {
+  // The wanted-items OR-group: specific authors and/or titles.
+  std::vector<std::unique_ptr<Node>> wanted;
+  const auto author_alternatives = static_cast<std::size_t>(rng_.uniform_int(1, 3));
+  for (std::size_t i = 0; i < author_alternatives; ++i) {
+    wanted.push_back(Node::leaf(
+        Predicate(domain_->author, Op::Eq, domain_->authors()[author_dist_(rng_)])));
+  }
+  if (rng_.chance(0.5)) {
+    wanted.push_back(Node::leaf(
+        Predicate(domain_->title, Op::Eq, domain_->titles()[title_dist_(rng_)])));
+  }
+
+  std::vector<std::unique_ptr<Node>> parts;
+  parts.push_back(wanted.size() == 1 ? std::move(wanted.front())
+                                     : Node::or_(std::move(wanted)));
+  if (rng_.chance(0.5)) parts.push_back(condition_at_least());
+  if (rng_.chance(0.5)) {
+    const auto to = static_cast<std::int64_t>(rng_.uniform_int(1950, 2000));
+    const auto from = to - rng_.uniform_int(5, 60);
+    parts.push_back(Node::leaf(Predicate(domain_->year, Value(from), Value(to))));
+  }
+  if (rng_.chance(0.3)) {
+    parts.push_back(Node::leaf(Predicate(domain_->first_edition, Op::Eq, true)));
+  }
+  if (rng_.chance(0.15)) {
+    parts.push_back(Node::leaf(Predicate(domain_->is_signed, Op::Eq, true)));
+  }
+  if (rng_.chance(0.7)) parts.push_back(price_ceiling());
+  if (rng_.chance(0.2)) {
+    parts.push_back(maybe_negate(Node::leaf(Predicate(
+        domain_->location, Op::Eq, domain_->locations()[location_dist_(rng_)]))));
+  }
+  return and_of(std::move(parts));
+}
+
+std::unique_ptr<Node> AuctionSubscriptionGenerator::watcher_group(bool broad) {
+  std::vector<std::unique_ptr<Node>> parts;
+  if (!broad) parts.push_back(author_anchor());
+  parts.push_back(category_is());
+  parts.push_back(rng_.chance(0.5) ? price_band() : price_ceiling());
+  if (rng_.chance(0.6)) {
+    parts.push_back(Node::leaf(Predicate(
+        domain_->bids, Op::Ge, static_cast<std::int64_t>(rng_.uniform_int(1, 20)))));
+  }
+  if (rng_.chance(0.5)) {
+    parts.push_back(Node::leaf(Predicate(
+        domain_->ends_in_hours, Op::Lt, std::round(rng_.uniform_real(2.0, 48.0)))));
+  }
+  if (rng_.chance(0.3)) parts.push_back(rating_floor());
+  if (rng_.chance(0.2)) {
+    parts.push_back(Node::leaf(Predicate(
+        domain_->pages, Op::Ge, static_cast<std::int64_t>(rng_.uniform_int(100, 600)))));
+  }
+  // Guarantee at least two conjuncts so each group supports pruning.
+  if (parts.size() < 2) parts.push_back(rating_floor());
+  return and_of(std::move(parts));
+}
+
+std::unique_ptr<Node> AuctionSubscriptionGenerator::market_watcher(bool broad) {
+  const auto groups = static_cast<std::size_t>(rng_.uniform_int(2, 3));
+  std::vector<std::unique_ptr<Node>> alternatives;
+  for (std::size_t i = 0; i < groups; ++i) {
+    alternatives.push_back(watcher_group(broad));
+  }
+  return Node::or_(std::move(alternatives));
+}
+
+AuctionSubscriptionGenerator::Generated AuctionSubscriptionGenerator::next() {
+  const auto& cfg = domain_->config();
+  const double total = cfg.class_bargain + cfg.class_collector + cfg.class_watcher;
+  const double u = rng_.uniform_real(0.0, total);
+  // The broad minority: subscriptions with no specific-item anchor.
+  const bool broad = rng_.chance(cfg.broad_fraction);
+
+  Generated g;
+  if (u < cfg.class_bargain) {
+    g.cls = SubscriberClass::BargainHunter;
+    g.tree = bargain_hunter(broad);
+  } else if (u < cfg.class_bargain + cfg.class_collector) {
+    g.cls = SubscriberClass::Collector;
+    g.tree = collector();
+  } else {
+    g.cls = SubscriberClass::MarketWatcher;
+    g.tree = market_watcher(broad);
+  }
+  g.tree = simplify(std::move(g.tree));
+  return g;
+}
+
+std::vector<std::unique_ptr<Node>> AuctionSubscriptionGenerator::generate(std::size_t n) {
+  std::vector<std::unique_ptr<Node>> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next().tree);
+  return out;
+}
+
+}  // namespace dbsp

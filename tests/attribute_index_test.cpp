@@ -1,0 +1,146 @@
+#include "filter/attribute_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "test_util.hpp"
+
+namespace dbsp {
+namespace {
+
+class AttributeIndexTest : public ::testing::Test {
+ protected:
+  test::MiniDomain dom_{1, 50};
+
+  [[nodiscard]] std::vector<PredicateId> collect(const AttributeIndex& idx,
+                                                 Value v) const {
+    std::vector<PredicateId> out;
+    idx.collect(v, out);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+};
+
+TEST_F(AttributeIndexTest, EqualityProbe) {
+  AttributeIndex idx;
+  const Predicate p5(dom_.attr(0), Op::Eq, Value(5));
+  const Predicate p6(dom_.attr(0), Op::Eq, Value(6));
+  idx.insert(PredicateId(0), p5);
+  idx.insert(PredicateId(1), p6);
+  EXPECT_EQ(collect(idx, Value(5)), std::vector<PredicateId>{PredicateId(0)});
+  EXPECT_EQ(collect(idx, Value(6)), std::vector<PredicateId>{PredicateId(1)});
+  EXPECT_TRUE(collect(idx, Value(7)).empty());
+}
+
+TEST_F(AttributeIndexTest, OrderedThresholds) {
+  AttributeIndex idx;
+  idx.insert(PredicateId(0), Predicate(dom_.attr(0), Op::Lt, Value(10)));
+  idx.insert(PredicateId(1), Predicate(dom_.attr(0), Op::Le, Value(10)));
+  idx.insert(PredicateId(2), Predicate(dom_.attr(0), Op::Gt, Value(10)));
+  idx.insert(PredicateId(3), Predicate(dom_.attr(0), Op::Ge, Value(10)));
+
+  const auto at9 = collect(idx, Value(9));
+  EXPECT_EQ(at9, (std::vector<PredicateId>{PredicateId(0), PredicateId(1)}));
+  const auto at10 = collect(idx, Value(10));
+  EXPECT_EQ(at10, (std::vector<PredicateId>{PredicateId(1), PredicateId(3)}));
+  const auto at11 = collect(idx, Value(11));
+  EXPECT_EQ(at11, (std::vector<PredicateId>{PredicateId(2), PredicateId(3)}));
+}
+
+TEST_F(AttributeIndexTest, BetweenStabbing) {
+  AttributeIndex idx;
+  idx.insert(PredicateId(0), Predicate(dom_.attr(0), Value(5), Value(10)));
+  idx.insert(PredicateId(1), Predicate(dom_.attr(0), Value(8), Value(20)));
+  EXPECT_TRUE(collect(idx, Value(4)).empty());
+  EXPECT_EQ(collect(idx, Value(5)), std::vector<PredicateId>{PredicateId(0)});
+  EXPECT_EQ(collect(idx, Value(9)),
+            (std::vector<PredicateId>{PredicateId(0), PredicateId(1)}));
+  EXPECT_EQ(collect(idx, Value(15)), std::vector<PredicateId>{PredicateId(1)});
+  EXPECT_TRUE(collect(idx, Value(21)).empty());
+}
+
+TEST_F(AttributeIndexTest, InExpandsMembers) {
+  AttributeIndex idx;
+  const Predicate p(dom_.attr(0), {Value(1), Value(3), Value(5)});
+  idx.insert(PredicateId(0), p);
+  EXPECT_EQ(collect(idx, Value(3)), std::vector<PredicateId>{PredicateId(0)});
+  EXPECT_TRUE(collect(idx, Value(2)).empty());
+  idx.remove(PredicateId(0), p);
+  EXPECT_TRUE(collect(idx, Value(3)).empty());
+  EXPECT_EQ(idx.size(), 0u);
+}
+
+TEST_F(AttributeIndexTest, NeAndStringOpsUseScanList) {
+  Schema s;
+  const auto name = s.add_attribute("name", ValueType::String);
+  AttributeIndex idx;
+  const Predicate ne(name, Op::Ne, Value("art"));
+  const Predicate prefix(name, Op::Prefix, Value("sci"));
+  idx.insert(PredicateId(0), ne);
+  idx.insert(PredicateId(1), prefix);
+  std::vector<PredicateId> out;
+  idx.collect(Value("science"), out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<PredicateId>{PredicateId(0), PredicateId(1)}));
+  out.clear();
+  idx.collect(Value("art"), out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(AttributeIndexTest, RemoveUnknownThrows) {
+  AttributeIndex idx;
+  const Predicate p(dom_.attr(0), Op::Eq, Value(5));
+  EXPECT_THROW(idx.remove(PredicateId(0), p), std::logic_error);
+  idx.insert(PredicateId(0), p);
+  EXPECT_THROW(idx.remove(PredicateId(1), Predicate(dom_.attr(0), Op::Eq, Value(5))),
+               std::logic_error);
+}
+
+TEST_F(AttributeIndexTest, RandomizedAgainstBruteForce) {
+  // 300 random predicates; collect() must return exactly the predicates
+  // whose matches_value() holds, for every probe value.
+  std::mt19937_64 rng(77);
+  AttributeIndex idx;
+  std::vector<Predicate> preds;
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    preds.push_back(dom_.random_predicate(rng));
+    idx.insert(PredicateId(i), preds.back());
+  }
+  for (std::int64_t v = -2; v < 55; ++v) {
+    std::vector<PredicateId> expected;
+    for (std::uint32_t i = 0; i < preds.size(); ++i) {
+      if (preds[i].matches_value(Value(v))) expected.push_back(PredicateId(i));
+    }
+    auto actual = collect(idx, Value(v));
+    EXPECT_EQ(actual, expected) << "probe v=" << v;
+  }
+}
+
+TEST_F(AttributeIndexTest, RandomizedInsertRemoveChurn) {
+  std::mt19937_64 rng(123);
+  AttributeIndex idx;
+  std::vector<std::optional<Predicate>> live(200);
+  for (int round = 0; round < 2000; ++round) {
+    const auto slot = static_cast<std::uint32_t>(rng() % live.size());
+    if (live[slot]) {
+      idx.remove(PredicateId(slot), *live[slot]);
+      live[slot].reset();
+    } else {
+      live[slot] = dom_.random_predicate(rng);
+      idx.insert(PredicateId(slot), *live[slot]);
+    }
+  }
+  // Final consistency sweep.
+  for (std::int64_t v = 0; v < 50; ++v) {
+    std::vector<PredicateId> expected;
+    for (std::uint32_t i = 0; i < live.size(); ++i) {
+      if (live[i] && live[i]->matches_value(Value(v))) expected.push_back(PredicateId(i));
+    }
+    EXPECT_EQ(collect(idx, Value(v)), expected) << "probe v=" << v;
+  }
+}
+
+}  // namespace
+}  // namespace dbsp

@@ -1,0 +1,196 @@
+#include "filter/counting_matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/candidates.hpp"
+#include "subscription/parser.hpp"
+#include "test_util.hpp"
+
+namespace dbsp {
+namespace {
+
+class CountingMatcherTest : public ::testing::Test {
+ protected:
+  CountingMatcherTest() {
+    schema_.add_attribute("price", ValueType::Double);
+    schema_.add_attribute("category", ValueType::String);
+    schema_.add_attribute("year", ValueType::Int);
+  }
+
+  [[nodiscard]] std::unique_ptr<Subscription> sub(std::uint32_t id,
+                                                  std::string_view text) const {
+    return std::make_unique<Subscription>(SubscriptionId(id),
+                                          parse_subscription(text, schema_));
+  }
+
+  [[nodiscard]] std::vector<SubscriptionId> match(CountingMatcher& m,
+                                                  const Event& e) const {
+    std::vector<SubscriptionId> out;
+    m.match(e, out);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  Schema schema_;
+};
+
+TEST_F(CountingMatcherTest, MatchesConjunction) {
+  CountingMatcher m(schema_);
+  auto s = sub(1, "category = 'art' and price < 10");
+  m.add(*s);
+  const Event hit = EventBuilder(schema_).with("category", "art").with("price", 5.0).build();
+  const Event miss = EventBuilder(schema_).with("category", "art").with("price", 15.0).build();
+  EXPECT_EQ(match(m, hit), std::vector<SubscriptionId>{SubscriptionId(1)});
+  EXPECT_TRUE(match(m, miss).empty());
+}
+
+TEST_F(CountingMatcherTest, SharedPredicateEvaluatedOnceAndCountedPerSub) {
+  CountingMatcher m(schema_);
+  auto s1 = sub(1, "price < 10 and category = 'art'");
+  auto s2 = sub(2, "price < 10 and year > 1990");
+  m.add(*s1);
+  m.add(*s2);
+  EXPECT_EQ(m.live_predicates(), 3u);    // price<10 deduplicated
+  EXPECT_EQ(m.association_count(), 4u);  // 2 per subscription
+
+  const Event e = EventBuilder(schema_)
+                      .with("price", 5.0)
+                      .with("category", "art")
+                      .with("year", 2000)
+                      .build();
+  const auto hits = match(m, e);
+  EXPECT_EQ(hits, (std::vector<SubscriptionId>{SubscriptionId(1), SubscriptionId(2)}));
+}
+
+TEST_F(CountingMatcherTest, PminTriggerSkipsHopelessSubscriptions) {
+  CountingMatcher m(schema_);
+  auto s = sub(1, "category = 'art' and price < 10 and year > 1990");  // pmin = 3
+  m.add(*s);
+  m.reset_counters();
+  // Only one predicate can be fulfilled -> no tree evaluation at all.
+  const Event e = EventBuilder(schema_).with("category", "art").build();
+  EXPECT_TRUE(match(m, e).empty());
+  EXPECT_EQ(m.counters().tree_evaluations, 0u);
+  EXPECT_EQ(m.counters().counter_increments, 1u);
+}
+
+TEST_F(CountingMatcherTest, OrLowersPmin) {
+  CountingMatcher m(schema_);
+  auto s = sub(1, "category = 'art' or (price < 10 and year > 1990)");  // pmin = 1
+  m.add(*s);
+  const Event e = EventBuilder(schema_).with("category", "art").build();
+  EXPECT_EQ(match(m, e), std::vector<SubscriptionId>{SubscriptionId(1)});
+}
+
+TEST_F(CountingMatcherTest, NotSubscriptionsAreAlwaysEvaluated) {
+  CountingMatcher m(schema_);
+  auto s = sub(1, "not category = 'art'");  // pmin = 0
+  m.add(*s);
+  m.reset_counters();
+  const Event other = EventBuilder(schema_).with("category", "music").build();
+  EXPECT_EQ(match(m, other), std::vector<SubscriptionId>{SubscriptionId(1)});
+  const Event art = EventBuilder(schema_).with("category", "art").build();
+  EXPECT_TRUE(match(m, art).empty());
+  EXPECT_EQ(m.counters().tree_evaluations, 2u);  // evaluated on every event
+}
+
+TEST_F(CountingMatcherTest, RemoveReleasesEverything) {
+  CountingMatcher m(schema_);
+  auto s1 = sub(1, "price < 10 and category = 'art'");
+  auto s2 = sub(2, "price < 10");
+  m.add(*s1);
+  m.add(*s2);
+  m.remove(*s1);
+  EXPECT_EQ(m.subscription_count(), 1u);
+  EXPECT_EQ(m.live_predicates(), 1u);
+  EXPECT_EQ(m.association_count(), 1u);
+  const Event e = EventBuilder(schema_).with("price", 5.0).with("category", "art").build();
+  EXPECT_EQ(match(m, e), std::vector<SubscriptionId>{SubscriptionId(2)});
+  EXPECT_FALSE(m.contains(SubscriptionId(1)));
+}
+
+TEST_F(CountingMatcherTest, ReindexAfterPruningKeepsMatcherConsistent) {
+  CountingMatcher m(schema_);
+  auto s = sub(1, "category = 'art' and price < 10");
+  m.add(*s);
+  EXPECT_EQ(m.associations_of(SubscriptionId(1)), 2u);
+
+  // Prune the category conjunct (path {0}).
+  apply_pruning(*s, {0});
+  m.reindex(*s);
+  EXPECT_EQ(m.associations_of(SubscriptionId(1)), 1u);
+  EXPECT_EQ(m.live_predicates(), 1u);
+
+  // Now generalized: matches regardless of category.
+  const Event e = EventBuilder(schema_).with("category", "music").with("price", 5.0).build();
+  EXPECT_EQ(match(m, e), std::vector<SubscriptionId>{SubscriptionId(1)});
+}
+
+TEST_F(CountingMatcherTest, DuplicateAddAndUnknownQueriesThrow) {
+  CountingMatcher m(schema_);
+  auto s = sub(1, "price < 10");
+  m.add(*s);
+  EXPECT_THROW(m.add(*s), std::invalid_argument);
+  EXPECT_THROW(m.associations_of(SubscriptionId(9)), std::out_of_range);
+}
+
+TEST_F(CountingMatcherTest, DuplicateLeafPredicateSharesOneAssociation) {
+  CountingMatcher m(schema_);
+  // price < 10 appears in two leaves of one subscription; it is interned
+  // once (a single pred/sub association) but both leaves resolve to it.
+  auto s = sub(1, "price < 10 or (price < 10 and year > 1990)");
+  m.add(*s);
+  EXPECT_EQ(m.associations_of(SubscriptionId(1)), 2u);  // price<10, year>1990
+  const Event e = EventBuilder(schema_).with("price", 5.0).build();
+  EXPECT_EQ(match(m, e), std::vector<SubscriptionId>{SubscriptionId(1)});
+}
+
+TEST_F(CountingMatcherTest, DuplicatedPredicateAdvancesCounterPerLeaf) {
+  CountingMatcher m(schema_);
+  // Regression: pmin counts fulfilled *leaf occurrences*. year > 1990 sits
+  // in two leaves (inside the or-group and as a conjunct); pmin = 3, but
+  // only two distinct predicates can fire. The counter must advance by the
+  // leaf refcount or this match is missed.
+  auto s = sub(1, "(category = 'art' or year > 1990) and year > 1990 and price < 10");
+  m.add(*s);
+  EXPECT_EQ(s->root().pmin(), 3u);
+  const Event e = EventBuilder(schema_).with("year", 2000).with("price", 5.0).build();
+  EXPECT_EQ(match(m, e), std::vector<SubscriptionId>{SubscriptionId(1)});
+
+  // And after pruning the or-group, the leaf refcount drops back to 1.
+  apply_pruning(*s, {0});
+  m.reindex(*s);
+  EXPECT_EQ(match(m, e), std::vector<SubscriptionId>{SubscriptionId(1)});
+  const Event miss = EventBuilder(schema_).with("year", 1980).with("price", 5.0).build();
+  EXPECT_TRUE(match(m, miss).empty());
+}
+
+TEST_F(CountingMatcherTest, CountersAccumulateAndReset) {
+  CountingMatcher m(schema_);
+  auto s = sub(1, "price < 10");
+  m.add(*s);
+  const Event e = EventBuilder(schema_).with("price", 5.0).build();
+  std::vector<SubscriptionId> out;
+  m.match(e, out);
+  m.match(e, out);
+  EXPECT_EQ(m.counters().events, 2u);
+  EXPECT_EQ(m.counters().matches, 2u);
+  m.reset_counters();
+  EXPECT_EQ(m.counters().events, 0u);
+}
+
+TEST_F(CountingMatcherTest, SlotRecyclingAfterRemoveAdd) {
+  CountingMatcher m(schema_);
+  auto s1 = sub(1, "price < 10");
+  m.add(*s1);
+  m.remove(*s1);
+  auto s2 = sub(2, "year > 1990");
+  m.add(*s2);
+  const Event e = EventBuilder(schema_).with("price", 5.0).with("year", 2000).build();
+  EXPECT_EQ(match(m, e), std::vector<SubscriptionId>{SubscriptionId(2)});
+}
+
+}  // namespace
+}  // namespace dbsp

@@ -1,0 +1,203 @@
+#include "routing/covering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/candidates.hpp"
+#include "subscription/parser.hpp"
+#include "test_util.hpp"
+
+namespace dbsp {
+namespace {
+
+using test::MiniDomain;
+
+class ImplicationTest : public ::testing::Test {
+ protected:
+  MiniDomain dom_{2, 100};
+  Schema strings_;
+  AttributeId name_ = strings_.add_attribute("name", ValueType::String);
+
+  [[nodiscard]] Predicate num(Op op, std::int64_t v) const {
+    return Predicate(dom_.attr(0), op, Value(v));
+  }
+};
+
+TEST_F(ImplicationTest, ReflexiveAndAttributeMismatch) {
+  EXPECT_TRUE(implies(num(Op::Lt, 5), num(Op::Lt, 5)));
+  EXPECT_FALSE(implies(num(Op::Lt, 5), Predicate(dom_.attr(1), Op::Lt, Value(5))));
+}
+
+TEST_F(ImplicationTest, EqImpliesAnythingItSatisfies) {
+  EXPECT_TRUE(implies(num(Op::Eq, 5), num(Op::Lt, 10)));
+  EXPECT_TRUE(implies(num(Op::Eq, 5), num(Op::Le, 5)));
+  EXPECT_TRUE(implies(num(Op::Eq, 5), num(Op::Ne, 6)));
+  EXPECT_TRUE(implies(num(Op::Eq, 5), Predicate(dom_.attr(0), Value(1), Value(9))));
+  EXPECT_FALSE(implies(num(Op::Eq, 5), num(Op::Gt, 5)));
+}
+
+TEST_F(ImplicationTest, InImpliesOnlyIfAllMembersDo) {
+  const Predicate in(dom_.attr(0), {Value(2), Value(4)});
+  EXPECT_TRUE(implies(in, num(Op::Lt, 5)));
+  EXPECT_FALSE(implies(in, num(Op::Lt, 4)));
+  EXPECT_TRUE(implies(in, Predicate(dom_.attr(0), {Value(1), Value(2), Value(4)})));
+  EXPECT_FALSE(implies(in, Predicate(dom_.attr(0), {Value(2), Value(5)})));
+}
+
+TEST_F(ImplicationTest, IntervalContainment) {
+  EXPECT_TRUE(implies(num(Op::Lt, 5), num(Op::Lt, 10)));
+  EXPECT_TRUE(implies(num(Op::Lt, 5), num(Op::Le, 5)));
+  EXPECT_FALSE(implies(num(Op::Le, 5), num(Op::Lt, 5)));
+  EXPECT_TRUE(implies(num(Op::Gt, 10), num(Op::Ge, 10)));
+  EXPECT_FALSE(implies(num(Op::Ge, 10), num(Op::Gt, 10)));
+  EXPECT_TRUE(implies(Predicate(dom_.attr(0), Value(3), Value(7)), num(Op::Lt, 8)));
+  EXPECT_TRUE(implies(Predicate(dom_.attr(0), Value(3), Value(7)),
+                      Predicate(dom_.attr(0), Value(2), Value(8))));
+  EXPECT_FALSE(implies(Predicate(dom_.attr(0), Value(3), Value(9)), num(Op::Lt, 8)));
+  EXPECT_FALSE(implies(num(Op::Lt, 10), Predicate(dom_.attr(0), Value(0), Value(20))));
+}
+
+TEST_F(ImplicationTest, DegenerateBetweenActsAsEq) {
+  const Predicate point(dom_.attr(0), Value(5), Value(5));
+  EXPECT_TRUE(implies(point, num(Op::Eq, 5)));
+  EXPECT_TRUE(implies(point, num(Op::Le, 5)));
+  EXPECT_TRUE(implies(num(Op::Eq, 5), point));
+}
+
+TEST_F(ImplicationTest, NeTargets) {
+  EXPECT_TRUE(implies(num(Op::Lt, 5), num(Op::Ne, 7)));
+  EXPECT_FALSE(implies(num(Op::Lt, 5), num(Op::Ne, 3)));
+  EXPECT_TRUE(implies(num(Op::Ne, 7), num(Op::Ne, 7)));
+  EXPECT_FALSE(implies(num(Op::Ne, 7), num(Op::Ne, 8)));
+  EXPECT_FALSE(implies(num(Op::Ne, 7), num(Op::Lt, 100)));  // unbounded
+}
+
+TEST_F(ImplicationTest, StringPatterns) {
+  const Predicate pre_sci(name_, Op::Prefix, Value("science"));
+  const Predicate pre_s(name_, Op::Prefix, Value("sci"));
+  EXPECT_TRUE(implies(pre_sci, pre_s));
+  EXPECT_FALSE(implies(pre_s, pre_sci));
+  EXPECT_TRUE(implies(pre_sci, Predicate(name_, Op::Contains, Value("enc"))));
+  const Predicate suf(name_, Op::Suffix, Value("fiction"));
+  EXPECT_TRUE(implies(suf, Predicate(name_, Op::Suffix, Value("ion"))));
+  EXPECT_TRUE(implies(suf, Predicate(name_, Op::Contains, Value("fict"))));
+  EXPECT_TRUE(implies(Predicate(name_, Op::Contains, Value("abcd")),
+                      Predicate(name_, Op::Contains, Value("bc"))));
+  EXPECT_FALSE(implies(Predicate(name_, Op::Contains, Value("bc")),
+                       Predicate(name_, Op::Contains, Value("abcd"))));
+  EXPECT_TRUE(implies(Predicate(name_, Op::Eq, Value("science")), pre_s));
+}
+
+TEST_F(ImplicationTest, SoundnessOnRandomPairs) {
+  // implies(p, q) = true must mean: every value satisfying p satisfies q.
+  MiniDomain dom(1, 30);
+  std::mt19937_64 rng(8);
+  std::size_t positives = 0;
+  for (int round = 0; round < 3000; ++round) {
+    const Predicate p = dom.random_predicate(rng);
+    const Predicate q = dom.random_predicate(rng);
+    if (!implies(p, q)) continue;
+    ++positives;
+    for (std::int64_t v = -5; v < 35; ++v) {
+      if (p.matches_value(Value(v))) {
+        ASSERT_TRUE(q.matches_value(Value(v)))
+            << p.to_string(dom.schema()) << " => " << q.to_string(dom.schema())
+            << " violated at " << v;
+      }
+    }
+  }
+  EXPECT_GT(positives, 100u);  // the check is not vacuous
+}
+
+class CoveringTest : public ::testing::Test {
+ protected:
+  CoveringTest() {
+    schema_.add_attribute("category", ValueType::String);
+    schema_.add_attribute("price", ValueType::Double);
+    schema_.add_attribute("year", ValueType::Int);
+  }
+  Schema schema_;
+
+  [[nodiscard]] std::unique_ptr<Node> parse(std::string_view s) const {
+    return parse_subscription(s, schema_);
+  }
+};
+
+TEST_F(CoveringTest, ConjunctivityDetection) {
+  EXPECT_TRUE(is_conjunctive(*parse("price < 5")));
+  EXPECT_TRUE(is_conjunctive(*parse("price < 5 and category = 'art'")));
+  EXPECT_FALSE(is_conjunctive(*parse("price < 5 or category = 'art'")));
+  EXPECT_FALSE(is_conjunctive(*parse("price < 5 and (year > 1990 or year < 1800)")));
+  EXPECT_FALSE(is_conjunctive(*parse("not price < 5")));
+}
+
+TEST_F(CoveringTest, BroaderSubscriptionCoversNarrower) {
+  const auto broad = parse("price < 50");
+  const auto narrow = parse("price < 20 and category = 'art'");
+  EXPECT_EQ(covers(*broad, *narrow), std::optional<bool>(true));
+  EXPECT_EQ(covers(*narrow, *broad), std::optional<bool>(false));
+}
+
+TEST_F(CoveringTest, EqualSubscriptionsCoverEachOther) {
+  const auto a = parse("price < 20 and category = 'art'");
+  const auto b = parse("category = 'art' and price < 20");
+  EXPECT_EQ(covers(*a, *b), std::optional<bool>(true));
+  EXPECT_EQ(covers(*b, *a), std::optional<bool>(true));
+}
+
+TEST_F(CoveringTest, NonConjunctiveIsOutOfScope) {
+  const auto boolean = parse("price < 5 or category = 'art'");
+  const auto conj = parse("price < 5");
+  EXPECT_EQ(covers(*boolean, *conj), std::nullopt);
+  EXPECT_EQ(covers(*conj, *boolean), std::nullopt);
+}
+
+TEST_F(CoveringTest, PrunedConjunctionCoversOriginal) {
+  // "Pruning as an extension of covering": the pruned entry must cover the
+  // subscription it was derived from.
+  const auto original = parse("price < 20 and category = 'art' and year > 1990");
+  Subscription sub(SubscriptionId(0), original->clone());
+  std::mt19937_64 rng(3);
+  while (true) {
+    const auto candidates = enumerate_prunings(sub.root());
+    if (candidates.empty()) break;
+    apply_pruning(sub, candidates[rng() % candidates.size()]);
+    EXPECT_EQ(covers(sub.root(), *original), std::optional<bool>(true));
+  }
+}
+
+TEST_F(CoveringTest, CoveringSoundOnRandomConjunctions) {
+  MiniDomain dom(4, 20);
+  std::mt19937_64 rng(21);
+  const auto events = dom.random_events(rng, 400);
+
+  auto random_conjunction = [&](std::size_t preds) {
+    std::vector<std::unique_ptr<Node>> parts;
+    for (std::size_t i = 0; i < preds; ++i) {
+      parts.push_back(Node::leaf(dom.random_predicate(rng)));
+    }
+    return parts.size() == 1 ? std::move(parts.front()) : Node::and_(std::move(parts));
+  };
+
+  std::size_t positives = 0;
+  for (int round = 0; round < 1500; ++round) {
+    const auto a = random_conjunction(1 + rng() % 3);
+    const auto b = random_conjunction(1 + rng() % 4);
+    const auto result = covers(*a, *b);
+    ASSERT_TRUE(result.has_value());
+    if (!*result) continue;
+    ++positives;
+    for (const auto& e : events) {
+      if (b->evaluate_event(e)) {
+        ASSERT_TRUE(a->evaluate_event(e))
+            << a->to_string(dom.schema()) << " claimed to cover "
+            << b->to_string(dom.schema());
+      }
+    }
+  }
+  EXPECT_GT(positives, 20u);
+}
+
+}  // namespace
+}  // namespace dbsp

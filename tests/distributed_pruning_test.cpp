@@ -1,0 +1,144 @@
+// End-to-end distributed correctness: pruning remote routing entries must
+// never change which notifications subscribers receive — it may only add
+// transit traffic — across all three dimensions and pruning depths.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "broker/overlay.hpp"
+#include "core/engine.hpp"
+#include "selectivity/stats.hpp"
+#include "workload/event_gen.hpp"
+#include "workload/subscription_gen.hpp"
+
+namespace dbsp {
+namespace {
+
+struct Harness {
+  WorkloadConfig cfg;
+  std::unique_ptr<AuctionDomain> domain;
+  std::unique_ptr<Overlay> overlay;
+  std::unique_ptr<EventStats> stats;
+  std::vector<Event> events;
+
+  explicit Harness(std::size_t brokers, std::size_t subs, std::size_t events_n) {
+    cfg.seed = 77;
+    cfg.titles = 300;
+    cfg.authors = 120;
+    domain = std::make_unique<AuctionDomain>(cfg);
+    overlay = std::make_unique<Overlay>(domain->schema(), brokers,
+                                        Overlay::line(brokers));
+    AuctionSubscriptionGenerator sub_gen(*domain);
+    for (std::uint32_t i = 0; i < subs; ++i) {
+      overlay->subscribe(BrokerId(i % brokers), ClientId(i), SubscriptionId(i),
+                         sub_gen.next_tree());
+    }
+    stats = std::make_unique<EventStats>(domain->schema());
+    AuctionEventGenerator training(*domain, 3);
+    for (int i = 0; i < 3000; ++i) stats->observe(training.next());
+    stats->finalize();
+    AuctionEventGenerator event_gen(*domain, 2);
+    events = event_gen.generate(events_n);
+  }
+
+  [[nodiscard]] std::vector<std::pair<SubscriptionId, std::uint64_t>> run() {
+    overlay->reset_metrics();
+    overlay->set_record_notifications(true);
+    std::uint64_t base_seq = 0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const auto seq = overlay->publish(
+          BrokerId(static_cast<BrokerId::value_type>(i % overlay->broker_count())),
+          events[i]);
+      if (i == 0) base_seq = seq;  // seqs are global; normalize per run
+    }
+    std::vector<std::pair<SubscriptionId, std::uint64_t>> all;
+    for (std::size_t b = 0; b < overlay->broker_count(); ++b) {
+      const auto& log = overlay->broker(BrokerId(static_cast<BrokerId::value_type>(b)))
+                            .notification_log();
+      for (const auto& [sub, seq] : log) all.emplace_back(sub, seq - base_seq);
+    }
+    std::sort(all.begin(), all.end(), [](const auto& x, const auto& y) {
+      if (x.second != y.second) return x.second < y.second;
+      return x.first < y.first;
+    });
+    return all;
+  }
+};
+
+class DistributedPruning : public ::testing::TestWithParam<PruneDimension> {};
+
+TEST_P(DistributedPruning, NotificationsInvariantUnderPruning) {
+  Harness setup(3, 300, 150);
+  const auto baseline = setup.run();
+  const auto baseline_messages = setup.overlay->network().total().event_messages;
+
+  const SelectivityEstimator estimator(*setup.stats);
+  PruneEngineConfig cfg;
+  cfg.dimension = GetParam();
+  std::vector<std::unique_ptr<PruningEngine>> engines;
+  for (std::size_t b = 0; b < setup.overlay->broker_count(); ++b) {
+    Broker& broker = setup.overlay->broker(BrokerId(static_cast<BrokerId::value_type>(b)));
+    auto engine = std::make_unique<PruningEngine>(estimator, cfg, &broker.matcher());
+    for (Subscription* s : broker.remote_subscriptions()) {
+      engine->register_subscription(*s);
+    }
+    engines.push_back(std::move(engine));
+  }
+
+  std::uint64_t last_messages = baseline_messages;
+  for (const double fraction : {0.3, 0.7, 1.0}) {
+    for (auto& engine : engines) {
+      const auto target = static_cast<std::size_t>(
+          fraction * static_cast<double>(engine->total_possible()));
+      if (target > engine->performed()) engine->prune(target - engine->performed());
+    }
+    const auto pruned_run = setup.run();
+    EXPECT_EQ(pruned_run, baseline)
+        << "notifications changed at fraction " << fraction;
+    const auto messages = setup.overlay->network().total().event_messages;
+    EXPECT_GE(messages, last_messages) << "network load shrank after pruning";
+    last_messages = messages;
+  }
+  // Full pruning strictly reduced remote routing state.
+  EXPECT_LT(setup.overlay->total_remote_associations(), 300u * 2u * 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dimensions, DistributedPruning,
+                         ::testing::Values(PruneDimension::NetworkLoad,
+                                           PruneDimension::MemoryUsage,
+                                           PruneDimension::Throughput),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(DistributedPruningMetrics, MemoryDimensionShrinksAssociationsFastest) {
+  // At a small pruning budget the memory heuristic must reduce remote
+  // associations at least as much as the other two dimensions.
+  std::size_t reductions[3] = {0, 0, 0};
+  const PruneDimension dims[] = {PruneDimension::NetworkLoad,
+                                 PruneDimension::MemoryUsage,
+                                 PruneDimension::Throughput};
+  for (int d = 0; d < 3; ++d) {
+    Harness setup(3, 400, 1);
+    const std::size_t before = setup.overlay->total_remote_associations();
+    const SelectivityEstimator estimator(*setup.stats);
+    PruneEngineConfig cfg;
+    cfg.dimension = dims[d];
+    for (std::size_t b = 0; b < setup.overlay->broker_count(); ++b) {
+      Broker& broker =
+          setup.overlay->broker(BrokerId(static_cast<BrokerId::value_type>(b)));
+      PruningEngine engine(estimator, cfg, &broker.matcher());
+      for (Subscription* s : broker.remote_subscriptions()) {
+        engine.register_subscription(*s);
+      }
+      engine.prune(engine.total_possible() / 5);  // 20% budget
+    }
+    reductions[d] = before - setup.overlay->total_remote_associations();
+  }
+  EXPECT_GE(reductions[1], reductions[0]);
+  EXPECT_GE(reductions[1], reductions[2]);
+}
+
+}  // namespace
+}  // namespace dbsp

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "experiment/centralized.hpp"
+#include "experiment/distributed.hpp"
+#include "experiment/series.hpp"
+
+namespace dbsp {
+namespace {
+
+CentralizedConfig tiny_centralized() {
+  CentralizedConfig cfg;
+  cfg.workload.seed = 11;
+  cfg.workload.titles = 200;
+  cfg.workload.authors = 80;
+  cfg.subscriptions = 400;
+  cfg.events = 150;
+  cfg.training_events = 1500;
+  cfg.fractions = {0.0, 0.5, 1.0};
+  return cfg;
+}
+
+TEST(CentralizedExperimentTest, ProducesMonotoneMetrics) {
+  const auto result = run_centralized(tiny_centralized(), PruneDimension::NetworkLoad);
+  ASSERT_EQ(result.points.size(), 3u);
+  EXPECT_GT(result.total_possible_prunings, 0u);
+
+  // Pruning progress follows the requested fractions.
+  EXPECT_EQ(result.points[0].prunings_performed, 0u);
+  EXPECT_EQ(result.points[2].prunings_performed, result.total_possible_prunings);
+
+  // Matching volume grows monotonically (generalization) and associations
+  // shrink monotonically.
+  EXPECT_LE(result.points[0].matching_fraction, result.points[1].matching_fraction);
+  EXPECT_LE(result.points[1].matching_fraction, result.points[2].matching_fraction);
+  EXPECT_GE(result.points[0].associations, result.points[1].associations);
+  EXPECT_GE(result.points[1].associations, result.points[2].associations);
+  EXPECT_DOUBLE_EQ(result.points[0].association_reduction, 0.0);
+  EXPECT_GT(result.points[2].association_reduction, 0.0);
+}
+
+TEST(CentralizedExperimentTest, DimensionsDiverge) {
+  const auto cfg = tiny_centralized();
+  const auto net = run_centralized(cfg, PruneDimension::NetworkLoad);
+  const auto mem = run_centralized(cfg, PruneDimension::MemoryUsage);
+  // Identical workload: same total pruning capacity and same baseline.
+  EXPECT_EQ(net.total_possible_prunings, mem.total_possible_prunings);
+  EXPECT_EQ(net.points[0].matches, mem.points[0].matches);
+  // At 50% pruning the network heuristic forwards no more events than the
+  // memory heuristic (its defining property).
+  EXPECT_LE(net.points[1].matching_fraction, mem.points[1].matching_fraction);
+  // And the memory heuristic reduced associations at least as much.
+  EXPECT_GE(mem.points[1].association_reduction,
+            net.points[1].association_reduction - 1e-12);
+}
+
+TEST(DistributedExperimentTest, RunsAndKeepsNotificationsInvariant) {
+  DistributedConfig cfg;
+  cfg.workload.seed = 23;
+  cfg.workload.titles = 200;
+  cfg.workload.authors = 80;
+  cfg.brokers = 3;
+  cfg.subscriptions = 240;
+  cfg.events = 90;
+  cfg.training_events = 1200;
+  cfg.fractions = {0.0, 0.5, 1.0};
+
+  // run_distributed throws if notifications change across fractions.
+  const auto result = run_distributed(cfg, PruneDimension::NetworkLoad);
+  ASSERT_EQ(result.points.size(), 3u);
+  EXPECT_GT(result.total_possible_prunings, 0u);
+  EXPECT_DOUBLE_EQ(result.points[0].network_increase, 0.0);
+  EXPECT_GE(result.points[2].network_increase, result.points[0].network_increase);
+  EXPECT_GE(result.points[2].association_reduction,
+            result.points[0].association_reduction);
+  for (const auto& p : result.points) {
+    EXPECT_EQ(p.notifications, result.baseline_notifications);
+  }
+}
+
+TEST(SeriesTest, FractionGridCoversUnitInterval) {
+  const auto grid = fraction_grid(0.25);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 1.0);
+  const auto coarse = fraction_grid(0.4);
+  EXPECT_DOUBLE_EQ(coarse.back(), 1.0);  // 1.0 appended even off-grid
+}
+
+TEST(SeriesTest, PrintFigureEmitsTableAndCsv) {
+  Series s1{"A", {{0.0, 1.0}, {0.5, 2.0}}};
+  Series s2{"B", {{0.0, 3.0}, {0.5, 4.0}}};
+  std::ostringstream os;
+  print_figure(os, "Demo figure", "x", "metric", {s1, s2});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Demo figure"), std::string::npos);
+  EXPECT_NE(out.find("csv,x,A,B"), std::string::npos);
+  EXPECT_NE(out.find("csv,0.5,2,4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dbsp

@@ -1,0 +1,166 @@
+#include "core/heuristics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/candidates.hpp"
+#include "subscription/parser.hpp"
+#include "test_util.hpp"
+
+namespace dbsp {
+namespace {
+
+using test::MiniDomain;
+
+class HeuristicsTest : public ::testing::Test {
+ protected:
+  HeuristicsTest() {
+    schema_.add_attribute("a", ValueType::Int);
+    schema_.add_attribute("b", ValueType::Int);
+    schema_.add_attribute("c", ValueType::Int);
+  }
+  Schema schema_;
+
+  /// Leaf selectivity keyed by attribute: a=0.1, b=0.5, c=0.9.
+  [[nodiscard]] SelectivityEstimator estimator() const {
+    return SelectivityEstimator(LeafSelectivityFn([](const Predicate& p) {
+      switch (p.attribute().value()) {
+        case 0: return 0.1;
+        case 1: return 0.5;
+        default: return 0.9;
+      }
+    }));
+  }
+
+  [[nodiscard]] std::unique_ptr<Node> parse(std::string_view s) const {
+    return parse_subscription(s, schema_);
+  }
+};
+
+TEST_F(HeuristicsTest, MemoryImprovementMatchesActualSizeDelta) {
+  const auto est = estimator();
+  const HeuristicScorer scorer(est);
+  std::mt19937_64 rng(3);
+  MiniDomain dom(5, 12);
+  std::uniform_int_distribution<std::size_t> leaves(2, 10);
+  for (int i = 0; i < 40; ++i) {
+    const auto tree = dom.random_tree(rng, leaves(rng), 0.2);
+    const auto orig = scorer.profile(*tree);
+    for (const auto& path : enumerate_prunings(*tree)) {
+      const auto scores = scorer.score(*tree, path, orig);
+      const auto pruned = simulate_pruning(*tree, path);
+      EXPECT_DOUBLE_EQ(scores.mem_improvement,
+                       static_cast<double>(tree->size_bytes()) -
+                           static_cast<double>(pruned->size_bytes()));
+      EXPECT_GT(scores.mem_improvement, 0.0);
+    }
+  }
+}
+
+TEST_F(HeuristicsTest, EffImprovementIsPminDeltaVsOriginal) {
+  const auto est = estimator();
+  const HeuristicScorer scorer(est);
+  // (a and b) has pmin 2; pruning either leaf leaves pmin 1 -> Δeff = -1.
+  const auto tree = parse("a=1 and b=2");
+  const auto orig = scorer.profile(*tree);
+  EXPECT_EQ(orig.pmin, 2u);
+  const auto s = scorer.score(*tree, {0}, orig);
+  EXPECT_DOUBLE_EQ(s.eff_improvement, -1.0);
+
+  // a and (b or (b and c)): pmin = 1 + 1 = 2. Pruning c (inside the inner
+  // and) keeps pmin 2 -> Δeff = 0, the throughput-preserving choice.
+  const auto tree2 = parse("a=1 and (b=2 or (b=3 and c=4))");
+  const auto orig2 = scorer.profile(*tree2);
+  EXPECT_EQ(orig2.pmin, 2u);
+  const auto s2 = scorer.score(*tree2, {1, 1, 1}, orig2);
+  EXPECT_DOUBLE_EQ(s2.eff_improvement, 0.0);
+}
+
+TEST_F(HeuristicsTest, SelDegradationAgainstOriginalAccumulates) {
+  const auto est = estimator();
+  const HeuristicScorer scorer(est);
+  // a(0.1) and b(0.5): pruning a -> sel avg 0.5 (degradation from 0.05).
+  const auto tree = parse("a=1 and b=2");
+  const auto orig = scorer.profile(*tree);
+  EXPECT_NEAR(orig.sel.avg, 0.05, 1e-12);
+  // Degradation is the max over the (min, avg, max) component increases;
+  // the min component dominates here (Fréchet min of the pair is 0).
+  const auto prune_a = scorer.score(*tree, {0}, orig);
+  const auto prune_b = scorer.score(*tree, {1}, orig);
+  EXPECT_NEAR(prune_a.sel_degradation, 0.5, 1e-12);  // -> b alone: (0.5,0.5,0.5)
+  EXPECT_NEAR(prune_b.sel_degradation, 0.1, 1e-12);  // -> a alone: (0.1,0.1,0.1)
+  // Dropping the *selective* conjunct degrades more.
+  EXPECT_GT(prune_a.sel_degradation, prune_b.sel_degradation);
+}
+
+TEST_F(HeuristicsTest, SelDegradationIsNonNegative) {
+  const auto est = estimator();
+  const HeuristicScorer scorer(est);
+  std::mt19937_64 rng(9);
+  MiniDomain dom(5, 12);
+  std::uniform_int_distribution<std::size_t> leaves(2, 9);
+  const SelectivityEstimator rand_est(LeafSelectivityFn([](const Predicate& p) {
+    return 0.05 + 0.9 * static_cast<double>(p.hash() % 997) / 997.0;
+  }));
+  const HeuristicScorer rscorer(rand_est);
+  for (int i = 0; i < 40; ++i) {
+    const auto tree = dom.random_tree(rng, leaves(rng), 0.25);
+    const auto orig = rscorer.profile(*tree);
+    for (const auto& path : enumerate_prunings(*tree)) {
+      EXPECT_GE(rscorer.score(*tree, path, orig).sel_degradation, 0.0);
+    }
+  }
+}
+
+TEST_F(HeuristicsTest, OrientedScoresPointTheRightWay) {
+  PruneScores good;
+  good.sel_degradation = 0.01;
+  good.mem_improvement = 100.0;
+  good.eff_improvement = 0.0;
+  PruneScores bad;
+  bad.sel_degradation = 0.5;
+  bad.mem_improvement = 10.0;
+  bad.eff_improvement = -3.0;
+  // Smaller oriented score = better, on every dimension.
+  EXPECT_LT(oriented_score(good, PruneDimension::NetworkLoad),
+            oriented_score(bad, PruneDimension::NetworkLoad));
+  EXPECT_LT(oriented_score(good, PruneDimension::MemoryUsage),
+            oriented_score(bad, PruneDimension::MemoryUsage));
+  EXPECT_LT(oriented_score(good, PruneDimension::Throughput),
+            oriented_score(bad, PruneDimension::Throughput));
+}
+
+TEST_F(HeuristicsTest, CompositeKeyBreaksTiesBySecondaryDimension) {
+  PruneScores a;  // same primary (sel), better eff
+  a.sel_degradation = 0.2;
+  a.eff_improvement = 0.0;
+  a.mem_improvement = 10.0;
+  PruneScores b;
+  b.sel_degradation = 0.2;
+  b.eff_improvement = -2.0;
+  b.mem_improvement = 500.0;
+  const auto order = default_order(PruneDimension::NetworkLoad);  // sel, eff, mem
+  EXPECT_LT(composite_key(a, order), composite_key(b, order));
+  // Under memory ordering b wins via its primary.
+  const auto mem_order = default_order(PruneDimension::MemoryUsage);
+  EXPECT_LT(composite_key(b, mem_order), composite_key(a, mem_order));
+}
+
+TEST_F(HeuristicsTest, DefaultOrdersMatchPaper) {
+  const auto net = default_order(PruneDimension::NetworkLoad);
+  EXPECT_EQ(net[0], PruneDimension::NetworkLoad);
+  EXPECT_EQ(net[1], PruneDimension::Throughput);
+  EXPECT_EQ(net[2], PruneDimension::MemoryUsage);
+  const auto mem = default_order(PruneDimension::MemoryUsage);
+  EXPECT_EQ(mem[0], PruneDimension::MemoryUsage);
+  EXPECT_EQ(mem[1], PruneDimension::NetworkLoad);
+  EXPECT_EQ(mem[2], PruneDimension::Throughput);
+  const auto eff = default_order(PruneDimension::Throughput);
+  EXPECT_EQ(eff[0], PruneDimension::Throughput);
+  EXPECT_EQ(eff[1], PruneDimension::NetworkLoad);
+  EXPECT_EQ(eff[2], PruneDimension::MemoryUsage);
+}
+
+}  // namespace
+}  // namespace dbsp

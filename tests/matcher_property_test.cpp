@@ -1,0 +1,143 @@
+// Property tests: the CountingMatcher must agree with the NaiveMatcher
+// (direct tree evaluation) on arbitrary subscription corpora and event
+// streams — including NOT-bearing subscriptions (pmin = 0 paths) and
+// after arbitrary pruning/reindex churn.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "core/candidates.hpp"
+#include "filter/counting_matcher.hpp"
+#include "filter/naive_matcher.hpp"
+#include "test_util.hpp"
+#include "workload/event_gen.hpp"
+#include "workload/subscription_gen.hpp"
+
+namespace dbsp {
+namespace {
+
+using test::MiniDomain;
+
+struct Corpus {
+  std::vector<std::unique_ptr<Subscription>> subs;
+};
+
+Corpus make_corpus(const MiniDomain& dom, std::mt19937_64& rng, std::size_t n,
+                   double not_prob) {
+  Corpus c;
+  std::uniform_int_distribution<std::size_t> leaves(1, 9);
+  for (std::size_t i = 0; i < n; ++i) {
+    c.subs.push_back(std::make_unique<Subscription>(
+        SubscriptionId(static_cast<SubscriptionId::value_type>(i)),
+        dom.random_tree(rng, leaves(rng), not_prob)));
+  }
+  return c;
+}
+
+std::vector<SubscriptionId> sorted_match(CountingMatcher& m, const Event& e) {
+  std::vector<SubscriptionId> out;
+  m.match(e, out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<SubscriptionId> sorted_match(const NaiveMatcher& m, const Event& e) {
+  std::vector<SubscriptionId> out;
+  m.match(e, out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class MatcherEquivalence : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(MatcherEquivalence, CountingEqualsNaive) {
+  const auto [seed, not_prob] = GetParam();
+  MiniDomain dom(5, 16);
+  std::mt19937_64 rng(static_cast<std::uint64_t>(seed));
+  Corpus corpus = make_corpus(dom, rng, 120, not_prob);
+
+  CountingMatcher counting(dom.schema());
+  NaiveMatcher naive;
+  for (auto& s : corpus.subs) {
+    counting.add(*s);
+    naive.add(*s);
+  }
+  for (const auto& e : dom.random_events(rng, 250)) {
+    EXPECT_EQ(sorted_match(counting, e), sorted_match(naive, e));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, MatcherEquivalence,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(0.0, 0.25)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_not" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+TEST(MatcherEquivalenceChurn, EquivalenceHoldsUnderPruningAndRemoval) {
+  MiniDomain dom(5, 16);
+  std::mt19937_64 rng(4242);
+  Corpus corpus = make_corpus(dom, rng, 80, 0.15);
+
+  CountingMatcher counting(dom.schema());
+  NaiveMatcher naive;
+  for (auto& s : corpus.subs) {
+    counting.add(*s);
+    naive.add(*s);
+  }
+
+  std::vector<bool> alive(corpus.subs.size(), true);
+  for (int round = 0; round < 30; ++round) {
+    // Random churn: prune a random subscription or remove one.
+    for (int k = 0; k < 5; ++k) {
+      const auto i = static_cast<std::size_t>(rng() % corpus.subs.size());
+      if (!alive[i]) continue;
+      Subscription& s = *corpus.subs[i];
+      if (rng() % 4 == 0) {
+        counting.remove(s);
+        naive.remove(s.id());
+        alive[i] = false;
+        continue;
+      }
+      const auto candidates = enumerate_prunings(s.root());
+      if (candidates.empty()) continue;
+      const auto& path = candidates[rng() % candidates.size()];
+      apply_pruning(s, path);
+      counting.reindex(s);
+    }
+    for (const auto& e : dom.random_events(rng, 40)) {
+      ASSERT_EQ(sorted_match(counting, e), sorted_match(naive, e)) << "round " << round;
+    }
+  }
+}
+
+TEST(MatcherEquivalenceAuction, RealWorkloadAgreesWithNaive) {
+  // The full auction workload (all operators incl. strings, In, Between).
+  WorkloadConfig cfg;
+  cfg.seed = 7;
+  cfg.titles = 200;
+  cfg.authors = 80;
+  cfg.not_probability = 0.1;
+  const AuctionDomain domain(cfg);
+  AuctionSubscriptionGenerator sub_gen(domain);
+  AuctionEventGenerator event_gen(domain);
+
+  CountingMatcher counting(domain.schema());
+  NaiveMatcher naive;
+  std::vector<std::unique_ptr<Subscription>> subs;
+  for (std::uint32_t i = 0; i < 400; ++i) {
+    subs.push_back(std::make_unique<Subscription>(SubscriptionId(i), sub_gen.next_tree()));
+    counting.add(*subs.back());
+    naive.add(*subs.back());
+  }
+  for (const auto& e : event_gen.generate(300)) {
+    EXPECT_EQ(sorted_match(counting, e), sorted_match(naive, e));
+  }
+}
+
+}  // namespace
+}  // namespace dbsp

@@ -1,0 +1,208 @@
+#include "routing/merging.hpp"
+
+#include "routing/covering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "subscription/parser.hpp"
+#include "test_util.hpp"
+
+namespace dbsp {
+namespace {
+
+using test::MiniDomain;
+
+class MergePredicatesTest : public ::testing::Test {
+ protected:
+  MiniDomain dom_{2, 100};
+
+  [[nodiscard]] Predicate num(Op op, std::int64_t v) const {
+    return Predicate(dom_.attr(0), op, Value(v));
+  }
+
+  /// Exhaustive semantic check: merged == a ∪ b on the probe domain.
+  void expect_exact_union(const Predicate& a, const Predicate& b,
+                          const Predicate& merged) const {
+    for (std::int64_t v = -10; v < 110; ++v) {
+      EXPECT_EQ(merged.matches_value(Value(v)),
+                a.matches_value(Value(v)) || b.matches_value(Value(v)))
+          << "at v=" << v;
+    }
+  }
+};
+
+TEST_F(MergePredicatesTest, DifferentAttributesDontMerge) {
+  EXPECT_FALSE(merge_predicates(num(Op::Eq, 1),
+                                Predicate(dom_.attr(1), Op::Eq, Value(1)))
+                   .has_value());
+}
+
+TEST_F(MergePredicatesTest, EqUnionBecomesIn) {
+  const auto merged = merge_predicates(num(Op::Eq, 3), num(Op::Eq, 7));
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->op(), Op::In);
+  expect_exact_union(num(Op::Eq, 3), num(Op::Eq, 7), *merged);
+}
+
+TEST_F(MergePredicatesTest, InUnionsMergeAndDeduplicate) {
+  const Predicate a(dom_.attr(0), {Value(1), Value(2)});
+  const Predicate b(dom_.attr(0), {Value(2), Value(3)});
+  const auto merged = merge_predicates(a, b);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->operands().size(), 3u);
+  expect_exact_union(a, b, *merged);
+}
+
+TEST_F(MergePredicatesTest, ContainedRangeCollapsesToWeaker) {
+  const auto merged = merge_predicates(num(Op::Lt, 5), num(Op::Lt, 20));
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_TRUE(merged->equals(num(Op::Lt, 20)));
+  expect_exact_union(num(Op::Lt, 5), num(Op::Lt, 20), *merged);
+}
+
+TEST_F(MergePredicatesTest, OverlappingBetweensMerge) {
+  const Predicate a(dom_.attr(0), Value(10), Value(30));
+  const Predicate b(dom_.attr(0), Value(20), Value(50));
+  const auto merged = merge_predicates(a, b);
+  ASSERT_TRUE(merged.has_value());
+  expect_exact_union(a, b, *merged);
+}
+
+TEST_F(MergePredicatesTest, DisjointBetweensDontMerge) {
+  const Predicate a(dom_.attr(0), Value(10), Value(20));
+  const Predicate b(dom_.attr(0), Value(30), Value(50));
+  EXPECT_FALSE(merge_predicates(a, b).has_value());
+}
+
+TEST_F(MergePredicatesTest, OppositeOpenBoundsDontMerge) {
+  // (x < 10) ∪ (x > 5) is the whole line — not a single predicate.
+  EXPECT_FALSE(merge_predicates(num(Op::Lt, 10), num(Op::Gt, 5)).has_value());
+}
+
+TEST_F(MergePredicatesTest, SoundnessOnRandomPairs) {
+  MiniDomain dom(1, 30);
+  std::mt19937_64 rng(4);
+  std::size_t merged_count = 0;
+  for (int round = 0; round < 3000; ++round) {
+    const Predicate a = dom.random_predicate(rng);
+    const Predicate b = dom.random_predicate(rng);
+    const auto merged = merge_predicates(a, b);
+    if (!merged) continue;
+    ++merged_count;
+    for (std::int64_t v = -5; v < 35; ++v) {
+      ASSERT_EQ(merged->matches_value(Value(v)),
+                a.matches_value(Value(v)) || b.matches_value(Value(v)))
+          << a.to_string(dom.schema()) << " + " << b.to_string(dom.schema())
+          << " -> " << merged->to_string(dom.schema()) << " at " << v;
+    }
+  }
+  EXPECT_GT(merged_count, 100u);
+}
+
+class MergeConjunctionsTest : public ::testing::Test {
+ protected:
+  MergeConjunctionsTest() {
+    schema_.add_attribute("category", ValueType::String);
+    schema_.add_attribute("price", ValueType::Double);
+    schema_.add_attribute("year", ValueType::Int);
+  }
+  Schema schema_;
+
+  [[nodiscard]] std::unique_ptr<Node> parse(std::string_view s) const {
+    return parse_subscription(s, schema_);
+  }
+};
+
+TEST_F(MergeConjunctionsTest, SingleDifferingConjunctMerges) {
+  const auto a = parse("category = 'art' and price < 10");
+  const auto b = parse("category = 'music' and price < 10");
+  const auto merged = merge_conjunctions(*a, *b);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_TRUE((*merged)->equals(
+      *parse("category in ('art', 'music') and price < 10")));
+}
+
+TEST_F(MergeConjunctionsTest, ConjunctOrderDoesNotMatter) {
+  const auto a = parse("price < 10 and category = 'art'");
+  const auto b = parse("category = 'art' and price < 20");
+  const auto merged = merge_conjunctions(*a, *b);
+  ASSERT_TRUE(merged.has_value());
+  // Semantically the merger is b (which covers a); conjunct order is free.
+  const auto expected = parse("price < 20 and category = 'art'");
+  EXPECT_EQ(covers(**merged, *expected), std::optional<bool>(true));
+  EXPECT_EQ(covers(*expected, **merged), std::optional<bool>(true));
+}
+
+TEST_F(MergeConjunctionsTest, CoveringPairCollapses) {
+  const auto broad = parse("price < 50");
+  const auto narrow = parse("price < 20 and category = 'art'");
+  const auto merged = merge_conjunctions(*broad, *narrow);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_TRUE((*merged)->equals(*broad));
+}
+
+TEST_F(MergeConjunctionsTest, TwoDifferencesDontMerge) {
+  const auto a = parse("category = 'art' and price < 10");
+  const auto b = parse("category = 'music' and price < 20");
+  EXPECT_FALSE(merge_conjunctions(*a, *b).has_value());
+}
+
+TEST_F(MergeConjunctionsTest, NonConjunctiveRefused) {
+  const auto a = parse("category = 'art' or price < 10");
+  const auto b = parse("category = 'music' and price < 10");
+  EXPECT_FALSE(merge_conjunctions(*a, *b).has_value());
+}
+
+TEST_F(MergeConjunctionsTest, MergerIsPerfectOnRandomConjunctions) {
+  // Whenever a merger is produced, it must match exactly the union.
+  MiniDomain dom(3, 12);
+  std::mt19937_64 rng(11);
+  const auto events = dom.random_events(rng, 500);
+  auto random_conjunction = [&](std::size_t preds) {
+    std::vector<std::unique_ptr<Node>> parts;
+    for (std::size_t i = 0; i < preds; ++i) {
+      parts.push_back(Node::leaf(dom.random_predicate(rng)));
+    }
+    return parts.size() == 1 ? std::move(parts.front()) : Node::and_(std::move(parts));
+  };
+  std::size_t merged_count = 0;
+  for (int round = 0; round < 2000; ++round) {
+    const auto a = random_conjunction(1 + rng() % 3);
+    const auto b = random_conjunction(1 + rng() % 3);
+    const auto merged = merge_conjunctions(*a, *b);
+    if (!merged) continue;
+    ++merged_count;
+    for (const auto& e : events) {
+      ASSERT_EQ((*merged)->evaluate_event(e),
+                a->evaluate_event(e) || b->evaluate_event(e))
+          << a->to_string(dom.schema()) << "  +  " << b->to_string(dom.schema())
+          << "  ->  " << (*merged)->to_string(dom.schema());
+    }
+  }
+  EXPECT_GT(merged_count, 20u);
+}
+
+TEST_F(MergeConjunctionsTest, MergeAllReachesFixpoint) {
+  const auto a = parse("category = 'art' and price < 10");
+  const auto b = parse("category = 'music' and price < 10");
+  const auto c = parse("category = 'travel' and price < 10");
+  const auto unrelated = parse("year > 1990");
+  const auto boolean = parse("year > 1990 or price < 1");
+  const auto merged =
+      merge_all({a.get(), b.get(), c.get(), unrelated.get(), boolean.get()});
+  // a, b, c collapse into one; unrelated and the non-conjunctive pass through
+  // (year > 1990 covers the pure conjunction? no: boolean is not conjunctive).
+  ASSERT_EQ(merged.size(), 3u);
+  bool found_triple = false;
+  for (const auto& m : merged) {
+    if (m->equals(*parse("category in ('art', 'music', 'travel') and price < 10"))) {
+      found_triple = true;
+    }
+  }
+  EXPECT_TRUE(found_triple);
+}
+
+}  // namespace
+}  // namespace dbsp

@@ -1,0 +1,133 @@
+#include "subscription/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dbsp {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  ParserTest() {
+    schema_.add_attribute("price", ValueType::Double);
+    schema_.add_attribute("category", ValueType::String);
+    schema_.add_attribute("year", ValueType::Int);
+    schema_.add_attribute("signed", ValueType::Bool);
+  }
+  Schema schema_;
+
+  [[nodiscard]] std::unique_ptr<Node> parse(std::string_view s) const {
+    return parse_subscription(s, schema_);
+  }
+};
+
+TEST_F(ParserTest, SinglePredicate) {
+  const auto t = parse("price < 10");
+  ASSERT_EQ(t->kind(), NodeKind::Leaf);
+  EXPECT_EQ(t->predicate().op(), Op::Lt);
+  EXPECT_TRUE(t->predicate().operand().equals(Value(std::int64_t{10})));
+}
+
+TEST_F(ParserTest, AllComparisonOperators) {
+  EXPECT_EQ(parse("price = 1")->predicate().op(), Op::Eq);
+  EXPECT_EQ(parse("price != 1")->predicate().op(), Op::Ne);
+  EXPECT_EQ(parse("price < 1")->predicate().op(), Op::Lt);
+  EXPECT_EQ(parse("price <= 1")->predicate().op(), Op::Le);
+  EXPECT_EQ(parse("price > 1")->predicate().op(), Op::Gt);
+  EXPECT_EQ(parse("price >= 1")->predicate().op(), Op::Ge);
+}
+
+TEST_F(ParserTest, ValueTypes) {
+  EXPECT_TRUE(parse("price < 9.5")->predicate().operand().equals(Value(9.5)));
+  EXPECT_TRUE(parse("price < 1e2")->predicate().operand().equals(Value(100.0)));
+  EXPECT_TRUE(parse("category = 'art'")->predicate().operand().equals(Value("art")));
+  EXPECT_TRUE(parse("signed = true")->predicate().operand().equals(Value(true)));
+  EXPECT_TRUE(parse("signed = FALSE")->predicate().operand().equals(Value(false)));
+  EXPECT_TRUE(parse("year >= -5")->predicate().operand().equals(
+      Value(std::int64_t{-5})));
+}
+
+TEST_F(ParserTest, BetweenAndIn) {
+  const auto between = parse("year between 1990 and 2000");
+  EXPECT_EQ(between->predicate().op(), Op::Between);
+  EXPECT_EQ(between->predicate().operands().size(), 2u);
+
+  const auto in = parse("category in ('art', 'music', 'travel')");
+  EXPECT_EQ(in->predicate().op(), Op::In);
+  EXPECT_EQ(in->predicate().operands().size(), 3u);
+}
+
+TEST_F(ParserTest, StringOperators) {
+  EXPECT_EQ(parse("category prefix 'sci'")->predicate().op(), Op::Prefix);
+  EXPECT_EQ(parse("category suffix 'ion'")->predicate().op(), Op::Suffix);
+  EXPECT_EQ(parse("category contains 'fi'")->predicate().op(), Op::Contains);
+  EXPECT_THROW(parse("category prefix 5"), ParseError);
+}
+
+TEST_F(ParserTest, PrecedenceAndBindsTighterThanOr) {
+  const auto t = parse("price < 5 or price > 100 and category = 'art'");
+  ASSERT_EQ(t->kind(), NodeKind::Or);
+  ASSERT_EQ(t->children().size(), 2u);
+  EXPECT_EQ(t->children()[0]->kind(), NodeKind::Leaf);
+  EXPECT_EQ(t->children()[1]->kind(), NodeKind::And);
+}
+
+TEST_F(ParserTest, ParenthesesOverridePrecedence) {
+  const auto t = parse("(price < 5 or price > 100) and category = 'art'");
+  ASSERT_EQ(t->kind(), NodeKind::And);
+  EXPECT_EQ(t->children()[0]->kind(), NodeKind::Or);
+}
+
+TEST_F(ParserTest, NotParsesAndSimplifies) {
+  const auto t = parse("not category = 'art'");
+  EXPECT_EQ(t->kind(), NodeKind::Not);
+  const auto doubled = parse("not not category = 'art'");
+  EXPECT_EQ(doubled->kind(), NodeKind::Leaf);
+}
+
+TEST_F(ParserTest, KeywordsAreCaseInsensitive) {
+  const auto t = parse("price < 5 AND category = 'art' OR NOT year > 2000");
+  EXPECT_EQ(t->kind(), NodeKind::Or);
+}
+
+TEST_F(ParserTest, NaryChainsStayFlat) {
+  const auto t = parse("price<1 and price<2 and price<3 and price<4");
+  ASSERT_EQ(t->kind(), NodeKind::And);
+  EXPECT_EQ(t->children().size(), 4u);
+}
+
+TEST_F(ParserTest, RoundTripThroughToString) {
+  const auto t = parse("(price < 5 or year between 1990 and 2000) and category = 'art'");
+  const auto again = parse(t->to_string(schema_));
+  EXPECT_TRUE(t->equals(*again));
+}
+
+TEST_F(ParserTest, ErrorsCarryPosition) {
+  try {
+    parse("price <");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_GE(e.position(), 7u);
+  }
+  EXPECT_THROW(parse("unknown_attr = 5"), ParseError);
+  EXPECT_THROW(parse("price ~ 5"), ParseError);
+  EXPECT_THROW(parse("price < 5 garbage"), ParseError);
+  EXPECT_THROW(parse("(price < 5"), ParseError);
+  EXPECT_THROW(parse("category = 'unterminated"), ParseError);
+  EXPECT_THROW(parse("year between 1 2"), ParseError);
+  EXPECT_THROW(parse(""), ParseError);
+}
+
+TEST_F(ParserTest, EvaluatesAgainstEvents) {
+  const auto t = parse("category = 'art' and price between 5 and 10");
+  Event hit;
+  hit.set(schema_.at("category"), Value("art"));
+  hit.set(schema_.at("price"), Value(7.0));
+  EXPECT_TRUE(t->evaluate_event(hit));
+  Event miss;
+  miss.set(schema_.at("category"), Value("art"));
+  miss.set(schema_.at("price"), Value(11.0));
+  EXPECT_FALSE(t->evaluate_event(miss));
+}
+
+}  // namespace
+}  // namespace dbsp

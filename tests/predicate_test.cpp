@@ -1,0 +1,133 @@
+#include "subscription/predicate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dbsp {
+namespace {
+
+class PredicateTest : public ::testing::Test {
+ protected:
+  PredicateTest() {
+    price_ = schema_.add_attribute("price", ValueType::Double);
+    cat_ = schema_.add_attribute("category", ValueType::String);
+    year_ = schema_.add_attribute("year", ValueType::Int);
+  }
+
+  Schema schema_;
+  AttributeId price_, cat_, year_;
+};
+
+TEST_F(PredicateTest, Eq) {
+  const Predicate p(cat_, Op::Eq, Value("art"));
+  EXPECT_TRUE(p.matches_value(Value("art")));
+  EXPECT_FALSE(p.matches_value(Value("music")));
+  EXPECT_FALSE(p.matches_value(Value(5)));
+}
+
+TEST_F(PredicateTest, NeMatchesDifferentValueButNotMissingAttribute) {
+  const Predicate p(cat_, Op::Ne, Value("art"));
+  EXPECT_FALSE(p.matches_value(Value("art")));
+  EXPECT_TRUE(p.matches_value(Value("music")));
+  const Event empty;
+  EXPECT_FALSE(p.matches(empty));  // missing attribute never fulfills
+}
+
+TEST_F(PredicateTest, OrderedOperators) {
+  const Predicate lt(price_, Op::Lt, Value(10.0));
+  const Predicate le(price_, Op::Le, Value(10.0));
+  const Predicate gt(price_, Op::Gt, Value(10.0));
+  const Predicate ge(price_, Op::Ge, Value(10.0));
+  EXPECT_TRUE(lt.matches_value(Value(9.99)));
+  EXPECT_FALSE(lt.matches_value(Value(10.0)));
+  EXPECT_TRUE(le.matches_value(Value(10.0)));
+  EXPECT_FALSE(le.matches_value(Value(10.01)));
+  EXPECT_TRUE(gt.matches_value(Value(10.5)));
+  EXPECT_FALSE(gt.matches_value(Value(10.0)));
+  EXPECT_TRUE(ge.matches_value(Value(10.0)));
+  EXPECT_FALSE(ge.matches_value(Value(9.0)));
+}
+
+TEST_F(PredicateTest, OrderedAcceptsIntValuesNumerically) {
+  const Predicate lt(price_, Op::Lt, Value(10.0));
+  EXPECT_TRUE(lt.matches_value(Value(std::int64_t{9})));
+  EXPECT_FALSE(lt.matches_value(Value(std::int64_t{11})));
+}
+
+TEST_F(PredicateTest, BetweenInclusiveAndOperandSwap) {
+  const Predicate p(year_, Value(1990), Value(2000));
+  EXPECT_TRUE(p.matches_value(Value(1990)));
+  EXPECT_TRUE(p.matches_value(Value(2000)));
+  EXPECT_TRUE(p.matches_value(Value(1995)));
+  EXPECT_FALSE(p.matches_value(Value(1989)));
+  EXPECT_FALSE(p.matches_value(Value(2001)));
+
+  const Predicate swapped(year_, Value(2000), Value(1990));
+  EXPECT_TRUE(swapped.matches_value(Value(1995)));
+  EXPECT_TRUE(swapped.equals(p));
+}
+
+TEST_F(PredicateTest, InDeduplicatesAndSortsOperands) {
+  const Predicate p(cat_, {Value("b"), Value("a"), Value("b")});
+  EXPECT_EQ(p.operands().size(), 2u);
+  EXPECT_TRUE(p.matches_value(Value("a")));
+  EXPECT_TRUE(p.matches_value(Value("b")));
+  EXPECT_FALSE(p.matches_value(Value("c")));
+  // Operand order does not affect identity.
+  const Predicate q(cat_, {Value("a"), Value("b")});
+  EXPECT_TRUE(p.equals(q));
+  EXPECT_EQ(p.hash(), q.hash());
+}
+
+TEST_F(PredicateTest, StringOperators) {
+  const Predicate prefix(cat_, Op::Prefix, Value("sci"));
+  const Predicate suffix(cat_, Op::Suffix, Value("ion"));
+  const Predicate contains(cat_, Op::Contains, Value("ct"));
+  EXPECT_TRUE(prefix.matches_value(Value("science")));
+  EXPECT_FALSE(prefix.matches_value(Value("fiction")));
+  EXPECT_TRUE(suffix.matches_value(Value("fiction")));
+  EXPECT_FALSE(suffix.matches_value(Value("fictional")));
+  EXPECT_TRUE(contains.matches_value(Value("fiction")));
+  EXPECT_FALSE(contains.matches_value(Value("drama")));
+  // Non-string values never match string operators.
+  EXPECT_FALSE(prefix.matches_value(Value(5)));
+}
+
+TEST_F(PredicateTest, MatchesEventLooksUpAttribute) {
+  Event e;
+  e.set(price_, Value(5.0));
+  EXPECT_TRUE(Predicate(price_, Op::Lt, Value(10.0)).matches(e));
+  EXPECT_FALSE(Predicate(cat_, Op::Eq, Value("art")).matches(e));
+}
+
+TEST_F(PredicateTest, EqualityRequiresSameAttributeOpAndOperands) {
+  const Predicate a(price_, Op::Lt, Value(10.0));
+  EXPECT_TRUE(a.equals(Predicate(price_, Op::Lt, Value(10.0))));
+  EXPECT_FALSE(a.equals(Predicate(price_, Op::Le, Value(10.0))));
+  EXPECT_FALSE(a.equals(Predicate(price_, Op::Lt, Value(11.0))));
+  EXPECT_FALSE(a.equals(Predicate(year_, Op::Lt, Value(10.0))));
+}
+
+TEST_F(PredicateTest, WrongConstructorThrows) {
+  EXPECT_THROW(Predicate(price_, Op::Between, Value(1.0)), std::invalid_argument);
+  EXPECT_THROW(Predicate(price_, Op::In, Value(1.0)), std::invalid_argument);
+  EXPECT_THROW(Predicate(cat_, std::vector<Value>{}), std::invalid_argument);
+}
+
+TEST_F(PredicateTest, SizeBytesReflectsOperands) {
+  const Predicate one(price_, Op::Lt, Value(10.0));
+  const Predicate two(year_, Value(1990), Value(2000));
+  const Predicate str(cat_, Op::Eq, Value(std::string(64, 'x')));
+  EXPECT_GT(two.size_bytes(), one.size_bytes());
+  EXPECT_GT(str.size_bytes(), one.size_bytes());
+}
+
+TEST_F(PredicateTest, ToString) {
+  EXPECT_EQ(Predicate(price_, Op::Lt, Value(10.0)).to_string(schema_), "price < 10");
+  EXPECT_EQ(Predicate(year_, Value(1990), Value(2000)).to_string(schema_),
+            "year between 1990 and 2000");
+  EXPECT_EQ(Predicate(cat_, {Value("a"), Value("b")}).to_string(schema_),
+            "category in ('a', 'b')");
+}
+
+}  // namespace
+}  // namespace dbsp

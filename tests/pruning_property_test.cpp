@@ -1,0 +1,156 @@
+// The central safety property of subscription pruning (§2.2): a pruned
+// subscription must match a *superset* of the events the original matched,
+// at every step of any pruning sequence, for any tree shape including
+// negation. Routing stays correct exactly because of this invariant.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/candidates.hpp"
+#include "test_util.hpp"
+#include "workload/event_gen.hpp"
+#include "workload/subscription_gen.hpp"
+
+namespace dbsp {
+namespace {
+
+using test::MiniDomain;
+using test::is_subset;
+using test::matching_indices;
+
+class GeneralizationProperty : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(GeneralizationProperty, EveryPruningStepGeneralizes) {
+  const auto [seed, not_prob] = GetParam();
+  MiniDomain dom(5, 12);
+  std::mt19937_64 rng(static_cast<std::uint64_t>(seed));
+  const auto events = dom.random_events(rng, 300);
+
+  std::uniform_int_distribution<std::size_t> leaves(2, 10);
+  for (int round = 0; round < 30; ++round) {
+    const auto original = dom.random_tree(rng, leaves(rng), not_prob);
+    const auto original_matches = matching_indices(*original, events);
+
+    Subscription sub(SubscriptionId(0), original->clone());
+    auto previous_matches = original_matches;
+    while (true) {
+      const auto candidates = enumerate_prunings(sub.root());
+      if (candidates.empty()) break;
+      apply_pruning(sub, candidates[rng() % candidates.size()]);
+
+      const auto current_matches = matching_indices(sub.root(), events);
+      // Monotone growth step by step, hence also vs the original.
+      ASSERT_TRUE(is_subset(previous_matches, current_matches))
+          << "pruning specialized the subscription\noriginal: "
+          << original->to_string(dom.schema())
+          << "\npruned:   " << sub.root().to_string(dom.schema());
+      previous_matches = current_matches;
+      ASSERT_FALSE(sub.root().is_constant());
+    }
+    ASSERT_TRUE(is_subset(original_matches, previous_matches));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, GeneralizationProperty,
+    ::testing::Combine(::testing::Values(101, 202, 303),
+                       ::testing::Values(0.0, 0.3)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_not" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+TEST(GeneralizationAuction, AuctionWorkloadGeneralizesUnderPruning) {
+  WorkloadConfig cfg;
+  cfg.seed = 13;
+  cfg.titles = 150;
+  cfg.authors = 60;
+  cfg.not_probability = 0.1;
+  const AuctionDomain domain(cfg);
+  AuctionSubscriptionGenerator sub_gen(domain);
+  AuctionEventGenerator event_gen(domain);
+  const auto events = event_gen.generate(400);
+
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 60; ++i) {
+    const auto tree = sub_gen.next_tree();
+    std::vector<std::size_t> before;
+    for (std::size_t k = 0; k < events.size(); ++k) {
+      if (tree->evaluate_event(events[k])) before.push_back(k);
+    }
+    Subscription sub(SubscriptionId(0), tree->clone());
+    while (true) {
+      const auto candidates = enumerate_prunings(sub.root());
+      if (candidates.empty()) break;
+      apply_pruning(sub, candidates[rng() % candidates.size()]);
+    }
+    std::vector<std::size_t> after;
+    for (std::size_t k = 0; k < events.size(); ++k) {
+      if (sub.root().evaluate_event(events[k])) after.push_back(k);
+    }
+    EXPECT_TRUE(is_subset(before, after));
+  }
+}
+
+TEST(PruningStructure, PminNeverIncreasesOnNotFreeTrees) {
+  // Without negation, the generalizing operator only removes conjuncts, so
+  // pmin is non-increasing — the decline the throughput heuristic
+  // Δ≈eff = pmin(sy) - pmin(sx) fights by preferring pmin-preserving cuts.
+  MiniDomain dom(5, 12);
+  std::mt19937_64 rng(606);
+  std::uniform_int_distribution<std::size_t> leaves(2, 10);
+  for (int round = 0; round < 50; ++round) {
+    Subscription sub(SubscriptionId(0), dom.random_tree(rng, leaves(rng), 0.0));
+    std::uint32_t last = sub.root().pmin();
+    while (true) {
+      const auto candidates = enumerate_prunings(sub.root());
+      if (candidates.empty()) break;
+      apply_pruning(sub, candidates[rng() % candidates.size()]);
+      const std::uint32_t now = sub.root().pmin();
+      EXPECT_LE(now, last);
+      last = now;
+    }
+  }
+}
+
+TEST(PruningStructure, PminCanIncreaseThroughDoubleNegation) {
+  // With negation, pruning can *raise* pmin: collapsing a double negation
+  // turns a pmin-0 NOT component back into positive predicates. This is
+  // why the paper remarks Δ≈eff(sx, sy) > 0 is possible (§3.3).
+  MiniDomain dom(2, 12);
+  // not(a or not(b)): pmin = 0.
+  auto a = Node::leaf(Predicate(dom.attr(0), Op::Eq, Value(1)));
+  auto b = Node::leaf(Predicate(dom.attr(1), Op::Eq, Value(2)));
+  std::vector<std::unique_ptr<Node>> or_cs;
+  or_cs.push_back(std::move(a));
+  or_cs.push_back(Node::not_(std::move(b)));
+  Subscription sub(SubscriptionId(0), Node::not_(Node::or_(std::move(or_cs))));
+  EXPECT_EQ(sub.root().pmin(), 0u);
+
+  // Pruning `a` (negative polarity -> FALSE) leaves not(not(b)) = b.
+  apply_pruning(sub, {0, 0});
+  EXPECT_EQ(sub.root().kind(), NodeKind::Leaf);
+  EXPECT_EQ(sub.root().pmin(), 1u);  // increased: evaluated less often
+}
+
+TEST(PruningStructure, MemoryStrictlyDecreasesEachStep) {
+  MiniDomain dom(5, 12);
+  std::mt19937_64 rng(707);
+  std::uniform_int_distribution<std::size_t> leaves(2, 10);
+  for (int round = 0; round < 50; ++round) {
+    Subscription sub(SubscriptionId(0), dom.random_tree(rng, leaves(rng), 0.2));
+    std::size_t last = sub.root().size_bytes();
+    while (true) {
+      const auto candidates = enumerate_prunings(sub.root());
+      if (candidates.empty()) break;
+      apply_pruning(sub, candidates[rng() % candidates.size()]);
+      const std::size_t now = sub.root().size_bytes();
+      EXPECT_LT(now, last);
+      last = now;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbsp

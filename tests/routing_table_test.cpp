@@ -1,0 +1,82 @@
+#include "routing/routing_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "subscription/parser.hpp"
+
+namespace dbsp {
+namespace {
+
+class RoutingTableTest : public ::testing::Test {
+ protected:
+  RoutingTableTest() { schema_.add_attribute("a", ValueType::Int); }
+  Schema schema_;
+
+  [[nodiscard]] std::unique_ptr<Node> tree() const {
+    return parse_subscription("a = 1", schema_);
+  }
+};
+
+TEST_F(RoutingTableTest, AddLocalAndRemote) {
+  RoutingTable t;
+  t.add_local(SubscriptionId(1), ClientId(10), tree());
+  t.add_remote(SubscriptionId(2), BrokerId(3), tree());
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.local_count(), 1u);
+  EXPECT_EQ(t.remote_count(), 1u);
+
+  const auto* local = t.find(SubscriptionId(1));
+  ASSERT_NE(local, nullptr);
+  EXPECT_TRUE(local->local);
+  EXPECT_EQ(local->client, ClientId(10));
+
+  const auto* remote = t.find(SubscriptionId(2));
+  ASSERT_NE(remote, nullptr);
+  EXPECT_FALSE(remote->local);
+  EXPECT_EQ(remote->from, BrokerId(3));
+}
+
+TEST_F(RoutingTableTest, DuplicateIdThrows) {
+  RoutingTable t;
+  t.add_local(SubscriptionId(1), ClientId(10), tree());
+  EXPECT_THROW(t.add_remote(SubscriptionId(1), BrokerId(0), tree()),
+               std::invalid_argument);
+}
+
+TEST_F(RoutingTableTest, RemoveReturnsEntry) {
+  RoutingTable t;
+  t.add_local(SubscriptionId(1), ClientId(10), tree());
+  auto removed = t.remove(SubscriptionId(1));
+  ASSERT_NE(removed, nullptr);
+  EXPECT_TRUE(removed->local);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.local_count(), 0u);
+  EXPECT_EQ(t.remove(SubscriptionId(1)), nullptr);
+  EXPECT_FALSE(t.contains(SubscriptionId(1)));
+}
+
+TEST_F(RoutingTableTest, ForEachVisitsAll) {
+  RoutingTable t;
+  t.add_local(SubscriptionId(1), ClientId(10), tree());
+  t.add_remote(SubscriptionId(2), BrokerId(3), tree());
+  t.add_remote(SubscriptionId(3), BrokerId(4), tree());
+  std::size_t locals = 0;
+  std::size_t remotes = 0;
+  t.for_each([&](RoutingTable::Entry& e) { e.local ? ++locals : ++remotes; });
+  EXPECT_EQ(locals, 1u);
+  EXPECT_EQ(remotes, 2u);
+}
+
+TEST_F(RoutingTableTest, SubscriptionAddressesAreStable) {
+  // The matcher holds Subscription* across table growth.
+  RoutingTable t;
+  Subscription& first = t.add_local(SubscriptionId(0), ClientId(0), tree());
+  const Subscription* addr = &first;
+  for (std::uint32_t i = 1; i < 200; ++i) {
+    t.add_remote(SubscriptionId(i), BrokerId(1), tree());
+  }
+  EXPECT_EQ(t.find(SubscriptionId(0))->sub.get(), addr);
+}
+
+}  // namespace
+}  // namespace dbsp

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "event/event.hpp"
+#include "event/schema.hpp"
+
+namespace dbsp {
+namespace {
+
+TEST(SchemaTest, InternsAttributesDensely) {
+  Schema s;
+  const auto a = s.add_attribute("price", ValueType::Double);
+  const auto b = s.add_attribute("category", ValueType::String);
+  EXPECT_EQ(a.value(), 0u);
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(s.attribute_count(), 2u);
+  EXPECT_EQ(s.name(a), "price");
+  EXPECT_EQ(s.type(b), ValueType::String);
+}
+
+TEST(SchemaTest, ReAddingSameTypeIsIdempotent) {
+  Schema s;
+  const auto a = s.add_attribute("price", ValueType::Double);
+  EXPECT_EQ(s.add_attribute("price", ValueType::Double), a);
+  EXPECT_EQ(s.attribute_count(), 1u);
+}
+
+TEST(SchemaTest, ConflictingTypeThrows) {
+  Schema s;
+  s.add_attribute("price", ValueType::Double);
+  EXPECT_THROW(s.add_attribute("price", ValueType::String), std::invalid_argument);
+}
+
+TEST(SchemaTest, FindAndAt) {
+  Schema s;
+  const auto a = s.add_attribute("x", ValueType::Int);
+  EXPECT_EQ(s.find("x"), a);
+  EXPECT_FALSE(s.find("y").has_value());
+  EXPECT_EQ(s.at("x"), a);
+  EXPECT_THROW(s.at("y"), std::out_of_range);
+}
+
+TEST(EventTest, SetFindAndOverwrite) {
+  Schema s;
+  const auto price = s.add_attribute("price", ValueType::Double);
+  const auto cat = s.add_attribute("category", ValueType::String);
+  Event e;
+  e.set(cat, Value("fiction"));
+  e.set(price, Value(9.5));
+  ASSERT_NE(e.find(price), nullptr);
+  EXPECT_TRUE(e.find(price)->equals(Value(9.5)));
+  e.set(price, Value(12.0));
+  EXPECT_TRUE(e.find(price)->equals(Value(12.0)));
+  EXPECT_EQ(e.size(), 2u);
+  EXPECT_EQ(e.find(AttributeId(99)), nullptr);
+}
+
+TEST(EventTest, PairsStaySortedByAttribute) {
+  Schema s;
+  const auto a0 = s.add_attribute("a0", ValueType::Int);
+  const auto a1 = s.add_attribute("a1", ValueType::Int);
+  const auto a2 = s.add_attribute("a2", ValueType::Int);
+  Event e;
+  e.set(a2, Value(2));
+  e.set(a0, Value(0));
+  e.set(a1, Value(1));
+  ASSERT_EQ(e.pairs().size(), 3u);
+  EXPECT_EQ(e.pairs()[0].first, a0);
+  EXPECT_EQ(e.pairs()[1].first, a1);
+  EXPECT_EQ(e.pairs()[2].first, a2);
+}
+
+TEST(EventTest, BuilderUsesSchemaNames) {
+  Schema s;
+  s.add_attribute("price", ValueType::Double);
+  s.add_attribute("category", ValueType::String);
+  const Event e = EventBuilder(s).with("price", 3.5).with("category", "art").build();
+  EXPECT_TRUE(e.find(s.at("price"))->equals(Value(3.5)));
+  EXPECT_TRUE(e.find(s.at("category"))->equals(Value("art")));
+}
+
+TEST(EventTest, BuilderThrowsOnUnknownAttribute) {
+  Schema s;
+  EventBuilder b(s);
+  EXPECT_THROW(b.with("nope", 1), std::out_of_range);
+}
+
+TEST(EventTest, WireSizeGrowsWithContent) {
+  Schema s;
+  s.add_attribute("a", ValueType::Int);
+  s.add_attribute("b", ValueType::String);
+  const Event small = EventBuilder(s).with("a", 1).build();
+  const Event large =
+      EventBuilder(s).with("a", 1).with("b", std::string(200, 'y')).build();
+  EXPECT_GT(large.wire_size_bytes(), small.wire_size_bytes());
+}
+
+TEST(EventTest, ToStringListsAttributes) {
+  Schema s;
+  s.add_attribute("price", ValueType::Double);
+  const Event e = EventBuilder(s).with("price", 2.5).build();
+  EXPECT_EQ(e.to_string(s), "{price=2.5}");
+}
+
+}  // namespace
+}  // namespace dbsp

@@ -1,0 +1,84 @@
+#include "event/value.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace dbsp {
+namespace {
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_EQ(Value(std::int64_t{5}).type(), ValueType::Int);
+  EXPECT_EQ(Value(5).type(), ValueType::Int);
+  EXPECT_EQ(Value(5.0).type(), ValueType::Double);
+  EXPECT_EQ(Value("abc").type(), ValueType::String);
+  EXPECT_EQ(Value(std::string("abc")).type(), ValueType::String);
+  EXPECT_EQ(Value(true).type(), ValueType::Bool);
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_TRUE(Value(20).equals(Value(20.0)));
+  EXPECT_TRUE(Value(20.0).equals(Value(20)));
+  EXPECT_FALSE(Value(20).equals(Value(20.5)));
+  EXPECT_TRUE(Value(20).equals(Value(20)));
+}
+
+TEST(ValueTest, TypeMismatchNeverEqualNorLess) {
+  EXPECT_FALSE(Value("5").equals(Value(5)));
+  EXPECT_FALSE(Value(true).equals(Value(1)));
+  EXPECT_FALSE(Value("5").less(Value(5)));
+  EXPECT_FALSE(Value(5).less(Value("5")));
+}
+
+TEST(ValueTest, NumericOrdering) {
+  EXPECT_TRUE(Value(3).less(Value(3.5)));
+  EXPECT_FALSE(Value(3.5).less(Value(3)));
+  EXPECT_TRUE(Value(-1.0).less(Value(0)));
+  EXPECT_FALSE(Value(3).less(Value(3.0)));
+}
+
+TEST(ValueTest, StringOrdering) {
+  EXPECT_TRUE(Value("abc").less(Value("abd")));
+  EXPECT_FALSE(Value("b").less(Value("a")));
+}
+
+TEST(ValueTest, BoolOrdering) {
+  EXPECT_TRUE(Value(false).less(Value(true)));
+  EXPECT_FALSE(Value(true).less(Value(false)));
+  EXPECT_FALSE(Value(true).less(Value(true)));
+}
+
+TEST(ValueTest, KeyLessIsStrictWeakOrderAcrossTypes) {
+  // Numeric < string < bool by rank; within a rank the natural order.
+  EXPECT_TRUE(Value(7).key_less(Value("a")));
+  EXPECT_TRUE(Value("a").key_less(Value(true)));
+  EXPECT_FALSE(Value(true).key_less(Value(7)));
+  EXPECT_FALSE(Value(7).key_less(Value(7.0)));
+  EXPECT_FALSE(Value(7.0).key_less(Value(7)));
+}
+
+TEST(ValueTest, HashConsistentWithNumericEquality) {
+  EXPECT_EQ(Value(20).hash(), Value(20.0).hash());
+  std::unordered_set<Value> set;
+  set.insert(Value(20));
+  EXPECT_EQ(set.count(Value(20.0)), 1u);
+  set.insert(Value("x"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(5).to_string(), "5");
+  EXPECT_EQ(Value("hi").to_string(), "'hi'");
+  EXPECT_EQ(Value(true).to_string(), "true");
+  EXPECT_EQ(Value(false).to_string(), "false");
+}
+
+TEST(ValueTest, SizeBytesCountsLongStringPayload) {
+  const Value small("ab");
+  const Value big(std::string(100, 'x'));
+  EXPECT_GT(big.size_bytes(), small.size_bytes());
+  EXPECT_GE(big.size_bytes(), sizeof(Value) + 100);
+}
+
+}  // namespace
+}  // namespace dbsp

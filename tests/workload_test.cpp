@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/candidates.hpp"
+#include "selectivity/exact.hpp"
+#include "workload/event_gen.hpp"
+#include "workload/subscription_gen.hpp"
+
+namespace dbsp {
+namespace {
+
+WorkloadConfig small_config() {
+  WorkloadConfig cfg;
+  cfg.seed = 42;
+  cfg.titles = 300;
+  cfg.authors = 100;
+  return cfg;
+}
+
+TEST(RngTest, ZipfDistributionIsSkewedAndNormalized) {
+  ZipfDistribution zipf(100, 1.0);
+  double total = 0.0;
+  for (std::size_t k = 0; k < zipf.size(); ++k) total += zipf.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(zipf.pmf(0), zipf.pmf(1));
+  EXPECT_GT(zipf.pmf(1), zipf.pmf(50));
+
+  Rng rng(1);
+  std::vector<std::size_t> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf(rng)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / 20000.0, zipf.pmf(0), 0.02);
+}
+
+TEST(AuctionEventGenTest, EventsCarryTheFullSchema) {
+  const AuctionDomain domain(small_config());
+  AuctionEventGenerator gen(domain);
+  for (int i = 0; i < 50; ++i) {
+    const Event e = gen.next();
+    // All but buy_now (present 60%) are mandatory.
+    EXPECT_GE(e.size(), domain.schema().attribute_count() - 1);
+    ASSERT_NE(e.find(domain.price), nullptr);
+    EXPECT_GT(e.find(domain.price)->numeric(), 0.0);
+    ASSERT_NE(e.find(domain.year), nullptr);
+    EXPECT_LE(e.find(domain.year)->as_int(), 2006);
+    ASSERT_NE(e.find(domain.condition), nullptr);
+  }
+}
+
+TEST(AuctionEventGenTest, DeterministicPerSeedAndStream) {
+  const AuctionDomain domain(small_config());
+  AuctionEventGenerator a(domain, 5);
+  AuctionEventGenerator b(domain, 5);
+  AuctionEventGenerator c(domain, 6);
+  bool any_difference = false;
+  for (int i = 0; i < 20; ++i) {
+    const Event ea = a.next();
+    const Event eb = b.next();
+    const Event ec = c.next();
+    EXPECT_EQ(ea.to_string(domain.schema()), eb.to_string(domain.schema()));
+    if (ea.to_string(domain.schema()) != ec.to_string(domain.schema())) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);  // distinct streams decorrelate
+}
+
+TEST(AuctionEventGenTest, PricesFollowSkewedDistribution) {
+  const AuctionDomain domain(small_config());
+  AuctionEventGenerator gen(domain);
+  std::size_t below20 = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const Event e = gen.next();
+    if (e.find(domain.price)->numeric() < 20.0) ++below20;
+  }
+  // Log-normal(2.7, 0.9): median ~14.9, so well over half below 20.
+  EXPECT_GT(below20, n / 2);
+  EXPECT_LT(below20, n);
+}
+
+TEST(AuctionSubGenTest, TreesAreValidSimplifiedAndPrunable) {
+  const AuctionDomain domain(small_config());
+  AuctionSubscriptionGenerator gen(domain);
+  std::size_t with_capacity = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto g = gen.next();
+    ASSERT_TRUE(g.tree != nullptr);
+    EXPECT_FALSE(g.tree->is_constant());
+    EXPECT_GE(g.tree->leaf_count(), 1u);
+    if (internal_prunings(*g.tree) > 0) ++with_capacity;
+  }
+  // The vast majority of subscriptions must support at least one pruning.
+  EXPECT_GT(with_capacity, 150u);
+}
+
+TEST(AuctionSubGenTest, ClassMixIsRespected) {
+  WorkloadConfig cfg = small_config();
+  cfg.class_bargain = 1.0;
+  cfg.class_collector = 0.0;
+  cfg.class_watcher = 0.0;
+  const AuctionDomain domain(cfg);
+  AuctionSubscriptionGenerator gen(domain);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(gen.next().cls, SubscriberClass::BargainHunter);
+  }
+}
+
+TEST(AuctionSubGenTest, DeterministicPerSeed) {
+  const AuctionDomain domain(small_config());
+  AuctionSubscriptionGenerator a(domain, 9);
+  AuctionSubscriptionGenerator b(domain, 9);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_TRUE(a.next_tree()->equals(*b.next_tree()));
+  }
+}
+
+TEST(AuctionSubGenTest, SelectivitySpansOrdersOfMagnitude) {
+  const AuctionDomain domain(small_config());
+  AuctionSubscriptionGenerator sub_gen(domain);
+  AuctionEventGenerator event_gen(domain);
+  const auto events = event_gen.generate(3000);
+
+  double min_sel = 1.0;
+  double max_sel = 0.0;
+  for (int i = 0; i < 150; ++i) {
+    const double sel = measured_selectivity(*sub_gen.next_tree(), events);
+    min_sel = std::min(min_sel, sel);
+    max_sel = std::max(max_sel, sel);
+  }
+  EXPECT_LT(min_sel, 0.001);  // highly selective subscriptions exist
+  EXPECT_GT(max_sel, 0.01);   // and broad ones too
+}
+
+TEST(AuctionSubGenTest, NotProbabilityProducesNegations) {
+  WorkloadConfig cfg = small_config();
+  cfg.not_probability = 1.0;
+  const AuctionDomain domain(cfg);
+  AuctionSubscriptionGenerator gen(domain);
+  bool saw_pmin_zero_component = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto tree = gen.next_tree();
+    std::size_t nots = 0;
+    const std::function<void(const Node&)> count = [&](const Node& n) {
+      if (n.kind() == NodeKind::Not) ++nots;
+      for (const auto& c : n.children()) count(*c);
+    };
+    count(*tree);
+    if (nots > 0) saw_pmin_zero_component = true;
+  }
+  EXPECT_TRUE(saw_pmin_zero_component);
+}
+
+}  // namespace
+}  // namespace dbsp
