@@ -1,5 +1,7 @@
 #include "common/env.hpp"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <string_view>
 
@@ -9,8 +11,12 @@ std::int64_t env_int(const char* name, std::int64_t fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
   char* end = nullptr;
+  errno = 0;
   const long long v = std::strtoll(raw, &end, 10);
-  if (end == raw) return fallback;
+  if (end == raw || errno == ERANGE) return fallback;
+  // Accept trailing whitespace only; "100abc" is a misconfiguration, not 100.
+  while (std::isspace(static_cast<unsigned char>(*end))) ++end;
+  if (*end != '\0') return fallback;
   return static_cast<std::int64_t>(v);
 }
 

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 namespace dbsp {
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
-  assert(lo <= hi);
+  // An inverted range is undefined behavior inside uniform_int_distribution,
+  // so asserting is not enough: Release builds must fail loudly too.
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
   return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
 }
 

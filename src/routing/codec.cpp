@@ -1,5 +1,6 @@
 #include "routing/codec.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <limits>
 
@@ -144,16 +145,20 @@ void encode_predicate(const Predicate& pred, WireWriter& out) {
 
 Predicate decode_predicate(WireReader& in) {
   const AttributeId attr(in.get_u32());
-  const auto op = static_cast<Op>(in.get_u8());
+  const std::uint8_t op_byte = in.get_u8();
+  if (op_byte >= kOpCount) throw WireError("codec: unknown operator");
+  const auto op = static_cast<Op>(op_byte);
   const std::uint16_t count = in.get_u16();
   std::vector<Value> operands;
-  operands.reserve(count);
+  // Cap by remaining bytes so a tiny hostile header can't reserve 64k slots.
+  operands.reserve(std::min<std::size_t>(count, in.remaining()));
   for (std::uint16_t i = 0; i < count; ++i) operands.push_back(decode_value(in));
   switch (op) {
     case Op::Between:
       if (operands.size() != 2) throw WireError("codec: between needs two operands");
       return Predicate(attr, std::move(operands[0]), std::move(operands[1]));
     case Op::In:
+      if (operands.empty()) throw WireError("codec: in needs operands");
       return Predicate(attr, std::move(operands));
     default:
       if (operands.size() != 1) throw WireError("codec: operator needs one operand");
@@ -184,7 +189,14 @@ void encode_tree(const Node& tree, WireWriter& out) {
   }
 }
 
-std::unique_ptr<Node> decode_tree(WireReader& in) {
+namespace {
+
+// Wire trees are shallow (canonical forms are depth <= 3); a hostile buffer
+// of nested connectives must not be able to overflow the decoder's stack.
+constexpr std::size_t kMaxTreeDepth = 256;
+
+std::unique_ptr<Node> decode_tree_at(WireReader& in, std::size_t depth) {
+  if (depth > kMaxTreeDepth) throw WireError("codec: tree too deep");
   const std::uint8_t tag = in.get_u8();
   switch (tag) {
     case 0:
@@ -194,16 +206,26 @@ std::unique_ptr<Node> decode_tree(WireReader& in) {
       const std::uint16_t count = in.get_u16();
       if (count == 0) throw WireError("codec: empty connective");
       std::vector<std::unique_ptr<Node>> children;
-      children.reserve(count);
-      for (std::uint16_t i = 0; i < count; ++i) children.push_back(decode_tree(in));
+      // Each child needs at least one byte; don't let a hostile count
+      // reserve far beyond what the buffer could possibly hold.
+      children.reserve(std::min<std::size_t>(count, in.remaining()));
+      for (std::uint16_t i = 0; i < count; ++i) {
+        children.push_back(decode_tree_at(in, depth + 1));
+      }
       return tag == 1 ? Node::and_(std::move(children))
                       : Node::or_(std::move(children));
     }
     case 3:
-      return Node::not_(decode_tree(in));
+      return Node::not_(decode_tree_at(in, depth + 1));
     default:
       throw WireError("codec: unknown node tag");
   }
+}
+
+}  // namespace
+
+std::unique_ptr<Node> decode_tree(WireReader& in) {
+  return decode_tree_at(in, 0);
 }
 
 std::size_t encoded_size(const Event& event) {

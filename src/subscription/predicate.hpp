@@ -26,6 +26,10 @@ enum class Op : std::uint8_t {
   Contains,  ///< string attribute contains operand
 };
 
+/// Number of operators; the wire codec rejects bytes >= kOpCount. Keep this
+/// next to the enum so extending Op updates the decode bound too.
+inline constexpr std::uint8_t kOpCount = static_cast<std::uint8_t>(Op::Contains) + 1;
+
 [[nodiscard]] const char* to_string(Op op);
 
 /// A single condition on one event attribute. Predicates are immutable

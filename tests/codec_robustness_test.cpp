@@ -1,0 +1,191 @@
+// Adversarial decoding tests: every truncated or malformed wire buffer must
+// surface as a WireError, never as a crash, hang, or silently wrong object.
+// This suite is the one the CI sanitizer job leans on hardest.
+
+#include "routing/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "test_util.hpp"
+
+namespace dbsp {
+namespace {
+
+using test::MiniDomain;
+
+using Bytes = std::vector<std::uint8_t>;
+
+Bytes encode_sample_event() {
+  MiniDomain dom(4, 100);
+  std::mt19937_64 rng(11);
+  WireWriter w;
+  encode_event(dom.random_event(rng), w);
+  return w.bytes();
+}
+
+Bytes encode_sample_predicate() {
+  WireWriter w;
+  encode_predicate(Predicate(AttributeId(3), Value(1), Value(9)), w);
+  return w.bytes();
+}
+
+Bytes encode_sample_tree() {
+  MiniDomain dom(5, 20);
+  std::mt19937_64 rng(29);
+  WireWriter w;
+  encode_tree(*dom.random_tree(rng, 6, 0.25), w);
+  return w.bytes();
+}
+
+// The wire format is self-delimiting with explicit counts, so no strict
+// prefix of a valid encoding is itself a valid encoding: decoding any
+// truncation must throw rather than read out of bounds.
+template <class Decode>
+void expect_all_truncations_throw(const Bytes& valid, Decode decode) {
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    WireReader r(std::span<const std::uint8_t>(valid.data(), len));
+    EXPECT_THROW((void)decode(r), WireError) << "prefix length " << len;
+  }
+}
+
+TEST(CodecRobustnessTest, TruncatedEventsThrow) {
+  expect_all_truncations_throw(encode_sample_event(),
+                               [](WireReader& r) { return decode_event(r); });
+}
+
+TEST(CodecRobustnessTest, TruncatedPredicatesThrow) {
+  expect_all_truncations_throw(
+      encode_sample_predicate(), [](WireReader& r) { return decode_predicate(r); });
+}
+
+TEST(CodecRobustnessTest, TruncatedTreesThrow) {
+  expect_all_truncations_throw(encode_sample_tree(),
+                               [](WireReader& r) { return decode_tree(r); });
+}
+
+TEST(CodecRobustnessTest, ReaderPrimitivesCheckBounds) {
+  const Bytes three = {1, 2, 3};
+  WireReader r(three);
+  EXPECT_THROW((void)r.get_u32(), WireError);
+  EXPECT_THROW((void)r.get_u64(), WireError);
+  EXPECT_THROW((void)r.get_f64(), WireError);
+  EXPECT_THROW((void)r.get_string(), WireError);
+  EXPECT_EQ(r.get_u8(), 1);  // failed reads must not consume input
+  EXPECT_EQ(r.remaining(), 2u);
+}
+
+TEST(CodecRobustnessTest, UnknownValueTagThrows) {
+  for (const std::uint8_t tag : {std::uint8_t{4}, std::uint8_t{0xff}}) {
+    const Bytes buf = {tag, 0, 0, 0, 0, 0, 0, 0, 0};
+    WireReader r(buf);
+    EXPECT_THROW((void)decode_value(r), WireError) << int(tag);
+  }
+}
+
+TEST(CodecRobustnessTest, OversizedStringLengthThrows) {
+  WireWriter w;
+  w.put_u8(2);                 // string value tag
+  w.put_u32(0xffffffffu);      // length far beyond the buffer
+  w.put_u8('x');
+  WireReader r(w.bytes());
+  EXPECT_THROW((void)decode_value(r), WireError);
+}
+
+TEST(CodecRobustnessTest, OversizedEventCountThrows) {
+  WireWriter w;
+  w.put_u16(0xffff);  // 65535 attributes announced, none present
+  WireReader r(w.bytes());
+  EXPECT_THROW((void)decode_event(r), WireError);
+}
+
+TEST(CodecRobustnessTest, UnknownOperatorByteThrows) {
+  for (const std::uint8_t op : {std::uint8_t{11}, std::uint8_t{0xc8}}) {
+    WireWriter w;
+    w.put_u32(1);   // attribute
+    w.put_u8(op);   // operator beyond Op::Contains
+    w.put_u16(1);   // one operand
+    encode_value(Value(std::int64_t{5}), w);
+    WireReader r(w.bytes());
+    EXPECT_THROW((void)decode_predicate(r), WireError) << int(op);
+  }
+}
+
+TEST(CodecRobustnessTest, WrongOperandCountsThrow) {
+  const auto pred_with_operands = [](Op op, std::uint16_t count) {
+    WireWriter w;
+    w.put_u32(1);
+    w.put_u8(static_cast<std::uint8_t>(op));
+    w.put_u16(count);
+    for (std::uint16_t i = 0; i < count; ++i) {
+      encode_value(Value(std::int64_t{i}), w);
+    }
+    return w.bytes();
+  };
+  for (const auto& [op, count] :
+       std::vector<std::pair<Op, std::uint16_t>>{{Op::Between, 1},
+                                                 {Op::Between, 3},
+                                                 {Op::Eq, 0},
+                                                 {Op::Eq, 2},
+                                                 {Op::In, 0},
+                                                 {Op::Prefix, 0}}) {
+    const Bytes buf = pred_with_operands(op, count);
+    WireReader r(buf);
+    EXPECT_THROW((void)decode_predicate(r), WireError)
+        << to_string(op) << " with " << count << " operands";
+  }
+}
+
+TEST(CodecRobustnessTest, OversizedOperandCountThrows) {
+  WireWriter w;
+  w.put_u32(1);
+  w.put_u8(static_cast<std::uint8_t>(Op::In));
+  w.put_u16(0xffff);  // 65535 operands announced, none present
+  WireReader r(w.bytes());
+  EXPECT_THROW((void)decode_predicate(r), WireError);
+}
+
+TEST(CodecRobustnessTest, UnknownNodeTagThrows) {
+  for (const std::uint8_t tag : {std::uint8_t{4}, std::uint8_t{0x7f}}) {
+    const Bytes buf = {tag};
+    WireReader r(buf);
+    EXPECT_THROW((void)decode_tree(r), WireError) << int(tag);
+  }
+}
+
+TEST(CodecRobustnessTest, ZeroChildConnectivesThrow) {
+  for (const std::uint8_t tag : {std::uint8_t{1}, std::uint8_t{2}}) {  // and, or
+    const Bytes buf = {tag, 0, 0};  // count u16 == 0
+    WireReader r(buf);
+    EXPECT_THROW((void)decode_tree(r), WireError) << int(tag);
+  }
+}
+
+TEST(CodecRobustnessTest, OversizedChildCountThrows) {
+  const Bytes buf = {1, 0xff, 0xff};  // AND with 65535 children, none present
+  WireReader r(buf);
+  EXPECT_THROW((void)decode_tree(r), WireError);
+}
+
+TEST(CodecRobustnessTest, DeeplyNestedTreeThrowsInsteadOfOverflowingStack) {
+  Bytes buf(100000, 3);  // 100k nested NOT tags
+  WireReader r(buf);
+  EXPECT_THROW((void)decode_tree(r), WireError);
+}
+
+TEST(CodecRobustnessTest, ValidBuffersStillDecodeAfterHardening) {
+  const Bytes event = encode_sample_event();
+  WireReader re(event);
+  EXPECT_NO_THROW((void)decode_event(re));
+  EXPECT_TRUE(re.exhausted());
+
+  const Bytes tree = encode_sample_tree();
+  WireReader rt(tree);
+  EXPECT_NO_THROW((void)decode_tree(rt));
+  EXPECT_TRUE(rt.exhausted());
+}
+
+}  // namespace
+}  // namespace dbsp

@@ -1,0 +1,97 @@
+// Unit tests for the common utilities: env knob parsing must reject
+// malformed/overflowing values, and Rng must hard-reject inverted ranges
+// (not just assert) because the alternative is UB in Release builds.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+#include "common/env.hpp"
+#include "common/rng.hpp"
+
+namespace dbsp {
+namespace {
+
+constexpr const char* kVar = "DBSP_COMMON_UTIL_TEST_VAR";
+
+class EnvIntTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ::unsetenv(kVar); }
+
+  static std::int64_t parse(const char* value, std::int64_t fallback) {
+    ::setenv(kVar, value, 1);
+    return env_int(kVar, fallback);
+  }
+};
+
+TEST_F(EnvIntTest, ParsesPlainIntegers) {
+  EXPECT_EQ(parse("100", -1), 100);
+  EXPECT_EQ(parse("-42", -1), -42);
+  EXPECT_EQ(parse("0", -1), 0);
+  EXPECT_EQ(parse("+7", -1), 7);
+}
+
+TEST_F(EnvIntTest, UnsetOrEmptyFallsBack) {
+  ::unsetenv(kVar);
+  EXPECT_EQ(env_int(kVar, 55), 55);
+  EXPECT_EQ(parse("", 55), 55);
+}
+
+TEST_F(EnvIntTest, AllowsSurroundingWhitespace) {
+  EXPECT_EQ(parse(" 100", -1), 100);
+  EXPECT_EQ(parse("100 ", -1), 100);
+  EXPECT_EQ(parse("\t100\n", -1), 100);
+}
+
+TEST_F(EnvIntTest, RejectsTrailingGarbage) {
+  EXPECT_EQ(parse("100abc", 55), 55);
+  EXPECT_EQ(parse("100 abc", 55), 55);
+  EXPECT_EQ(parse("12.5", 55), 55);
+  EXPECT_EQ(parse("0x10", 55), 55);
+  EXPECT_EQ(parse("abc", 55), 55);
+}
+
+TEST_F(EnvIntTest, RejectsOverflow) {
+  EXPECT_EQ(parse("9223372036854775807", -1),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(parse("9223372036854775808", 55), 55);
+  EXPECT_EQ(parse("-9223372036854775809", 55), 55);
+  EXPECT_EQ(parse("99999999999999999999999999", 55), 55);
+}
+
+TEST(EnvBoolTest, RecognizesTruthyStrings) {
+  ::setenv(kVar, "yes", 1);
+  EXPECT_TRUE(env_bool(kVar, false));
+  ::setenv(kVar, "0", 1);
+  EXPECT_FALSE(env_bool(kVar, true));
+  ::unsetenv(kVar);
+  EXPECT_TRUE(env_bool(kVar, true));
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(1234);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(RngTest, UniformIntThrowsOnInvertedRange) {
+  Rng rng(1234);
+  EXPECT_THROW((void)rng.uniform_int(5, 1), std::invalid_argument);
+  EXPECT_THROW((void)rng.uniform_int(0, -1), std::invalid_argument);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1 << 30), b.uniform_int(0, 1 << 30));
+  }
+}
+
+}  // namespace
+}  // namespace dbsp

@@ -133,7 +133,7 @@ TEST_F(CountingMatcherTest, DuplicateAddAndUnknownQueriesThrow) {
   auto s = sub(1, "price < 10");
   m.add(*s);
   EXPECT_THROW(m.add(*s), std::invalid_argument);
-  EXPECT_THROW(m.associations_of(SubscriptionId(9)), std::out_of_range);
+  EXPECT_THROW((void)m.associations_of(SubscriptionId(9)), std::out_of_range);
 }
 
 TEST_F(CountingMatcherTest, DuplicateLeafPredicateSharesOneAssociation) {

@@ -103,7 +103,7 @@ TEST_F(ParserTest, RoundTripThroughToString) {
 
 TEST_F(ParserTest, ErrorsCarryPosition) {
   try {
-    parse("price <");
+    (void)parse("price <");
     FAIL() << "expected ParseError";
   } catch (const ParseError& e) {
     EXPECT_GE(e.position(), 7u);

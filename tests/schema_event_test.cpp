@@ -36,7 +36,7 @@ TEST(SchemaTest, FindAndAt) {
   EXPECT_EQ(s.find("x"), a);
   EXPECT_FALSE(s.find("y").has_value());
   EXPECT_EQ(s.at("x"), a);
-  EXPECT_THROW(s.at("y"), std::out_of_range);
+  EXPECT_THROW((void)s.at("y"), std::out_of_range);
 }
 
 TEST(EventTest, SetFindAndOverwrite) {

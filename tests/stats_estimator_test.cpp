@@ -81,7 +81,7 @@ TEST_F(StatsTest, PresenceScalesConditionalSelectivity) {
 TEST_F(StatsTest, EstimateBeforeFinalizeThrows) {
   EventStats fresh(dom_.schema());
   EXPECT_THROW(
-      fresh.predicate_selectivity(Predicate(dom_.attr(0), Op::Eq, Value(1))),
+      (void)fresh.predicate_selectivity(Predicate(dom_.attr(0), Op::Eq, Value(1))),
       std::logic_error);
 }
 

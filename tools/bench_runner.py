@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Run the dbsp micro benchmarks (plus a scaled-down fig1 sweep) and emit a
+machine-readable BENCH_micro.json.
+
+The JSON is the repo's perf trajectory record: each entry carries the
+benchmark name, events/sec, and ns/event so later PRs can diff numbers
+against this baseline. Usage:
+
+    cmake --build build --target bench_runner          # via CMake
+    tools/bench_runner.py --build-dir build            # directly
+    tools/bench_runner.py --build-dir build --quick    # CI smoke settings
+"""
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+MICRO_BENCHES = ["micro_filter", "micro_pruning", "micro_selectivity"]
+
+# Scaled-down fig1 workload: big enough to exercise the full pipeline
+# (training, pruning grid, filtering), small enough for a CI smoke run.
+FIG1_ENV = {
+    "DBSP_SUBS": "2000",
+    "DBSP_EVENTS": "500",
+    "DBSP_TRAINING_EVENTS": "1000",
+    "DBSP_STEP_PCT": "25",
+}
+
+
+def find_binary(build_dir, name):
+    for candidate in (
+        os.path.join(build_dir, "bench", name),
+        os.path.join(build_dir, name),
+    ):
+        if os.path.isfile(candidate) and os.access(candidate, os.X_OK):
+            return candidate
+    return None
+
+
+def run_micro(binary, quick):
+    """Run one Google-Benchmark binary with JSON output and normalize it."""
+    cmd = [binary, "--benchmark_format=json"]
+    if quick:
+        # Short min-time, and skip the large-argument variants (10k/50k subs).
+        cmd += ["--benchmark_min_time=0.05", "--benchmark_filter=-/(10000|50000)$"]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        raise SystemExit(f"{cmd[0]} exited with {proc.returncode}")
+    report = json.loads(proc.stdout)
+    out = []
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit, 1.0)
+        ns_per_event = b.get("real_time", 0.0) * scale
+        events_per_sec = b.get("items_per_second")
+        if events_per_sec is None and ns_per_event > 0:
+            events_per_sec = 1e9 / ns_per_event
+        out.append(
+            {
+                "source": os.path.basename(binary),
+                "name": b["name"],
+                "ns_per_event": ns_per_event,
+                "events_per_sec": events_per_sec,
+                "iterations": b.get("iterations"),
+            }
+        )
+    return out, report.get("context", {})
+
+
+def run_fig1(binary):
+    env = dict(os.environ)
+    env.update(FIG1_ENV)
+    start = time.monotonic()
+    proc = subprocess.run([binary], capture_output=True, text=True, env=env)
+    elapsed = time.monotonic() - start
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        raise SystemExit(f"{binary} exited with {proc.returncode}")
+    return {
+        "source": os.path.basename(binary),
+        "config": FIG1_ENV,
+        "elapsed_seconds": round(elapsed, 3),
+        "stdout_lines": proc.stdout.strip().splitlines(),
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--out", default=None, help="default: <build-dir>/BENCH_micro.json")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: short min-time and only the small benchmark args",
+    )
+    args = parser.parse_args()
+    out_path = args.out or os.path.join(args.build_dir, "BENCH_micro.json")
+
+    benchmarks = []
+    context = {}
+    missing = []
+    for name in MICRO_BENCHES:
+        binary = find_binary(args.build_dir, name)
+        if binary is None:
+            missing.append(name)
+            continue
+        print(f"[bench_runner] running {name} ...", flush=True)
+        rows, ctx = run_micro(binary, args.quick)
+        benchmarks.extend(rows)
+        context = context or ctx
+    if missing:
+        raise SystemExit(
+            f"missing benchmark binaries {missing}; build with -DDBSP_BUILD_BENCH=ON "
+            "and Google Benchmark installed"
+        )
+
+    fig1_binary = find_binary(args.build_dir, "fig1a_time_centralized")
+    fig1 = None
+    if fig1_binary is not None:
+        print("[bench_runner] running scaled-down fig1a sweep ...", flush=True)
+        fig1 = run_fig1(fig1_binary)
+
+    result = {
+        "schema_version": 1,
+        "generated_unix_time": int(time.time()),
+        "host": {
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "num_cpus": context.get("num_cpus"),
+            "mhz_per_cpu": context.get("mhz_per_cpu"),
+        },
+        "mode": "quick" if args.quick else "full",
+        "benchmarks": benchmarks,
+        "fig1_smoke": fig1,
+    }
+    with open(out_path, "w") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+    print(f"[bench_runner] wrote {out_path} ({len(benchmarks)} benchmark rows)")
+
+
+if __name__ == "__main__":
+    main()
