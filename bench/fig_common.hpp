@@ -6,7 +6,11 @@
 //   DBSP_FULL=1     paper scale (200k subscriptions, 100k events, 5 brokers)
 //   DBSP_SUBS=n     override subscription count
 //   DBSP_EVENTS=n   override published event count
-//   DBSP_STEP=x     pruning-fraction grid step (default 0.1)
+//   DBSP_STEP_PCT=n pruning-fraction grid step in percent (default 10)
+//   DBSP_SHARDS=n   matching-engine shards (default 1 for the centralized
+//                   sweep so the paper's global pruning queue is reproduced;
+//                   brokers in the distributed sweep always resolve the knob
+//                   themselves, defaulting to hardware concurrency)
 
 #include <array>
 #include <cstdio>
@@ -29,6 +33,8 @@ inline CentralizedConfig centralized_config_from_env() {
   cfg.training_events =
       static_cast<std::size_t>(env_int("DBSP_TRAINING_EVENTS", 20000));
   cfg.fractions = fraction_grid(env_int("DBSP_STEP_PCT", 10) / 100.0);
+  const std::int64_t shards = env_int("DBSP_SHARDS", 1);
+  cfg.shards = shards > 0 ? static_cast<std::size_t>(shards) : 1;
   return cfg;
 }
 

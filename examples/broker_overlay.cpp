@@ -12,7 +12,7 @@
 
 #include "broker/overlay.hpp"
 #include "common/env.hpp"
-#include "core/engine.hpp"
+#include "core/sharded_engine.hpp"
 #include "selectivity/estimator.hpp"
 #include "selectivity/stats.hpp"
 #include "workload/event_gen.hpp"
@@ -63,15 +63,19 @@ int main() {
               static_cast<unsigned long long>(base_messages), base_assocs);
 
   // Prune 60% of each broker's remote entries on the network dimension.
+  // Each broker's filter table is sharded (DBSP_SHARDS, default = hardware
+  // concurrency), so the pruning queue runs per shard.
+  std::printf("each broker matches over %zu shard(s)\n",
+              overlay.broker(BrokerId(0)).engine().shard_count());
   PruneEngineConfig config;
   config.dimension = PruneDimension::NetworkLoad;
   for (std::size_t b = 0; b < kBrokers; ++b) {
     Broker& broker = overlay.broker(BrokerId(static_cast<BrokerId::value_type>(b)));
-    PruningEngine engine(estimator, config, &broker.matcher());
-    for (Subscription* s : broker.remote_subscriptions()) {
-      engine.register_subscription(*s);
+    auto engines = make_sharded_pruning_engines(
+        broker.engine(), estimator, config, broker.remote_subscriptions());
+    for (auto& engine : engines) {
+      engine->prune(engine->total_possible() * 3 / 5);
     }
-    engine.prune(engine.total_possible() * 3 / 5);
   }
 
   publish_all();

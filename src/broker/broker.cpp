@@ -5,13 +5,13 @@
 namespace dbsp {
 
 Broker::Broker(BrokerId id, const Schema& schema, SimulatedNetwork& net)
-    : id_(id), net_(&net), matcher_(schema) {}
+    : id_(id), net_(&net), engine_(schema) {}
 
 void Broker::subscribe_local(SubscriptionId id, ClientId client,
                              std::unique_ptr<Node> tree) {
   std::shared_ptr<const Node> wire_copy(tree->clone().release());
   Subscription& sub = table_.add_local(id, client, std::move(tree));
-  matcher_.add(sub);
+  engine_.add(sub);
   forward_subscription(BrokerId{}, id, wire_copy);
 }
 
@@ -32,8 +32,9 @@ void Broker::unsubscribe_local(SubscriptionId id) {
   if (existing == nullptr || !existing->local) {
     throw std::invalid_argument("broker: unsubscribe of unknown or non-local subscription");
   }
-  auto entry = table_.remove(id);
-  matcher_.remove(*entry->sub);
+  // Engine first: its removal reads the Subscription the table entry owns.
+  engine_.remove(id);
+  table_.remove(id);
   Message m;
   m.type = Message::Type::Unsubscribe;
   m.sub_id = id;
@@ -54,14 +55,14 @@ void Broker::handle(BrokerId from, const Message& message) {
     case Message::Type::Subscribe: {
       Subscription& sub =
           table_.add_remote(message.sub_id, from, message.sub_tree->clone());
-      matcher_.add(sub);
+      engine_.add(sub);
       forward_subscription(from, message.sub_id, message.sub_tree);
       break;
     }
     case Message::Type::Unsubscribe: {
       auto entry = table_.remove(message.sub_id);
       if (entry) {
-        matcher_.remove(*entry->sub);
+        engine_.remove(message.sub_id);
         Message m;
         m.type = Message::Type::Unsubscribe;
         m.sub_id = message.sub_id;
@@ -80,7 +81,7 @@ void Broker::route_event(BrokerId from, const Event& event, std::uint64_t seq) {
   scratch_targets_.clear();
 
   filter_time_.start();
-  matcher_.match(event, scratch_matches_);
+  engine_.match(event, scratch_matches_);
   filter_time_.stop();
 
   for (const SubscriptionId sid : scratch_matches_) {
@@ -117,7 +118,7 @@ std::vector<Subscription*> Broker::remote_subscriptions() {
 std::size_t Broker::remote_association_count() const {
   std::size_t total = 0;
   table_.for_each([&](const RoutingTable::Entry& e) {
-    if (!e.local) total += matcher_.associations_of(e.sub->id());
+    if (!e.local) total += engine_.associations_of(e.sub->id());
   });
   return total;
 }
@@ -127,7 +128,7 @@ void Broker::reset_metrics() {
   notifications_ = 0;
   events_filtered_ = 0;
   notification_log_.clear();
-  matcher_.reset_counters();
+  engine_.reset_counters();
 }
 
 }  // namespace dbsp

@@ -6,14 +6,19 @@
 #include "common/ids.hpp"
 #include "common/timer.hpp"
 #include "broker/simnet.hpp"
-#include "filter/counting_matcher.hpp"
+#include "core/sharded_engine.hpp"
 #include "routing/routing_table.hpp"
 
 namespace dbsp {
 
-/// A content-based broker: routing table + counting matcher + forwarding
-/// logic over the simulated network (subscription-forwarding routing on an
-/// acyclic overlay, §2.1).
+/// A content-based broker: routing table + sharded counting-matcher engine
+/// + forwarding logic over the simulated network (subscription-forwarding
+/// routing on an acyclic overlay, §2.1).
+///
+/// The filter table is a ShardedEngine over counting matchers; the shard
+/// count comes from DBSP_SHARDS (default: hardware concurrency). Callers
+/// running a PruningEngine over this broker's entries must build one per
+/// shard — see make_sharded_pruning_engines().
 ///
 /// Notifications are decided by *local* entries, which stay unpruned, so
 /// end-to-end delivery is exact regardless of how remote entries were
@@ -45,8 +50,10 @@ class Broker {
   [[nodiscard]] BrokerId id() const { return id_; }
   [[nodiscard]] RoutingTable& table() { return table_; }
   [[nodiscard]] const RoutingTable& table() const { return table_; }
-  [[nodiscard]] CountingMatcher& matcher() { return matcher_; }
-  [[nodiscard]] const CountingMatcher& matcher() const { return matcher_; }
+  /// The sharded filter engine holding this broker's (possibly pruned)
+  /// routing entries.
+  [[nodiscard]] ShardedEngine& engine() { return engine_; }
+  [[nodiscard]] const ShardedEngine& engine() const { return engine_; }
 
   /// Remote (prunable) subscriptions — the pruning engine's inputs.
   [[nodiscard]] std::vector<Subscription*> remote_subscriptions();
@@ -80,7 +87,7 @@ class Broker {
   BrokerId id_;
   SimulatedNetwork* net_;
   RoutingTable table_;
-  CountingMatcher matcher_;
+  ShardedEngine engine_;
 
   Stopwatch filter_time_;
   std::uint64_t notifications_ = 0;

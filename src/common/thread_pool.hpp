@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file
+/// A minimal fixed-size thread pool (workers + FIFO task queue).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dbsp {
+
+/// A fixed-size pool of worker threads executing submitted tasks in FIFO
+/// order — the concurrency substrate of the sharded matching engine.
+///
+/// Thread safety: submit() may be called concurrently from any thread,
+/// including from inside a running task. Each task's exceptions are captured
+/// in its future and rethrown to the waiter. The destructor is a barrier:
+/// it runs every task already in the queue to completion, then joins all
+/// workers — no task is ever dropped.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to at least one).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains the queue (pending tasks still run), then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues `task` and returns a future that completes once it ran.
+  /// If the task throws, the exception is delivered through the future.
+  std::future<void> submit(std::function<void()> task);
+
+  /// std::thread::hardware_concurrency() with a floor of 1 (the standard
+  /// allows it to return 0 when undetectable).
+  [[nodiscard]] static std::size_t hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dbsp

@@ -1,5 +1,13 @@
 #pragma once
 
+/// \file
+/// Enumeration and application of candidate prunings on subscription trees.
+/// All functions here are free of hidden state: the const-input ones
+/// (internal_prunings, enumerate_prunings, is_prunable_child,
+/// simulate_pruning) are safe to call concurrently on trees no thread is
+/// mutating; apply_pruning mutates its subscription and needs external
+/// synchronization with readers of the same tree.
+
 #include <memory>
 #include <vector>
 

@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// The three optimization dimensions of the paper and their §3.4 tie-break
+/// orders. Pure constexpr values and functions; trivially thread-safe.
+
 #include <array>
 #include <cstdint>
 

@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// The dimension-based pruning engine: one priority queue of best candidate
+/// prunings per registered subscription (paper §3.4).
+
 #include <cstdint>
 #include <optional>
 #include <queue>
@@ -39,6 +43,12 @@ struct PruneEngineConfig {
 /// and re-inserts the subscription's next-best candidate — exactly the
 /// scheme of §3.4. Stale queue entries (from superseded generations) are
 /// skipped lazily.
+///
+/// Not thread-safe: all members mutate engine, subscription, or matcher
+/// state and require external synchronization. Under the sharded engine,
+/// run one PruningEngine per shard (make_sharded_pruning_engines); engines
+/// of different shards touch disjoint subscriptions and matchers, so they
+/// may safely run on different threads.
 class PruningEngine {
  public:
   /// `matcher` may be null for pure-algorithm runs (no index maintenance).

@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// Heuristic pricing of candidate prunings: the Δ≈sel / Δ≈mem / Δ≈eff
+/// scores of §3.1–3.3 and the lexicographic composite key of §3.4.
+
 #include <array>
 
 #include "core/dimension.hpp"
@@ -51,7 +55,9 @@ struct OriginalProfile {
 }
 
 /// Prices candidate prunings. Stateless apart from the estimator; the
-/// engine owns the per-subscription OriginalProfiles.
+/// engine owns the per-subscription OriginalProfiles. Concurrent score()
+/// calls are safe as long as the estimator and the scored trees are not
+/// being mutated.
 class HeuristicScorer {
  public:
   explicit HeuristicScorer(const SelectivityEstimator& estimator)

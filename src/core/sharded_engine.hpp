@@ -1,0 +1,159 @@
+#pragma once
+
+/// \file
+/// The sharded concurrent matching engine and its per-shard pruning hook —
+/// the scaling layer between the matchers (filter/) and the broker.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/engine.hpp"
+#include "event/event.hpp"
+#include "event/schema.hpp"
+#include "filter/counting_matcher.hpp"
+#include "filter/dnf_matcher.hpp"
+#include "filter/naive_matcher.hpp"
+#include "subscription/subscription.hpp"
+
+namespace dbsp {
+
+/// Which matcher algorithm each shard runs. All shards of one engine use
+/// the same backend; the choice trades per-event cost against feature set
+/// (only Counting supports reindex-after-pruning and the pmin trigger).
+enum class MatcherBackend {
+  Counting,  ///< non-canonical counting matcher (the pruning substrate)
+  Dnf,       ///< canonical DNF counting matcher (baseline; add() can fail)
+  Naive,     ///< direct tree evaluation (correctness oracle)
+};
+
+[[nodiscard]] const char* to_string(MatcherBackend backend);
+
+/// Construction-time knobs of a ShardedEngine.
+struct ShardedEngineOptions {
+  /// Number of shards. 0 = auto: the DBSP_SHARDS environment knob when set,
+  /// otherwise the machine's hardware concurrency.
+  std::size_t shards = 0;
+  MatcherBackend backend = MatcherBackend::Counting;
+  /// Conversion cap forwarded to DnfMatcher::add (Dnf backend only).
+  std::size_t max_dnf_conjunctions = 4096;
+};
+
+/// Resolves a requested shard count: a positive request is taken verbatim;
+/// 0 reads env_int("DBSP_SHARDS") and falls back to hardware concurrency.
+/// The result is always at least 1.
+[[nodiscard]] std::size_t resolve_shard_count(std::size_t requested);
+
+/// A horizontally partitioned matching engine: subscriptions are spread
+/// across N shards by a stable hash of their id, with one independent
+/// matcher instance (and thus one independent filter table) per shard.
+/// Sharding composes with dimension-based pruning — pruning shrinks every
+/// shard's filter table, sharding splits the tables across cores — and is
+/// the first scaling layer toward the ROADMAP's high-traffic target.
+///
+/// Matching semantics are exactly those of the underlying matcher: every
+/// event is checked against all shards, and because each subscription lives
+/// in exactly one shard the union of the shard results equals the unsharded
+/// match set. Both match() and match_batch() return each event's matches
+/// sorted by subscription id, so results are deterministic and independent
+/// of the shard count (proved by sharded_engine_test).
+///
+/// Thread safety: add/remove/reindex and the match entry points mutate
+/// engine state and must be externally serialized — one writer OR one
+/// matching call at a time. Inside match_batch() the engine fans the batch
+/// out to its shards on an internal thread pool (created lazily on first
+/// use when shard_count() > 1); each worker touches only its own shard's
+/// matcher and scratch row, so no two threads ever share mutable state.
+/// Distinct ShardedEngine instances are fully independent and may be used
+/// from different threads concurrently.
+class ShardedEngine {
+ public:
+  explicit ShardedEngine(const Schema& schema, ShardedEngineOptions options = {});
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// Registers `sub` with the matcher of its shard. Returns false (and
+  /// registers nothing) only for the Dnf backend when the tree is not
+  /// DNF-convertible within the conjunction cap. The subscription must
+  /// outlive the engine and its address must be stable. A subscription may
+  /// be registered with at most one counting-backed engine at a time (the
+  /// counting matcher stamps its predicate ids into the tree's leaves).
+  bool add(Subscription& sub);
+
+  /// Unregisters by id; throws std::out_of_range when unknown (uniform
+  /// across all three backends).
+  void remove(SubscriptionId id);
+
+  /// Re-synchronizes the owning shard after the subscription's tree changed
+  /// (pruning). Counting backend only; throws std::logic_error otherwise.
+  void reindex(Subscription& sub);
+
+  [[nodiscard]] bool contains(SubscriptionId id) const;
+  [[nodiscard]] std::size_t subscription_count() const;
+
+  /// Predicate/subscription associations summed over shards (the memory
+  /// metric). Counting and Dnf backends; 0 for Naive.
+  [[nodiscard]] std::size_t association_count() const;
+  /// Associations contributed by one subscription (Counting backend only).
+  [[nodiscard]] std::size_t associations_of(SubscriptionId id) const;
+
+  /// Matches one event against every shard on the calling thread and
+  /// appends the union of the shard results to `out`, sorted by id.
+  void match(const Event& event, std::vector<SubscriptionId>& out);
+
+  /// Batched dispatch: fans `events` out to the shards (shard 0 runs on the
+  /// calling thread, the rest on the internal pool), then merges the
+  /// per-shard results into one sorted subscriber-id list per event.
+  /// `out` is resized to events.size(); row buffers are reused.
+  void match_batch(std::span<const Event> events,
+                   std::vector<std::vector<SubscriptionId>>& out);
+
+  /// Convenience overload allocating the result rows.
+  [[nodiscard]] std::vector<std::vector<SubscriptionId>> match_batch(
+      std::span<const Event> events);
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  /// Stable shard assignment of a subscription id (splitmix64 finalizer,
+  /// identical on every platform and run).
+  [[nodiscard]] std::size_t shard_of(SubscriptionId id) const;
+  [[nodiscard]] MatcherBackend backend() const { return options_.backend; }
+
+  /// Direct access to one shard's CountingMatcher — the hook for running a
+  /// PruningEngine per shard. Throws std::logic_error for other backends.
+  [[nodiscard]] CountingMatcher& counting_shard(std::size_t shard);
+  [[nodiscard]] const CountingMatcher& counting_shard(std::size_t shard) const;
+
+  /// Introspection counters summed over shards (Counting backend; zeros
+  /// otherwise).
+  [[nodiscard]] CountingMatcher::Counters counters() const;
+  void reset_counters();
+
+ private:
+  using ShardMatcher = std::variant<CountingMatcher, DnfMatcher, NaiveMatcher>;
+
+  /// Lazily created fan-out pool (shard_count() - 1 workers).
+  ThreadPool& pool();
+  void match_shard(std::size_t shard, const Event& event,
+                   std::vector<SubscriptionId>& out);
+
+  ShardedEngineOptions options_;
+  std::vector<std::unique_ptr<ShardMatcher>> shards_;
+  std::unique_ptr<ThreadPool> pool_;
+  /// Per-shard result rows reused across match_batch calls.
+  std::vector<std::vector<std::vector<SubscriptionId>>> batch_scratch_;
+};
+
+/// Builds one PruningEngine per shard of `engine` (Counting backend
+/// required), wired to that shard's matcher, and registers each of `subs`
+/// with the engine owning its shard. Pruning each engine to a fraction of
+/// its own capacity approximates the global priority-queue schedule while
+/// keeping all index maintenance shard-local.
+[[nodiscard]] std::vector<std::unique_ptr<PruningEngine>> make_sharded_pruning_engines(
+    ShardedEngine& engine, const SelectivityEstimator& estimator,
+    const PruneEngineConfig& config, const std::vector<Subscription*>& subs);
+
+}  // namespace dbsp

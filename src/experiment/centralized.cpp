@@ -4,8 +4,7 @@
 #include <memory>
 
 #include "common/timer.hpp"
-#include "core/engine.hpp"
-#include "filter/counting_matcher.hpp"
+#include "core/sharded_engine.hpp"
 #include "selectivity/estimator.hpp"
 #include "selectivity/stats.hpp"
 #include "workload/event_gen.hpp"
@@ -38,57 +37,62 @@ CentralizedResult run_centralized(const CentralizedConfig& config,
   stats.finalize();
   const SelectivityEstimator estimator(stats);
 
-  CountingMatcher matcher(domain.schema());
-  for (auto& s : subs) matcher.add(*s);
+  ShardedEngineOptions engine_options;
+  engine_options.shards = config.shards;
+  ShardedEngine engine(domain.schema(), engine_options);
+  std::vector<Subscription*> sub_ptrs;
+  sub_ptrs.reserve(subs.size());
+  for (auto& s : subs) {
+    engine.add(*s);
+    sub_ptrs.push_back(s.get());
+  }
 
-  PruneEngineConfig engine_config;
-  engine_config.dimension = dimension;
-  engine_config.bottom_up = config.bottom_up;
-  engine_config.order = config.tie_break_order;
-  PruningEngine engine(estimator, engine_config, &matcher);
-  for (auto& s : subs) engine.register_subscription(*s);
+  PruneEngineConfig prune_config;
+  prune_config.dimension = dimension;
+  prune_config.bottom_up = config.bottom_up;
+  prune_config.order = config.tie_break_order;
+  // One pruning queue per shard, each pruned to the requested fraction of
+  // its own capacity (with shards == 1 this is the paper's global queue).
+  auto pruners =
+      make_sharded_pruning_engines(engine, estimator, prune_config, sub_ptrs);
 
   CentralizedResult result;
   result.dimension = dimension;
-  result.total_possible_prunings = engine.total_possible();
-  const double baseline_assocs = static_cast<double>(matcher.association_count());
+  for (const auto& p : pruners) result.total_possible_prunings += p->total_possible();
+  const double baseline_assocs = static_cast<double>(engine.association_count());
 
-  std::vector<SubscriptionId> matches;
+  std::vector<std::vector<SubscriptionId>> batch_results;
   for (const double fraction : config.fractions) {
-    const auto target = static_cast<std::size_t>(
-        std::llround(fraction * static_cast<double>(result.total_possible_prunings)));
-    if (target > engine.performed()) engine.prune(target - engine.performed());
+    for (auto& pruner : pruners) {
+      const auto target = static_cast<std::size_t>(
+          std::llround(fraction * static_cast<double>(pruner->total_possible())));
+      if (target > pruner->performed()) pruner->prune(target - pruner->performed());
+    }
 
     // Warm up caches/branch predictors so the first sampled fraction is
     // not penalized relative to later ones.
     const std::size_t warmup = std::min<std::size_t>(events.size(), 200);
-    for (std::size_t i = 0; i < warmup; ++i) {
-      matches.clear();
-      matcher.match(events[i], matches);
-    }
+    engine.match_batch(std::span<const Event>(events).first(warmup), batch_results);
 
-    matcher.reset_counters();
+    engine.reset_counters();
     Stopwatch watch;
     watch.start();
-    for (const Event& e : events) {
-      matches.clear();
-      matcher.match(e, matches);
-    }
+    engine.match_batch(events, batch_results);
     watch.stop();
 
     CentralizedPoint p;
     p.fraction = fraction;
-    p.prunings_performed = engine.performed();
+    for (const auto& pruner : pruners) p.prunings_performed += pruner->performed();
     p.filter_time_per_event =
         config.events == 0 ? 0.0 : watch.seconds() / static_cast<double>(config.events);
-    const auto& counters = matcher.counters();
+    const auto counters = engine.counters();
     p.matches = counters.matches;
     p.counter_increments = counters.counter_increments;
     p.tree_evaluations = counters.tree_evaluations;
     p.matching_fraction =
         static_cast<double>(counters.matches) /
         (static_cast<double>(config.events) * static_cast<double>(config.subscriptions));
-    p.associations = matcher.association_count();
+    p.associations = engine.association_count();
     p.association_reduction =
         baseline_assocs == 0.0
             ? 0.0

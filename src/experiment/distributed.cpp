@@ -5,7 +5,7 @@
 #include <stdexcept>
 
 #include "broker/overlay.hpp"
-#include "core/engine.hpp"
+#include "core/sharded_engine.hpp"
 #include "selectivity/estimator.hpp"
 #include "selectivity/stats.hpp"
 #include "workload/event_gen.hpp"
@@ -36,21 +36,17 @@ DistributedResult run_distributed(const DistributedConfig& config,
   stats.finalize();
   const SelectivityEstimator estimator(stats);
 
-  // One engine per broker over its remote routing entries (§2.2: pruning
-  // applies only to subscriptions from non-local clients).
+  // One engine per (broker, shard) over the broker's remote routing entries
+  // (§2.2: pruning applies only to subscriptions from non-local clients).
   PruneEngineConfig engine_config;
   engine_config.dimension = dimension;
   engine_config.bottom_up = config.bottom_up;
   std::vector<std::unique_ptr<PruningEngine>> engines;
-  engines.reserve(config.brokers);
   for (std::size_t b = 0; b < config.brokers; ++b) {
     Broker& broker = overlay.broker(BrokerId(static_cast<BrokerId::value_type>(b)));
-    auto engine = std::make_unique<PruningEngine>(estimator, engine_config,
-                                                  &broker.matcher());
-    for (Subscription* sub : broker.remote_subscriptions()) {
-      engine->register_subscription(*sub);
-    }
-    engines.push_back(std::move(engine));
+    auto broker_engines = make_sharded_pruning_engines(
+        broker.engine(), estimator, engine_config, broker.remote_subscriptions());
+    for (auto& engine : broker_engines) engines.push_back(std::move(engine));
   }
 
   AuctionEventGenerator event_gen(domain, /*stream=*/2);

@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// Per-attribute predicate index: given an event's value, yields the
+/// fulfilled predicate ids (step one of counting-based matching).
+
 #include <map>
 #include <unordered_map>
 #include <vector>
@@ -25,9 +29,14 @@ namespace dbsp {
 ///    low <= v, verified against the high bound;
 ///  * Ne and string operators: scan list evaluated per event (these are
 ///    rare in typical workloads; complexity documented in DESIGN.md).
+///
+/// Not thread-safe for mutation; concurrent collect() calls are safe while
+/// no thread is inserting or removing.
 class AttributeIndex {
  public:
+  /// Indexes `pred` under `id`; each (id, pred) pair at most once.
   void insert(PredicateId id, const Predicate& pred);
+  /// Removes a previously inserted (id, pred) pair.
   void remove(PredicateId id, const Predicate& pred);
 
   /// Appends ids of all predicates fulfilled by `value`.

@@ -137,6 +137,8 @@ void CountingMatcher::remove(Subscription& sub) {
   --live_subs_;
 }
 
+void CountingMatcher::remove(SubscriptionId id) { remove(*slots_[slot_of(id)].sub); }
+
 void CountingMatcher::reindex(Subscription& sub) {
   const std::uint32_t slot = slot_of(sub.id());
   auto old_preds = std::move(slots_[slot].preds);

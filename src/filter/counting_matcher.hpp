@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// The non-canonical counting matcher: per-attribute predicate indexes,
+/// association counters, and the pmin evaluation trigger.
+
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -27,6 +31,11 @@ namespace dbsp {
 /// The matcher does not own subscriptions; registered Subscription objects
 /// must outlive it and their addresses must be stable. Trees may only be
 /// mutated through the pruning engine, which calls reindex() afterwards.
+///
+/// Not thread-safe: every member (including match(), which advances the
+/// epoch) mutates state and requires external synchronization. Distinct
+/// instances are independent — the property the sharded engine exploits by
+/// running one matcher per shard.
 class CountingMatcher {
  public:
   explicit CountingMatcher(const Schema& schema);
@@ -36,6 +45,9 @@ class CountingMatcher {
   void add(Subscription& sub);
   /// Unregisters; releases all predicate references.
   void remove(Subscription& sub);
+  /// Id-based overload (uniform across matchers); throws std::out_of_range
+  /// when the id is unknown.
+  void remove(SubscriptionId id);
   /// Re-synchronizes indexes and pmin after the subscription's tree changed
   /// (e.g. a pruning). Cost is proportional to the tree size.
   void reindex(Subscription& sub);

@@ -1,5 +1,10 @@
 #pragma once
 
+/// \file
+/// DNF conversion of subscription trees (with blowup guard) and predicate
+/// negation. Pure functions without shared state; thread-safe on inputs no
+/// other thread mutates.
+
 #include <optional>
 #include <vector>
 

@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// The canonical (DNF) counting matcher baseline.
+
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -21,6 +24,10 @@ namespace dbsp {
 ///
 /// Unlike CountingMatcher this matcher does not support reindex-after-
 /// pruning; it is the baseline algorithm, not the pruning substrate.
+///
+/// Not thread-safe: every member (including match(), which advances the
+/// epoch) mutates state and requires external synchronization. Distinct
+/// instances are independent.
 class DnfMatcher {
  public:
   explicit DnfMatcher(const Schema& schema);
@@ -29,8 +36,16 @@ class DnfMatcher {
   /// nothing) when the tree is not DNF-convertible or exceeds
   /// `max_conjunctions`.
   bool add(const Subscription& sub, std::size_t max_conjunctions = 4096);
+  /// Unregisters by id, releasing all conjunction counters; throws
+  /// std::out_of_range when the id is unknown.
   void remove(SubscriptionId id);
+  /// True iff a subscription with this id is indexed.
+  [[nodiscard]] bool contains(SubscriptionId id) const {
+    return subs_.count(id.value()) != 0;
+  }
 
+  /// Appends ids of all subscriptions matching `event` (each at most once).
+  /// Non-const: advances the matcher epoch and touches counters.
   void match(const Event& event, std::vector<SubscriptionId>& out);
 
   [[nodiscard]] std::size_t subscription_count() const { return subs_.size(); }

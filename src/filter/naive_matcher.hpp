@@ -1,5 +1,10 @@
 #pragma once
 
+/// \file
+/// Reference matcher evaluating every subscription tree directly.
+
+#include <algorithm>
+#include <stdexcept>
 #include <vector>
 
 #include "event/event.hpp"
@@ -10,14 +15,31 @@ namespace dbsp {
 /// Reference matcher: evaluates every subscription tree directly against
 /// every event. O(subs × tree) per event — the correctness oracle for
 /// CountingMatcher and the "no indexing" baseline in the micro-benchmarks.
+///
+/// Registered Subscription objects are borrowed, not owned, and must
+/// outlive the matcher. Not thread-safe: external synchronization is
+/// required for concurrent use (distinct instances are independent).
 class NaiveMatcher {
  public:
+  /// Registers a subscription; the tree is read on every match() call.
   void add(Subscription& sub) { subs_.push_back(&sub); }
 
+  /// Unregisters by id; throws std::out_of_range when the id is unknown —
+  /// the same add/remove symmetry contract as the other matchers.
   void remove(SubscriptionId id) {
-    std::erase_if(subs_, [id](const Subscription* s) { return s->id() == id; });
+    const auto erased =
+        std::erase_if(subs_, [id](const Subscription* s) { return s->id() == id; });
+    if (erased == 0) throw std::out_of_range("naive matcher: unknown subscription");
   }
 
+  /// True iff a subscription with this id is registered.
+  [[nodiscard]] bool contains(SubscriptionId id) const {
+    return std::any_of(subs_.begin(), subs_.end(),
+                       [id](const Subscription* s) { return s->id() == id; });
+  }
+
+  /// Appends ids of all subscriptions matching `event`, in registration
+  /// order.
   void match(const Event& event, std::vector<SubscriptionId>& out) const {
     for (const Subscription* s : subs_) {
       if (s->matches(event)) out.push_back(s->id());

@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// Predicate interning and (predicate, subscription) association tracking
+/// for the counting matcher.
+
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -20,6 +24,8 @@ namespace dbsp {
 /// several leaves; the association disappears when the last leaf is pruned.
 /// The total number of associations is the memory metric of the paper's
 /// Figures 1(c)/1(f).
+///
+/// Not thread-safe; owned and serialized by its matcher.
 class PredicateRegistry {
  public:
   struct Association {

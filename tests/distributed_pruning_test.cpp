@@ -7,7 +7,7 @@
 #include <algorithm>
 
 #include "broker/overlay.hpp"
-#include "core/engine.hpp"
+#include "core/sharded_engine.hpp"
 #include "selectivity/stats.hpp"
 #include "workload/event_gen.hpp"
 #include "workload/subscription_gen.hpp"
@@ -79,11 +79,9 @@ TEST_P(DistributedPruning, NotificationsInvariantUnderPruning) {
   std::vector<std::unique_ptr<PruningEngine>> engines;
   for (std::size_t b = 0; b < setup.overlay->broker_count(); ++b) {
     Broker& broker = setup.overlay->broker(BrokerId(static_cast<BrokerId::value_type>(b)));
-    auto engine = std::make_unique<PruningEngine>(estimator, cfg, &broker.matcher());
-    for (Subscription* s : broker.remote_subscriptions()) {
-      engine->register_subscription(*s);
-    }
-    engines.push_back(std::move(engine));
+    auto broker_engines = make_sharded_pruning_engines(
+        broker.engine(), estimator, cfg, broker.remote_subscriptions());
+    for (auto& engine : broker_engines) engines.push_back(std::move(engine));
   }
 
   std::uint64_t last_messages = baseline_messages;
@@ -128,11 +126,11 @@ TEST(DistributedPruningMetrics, MemoryDimensionShrinksAssociationsFastest) {
     for (std::size_t b = 0; b < setup.overlay->broker_count(); ++b) {
       Broker& broker =
           setup.overlay->broker(BrokerId(static_cast<BrokerId::value_type>(b)));
-      PruningEngine engine(estimator, cfg, &broker.matcher());
-      for (Subscription* s : broker.remote_subscriptions()) {
-        engine.register_subscription(*s);
+      auto engines = make_sharded_pruning_engines(
+          broker.engine(), estimator, cfg, broker.remote_subscriptions());
+      for (auto& engine : engines) {
+        engine->prune(engine->total_possible() / 5);  // 20% budget
       }
-      engine.prune(engine.total_possible() / 5);  // 20% budget
     }
     reductions[d] = before - setup.overlay->total_remote_associations();
   }

@@ -10,6 +10,7 @@
 
 #include "core/candidates.hpp"
 #include "filter/counting_matcher.hpp"
+#include "filter/dnf_matcher.hpp"
 #include "filter/naive_matcher.hpp"
 #include "test_util.hpp"
 #include "workload/event_gen.hpp"
@@ -18,23 +19,9 @@
 namespace dbsp {
 namespace {
 
+using test::Corpus;
+using test::make_corpus;
 using test::MiniDomain;
-
-struct Corpus {
-  std::vector<std::unique_ptr<Subscription>> subs;
-};
-
-Corpus make_corpus(const MiniDomain& dom, std::mt19937_64& rng, std::size_t n,
-                   double not_prob) {
-  Corpus c;
-  std::uniform_int_distribution<std::size_t> leaves(1, 9);
-  for (std::size_t i = 0; i < n; ++i) {
-    c.subs.push_back(std::make_unique<Subscription>(
-        SubscriptionId(static_cast<SubscriptionId::value_type>(i)),
-        dom.random_tree(rng, leaves(rng), not_prob)));
-  }
-  return c;
-}
 
 std::vector<SubscriptionId> sorted_match(CountingMatcher& m, const Event& e) {
   std::vector<SubscriptionId> out;
@@ -112,6 +99,56 @@ TEST(MatcherEquivalenceChurn, EquivalenceHoldsUnderPruningAndRemoval) {
     for (const auto& e : dom.random_events(rng, 40)) {
       ASSERT_EQ(sorted_match(counting, e), sorted_match(naive, e)) << "round " << round;
     }
+  }
+}
+
+TEST(MatcherRemoveParity, UniformRemoveByIdAcrossAllThreeMatchers) {
+  // All three matchers expose remove(SubscriptionId) with identical
+  // semantics: removing an id unregisters exactly that subscription, and
+  // removing an unknown id throws std::out_of_range.
+  MiniDomain dom(5, 16);
+  std::mt19937_64 rng(909);
+  Corpus corpus = make_corpus(dom, rng, 100, /*not_prob=*/0.0);  // DNF-convertible
+
+  CountingMatcher counting(dom.schema());
+  DnfMatcher dnf(dom.schema());
+  NaiveMatcher naive;
+  for (auto& s : corpus.subs) {
+    counting.add(*s);
+    ASSERT_TRUE(dnf.add(*s));
+    naive.add(*s);
+  }
+
+  // Remove every third subscription through the uniform id-based API.
+  std::vector<bool> alive(corpus.subs.size(), true);
+  for (std::size_t i = 0; i < corpus.subs.size(); i += 3) {
+    const SubscriptionId id = corpus.subs[i]->id();
+    counting.remove(id);
+    dnf.remove(id);
+    naive.remove(id);
+    alive[i] = false;
+  }
+  EXPECT_EQ(counting.subscription_count(), naive.subscription_count());
+  EXPECT_EQ(dnf.subscription_count(), naive.subscription_count());
+
+  // A second remove of the same id is out-of-range on every matcher.
+  const SubscriptionId gone = corpus.subs[0]->id();
+  EXPECT_THROW(counting.remove(gone), std::out_of_range);
+  EXPECT_THROW(dnf.remove(gone), std::out_of_range);
+  EXPECT_THROW(naive.remove(gone), std::out_of_range);
+  EXPECT_FALSE(counting.contains(gone));
+  EXPECT_FALSE(dnf.contains(gone));
+  EXPECT_FALSE(naive.contains(gone));
+
+  // Post-removal match sets agree and never contain a removed id.
+  for (const auto& e : dom.random_events(rng, 100)) {
+    std::vector<SubscriptionId> from_dnf;
+    dnf.match(e, from_dnf);
+    std::sort(from_dnf.begin(), from_dnf.end());
+    const auto expected = sorted_match(naive, e);
+    EXPECT_EQ(sorted_match(counting, e), expected);
+    EXPECT_EQ(from_dnf, expected);
+    for (const auto id : expected) EXPECT_TRUE(alive[id.value()]);
   }
 }
 

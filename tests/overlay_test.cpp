@@ -123,7 +123,7 @@ TEST_F(OverlayTest, UnsubscribeFloodsAndStopsDelivery) {
   overlay.unsubscribe(BrokerId(3), SubscriptionId(1));
   for (std::uint32_t b = 0; b < 4; ++b) {
     EXPECT_FALSE(overlay.broker(BrokerId(b)).table().contains(SubscriptionId(1)));
-    EXPECT_EQ(overlay.broker(BrokerId(b)).matcher().subscription_count(), 0u);
+    EXPECT_EQ(overlay.broker(BrokerId(b)).engine().subscription_count(), 0u);
   }
 
   overlay.network().reset_stats();

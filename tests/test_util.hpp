@@ -12,6 +12,7 @@
 #include "event/schema.hpp"
 #include "subscription/node.hpp"
 #include "subscription/predicate.hpp"
+#include "subscription/subscription.hpp"
 
 namespace dbsp::test {
 
@@ -118,6 +119,45 @@ class MiniDomain {
   std::vector<AttributeId> ids_;
   std::int64_t domain_;
 };
+
+/// A randomly generated subscription corpus with dense ids 0..n-1.
+struct Corpus {
+  std::vector<std::unique_ptr<Subscription>> subs;
+
+  [[nodiscard]] std::vector<Subscription*> pointers() const {
+    std::vector<Subscription*> out;
+    out.reserve(subs.size());
+    for (const auto& s : subs) out.push_back(s.get());
+    return out;
+  }
+};
+
+/// Random corpus of `n` subscriptions over `dom`, each with 1..max_leaves
+/// predicate leaves and NOT nodes with probability `not_prob`.
+[[nodiscard]] inline Corpus make_corpus(const MiniDomain& dom, std::mt19937_64& rng,
+                                        std::size_t n, double not_prob,
+                                        std::size_t max_leaves = 9) {
+  Corpus c;
+  std::uniform_int_distribution<std::size_t> leaves(1, max_leaves);
+  for (std::size_t i = 0; i < n; ++i) {
+    c.subs.push_back(std::make_unique<Subscription>(
+        SubscriptionId(static_cast<SubscriptionId::value_type>(i)),
+        dom.random_tree(rng, leaves(rng), not_prob)));
+  }
+  return c;
+}
+
+/// Deep copy of a corpus (same ids, cloned trees). Needed whenever the same
+/// logical corpus is registered with more than one counting-based matcher,
+/// because a counting matcher stamps its predicate ids into the tree leaves.
+[[nodiscard]] inline Corpus clone_corpus(const Corpus& corpus) {
+  Corpus c;
+  c.subs.reserve(corpus.subs.size());
+  for (const auto& s : corpus.subs) {
+    c.subs.push_back(std::make_unique<Subscription>(s->id(), s->root().clone()));
+  }
+  return c;
+}
 
 /// Set of events matched by a tree — for superset/equivalence assertions.
 [[nodiscard]] inline std::vector<std::size_t> matching_indices(

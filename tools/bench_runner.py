@@ -19,7 +19,7 @@ import subprocess
 import sys
 import time
 
-MICRO_BENCHES = ["micro_filter", "micro_pruning", "micro_selectivity"]
+MICRO_BENCHES = ["micro_filter", "micro_pruning", "micro_selectivity", "micro_sharded"]
 
 # Scaled-down fig1 workload: big enough to exercise the full pipeline
 # (training, pruning grid, filtering), small enough for a CI smoke run.
@@ -72,6 +72,29 @@ def run_micro(binary, quick):
             }
         )
     return out, report.get("context", {})
+
+
+def sharded_speedup(rows):
+    """Summarize the micro_sharded sweep: events/sec per shard count and the
+    speedup of each shard count over the 1-shard baseline. Wall-clock, so the
+    speedup only materializes on multi-core hosts (see host.num_cpus)."""
+    per_shards = {}
+    for row in rows:
+        name = row.get("name", "")
+        if not name.startswith("BM_ShardedMatchBatch/"):
+            continue
+        shards = name.split("/")[1]
+        if shards.isdigit() and row.get("events_per_sec"):
+            per_shards[int(shards)] = row["events_per_sec"]
+    if 1 not in per_shards:
+        return None
+    base = per_shards[1]
+    return {
+        "events_per_sec_by_shards": {str(k): v for k, v in sorted(per_shards.items())},
+        "speedup_over_1_shard": {
+            str(k): round(v / base, 3) for k, v in sorted(per_shards.items())
+        },
+    }
 
 
 def run_fig1(binary):
@@ -138,6 +161,7 @@ def main():
         },
         "mode": "quick" if args.quick else "full",
         "benchmarks": benchmarks,
+        "sharded": sharded_speedup(benchmarks),
         "fig1_smoke": fig1,
     }
     with open(out_path, "w") as f:
