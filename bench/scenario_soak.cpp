@@ -1,0 +1,167 @@
+// Scenario soak bench: runs the ScenarioRunner's standard 4-phase soak
+// (warmup -> churn -> flash crowd -> drain, pruning maintenance on) for
+// every workload domain at the configured shard counts, plus one broker-
+// overlay run per domain, and prints a machine-readable JSON report to
+// stdout (consumed by tools/bench_runner.py into BENCH_scenario.json).
+// Exits non-zero when any run reports an oracle mismatch, so CI can gate
+// on delivery exactness.
+//
+// Knobs: DBSP_SCENARIO_SUBS (default 1500), DBSP_SCENARIO_EVENTS (events
+// per phase, default 1000), DBSP_SCENARIO_SHARDS (csv, default "1,4"),
+// DBSP_SCENARIO_BROKERS (overlay size, 0 skips the overlay run, default 3),
+// DBSP_SCENARIO_DOMAINS (csv, default all), DBSP_SCENARIO_DRIFT (drift
+// threshold, default 200), DBSP_SCENARIO_CHECK_EVERY (centralized oracle
+// sampling, default 7).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "scenario/scenario_runner.hpp"
+
+namespace {
+
+using namespace dbsp;
+
+std::vector<std::string> split_csv(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  std::string s = (raw != nullptr && *raw != '\0') ? raw : fallback;
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::string item = s.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+void print_phase(const ScenarioPhaseReport& p, bool last) {
+  std::printf(
+      "        {\"name\": \"%s\", \"events\": %zu, \"subscribes\": %zu, "
+      "\"unsubscribes\": %zu, \"prunings\": %zu, \"drift_retrains\": %zu, "
+      "\"live_subscriptions\": %zu, \"associations\": %zu, \"matches\": %llu, "
+      "\"oracle_checked\": %zu, \"oracle_mismatches\": %zu, "
+      "\"match_seconds\": %.6f, \"wall_seconds\": %.6f}%s\n",
+      p.name.c_str(), p.events, p.subscribes, p.unsubscribes, p.prunings,
+      p.drift_retrains, p.live_subscriptions, p.associations,
+      static_cast<unsigned long long>(p.matches), p.oracle_checked,
+      p.oracle_mismatches, p.match_seconds, p.wall_seconds, last ? "" : ",");
+}
+
+void print_run(const ScenarioReport& r, bool last) {
+  const double match_s = r.total_match_seconds();
+  const double wall_s = r.total_wall_seconds();
+  const double events_per_sec =
+      match_s > 0.0 ? static_cast<double>(r.total_events()) / match_s : 0.0;
+  const double churn_per_sec =
+      wall_s > 0.0 ? static_cast<double>(r.total_churn_ops()) / wall_s : 0.0;
+  std::printf("    {\n");
+  std::printf("      \"domain\": \"%s\", \"mode\": \"%s\", \"shards\": %zu,\n",
+              r.domain.c_str(), r.mode.c_str(), r.shards);
+  std::printf("      \"exact\": %s, \"oracle_mismatches\": %zu,\n",
+              r.exact() ? "true" : "false", r.total_mismatches());
+  std::printf("      \"events\": %zu, \"churn_ops\": %zu,\n", r.total_events(),
+              r.total_churn_ops());
+  std::printf("      \"events_per_sec\": %.1f, \"churn_ops_per_sec\": %.1f,\n",
+              events_per_sec, churn_per_sec);
+  std::printf(
+      "      \"maintenance\": {\"admissions\": %llu, \"releases\": %llu, "
+      "\"queue_compactions\": %llu, \"full_rescores\": %llu},\n",
+      static_cast<unsigned long long>(r.maintenance.admissions),
+      static_cast<unsigned long long>(r.maintenance.releases),
+      static_cast<unsigned long long>(r.maintenance.queue_compactions),
+      static_cast<unsigned long long>(r.maintenance.full_rescores));
+  std::printf("      \"phases\": [\n");
+  for (std::size_t i = 0; i < r.phases.size(); ++i) {
+    print_phase(r.phases[i], i + 1 == r.phases.size());
+  }
+  std::printf("      ]\n    }%s\n", last ? "" : ",");
+}
+
+}  // namespace
+
+int main() {
+  const auto subs = static_cast<std::size_t>(env_int("DBSP_SCENARIO_SUBS", 1500));
+  const auto events = static_cast<std::size_t>(env_int("DBSP_SCENARIO_EVENTS", 1000));
+  const auto brokers = static_cast<std::size_t>(env_int("DBSP_SCENARIO_BROKERS", 3));
+  const auto drift = static_cast<std::size_t>(env_int("DBSP_SCENARIO_DRIFT", 200));
+  const auto check_every =
+      static_cast<std::size_t>(env_int("DBSP_SCENARIO_CHECK_EVERY", 7));
+  const auto domains = split_csv("DBSP_SCENARIO_DOMAINS", "auction,stock,iot");
+  std::vector<std::size_t> shard_counts;
+  for (const auto& s : split_csv("DBSP_SCENARIO_SHARDS", "1,4")) {
+    // Fail loudly on malformed entries: silently coercing "x4" to 0 would
+    // drop the multi-shard coverage this knob exists for.
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0' || n == 0) {
+      std::fprintf(stderr, "[scenario_soak] bad DBSP_SCENARIO_SHARDS entry: '%s'\n",
+                   s.c_str());
+      return 2;
+    }
+    shard_counts.push_back(static_cast<std::size_t>(n));
+  }
+
+  for (const auto& name : domains) {
+    const auto& known = workload_names();
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      std::fprintf(stderr, "[scenario_soak] bad DBSP_SCENARIO_DOMAINS entry: '%s'\n",
+                   name.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<ScenarioReport> reports;
+  for (const auto& name : domains) {
+    const auto domain = make_workload(name);
+    for (const std::size_t shards : shard_counts) {
+      ScenarioConfig config = ScenarioConfig::soak(subs, events);
+      config.shards = shards;
+      config.drift_threshold = drift;
+      config.check_every = check_every;
+      std::fprintf(stderr, "[scenario_soak] %s centralized N=%zu ...\n",
+                   name.c_str(), shards);
+      reports.push_back(ScenarioRunner(*domain, config).run());
+    }
+    if (brokers > 0) {
+      // Overlay exactness check at a reduced scale: every publish floods
+      // the line to quiescence, so per-event cost is brokers x higher.
+      ScenarioConfig config = ScenarioConfig::soak(subs / 2, events / 2);
+      config.brokers = brokers;
+      config.shards = shard_counts.front();
+      config.drift_threshold = drift;
+      std::fprintf(stderr, "[scenario_soak] %s overlay B=%zu ...\n", name.c_str(),
+                   brokers);
+      reports.push_back(ScenarioRunner(*domain, config).run());
+    }
+  }
+
+  bool exact = true;
+  for (const auto& r : reports) exact = exact && r.exact();
+
+  std::printf("{\n  \"schema_version\": 1,\n");
+  std::printf(
+      "  \"config\": {\"subs\": %zu, \"events_per_phase\": %zu, \"brokers\": %zu, "
+      "\"drift_threshold\": %zu, \"check_every\": %zu},\n",
+      subs, events, brokers, drift, check_every);
+  std::printf("  \"exact\": %s,\n", exact ? "true" : "false");
+  std::printf("  \"runs\": [\n");
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    print_run(reports[i], i + 1 == reports.size());
+  }
+  std::printf("  ]\n}\n");
+
+  if (!exact) {
+    std::fprintf(stderr, "[scenario_soak] ORACLE MISMATCH — delivery not exact\n");
+    return 1;
+  }
+  std::fprintf(stderr, "[scenario_soak] all %zu runs exact\n", reports.size());
+  return 0;
+}

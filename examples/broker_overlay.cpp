@@ -12,7 +12,7 @@
 
 #include "broker/overlay.hpp"
 #include "common/env.hpp"
-#include "core/sharded_engine.hpp"
+#include "core/pruning_set.hpp"
 #include "selectivity/estimator.hpp"
 #include "selectivity/stats.hpp"
 #include "workload/event_gen.hpp"
@@ -69,16 +69,22 @@ int main() {
               overlay.broker(BrokerId(0)).engine().shard_count());
   PruneEngineConfig config;
   config.dimension = PruneDimension::NetworkLoad;
+  std::vector<std::unique_ptr<ShardedPruningSet>> sets;
   for (std::size_t b = 0; b < kBrokers; ++b) {
     Broker& broker = overlay.broker(BrokerId(static_cast<BrokerId::value_type>(b)));
-    auto engines = make_sharded_pruning_engines(
-        broker.engine(), estimator, config, broker.remote_subscriptions());
-    for (auto& engine : engines) {
-      engine->prune(engine->total_possible() * 3 / 5);
-    }
+    sets.push_back(std::make_unique<ShardedPruningSet>(
+        broker.engine(), estimator, config, broker.remote_subscriptions()));
+    // Attached: later unsubscribes would release pruning state automatically.
+    broker.set_pruning(sets.back().get());
+    sets.back()->prune_to_fraction(0.6);
   }
 
   publish_all();
+  // Done with pruning: detach before `sets` goes out of scope so no broker
+  // keeps a dangling pointer.
+  for (std::size_t b = 0; b < kBrokers; ++b) {
+    overlay.broker(BrokerId(static_cast<BrokerId::value_type>(b))).set_pruning(nullptr);
+  }
   std::printf("pruned 60%%:  %llu notifications, %llu event messages, %zu remote assoc.\n",
               static_cast<unsigned long long>(overlay.total_notifications()),
               static_cast<unsigned long long>(overlay.network().total().event_messages),

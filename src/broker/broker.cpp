@@ -2,10 +2,13 @@
 
 #include <algorithm>
 
+#include "core/pruning_set.hpp"
+
 namespace dbsp {
 
-Broker::Broker(BrokerId id, const Schema& schema, SimulatedNetwork& net)
-    : id_(id), net_(&net), engine_(schema) {}
+Broker::Broker(BrokerId id, const Schema& schema, SimulatedNetwork& net,
+               ShardedEngineOptions engine_options)
+    : id_(id), net_(&net), engine_(schema, engine_options) {}
 
 void Broker::subscribe_local(SubscriptionId id, ClientId client,
                              std::unique_ptr<Node> tree) {
@@ -32,7 +35,10 @@ void Broker::unsubscribe_local(SubscriptionId id) {
   if (existing == nullptr || !existing->local) {
     throw std::invalid_argument("broker: unsubscribe of unknown or non-local subscription");
   }
-  // Engine first: its removal reads the Subscription the table entry owns.
+  // Pruning set first (local entries are never tracked, so this is a
+  // no-op here, but keeps the release-before-engine-removal invariant),
+  // then engine: its removal reads the Subscription the table entry owns.
+  if (pruning_ != nullptr) pruning_->remove(id);
   engine_.remove(id);
   table_.remove(id);
   Message m;
@@ -56,12 +62,14 @@ void Broker::handle(BrokerId from, const Message& message) {
       Subscription& sub =
           table_.add_remote(message.sub_id, from, message.sub_tree->clone());
       engine_.add(sub);
+      if (pruning_ != nullptr) pruning_->add(sub);  // incremental admission
       forward_subscription(from, message.sub_id, message.sub_tree);
       break;
     }
     case Message::Type::Unsubscribe: {
       auto entry = table_.remove(message.sub_id);
       if (entry) {
+        if (pruning_ != nullptr) pruning_->remove(message.sub_id);
         engine_.remove(message.sub_id);
         Message m;
         m.type = Message::Type::Unsubscribe;

@@ -11,14 +11,17 @@
 
 namespace dbsp {
 
+class ShardedPruningSet;
+
 /// A content-based broker: routing table + sharded counting-matcher engine
 /// + forwarding logic over the simulated network (subscription-forwarding
 /// routing on an acyclic overlay, §2.1).
 ///
 /// The filter table is a ShardedEngine over counting matchers; the shard
-/// count comes from DBSP_SHARDS (default: hardware concurrency). Callers
-/// running a PruningEngine over this broker's entries must build one per
-/// shard — see make_sharded_pruning_engines().
+/// count comes from `engine_options` (default: DBSP_SHARDS / hardware
+/// concurrency). Callers running pruning over this broker's entries build
+/// a ShardedPruningSet over engine() and attach it with set_pruning(), and
+/// the broker then keeps per-shard pruning state in sync under churn.
 ///
 /// Notifications are decided by *local* entries, which stay unpruned, so
 /// end-to-end delivery is exact regardless of how remote entries were
@@ -26,7 +29,8 @@ namespace dbsp {
 /// next broker post-filters.
 class Broker {
  public:
-  Broker(BrokerId id, const Schema& schema, SimulatedNetwork& net);
+  Broker(BrokerId id, const Schema& schema, SimulatedNetwork& net,
+         ShardedEngineOptions engine_options = {});
 
   Broker(const Broker&) = delete;
   Broker& operator=(const Broker&) = delete;
@@ -37,8 +41,8 @@ class Broker {
 
   /// Cancels a local client's subscription and floods the unsubscription.
   /// No specialized handling vs un-optimized routing is needed (§2.2):
-  /// every broker simply drops its (possibly pruned) entry. Callers owning
-  /// PruningEngines over remote entries must unregister the id there too.
+  /// every broker simply drops its (possibly pruned) entry, and an
+  /// attached pruning set is released automatically.
   void unsubscribe_local(SubscriptionId id);
 
   /// Publishes an event received from a directly connected publisher.
@@ -57,6 +61,15 @@ class Broker {
 
   /// Remote (prunable) subscriptions — the pruning engine's inputs.
   [[nodiscard]] std::vector<Subscription*> remote_subscriptions();
+
+  /// Attaches the pruning set covering this broker's remote entries (or
+  /// nullptr to detach). While attached, the broker keeps it in sync under
+  /// churn: remote subscriptions arriving via the overlay are admitted and
+  /// unsubscriptions released automatically — the former unsubscribe
+  /// footgun (leaked pruning-queue state) is gone. The set must be built
+  /// over this broker's engine() and outlive the attachment.
+  void set_pruning(ShardedPruningSet* set) { pruning_ = set; }
+  [[nodiscard]] ShardedPruningSet* pruning() { return pruning_; }
 
   /// Predicate/subscription associations contributed by remote entries
   /// (the distributed memory metric, Fig. 1(f)).
@@ -88,6 +101,7 @@ class Broker {
   SimulatedNetwork* net_;
   RoutingTable table_;
   ShardedEngine engine_;
+  ShardedPruningSet* pruning_ = nullptr;
 
   Stopwatch filter_time_;
   std::uint64_t notifications_ = 0;

@@ -18,7 +18,8 @@ Overlay::Topology Overlay::star(std::size_t brokers) {
 }
 
 Overlay::Overlay(const Schema& schema, std::size_t brokers, const Topology& topology,
-                 SimulatedNetwork::Config net_config)
+                 SimulatedNetwork::Config net_config,
+                 ShardedEngineOptions engine_options)
     : net_(brokers, net_config) {
   if (brokers == 0) throw std::invalid_argument("overlay: no brokers");
   // A forest on n nodes has fewer than n edges; with connectivity implied
@@ -29,7 +30,7 @@ Overlay::Overlay(const Schema& schema, std::size_t brokers, const Topology& topo
   brokers_.reserve(brokers);
   for (std::size_t i = 0; i < brokers; ++i) {
     brokers_.push_back(std::make_unique<Broker>(
-        BrokerId(static_cast<BrokerId::value_type>(i)), schema, net_));
+        BrokerId(static_cast<BrokerId::value_type>(i)), schema, net_, engine_options));
   }
   for (const auto& [a, b] : topology) {
     net_.connect(BrokerId(static_cast<BrokerId::value_type>(a)),

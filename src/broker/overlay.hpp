@@ -23,8 +23,11 @@ class Overlay {
   /// One center connected to all others.
   [[nodiscard]] static Topology star(std::size_t brokers);
 
+  /// `engine_options` configures every broker's sharded matching engine
+  /// (default: auto shard count from DBSP_SHARDS / hardware concurrency).
   Overlay(const Schema& schema, std::size_t brokers, const Topology& topology,
-          SimulatedNetwork::Config net_config = {});
+          SimulatedNetwork::Config net_config = {},
+          ShardedEngineOptions engine_options = {});
 
   /// Registers a client subscription at `at` and floods it through the
   /// overlay (subscription forwarding) until quiescence.

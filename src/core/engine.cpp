@@ -15,18 +15,60 @@ void PruningEngine::register_subscription(Subscription& sub) {
   SubState state;
   state.sub = &sub;
   state.original = scorer_.profile(sub.root());
-  total_possible_ += internal_prunings(sub.root());
+  state.capacity = internal_prunings(sub.root());
+  total_possible_ += state.capacity;
   auto [it, inserted] = subs_.emplace(sub.id().value(), std::move(state));
   (void)inserted;
   push_best_candidate(it->second);
+  ++maintenance_.admissions;
+  ++mutations_since_rescore_;
 }
 
 void PruningEngine::unregister_subscription(SubscriptionId id) {
-  // Queue entries for this subscription die lazily on pop.
-  subs_.erase(id.value());
+  auto it = subs_.find(id.value());
+  if (it == subs_.end()) return;
+  total_possible_ -= it->second.capacity;
+  performed_ -= it->second.performed;
+  // The subscription's queue entry (at most one; none if it had no
+  // candidates or was pruned to exhaustion) dies lazily on pop or in the
+  // next compaction sweep.
+  if (it->second.queued) ++dead_entries_;
+  subs_.erase(it);
+  ++maintenance_.releases;
+  ++mutations_since_rescore_;
+  maybe_compact();
 }
 
-void PruningEngine::push_best_candidate(const SubState& state) {
+void PruningEngine::maybe_compact() {
+  // Sweep only once dead entries dominate: amortized O(1) per release and
+  // the queue never holds more than ~2x live entries.
+  constexpr std::size_t kMinDead = 32;
+  if (dead_entries_ < kMinDead || dead_entries_ * 2 < queue_.size()) return;
+  std::vector<QueueEntry> live;
+  live.reserve(queue_.size());
+  while (!queue_.empty()) {
+    const QueueEntry& top = queue_.top();
+    auto it = subs_.find(top.sub.value());
+    if (it != subs_.end() && top.generation == it->second.sub->generation()) {
+      live.push_back(top);
+    }
+    queue_.pop();
+  }
+  queue_ = decltype(queue_)(Compare{}, std::move(live));
+  dead_entries_ = 0;
+  ++maintenance_.queue_compactions;
+}
+
+void PruningEngine::rescore_all() {
+  queue_ = decltype(queue_){};
+  dead_entries_ = 0;
+  for (auto& [id, state] : subs_) push_best_candidate(state);
+  mutations_since_rescore_ = 0;
+  ++maintenance_.full_rescores;
+}
+
+void PruningEngine::push_best_candidate(SubState& state) {
+  state.queued = false;
   const auto order = config_.effective_order();
   const auto candidates = enumerate_prunings(state.sub->root(), config_.bottom_up);
   if (candidates.empty()) return;
@@ -47,6 +89,7 @@ void PruningEngine::push_best_candidate(const SubState& state) {
   best.generation = state.sub->generation();
   best.seq = next_seq_++;
   queue_.push(std::move(best));
+  state.queued = true;
 }
 
 bool PruningEngine::prune_one() {
@@ -54,13 +97,17 @@ bool PruningEngine::prune_one() {
     QueueEntry top = queue_.top();
     queue_.pop();
     auto it = subs_.find(top.sub.value());
-    if (it == subs_.end()) continue;                              // unregistered
+    if (it == subs_.end()) {                                      // released
+      if (dead_entries_ > 0) --dead_entries_;
+      continue;
+    }
     if (top.generation != it->second.sub->generation()) continue; // stale
     apply_pruning(*it->second.sub, top.path);
     if (matcher_ != nullptr && matcher_->contains(top.sub)) {
       matcher_->reindex(*it->second.sub);
     }
     ++performed_;
+    ++it->second.performed;
     history_.push_back({top.sub, top.scores});
     push_best_candidate(it->second);
     return true;
@@ -79,6 +126,7 @@ std::optional<double> PruningEngine::next_primary_rating() {
     const QueueEntry& top = queue_.top();
     auto it = subs_.find(top.sub.value());
     if (it == subs_.end() || top.generation != it->second.sub->generation()) {
+      if (it == subs_.end() && dead_entries_ > 0) --dead_entries_;
       queue_.pop();  // stale; discard and keep looking
       continue;
     }

@@ -44,9 +44,17 @@ struct PruneEngineConfig {
 /// scheme of §3.4. Stale queue entries (from superseded generations) are
 /// skipped lazily.
 ///
+/// Churn is incremental by design: register_subscription() admits one
+/// subscription by scoring only its own candidates (one queue push, no
+/// rebuild), and unregister_subscription() releases in O(1) plus a lazy
+/// queue sweep once dead entries pile up. The only full re-scoring path is
+/// rescore_all(), fired deliberately by the drift trigger after the
+/// selectivity statistics were retrained — never by plain churn
+/// (maintenance() counts both so tests can prove it).
+///
 /// Not thread-safe: all members mutate engine, subscription, or matcher
 /// state and require external synchronization. Under the sharded engine,
-/// run one PruningEngine per shard (make_sharded_pruning_engines); engines
+/// run one PruningEngine per shard (ShardedPruningSet); engines
 /// of different shards touch disjoint subscriptions and matchers, so they
 /// may safely run on different threads.
 class PruningEngine {
@@ -56,10 +64,20 @@ class PruningEngine {
                 CountingMatcher* matcher = nullptr);
 
   /// Registers a subscription in its *unpruned* state: captures the Δ≈sel /
-  /// Δ≈eff baseline, the total pruning capacity, and queues the best
-  /// candidate. The subscription must outlive the engine.
+  /// Δ≈eff baseline, the subscription's pruning capacity, and queues the
+  /// best candidate — O(candidates of this subscription), independent of
+  /// how many subscriptions are already registered. The subscription must
+  /// outlive the engine.
   void register_subscription(Subscription& sub);
+  /// Releases a subscription: capacity and performed-pruning accounting are
+  /// rolled back and its queue entry dies lazily (swept by the next
+  /// compaction). Unknown ids are ignored, so unsubscribe paths can call
+  /// this unconditionally.
   void unregister_subscription(SubscriptionId id);
+  [[nodiscard]] bool contains(SubscriptionId id) const {
+    return subs_.count(id.value()) != 0;
+  }
+  [[nodiscard]] std::size_t subscription_count() const { return subs_.size(); }
 
   /// Performs the globally most effective pruning. Returns false when no
   /// valid pruning remains ("any other pruning removes a complete
@@ -74,10 +92,52 @@ class PruningEngine {
   /// Δ≈eff >= budget (throughput). Returns the number performed.
   std::size_t prune_until(double budget);
 
-  /// Σ over subscriptions of their pruning capacity a(root) — the paper's
-  /// x-axis denominator. Fixed at registration time.
+  /// Σ over *currently registered* subscriptions of their pruning capacity
+  /// a(root) — the paper's x-axis denominator. Capacity is captured at
+  /// registration time and rolled back when a subscription is released, so
+  /// under churn the denominator tracks the live population.
   [[nodiscard]] std::size_t total_possible() const { return total_possible_; }
+  /// Prunings performed on currently registered subscriptions (prunings of
+  /// since-released subscriptions are rolled back with their capacity).
   [[nodiscard]] std::size_t performed() const { return performed_; }
+
+  // --- Adaptive maintenance (churn + drift) -------------------------------
+
+  /// Counters proving the engine's maintenance behavior under churn:
+  /// admissions/releases are incremental; full_rescores only ever moves on
+  /// rescore_all() (the drift path); queue_compactions are lazy dead-entry
+  /// sweeps that re-score nothing.
+  struct MaintenanceCounters {
+    std::uint64_t admissions = 0;
+    std::uint64_t releases = 0;
+    std::uint64_t queue_compactions = 0;
+    std::uint64_t full_rescores = 0;
+  };
+  [[nodiscard]] const MaintenanceCounters& maintenance() const { return maintenance_; }
+
+  /// Arms the drift trigger: after `mutations` register/unregister calls
+  /// the engine reports drift_pending(), asking its owner to retrain the
+  /// selectivity statistics and call rescore_all(). 0 disarms the trigger.
+  /// Resets the mutation counter so an initial bulk load does not count.
+  void set_drift_threshold(std::size_t mutations) {
+    drift_threshold_ = mutations;
+    mutations_since_rescore_ = 0;
+  }
+  [[nodiscard]] std::size_t drift_threshold() const { return drift_threshold_; }
+  [[nodiscard]] std::size_t mutations_since_rescore() const {
+    return mutations_since_rescore_;
+  }
+  [[nodiscard]] bool drift_pending() const {
+    return drift_threshold_ > 0 && mutations_since_rescore_ >= drift_threshold_;
+  }
+
+  /// Re-scores every registered subscription's best candidate against the
+  /// estimator's *current* values and rebuilds the queue. This is the one
+  /// full-rebuild path, meant to run after the backing EventStats were
+  /// retrained (the estimator holds them by reference, so retraining
+  /// propagates without rewiring). Baselines (OriginalProfile) deliberately
+  /// stay as captured at registration.
+  void rescore_all();
 
   /// Best candidate currently queued for a subscription (for tests).
   [[nodiscard]] std::optional<PruneScores> peek_best(SubscriptionId id) const;
@@ -117,11 +177,17 @@ class PruningEngine {
   struct SubState {
     Subscription* sub = nullptr;
     OriginalProfile original;
+    std::size_t capacity = 0;   ///< pruning capacity captured at registration
+    std::size_t performed = 0;  ///< prunings applied to this subscription
+    bool queued = false;        ///< has a (single) live entry in queue_
   };
 
   /// Scores all valid candidates of `state.sub`'s current tree and pushes
-  /// the best one (if any).
-  void push_best_candidate(const SubState& state);
+  /// the best one (if any); maintains state.queued.
+  void push_best_candidate(SubState& state);
+  /// Sweeps dead queue entries (released subscriptions) once they dominate
+  /// the queue. Filters and re-heapifies; re-scores nothing.
+  void maybe_compact();
 
   PruneEngineConfig config_;
   HeuristicScorer scorer_;
@@ -132,6 +198,11 @@ class PruningEngine {
   std::size_t total_possible_ = 0;
   std::size_t performed_ = 0;
   std::uint64_t next_seq_ = 0;
+
+  MaintenanceCounters maintenance_;
+  std::size_t dead_entries_ = 0;  ///< upper bound on released entries in queue_
+  std::size_t drift_threshold_ = 0;
+  std::size_t mutations_since_rescore_ = 0;
 };
 
 }  // namespace dbsp

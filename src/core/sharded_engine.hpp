@@ -152,6 +152,10 @@ class ShardedEngine {
 /// with the engine owning its shard. Pruning each engine to a fraction of
 /// its own capacity approximates the global priority-queue schedule while
 /// keeping all index maintenance shard-local.
+///
+/// Most callers want the ShardedPruningSet wrapper (core/pruning_set.hpp),
+/// which owns these engines and routes unregister_subscription to the
+/// owning shard — raw use leaves unsubscribe routing to the caller.
 [[nodiscard]] std::vector<std::unique_ptr<PruningEngine>> make_sharded_pruning_engines(
     ShardedEngine& engine, const SelectivityEstimator& estimator,
     const PruneEngineConfig& config, const std::vector<Subscription*>& subs);

@@ -4,7 +4,7 @@
 #include <memory>
 
 #include "common/timer.hpp"
-#include "core/sharded_engine.hpp"
+#include "core/pruning_set.hpp"
 #include "selectivity/estimator.hpp"
 #include "selectivity/stats.hpp"
 #include "workload/event_gen.hpp"
@@ -53,21 +53,16 @@ CentralizedResult run_centralized(const CentralizedConfig& config,
   prune_config.order = config.tie_break_order;
   // One pruning queue per shard, each pruned to the requested fraction of
   // its own capacity (with shards == 1 this is the paper's global queue).
-  auto pruners =
-      make_sharded_pruning_engines(engine, estimator, prune_config, sub_ptrs);
+  ShardedPruningSet pruning(engine, estimator, prune_config, sub_ptrs);
 
   CentralizedResult result;
   result.dimension = dimension;
-  for (const auto& p : pruners) result.total_possible_prunings += p->total_possible();
+  result.total_possible_prunings = pruning.total_possible();
   const double baseline_assocs = static_cast<double>(engine.association_count());
 
   std::vector<std::vector<SubscriptionId>> batch_results;
   for (const double fraction : config.fractions) {
-    for (auto& pruner : pruners) {
-      const auto target = static_cast<std::size_t>(
-          std::llround(fraction * static_cast<double>(pruner->total_possible())));
-      if (target > pruner->performed()) pruner->prune(target - pruner->performed());
-    }
+    pruning.prune_to_fraction(fraction);
 
     // Warm up caches/branch predictors so the first sampled fraction is
     // not penalized relative to later ones.
@@ -82,7 +77,7 @@ CentralizedResult run_centralized(const CentralizedConfig& config,
 
     CentralizedPoint p;
     p.fraction = fraction;
-    for (const auto& pruner : pruners) p.prunings_performed += pruner->performed();
+    p.prunings_performed = pruning.performed();
     p.filter_time_per_event =
         config.events == 0 ? 0.0 : watch.seconds() / static_cast<double>(config.events);
     const auto counters = engine.counters();

@@ -5,7 +5,7 @@
 #include <stdexcept>
 
 #include "broker/overlay.hpp"
-#include "core/sharded_engine.hpp"
+#include "core/pruning_set.hpp"
 #include "selectivity/estimator.hpp"
 #include "selectivity/stats.hpp"
 #include "workload/event_gen.hpp"
@@ -36,17 +36,19 @@ DistributedResult run_distributed(const DistributedConfig& config,
   stats.finalize();
   const SelectivityEstimator estimator(stats);
 
-  // One engine per (broker, shard) over the broker's remote routing entries
-  // (§2.2: pruning applies only to subscriptions from non-local clients).
+  // One pruning set per broker (one queue per shard inside) over the
+  // broker's remote routing entries (§2.2: pruning applies only to
+  // subscriptions from non-local clients). Attached so any churn would
+  // stay in sync; the sweep itself is static.
   PruneEngineConfig engine_config;
   engine_config.dimension = dimension;
   engine_config.bottom_up = config.bottom_up;
-  std::vector<std::unique_ptr<PruningEngine>> engines;
+  std::vector<std::unique_ptr<ShardedPruningSet>> sets;
   for (std::size_t b = 0; b < config.brokers; ++b) {
     Broker& broker = overlay.broker(BrokerId(static_cast<BrokerId::value_type>(b)));
-    auto broker_engines = make_sharded_pruning_engines(
-        broker.engine(), estimator, engine_config, broker.remote_subscriptions());
-    for (auto& engine : broker_engines) engines.push_back(std::move(engine));
+    sets.push_back(std::make_unique<ShardedPruningSet>(
+        broker.engine(), estimator, engine_config, broker.remote_subscriptions()));
+    broker.set_pruning(sets.back().get());
   }
 
   AuctionEventGenerator event_gen(domain, /*stream=*/2);
@@ -54,16 +56,12 @@ DistributedResult run_distributed(const DistributedConfig& config,
 
   DistributedResult result;
   result.dimension = dimension;
-  for (const auto& e : engines) result.total_possible_prunings += e->total_possible();
+  for (const auto& s : sets) result.total_possible_prunings += s->total_possible();
   const std::size_t baseline_remote_assocs = overlay.total_remote_associations();
 
   std::uint64_t baseline_event_messages = 0;
   for (const double fraction : config.fractions) {
-    for (auto& engine : engines) {
-      const auto target = static_cast<std::size_t>(
-          std::llround(fraction * static_cast<double>(engine->total_possible())));
-      if (target > engine->performed()) engine->prune(target - engine->performed());
-    }
+    for (auto& set : sets) set->prune_to_fraction(fraction);
 
     // Warm-up pass (not measured) so the first sampled fraction is not
     // penalized by cold caches.
@@ -81,7 +79,7 @@ DistributedResult run_distributed(const DistributedConfig& config,
 
     DistributedPoint p;
     p.fraction = fraction;
-    for (const auto& e : engines) p.prunings_performed += e->performed();
+    for (const auto& s : sets) p.prunings_performed += s->performed();
     p.filter_time_per_event =
         events.empty() ? 0.0
                        : overlay.total_filter_seconds() / static_cast<double>(events.size());
@@ -108,6 +106,11 @@ DistributedResult run_distributed(const DistributedConfig& config,
                       static_cast<double>(baseline_event_messages) -
                   1.0;
     result.points.push_back(p);
+  }
+  // `sets` dies before the overlay: detach so no broker keeps a dangling
+  // pruning pointer.
+  for (std::size_t b = 0; b < config.brokers; ++b) {
+    overlay.broker(BrokerId(static_cast<BrokerId::value_type>(b))).set_pruning(nullptr);
   }
   return result;
 }

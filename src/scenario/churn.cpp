@@ -1,0 +1,36 @@
+#include "scenario/churn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dbsp {
+
+ChurnProcess::ChurnProcess(ChurnConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed * 0x94d049bb133111ebULL + 601) {}
+
+std::size_t ChurnProcess::poisson(double lambda) {
+  // Knuth's product method; rates here are a handful per tick at most.
+  if (lambda <= 0.0) return 0;
+  const double limit = std::exp(-lambda);
+  double p = 1.0;
+  std::size_t k = 0;
+  do {
+    ++k;
+    p *= rng_.uniform_real(0.0, 1.0);
+  } while (p > limit);
+  return k - 1;
+}
+
+std::size_t ChurnProcess::arrivals() { return poisson(config_.arrival_rate); }
+
+std::size_t ChurnProcess::departures() { return poisson(config_.departure_rate); }
+
+std::size_t ChurnProcess::pick_victim(std::size_t live) {
+  const double bias = std::max(1.0, config_.departure_recency_bias);
+  const double u = rng_.uniform_real(0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(
+      static_cast<double>(live) * std::pow(u, bias));
+  return std::min(idx, live - 1);
+}
+
+}  // namespace dbsp

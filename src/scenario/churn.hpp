@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file
+/// The subscription churn model: seeded stochastic arrival/departure
+/// processes that the ScenarioRunner interleaves with event publication.
+/// Interest skew lives in the workload domains (their Zipf pools);
+/// the churn model decides *how many* subscriptions come and go per event
+/// tick and *which* live subscription leaves.
+
+#include <cstdint>
+#include <cstddef>
+
+#include "common/rng.hpp"
+
+namespace dbsp {
+
+/// Rates of one churn regime (one scenario phase).
+struct ChurnConfig {
+  /// Expected subscription arrivals per published event (Poisson).
+  double arrival_rate = 0.0;
+  /// Expected unsubscriptions per published event (Poisson).
+  double departure_rate = 0.0;
+  /// Bias of departure-victim selection toward the *newest* live
+  /// subscriptions — transient interest (a flash crowd) leaves first,
+  /// long-lived sensor monitors stay. 1 = uniform over live subscriptions;
+  /// larger values skew harder toward recent arrivals.
+  double departure_recency_bias = 3.0;
+};
+
+/// A seeded churn process. Deterministic for a given (config, seed) pair.
+class ChurnProcess {
+ public:
+  ChurnProcess(ChurnConfig config, std::uint64_t seed);
+
+  /// Arrivals / departures for the next event tick (independent Poisson
+  /// draws with the configured rates).
+  [[nodiscard]] std::size_t arrivals();
+  [[nodiscard]] std::size_t departures();
+
+  /// Index of the departure victim among `live` subscriptions ordered by
+  /// arrival time, 0 = newest. Power-law skewed toward 0 by
+  /// departure_recency_bias. Precondition: live > 0.
+  [[nodiscard]] std::size_t pick_victim(std::size_t live);
+
+  [[nodiscard]] const ChurnConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] std::size_t poisson(double lambda);
+
+  ChurnConfig config_;
+  Rng rng_;
+};
+
+}  // namespace dbsp

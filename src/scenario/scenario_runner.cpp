@@ -1,0 +1,399 @@
+#include "scenario/scenario_runner.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "broker/overlay.hpp"
+#include "common/timer.hpp"
+#include "selectivity/estimator.hpp"
+#include "selectivity/stats.hpp"
+
+namespace dbsp {
+
+namespace {
+
+/// Minimum rolling-window size worth retraining on; below this the drift
+/// trigger stays pending until more traffic accumulated.
+constexpr std::size_t kMinRetrainSample = 32;
+
+/// Shared drift-maintenance state of both run modes: the trained
+/// EventStats (estimators hold it by reference) plus the rolling window of
+/// recent published events that drift retraining replays.
+class RollingStats {
+ public:
+  RollingStats(const WorkloadDomain& domain, std::size_t training_events,
+               std::size_t window_cap)
+      : stats_(domain.schema()), window_cap_(window_cap) {
+    auto training = domain.events(3);
+    for (std::size_t i = 0; i < training_events; ++i) {
+      stats_.observe(training->next());
+    }
+    stats_.finalize();
+  }
+
+  [[nodiscard]] const EventStats& stats() const { return stats_; }
+
+  void observe(const Event& e) {
+    window_.push_back(e);
+    if (window_.size() > window_cap_) window_.pop_front();
+  }
+
+  /// Retrains in place when drift is pending and the window carries enough
+  /// sample. Returns true when it did (the caller then rescores queues).
+  bool maybe_retrain(bool drift_pending) {
+    if (!drift_pending || window_.size() < kMinRetrainSample) return false;
+    stats_.reset();
+    for (const Event& e : window_) stats_.observe(e);
+    stats_.finalize();
+    return true;
+  }
+
+ private:
+  EventStats stats_;
+  std::deque<Event> window_;
+  std::size_t window_cap_;
+};
+
+/// One churn tick, identical in both run modes: Poisson arrivals admitted
+/// from `arrivals`, recency-biased departures released by index into the
+/// arrival-ordered live population. Counters land in `pr`.
+template <class AdmitFn, class LiveFn, class ReleaseFn>
+void churn_tick(ChurnProcess& churn, SubscriptionSource& arrivals,
+                ScenarioPhaseReport& pr, AdmitFn&& admit, LiveFn&& live,
+                ReleaseFn&& release) {
+  for (std::size_t a = churn.arrivals(); a > 0; --a) {
+    admit(arrivals.next());
+    ++pr.subscribes;
+  }
+  for (std::size_t d = churn.departures(); d > 0 && live() > 0; --d) {
+    const std::size_t from_newest = churn.pick_victim(live());
+    release(live() - 1 - from_newest);
+    ++pr.unsubscribes;
+  }
+}
+
+}  // namespace
+
+ScenarioConfig ScenarioConfig::soak(std::size_t initial_subs,
+                                    std::size_t events_per_phase) {
+  ScenarioConfig c;
+  c.initial_subscriptions = initial_subs;
+  // Churn rates scale with the population so the soak stresses the same
+  // relative turnover at every size.
+  const double unit =
+      std::max(0.25, static_cast<double>(initial_subs) / 1000.0);
+  c.phases = {
+      ScenarioPhase{"warmup", events_per_phase, ChurnConfig{0.05 * unit, 0.05 * unit, 3.0}, false},
+      ScenarioPhase{"churn", events_per_phase, ChurnConfig{0.8 * unit, 0.8 * unit, 3.0}, false},
+      ScenarioPhase{"flash_crowd", events_per_phase, ChurnConfig{2.5 * unit, 0.3 * unit, 2.0}, true},
+      ScenarioPhase{"drain", events_per_phase, ChurnConfig{0.1 * unit, 2.0 * unit, 4.0}, false},
+  };
+  return c;
+}
+
+bool ScenarioReport::exact() const {
+  for (const auto& p : phases) {
+    if (p.oracle_mismatches != 0) return false;
+  }
+  return true;
+}
+
+std::size_t ScenarioReport::total_events() const {
+  std::size_t n = 0;
+  for (const auto& p : phases) n += p.events;
+  return n;
+}
+
+std::size_t ScenarioReport::total_churn_ops() const {
+  std::size_t n = 0;
+  for (const auto& p : phases) n += p.subscribes + p.unsubscribes;
+  return n;
+}
+
+std::size_t ScenarioReport::total_mismatches() const {
+  std::size_t n = 0;
+  for (const auto& p : phases) n += p.oracle_mismatches;
+  return n;
+}
+
+double ScenarioReport::total_match_seconds() const {
+  double s = 0.0;
+  for (const auto& p : phases) s += p.match_seconds;
+  return s;
+}
+
+double ScenarioReport::total_wall_seconds() const {
+  double s = 0.0;
+  for (const auto& p : phases) s += p.wall_seconds;
+  return s;
+}
+
+ScenarioRunner::ScenarioRunner(const WorkloadDomain& domain, ScenarioConfig config)
+    : domain_(&domain), config_(std::move(config)) {}
+
+ScenarioReport ScenarioRunner::run() {
+  return config_.brokers > 0 ? run_overlay() : run_centralized();
+}
+
+ScenarioReport ScenarioRunner::run_centralized() {
+  RollingStats rolling(*domain_, config_.training_events, config_.stats_window);
+  const SelectivityEstimator estimator(rolling.stats());
+
+  ShardedEngineOptions engine_options;
+  engine_options.shards = config_.shards == 0 ? 1 : config_.shards;
+  ShardedEngine engine(domain_->schema(), engine_options);
+
+  PruneEngineConfig prune_config;
+  prune_config.dimension = config_.dimension;
+  std::optional<ShardedPruningSet> pruning;
+  if (config_.pruning) pruning.emplace(engine, estimator, prune_config);
+
+  // Live population in arrival order (ids are assigned monotonically, so
+  // the order is also ascending-id order — what engine.match() returns).
+  std::vector<std::unique_ptr<Subscription>> live;
+  live.reserve(config_.initial_subscriptions * 2);
+  std::uint32_t next_id = 0;
+
+  auto subs_source = domain_->subscriptions(1);
+  auto flash_source = domain_->flash_subscriptions(4);
+  auto admit = [&](std::unique_ptr<Node> tree) {
+    auto sub = std::make_unique<Subscription>(SubscriptionId(next_id++), std::move(tree));
+    engine.add(*sub);
+    if (pruning) pruning->add(*sub);
+    live.push_back(std::move(sub));
+  };
+  auto release = [&](std::size_t idx) {
+    const SubscriptionId id = live[idx]->id();
+    if (pruning) pruning->remove(id);
+    engine.remove(id);
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+  };
+  for (std::size_t i = 0; i < config_.initial_subscriptions; ++i) {
+    admit(subs_source->next());
+  }
+  if (pruning) {
+    pruning->prune_to_fraction(config_.prune_fraction);
+    // Armed only now: the initial bulk load is not churn.
+    pruning->set_drift_threshold(config_.drift_threshold);
+  }
+
+  auto events = domain_->events(2);
+
+  ScenarioReport report;
+  report.domain = std::string(domain_->name());
+  report.mode = "centralized";
+  report.shards = engine.shard_count();
+
+  std::vector<SubscriptionId> matched;
+  std::vector<SubscriptionId> expected;
+  std::size_t phase_index = 0;
+  for (const ScenarioPhase& phase : config_.phases) {
+    ScenarioPhaseReport pr;
+    pr.name = phase.name;
+    pr.events = phase.events;
+    ChurnProcess churn(phase.churn, config_.seed + 97 * ++phase_index);
+    SubscriptionSource& arrivals =
+        phase.flash_crowd ? *flash_source : *subs_source;
+
+    Stopwatch wall;
+    Stopwatch match_watch;
+    wall.start();
+    for (std::size_t ev = 0; ev < phase.events; ++ev) {
+      churn_tick(churn, arrivals, pr, admit, [&] { return live.size(); }, release);
+      if (pruning) {
+        pr.prunings += pruning->prune_to_fraction(config_.prune_fraction);
+        if (rolling.maybe_retrain(pruning->drift_pending())) {
+          pruning->rescore_all();
+          ++pr.drift_retrains;
+        }
+      }
+
+      const Event event = events->next();
+      rolling.observe(event);
+
+      matched.clear();
+      match_watch.start();
+      engine.match(event, matched);
+      match_watch.stop();
+      pr.matches += matched.size();
+
+      if (config_.check_every != 0 && ev % config_.check_every == 0) {
+        ++pr.oracle_checked;
+        expected.clear();
+        for (const auto& s : live) {
+          if (s->matches(event)) expected.push_back(s->id());
+        }
+        if (expected != matched) ++pr.oracle_mismatches;
+      }
+    }
+    wall.stop();
+    pr.live_subscriptions = live.size();
+    pr.associations = engine.association_count();
+    pr.match_seconds = match_watch.seconds();
+    pr.wall_seconds = wall.seconds();
+    report.phases.push_back(std::move(pr));
+  }
+  if (pruning) report.maintenance = pruning->maintenance();
+  return report;
+}
+
+ScenarioReport ScenarioRunner::run_overlay() {
+  const std::size_t brokers = config_.brokers;
+  RollingStats rolling(*domain_, config_.training_events, config_.stats_window);
+  const SelectivityEstimator estimator(rolling.stats());
+
+  ShardedEngineOptions engine_options;
+  engine_options.shards = config_.shards == 0 ? 1 : config_.shards;
+  Overlay overlay(domain_->schema(), brokers, Overlay::line(brokers), {},
+                  engine_options);
+  overlay.set_record_notifications(true);
+
+  // Live population (arrival order) with each subscription's home broker
+  // and an unpruned oracle copy of its tree. Local entries are never
+  // pruned, so delivery must match the oracle exactly (paper §2.2).
+  struct LiveSub {
+    SubscriptionId id;
+    BrokerId home;
+    std::unique_ptr<Node> oracle_tree;
+  };
+  std::vector<LiveSub> live;
+  std::uint32_t next_id = 0;
+
+  auto subs_source = domain_->subscriptions(1);
+  auto flash_source = domain_->flash_subscriptions(4);
+  auto admit = [&](std::unique_ptr<Node> tree) {
+    const SubscriptionId id(next_id);
+    const BrokerId home(static_cast<BrokerId::value_type>(next_id % brokers));
+    ++next_id;
+    std::unique_ptr<Node> oracle = tree->clone();
+    overlay.subscribe(home, ClientId(id.value()), id, std::move(tree));
+    live.push_back(LiveSub{id, home, std::move(oracle)});
+  };
+  auto release = [&](std::size_t idx) {
+    overlay.unsubscribe(live[idx].home, live[idx].id);
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+  };
+  for (std::size_t i = 0; i < config_.initial_subscriptions; ++i) {
+    admit(subs_source->next());
+  }
+
+  // One pruning set per broker over its remote entries, attached to the
+  // broker so churn stays in sync automatically.
+  PruneEngineConfig prune_config;
+  prune_config.dimension = config_.dimension;
+  std::vector<std::unique_ptr<ShardedPruningSet>> sets;
+  if (config_.pruning) {
+    for (std::size_t b = 0; b < brokers; ++b) {
+      Broker& broker = overlay.broker(BrokerId(static_cast<BrokerId::value_type>(b)));
+      sets.push_back(std::make_unique<ShardedPruningSet>(
+          broker.engine(), estimator, prune_config, broker.remote_subscriptions()));
+      sets.back()->prune_to_fraction(config_.prune_fraction);
+      sets.back()->set_drift_threshold(config_.drift_threshold);
+      broker.set_pruning(sets.back().get());
+    }
+  }
+
+  auto events = domain_->events(2);
+
+  ScenarioReport report;
+  report.domain = std::string(domain_->name());
+  report.mode = "overlay";
+  report.shards = engine_options.shards;
+
+  std::size_t phase_index = 0;
+  for (const ScenarioPhase& phase : config_.phases) {
+    ScenarioPhaseReport pr;
+    pr.name = phase.name;
+    pr.events = phase.events;
+    ChurnProcess churn(phase.churn, config_.seed + 97 * ++phase_index);
+    SubscriptionSource& arrivals =
+        phase.flash_crowd ? *flash_source : *subs_source;
+
+    // seq -> expected sorted subscriber ids, computed at publish time from
+    // the oracle trees of the then-live population.
+    std::map<std::uint64_t, std::vector<SubscriptionId>> expected;
+
+    Stopwatch wall;
+    wall.start();
+    for (std::size_t ev = 0; ev < phase.events; ++ev) {
+      churn_tick(churn, arrivals, pr, admit, [&] { return live.size(); }, release);
+      if (!sets.empty()) {
+        bool drift = false;
+        for (const auto& set : sets) {
+          pr.prunings += set->prune_to_fraction(config_.prune_fraction);
+          drift = drift || set->drift_pending();
+        }
+        if (rolling.maybe_retrain(drift)) {
+          for (const auto& set : sets) set->rescore_all();
+          ++pr.drift_retrains;
+        }
+      }
+
+      const Event event = events->next();
+      rolling.observe(event);
+
+      const BrokerId at(static_cast<BrokerId::value_type>(ev % brokers));
+      const std::uint64_t seq = overlay.publish(at, event);
+      auto& exp = expected[seq];
+      for (const LiveSub& s : live) {
+        if (s.oracle_tree->evaluate_event(event)) exp.push_back(s.id);
+      }
+    }
+    wall.stop();
+
+    // Phase-end verification: the union of the brokers' notification logs
+    // must equal the oracle expectation for every published event.
+    std::map<std::uint64_t, std::vector<SubscriptionId>> actual;
+    for (const auto& [seq, ids] : expected) actual[seq];  // seed empty rows
+    std::uint64_t notifications = 0;
+    for (std::size_t b = 0; b < brokers; ++b) {
+      const Broker& broker =
+          overlay.broker(BrokerId(static_cast<BrokerId::value_type>(b)));
+      notifications += broker.notifications_delivered();
+      for (const auto& [sid, seq] : broker.notification_log()) {
+        actual[seq].push_back(sid);
+      }
+    }
+    pr.oracle_checked = expected.size();
+    for (auto& [seq, ids] : actual) {
+      std::sort(ids.begin(), ids.end());
+      const auto it = expected.find(seq);
+      if (it == expected.end() || it->second != ids) ++pr.oracle_mismatches;
+    }
+
+    pr.matches = notifications;
+    pr.live_subscriptions = live.size();
+    std::size_t assocs = 0;
+    double filter_seconds = 0.0;
+    for (std::size_t b = 0; b < brokers; ++b) {
+      const Broker& broker =
+          overlay.broker(BrokerId(static_cast<BrokerId::value_type>(b)));
+      assocs += broker.engine().association_count();
+      filter_seconds += broker.filter_seconds();
+    }
+    pr.associations = assocs;
+    pr.match_seconds = filter_seconds;
+    pr.wall_seconds = wall.seconds();
+    report.phases.push_back(std::move(pr));
+    overlay.reset_metrics();  // clears logs and filter timers for the next phase
+  }
+
+  for (const auto& set : sets) {
+    const auto m = set->maintenance();
+    report.maintenance.admissions += m.admissions;
+    report.maintenance.releases += m.releases;
+    report.maintenance.queue_compactions += m.queue_compactions;
+    report.maintenance.full_rescores += m.full_rescores;
+  }
+  // `sets` dies before the overlay: detach so no broker keeps a dangling
+  // pruning pointer.
+  for (std::size_t b = 0; b < brokers; ++b) {
+    overlay.broker(BrokerId(static_cast<BrokerId::value_type>(b))).set_pruning(nullptr);
+  }
+  return report;
+}
+
+}  // namespace dbsp

@@ -1,0 +1,124 @@
+#pragma once
+
+/// \file
+/// The ScenarioRunner: drives a workload domain through timed phases of
+/// interleaved subscribe/unsubscribe/publish against the centralized
+/// sharded engine or a broker overlay, with adaptive pruning maintenance
+/// (incremental admission/release + drift-triggered retrain/rescore), and
+/// asserts exact delivery against a naive oracle the whole way. This is
+/// the substrate for long-running and multi-tenant evaluations beyond the
+/// paper's single static sweep.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dimension.hpp"
+#include "core/pruning_set.hpp"
+#include "scenario/churn.hpp"
+#include "scenario/workload_domain.hpp"
+
+namespace dbsp {
+
+/// One timed phase: publish `events` events while churning subscriptions
+/// at the phase's rates.
+struct ScenarioPhase {
+  std::string name;
+  std::size_t events = 0;
+  ChurnConfig churn;
+  /// Arrivals draw from the domain's flash_subscriptions() stream — the
+  /// burst of near-identical interest a flash crowd produces. The crowd
+  /// drains naturally in later phases via recency-biased departures.
+  bool flash_crowd = false;
+};
+
+struct ScenarioConfig {
+  std::uint64_t seed = 42;
+  std::size_t initial_subscriptions = 1000;
+  /// Matcher shards (centralized engine or each broker's engine).
+  std::size_t shards = 1;
+  std::vector<ScenarioPhase> phases;
+
+  // --- Pruning maintenance -------------------------------------------------
+  bool pruning = true;
+  PruneDimension dimension = PruneDimension::NetworkLoad;
+  /// Maintained continuously: after every churn tick each shard is pruned
+  /// back up to this fraction of its live capacity.
+  double prune_fraction = 0.5;
+  /// Per-shard table mutations before the drift trigger retrains the
+  /// selectivity stats and re-scores queued candidates (0 = off).
+  std::size_t drift_threshold = 200;
+
+  // --- Selectivity statistics ----------------------------------------------
+  /// Initial training sample (independent stream).
+  std::size_t training_events = 2000;
+  /// Rolling window of published events used by drift retraining.
+  std::size_t stats_window = 4096;
+
+  // --- Oracle --------------------------------------------------------------
+  /// Centralized mode: verify every k-th event against direct tree
+  /// evaluation (1 = every event; 0 disables checking).
+  std::size_t check_every = 1;
+
+  /// 0 = centralized single engine; >0 = a broker overlay line of this
+  /// size (notification-log exactness checked per phase).
+  std::size_t brokers = 0;
+
+  /// The standard 4-phase soak: steady warmup -> heavy churn -> flash
+  /// crowd -> drain. Churn rates scale with the initial population.
+  [[nodiscard]] static ScenarioConfig soak(std::size_t initial_subs,
+                                           std::size_t events_per_phase);
+};
+
+struct ScenarioPhaseReport {
+  std::string name;
+  std::size_t events = 0;
+  std::size_t subscribes = 0;
+  std::size_t unsubscribes = 0;
+  std::size_t prunings = 0;
+  std::size_t drift_retrains = 0;
+  std::size_t live_subscriptions = 0;  ///< at phase end
+  std::size_t associations = 0;        ///< filter-table memory proxy at phase end
+  std::uint64_t matches = 0;           ///< notifications delivered
+  std::size_t oracle_checked = 0;
+  std::size_t oracle_mismatches = 0;
+  double match_seconds = 0.0;          ///< engine-only matching time
+  double wall_seconds = 0.0;
+};
+
+struct ScenarioReport {
+  std::string domain;
+  std::string mode;  ///< "centralized" or "overlay"
+  std::size_t shards = 0;
+  std::vector<ScenarioPhaseReport> phases;
+  /// Aggregated pruning maintenance counters (all shards / brokers).
+  PruningEngine::MaintenanceCounters maintenance;
+
+  /// True iff every oracle check passed in every phase.
+  [[nodiscard]] bool exact() const;
+  [[nodiscard]] std::size_t total_events() const;
+  [[nodiscard]] std::size_t total_churn_ops() const;
+  [[nodiscard]] std::size_t total_mismatches() const;
+  [[nodiscard]] double total_match_seconds() const;
+  [[nodiscard]] double total_wall_seconds() const;
+};
+
+/// Runs one scenario to completion. Deterministic apart from the timing
+/// fields for a given (domain config, ScenarioConfig) pair: all churn,
+/// workload, and pruning decisions are seeded, and matching is exercised
+/// through the single-event path.
+class ScenarioRunner {
+ public:
+  ScenarioRunner(const WorkloadDomain& domain, ScenarioConfig config);
+
+  [[nodiscard]] ScenarioReport run();
+
+ private:
+  [[nodiscard]] ScenarioReport run_centralized();
+  [[nodiscard]] ScenarioReport run_overlay();
+
+  const WorkloadDomain* domain_;
+  ScenarioConfig config_;
+};
+
+}  // namespace dbsp

@@ -1,0 +1,182 @@
+#include "scenario/workload_domain.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "workload/event_gen.hpp"
+#include "workload/subscription_gen.hpp"
+
+namespace dbsp {
+
+std::vector<Event> EventSource::generate(std::size_t n) {
+  std::vector<Event> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next());
+  return out;
+}
+
+namespace {
+
+/// Adapts a concrete generator with a next()/next_tree() member to the
+/// source interfaces.
+template <class Gen>
+class EventAdapter final : public EventSource {
+ public:
+  explicit EventAdapter(Gen gen) : gen_(std::move(gen)) {}
+  Event next() override { return gen_.next(); }
+
+ private:
+  Gen gen_;
+};
+
+template <class Gen>
+class SubscriptionAdapter final : public SubscriptionSource {
+ public:
+  explicit SubscriptionAdapter(Gen gen) : gen_(std::move(gen)) {}
+  std::unique_ptr<Node> next() override { return gen_.next_tree(); }
+
+ private:
+  Gen gen_;
+};
+
+template <class Gen>
+class HotSubscriptionAdapter final : public SubscriptionSource {
+ public:
+  explicit HotSubscriptionAdapter(Gen gen) : gen_(std::move(gen)) {}
+  std::unique_ptr<Node> next() override { return gen_.hot_tree(); }
+
+ private:
+  Gen gen_;
+};
+
+class AuctionWorkload final : public WorkloadDomain {
+ public:
+  explicit AuctionWorkload(const WorkloadConfig& config) : domain_(config) {}
+
+  std::string_view name() const override { return "auction"; }
+  const Schema& schema() const override { return domain_.schema(); }
+
+  std::unique_ptr<SubscriptionSource> subscriptions(std::uint64_t stream) const override {
+    return std::make_unique<SubscriptionAdapter<AuctionSubscriptionGenerator>>(
+        AuctionSubscriptionGenerator(domain_, stream));
+  }
+  std::unique_ptr<EventSource> events(std::uint64_t stream) const override {
+    return std::make_unique<EventAdapter<AuctionEventGenerator>>(
+        AuctionEventGenerator(domain_, stream));
+  }
+  std::unique_ptr<SubscriptionSource> flash_subscriptions(
+      std::uint64_t stream) const override;
+
+ private:
+  AuctionDomain domain_;
+};
+
+/// The auction generators predate hot_tree(); flash-crowd subscriptions
+/// are built here: bargain alerts piled onto the hottest category.
+class AuctionFlashSource final : public SubscriptionSource {
+ public:
+  AuctionFlashSource(const AuctionDomain& domain, std::uint64_t stream)
+      : domain_(&domain),
+        rng_(domain.config().seed * 0xd6e8feb86659fd93ULL + stream + 503) {}
+
+  std::unique_ptr<Node> next() override {
+    const AuctionDomain& d = *domain_;
+    std::vector<std::unique_ptr<Node>> parts;
+    parts.push_back(Node::leaf(Predicate(d.category, Op::Eq, d.categories()[0])));
+    parts.push_back(Node::leaf(Predicate(
+        d.price, Op::Lt, std::round(rng_.uniform_real(10.0, 120.0)))));
+    if (rng_.chance(0.4)) {
+      parts.push_back(Node::leaf(Predicate(
+          d.ends_in_hours, Op::Lt, std::round(rng_.uniform_real(2.0, 24.0)))));
+    }
+    return Node::and_(std::move(parts));
+  }
+
+ private:
+  const AuctionDomain* domain_;
+  Rng rng_;
+};
+
+std::unique_ptr<SubscriptionSource> AuctionWorkload::flash_subscriptions(
+    std::uint64_t stream) const {
+  return std::make_unique<AuctionFlashSource>(domain_, stream);
+}
+
+class StockWorkload final : public WorkloadDomain {
+ public:
+  explicit StockWorkload(const StockConfig& config) : domain_(config) {}
+
+  std::string_view name() const override { return "stock"; }
+  const Schema& schema() const override { return domain_.schema(); }
+
+  std::unique_ptr<SubscriptionSource> subscriptions(std::uint64_t stream) const override {
+    return std::make_unique<SubscriptionAdapter<StockSubscriptionGenerator>>(
+        StockSubscriptionGenerator(domain_, stream));
+  }
+  std::unique_ptr<EventSource> events(std::uint64_t stream) const override {
+    return std::make_unique<EventAdapter<StockEventGenerator>>(
+        StockEventGenerator(domain_, stream));
+  }
+  std::unique_ptr<SubscriptionSource> flash_subscriptions(
+      std::uint64_t stream) const override {
+    return std::make_unique<HotSubscriptionAdapter<StockSubscriptionGenerator>>(
+        StockSubscriptionGenerator(domain_, stream + 1000));
+  }
+
+ private:
+  StockDomain domain_;
+};
+
+class IotWorkload final : public WorkloadDomain {
+ public:
+  explicit IotWorkload(const IotConfig& config) : domain_(config) {}
+
+  std::string_view name() const override { return "iot"; }
+  const Schema& schema() const override { return domain_.schema(); }
+
+  std::unique_ptr<SubscriptionSource> subscriptions(std::uint64_t stream) const override {
+    return std::make_unique<SubscriptionAdapter<IotSubscriptionGenerator>>(
+        IotSubscriptionGenerator(domain_, stream));
+  }
+  std::unique_ptr<EventSource> events(std::uint64_t stream) const override {
+    return std::make_unique<EventAdapter<IotEventGenerator>>(
+        IotEventGenerator(domain_, stream));
+  }
+  std::unique_ptr<SubscriptionSource> flash_subscriptions(
+      std::uint64_t stream) const override {
+    return std::make_unique<HotSubscriptionAdapter<IotSubscriptionGenerator>>(
+        IotSubscriptionGenerator(domain_, stream + 1000));
+  }
+
+ private:
+  IotDomain domain_;
+};
+
+}  // namespace
+
+std::unique_ptr<WorkloadDomain> make_auction_workload(const WorkloadConfig& config) {
+  return std::make_unique<AuctionWorkload>(config);
+}
+
+std::unique_ptr<WorkloadDomain> make_stock_workload(const StockConfig& config) {
+  return std::make_unique<StockWorkload>(config);
+}
+
+std::unique_ptr<WorkloadDomain> make_iot_workload(const IotConfig& config) {
+  return std::make_unique<IotWorkload>(config);
+}
+
+const std::vector<std::string_view>& workload_names() {
+  static const std::vector<std::string_view> names = {"auction", "stock", "iot"};
+  return names;
+}
+
+std::unique_ptr<WorkloadDomain> make_workload(std::string_view name) {
+  if (name == "auction") return make_auction_workload();
+  if (name == "stock") return make_stock_workload();
+  if (name == "iot") return make_iot_workload();
+  throw std::invalid_argument("unknown workload domain: " + std::string(name));
+}
+
+}  // namespace dbsp

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file
+/// The scenario subsystem's abstraction over workload domains. A
+/// WorkloadDomain bundles a schema with deterministic, independently
+/// seeded subscription and event streams; the ScenarioRunner drives any
+/// domain through the same churn/flash-crowd/pruning machinery. Three
+/// domains ship: the paper's auction workload, a stock ticker, and
+/// mware-style IoT telemetry.
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "event/event.hpp"
+#include "event/schema.hpp"
+#include "subscription/node.hpp"
+#include "workload/auction_schema.hpp"
+#include "workload/iot.hpp"
+#include "workload/stock.hpp"
+
+namespace dbsp {
+
+/// A deterministic stream of subscription trees.
+class SubscriptionSource {
+ public:
+  virtual ~SubscriptionSource() = default;
+  [[nodiscard]] virtual std::unique_ptr<Node> next() = 0;
+};
+
+/// A deterministic stream of events.
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+  [[nodiscard]] virtual Event next() = 0;
+  [[nodiscard]] std::vector<Event> generate(std::size_t n);
+};
+
+/// One pluggable workload domain. Streams created with the same `stream`
+/// number replay identically; distinct numbers are statistically
+/// independent (the convention of the experiment drivers: 1 =
+/// subscriptions, 2 = published events, 3 = training sample).
+class WorkloadDomain {
+ public:
+  virtual ~WorkloadDomain() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual const Schema& schema() const = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<SubscriptionSource> subscriptions(
+      std::uint64_t stream) const = 0;
+  [[nodiscard]] virtual std::unique_ptr<EventSource> events(
+      std::uint64_t stream) const = 0;
+  /// Flash-crowd arrivals: subscriptions concentrated on the domain's
+  /// hottest interest (hot category / hot symbol / hot region), the shape a
+  /// sudden event-driven pile-in produces.
+  [[nodiscard]] virtual std::unique_ptr<SubscriptionSource> flash_subscriptions(
+      std::uint64_t stream) const = 0;
+};
+
+[[nodiscard]] std::unique_ptr<WorkloadDomain> make_auction_workload(
+    const WorkloadConfig& config = {});
+[[nodiscard]] std::unique_ptr<WorkloadDomain> make_stock_workload(
+    const StockConfig& config = {});
+[[nodiscard]] std::unique_ptr<WorkloadDomain> make_iot_workload(
+    const IotConfig& config = {});
+
+/// The registered domain names ("auction", "stock", "iot").
+[[nodiscard]] const std::vector<std::string_view>& workload_names();
+/// Builds a domain by name with its default config; throws
+/// std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<WorkloadDomain> make_workload(std::string_view name);
+
+}  // namespace dbsp

@@ -32,6 +32,16 @@ void EventStats::finalize() {
   for (auto& s : attrs_) s.histogram.finalize();
 }
 
+void EventStats::reset() {
+  events_observed_ = 0;
+  finalized_ = false;
+  for (auto& s : attrs_) {
+    const bool numeric = s.numeric;
+    s = AttributeStats();
+    s.numeric = numeric;
+  }
+}
+
 double EventStats::presence(const AttributeStats& s) const {
   if (events_observed_ == 0) return 0.0;
   return static_cast<double>(s.present) / static_cast<double>(events_observed_);

@@ -22,6 +22,11 @@ class EventStats {
   void observe(const Event& event);
   /// Freezes histograms; must be called before estimation.
   void finalize();
+  /// Discards all trained state and unfreezes, so the same object can be
+  /// retrained in place on a fresh sample (the drift-maintenance path —
+  /// SelectivityEstimators hold this object by reference, so retraining
+  /// propagates without rewiring them).
+  void reset();
 
   [[nodiscard]] std::size_t events_observed() const { return events_observed_; }
 

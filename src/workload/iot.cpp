@@ -1,0 +1,271 @@
+#include "workload/iot.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dbsp {
+
+namespace {
+
+std::unique_ptr<Node> and_of(std::vector<std::unique_ptr<Node>> parts) {
+  if (parts.size() == 1) return std::move(parts.front());
+  return Node::and_(std::move(parts));
+}
+
+std::unique_ptr<Node> or_of(std::vector<std::unique_ptr<Node>> parts) {
+  if (parts.size() == 1) return std::move(parts.front());
+  return Node::or_(std::move(parts));
+}
+
+double round1(double v) { return std::round(v * 10.0) / 10.0; }
+
+constexpr const char* kRegions[] = {
+    "eu_west", "eu_north", "eu_south", "us_east", "us_west", "us_central",
+    "ap_south", "ap_east", "ap_north", "sa_east", "af_south", "me_central",
+    "eu_east", "us_south", "ap_west", "oc_east", "ca_east", "ca_west",
+    "in_north", "in_south", "cn_east", "cn_west", "jp_east", "kr_central"};
+
+}  // namespace
+
+IotDomain::IotDomain(const IotConfig& config) : config_(config) {
+  device = schema_.add_attribute("device", ValueType::String);
+  sensor = schema_.add_attribute("sensor", ValueType::String);
+  region = schema_.add_attribute("region", ValueType::String);
+  zone = schema_.add_attribute("zone", ValueType::Int);
+  reading = schema_.add_attribute("reading", ValueType::Double);
+  battery = schema_.add_attribute("battery", ValueType::Double);
+  rssi = schema_.add_attribute("rssi", ValueType::Int);
+  firmware = schema_.add_attribute("firmware", ValueType::String);
+  uptime_hours = schema_.add_attribute("uptime_hours", ValueType::Double);
+  interval_sec = schema_.add_attribute("interval_sec", ValueType::Int);
+  alarm = schema_.add_attribute("alarm", ValueType::Bool);
+
+  devices_.reserve(config.devices);
+  for (std::size_t i = 0; i < config.devices; ++i) {
+    devices_.push_back("dev-" + std::to_string(100000 + i));
+  }
+  sensors_ = {"temperature", "humidity", "co2",   "pressure",
+              "light",       "motion",   "door",  "vibration"};
+  regions_.reserve(config.regions);
+  for (std::size_t i = 0; i < config.regions; ++i) {
+    regions_.push_back(i < std::size(kRegions) ? kRegions[i]
+                                               : "region_" + std::to_string(i));
+  }
+  firmwares_ = {"1.0.3", "1.1.0", "2.0.1", "2.1.4"};
+}
+
+IotDomain::Range IotDomain::reading_range(const std::string& sensor_kind) const {
+  if (sensor_kind == "temperature") return {-10.0, 45.0};
+  if (sensor_kind == "humidity") return {10.0, 95.0};
+  if (sensor_kind == "co2") return {350.0, 2500.0};
+  if (sensor_kind == "pressure") return {950.0, 1050.0};
+  if (sensor_kind == "light") return {0.0, 2000.0};
+  if (sensor_kind == "motion") return {0.0, 50.0};
+  if (sensor_kind == "door") return {0.0, 1.0};
+  return {0.0, 25.0};  // vibration (mm/s) and anything unknown
+}
+
+IotEventGenerator::IotEventGenerator(const IotDomain& domain, std::uint64_t stream)
+    : domain_(&domain),
+      rng_(domain.config().seed * 0x9e3779b97f4a7c15ULL + stream + 307),
+      device_dist_(domain.devices().size(), domain.config().zipf_devices),
+      battery_(domain.devices().size()),
+      uptime_(domain.devices().size()) {
+  for (std::size_t i = 0; i < battery_.size(); ++i) {
+    battery_[i] = rng_.uniform_real(15.0, 100.0);
+    uptime_[i] = rng_.uniform_real(0.0, 2000.0);
+  }
+}
+
+Event IotEventGenerator::next() {
+  const IotDomain& d = *domain_;
+  const std::size_t idx = device_dist_(rng_);
+  const std::string& kind = d.sensor_of(idx);
+  const auto range = d.reading_range(kind);
+
+  // Readings cluster mid-range with occasional excursions to the extremes —
+  // the excursions are what threshold subscriptions exist for.
+  const double mid = (range.lo + range.hi) / 2.0;
+  const double span = range.hi - range.lo;
+  double value = rng_.chance(0.06)
+                     ? rng_.uniform_real(range.lo, range.hi)  // excursion
+                     : std::clamp(rng_.normal(mid, span / 8.0), range.lo, range.hi);
+  if (kind == "door" || kind == "motion") {
+    value = rng_.chance(0.15) ? std::ceil(rng_.uniform_real(0.0, range.hi)) : 0.0;
+  }
+
+  // Battery drains slowly per report; a swap recharges it.
+  battery_[idx] = std::max(0.0, battery_[idx] - rng_.uniform_real(0.0, 0.05));
+  if (battery_[idx] < 1.0 && rng_.chance(0.2)) battery_[idx] = 100.0;
+  uptime_[idx] += rng_.uniform_real(0.01, 0.5);
+
+  const double low_battery = battery_[idx] < 10.0 ? 0.2 : 0.004;
+  const bool alarm_on =
+      rng_.chance(low_battery) || value >= range.lo + 0.96 * span;
+
+  Event e;
+  e.set(d.device, d.devices()[idx]);
+  e.set(d.sensor, kind);
+  e.set(d.region, d.region_of(idx));
+  e.set(d.zone, d.zone_of(idx));
+  e.set(d.reading, std::round(value * 100.0) / 100.0);
+  e.set(d.battery, round1(battery_[idx]));
+  e.set(d.rssi, rng_.uniform_int(-95, -40));
+  e.set(d.firmware, d.firmware_of(idx));
+  e.set(d.uptime_hours, round1(uptime_[idx]));
+  e.set(d.interval_sec, static_cast<std::int64_t>(30) << rng_.uniform_int(0, 4));
+  e.set(d.alarm, alarm_on);
+  return e;
+}
+
+std::vector<Event> IotEventGenerator::generate(std::size_t n) {
+  std::vector<Event> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next());
+  return out;
+}
+
+IotSubscriptionGenerator::IotSubscriptionGenerator(const IotDomain& domain,
+                                                   std::uint64_t stream)
+    : domain_(&domain),
+      rng_(domain.config().seed * 0xbf58476d1ce4e5b9ULL + stream + 401),
+      device_dist_(domain.devices().size(), domain.config().zipf_devices),
+      region_dist_(domain.regions().size(), domain.config().zipf_regions) {}
+
+std::unique_ptr<Node> IotSubscriptionGenerator::device_watch() {
+  // One device's health: chatty devices attract the most watchers.
+  const std::size_t idx = device_dist_(rng_);
+  std::vector<std::unique_ptr<Node>> unhealthy;
+  unhealthy.push_back(Node::leaf(Predicate(
+      domain_->battery, Op::Le, std::round(rng_.uniform_real(5.0, 30.0)))));
+  unhealthy.push_back(Node::leaf(
+      Predicate(domain_->rssi, Op::Le, rng_.uniform_int(-92, -80))));
+  if (rng_.chance(0.3)) {
+    unhealthy.push_back(Node::leaf(Predicate(domain_->alarm, Op::Eq, true)));
+  }
+
+  std::vector<std::unique_ptr<Node>> parts;
+  parts.push_back(Node::leaf(
+      Predicate(domain_->device, Op::Eq, domain_->devices()[idx])));
+  parts.push_back(or_of(std::move(unhealthy)));
+  return and_of(std::move(parts));
+}
+
+std::unique_ptr<Node> IotSubscriptionGenerator::threshold_alert() {
+  const auto& sensors = domain_->sensors();
+  const auto& kind =
+      sensors[static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(sensors.size()) - 1))];
+  const auto range = domain_->reading_range(kind);
+
+  std::vector<std::unique_ptr<Node>> parts;
+  parts.push_back(Node::leaf(
+      Predicate(domain_->region, Op::Eq, domain_->regions()[region_dist_(rng_)])));
+  parts.push_back(Node::leaf(Predicate(domain_->sensor, Op::Eq, kind)));
+  // Upper-tail thresholds: the top 2%..40% of the sensor's range.
+  const double cut = range.hi - (range.hi - range.lo) * rng_.uniform_real(0.02, 0.4);
+  parts.push_back(Node::leaf(Predicate(
+      domain_->reading, Op::Ge, std::round(cut * 10.0) / 10.0)));
+  if (rng_.chance(0.25)) {
+    parts.push_back(Node::leaf(Predicate(
+        domain_->battery, Op::Ge, std::round(rng_.uniform_real(5.0, 20.0)))));
+  }
+  return and_of(std::move(parts));
+}
+
+std::unique_ptr<Node> IotSubscriptionGenerator::zone_monitor() {
+  const auto& sensors = domain_->sensors();
+  const auto& kind =
+      sensors[static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(sensors.size()) - 1))];
+  const auto range = domain_->reading_range(kind);
+  const double lo = range.lo + (range.hi - range.lo) * rng_.uniform_real(0.0, 0.6);
+  const double hi = lo + (range.hi - range.lo) * rng_.uniform_real(0.1, 0.4);
+
+  std::vector<std::unique_ptr<Node>> parts;
+  parts.push_back(Node::leaf(
+      Predicate(domain_->region, Op::Eq, domain_->regions()[region_dist_(rng_)])));
+  parts.push_back(Node::leaf(Predicate(
+      domain_->zone, Op::Eq,
+      rng_.uniform_int(0,
+                       static_cast<std::int64_t>(domain_->config().zones_per_region) - 1))));
+  parts.push_back(Node::leaf(Predicate(domain_->sensor, Op::Eq, kind)));
+  parts.push_back(Node::leaf(Predicate(
+      domain_->reading, Value(std::round(lo * 10.0) / 10.0),
+      Value(std::round(hi * 10.0) / 10.0))));
+  return and_of(std::move(parts));
+}
+
+std::unique_ptr<Node> IotSubscriptionGenerator::fleet_health() {
+  std::vector<std::unique_ptr<Node>> parts;
+  const auto& sensors = domain_->sensors();
+  parts.push_back(Node::leaf(Predicate(
+      domain_->sensor, Op::Eq,
+      sensors[static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(sensors.size()) - 1))])));
+  parts.push_back(Node::leaf(Predicate(
+      domain_->battery, Op::Le, std::round(rng_.uniform_real(10.0, 40.0)))));
+  if (rng_.chance(0.5)) {
+    // Old firmware still in the field is what the sweep is hunting.
+    parts.push_back(Node::leaf(Predicate(
+        domain_->firmware, {Value(domain_->firmwares()[0]),
+                            Value(domain_->firmwares()[1])})));
+  }
+  if (rng_.chance(0.3)) {
+    parts.push_back(Node::leaf(Predicate(
+        domain_->uptime_hours, Op::Ge, std::round(rng_.uniform_real(500.0, 5000.0)))));
+  }
+  return and_of(std::move(parts));
+}
+
+std::unique_ptr<Node> IotSubscriptionGenerator::alarm_feed() {
+  std::vector<std::unique_ptr<Node>> parts;
+  parts.push_back(Node::leaf(
+      Predicate(domain_->region, Op::Eq, domain_->regions()[region_dist_(rng_)])));
+  parts.push_back(Node::leaf(Predicate(domain_->alarm, Op::Eq, true)));
+  if (rng_.chance(0.4)) {
+    parts.push_back(Node::leaf(Predicate(
+        domain_->rssi, Op::Ge, rng_.uniform_int(-90, -60))));
+  }
+  return and_of(std::move(parts));
+}
+
+std::unique_ptr<Node> IotSubscriptionGenerator::hot_tree() {
+  // Heat wave in the hottest region: temperature alerts pile on.
+  std::vector<std::unique_ptr<Node>> parts;
+  parts.push_back(Node::leaf(Predicate(domain_->region, Op::Eq, domain_->regions()[0])));
+  parts.push_back(Node::leaf(Predicate(domain_->sensor, Op::Eq, std::string("temperature"))));
+  parts.push_back(Node::leaf(Predicate(
+      domain_->reading, Op::Ge, std::round(rng_.uniform_real(25.0, 40.0)))));
+  return and_of(std::move(parts));
+}
+
+IotSubscriptionGenerator::Generated IotSubscriptionGenerator::next() {
+  const IotConfig& cfg = domain_->config();
+  const double total = cfg.class_device_watch + cfg.class_threshold +
+                       cfg.class_zone_monitor + cfg.class_fleet_health +
+                       cfg.class_alarm_feed;
+  double u = rng_.uniform_real(0.0, total);
+
+  Generated g;
+  if ((u -= cfg.class_device_watch) < 0.0) {
+    g.cls = IotSubscriberClass::DeviceWatch;
+    g.tree = device_watch();
+  } else if ((u -= cfg.class_threshold) < 0.0) {
+    g.cls = IotSubscriberClass::Threshold;
+    g.tree = threshold_alert();
+  } else if ((u -= cfg.class_zone_monitor) < 0.0) {
+    g.cls = IotSubscriberClass::ZoneMonitor;
+    g.tree = zone_monitor();
+  } else if ((u -= cfg.class_fleet_health) < 0.0) {
+    g.cls = IotSubscriberClass::FleetHealth;
+    g.tree = fleet_health();
+  } else {
+    g.cls = IotSubscriberClass::AlarmFeed;
+    g.tree = alarm_feed();
+  }
+  g.tree = simplify(std::move(g.tree));
+  return g;
+}
+
+}  // namespace dbsp

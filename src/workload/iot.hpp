@@ -1,0 +1,147 @@
+#pragma once
+
+/// \file
+/// The IoT-telemetry workload domain, modeled on mware-style sensor
+/// middleware: large fleets of devices emitting periodic readings, and a
+/// subscription population of many *narrow* per-device / per-region
+/// monitors — the long-lived, continuously churning population the
+/// scenario subsystem stresses.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "event/event.hpp"
+#include "event/schema.hpp"
+#include "subscription/node.hpp"
+
+namespace dbsp {
+
+/// Scale and shape knobs of the synthetic IoT-telemetry workload.
+struct IotConfig {
+  std::uint64_t seed = 42;
+
+  std::size_t devices = 4000;
+  std::size_t regions = 24;
+  std::size_t zones_per_region = 8;
+  /// A minority of chatty devices produces most readings.
+  double zipf_devices = 0.7;
+  double zipf_regions = 1.0;
+
+  // Mix of the five subscription classes; normalized internally.
+  double class_device_watch = 0.30;
+  double class_threshold = 0.30;
+  double class_zone_monitor = 0.20;
+  double class_fleet_health = 0.12;
+  double class_alarm_feed = 0.08;
+};
+
+/// Attribute layout of telemetry events plus shared device/region pools.
+class IotDomain {
+ public:
+  explicit IotDomain(const IotConfig& config);
+
+  [[nodiscard]] const Schema& schema() const { return schema_; }
+  [[nodiscard]] const IotConfig& config() const { return config_; }
+
+  // Attribute handles.
+  AttributeId device, sensor, region, zone, reading, battery, rssi, firmware,
+      uptime_hours, interval_sec, alarm;
+
+  /// Pools are indexed by popularity rank: index 0 is the hottest.
+  [[nodiscard]] const std::vector<std::string>& devices() const { return devices_; }
+  [[nodiscard]] const std::vector<std::string>& sensors() const { return sensors_; }
+  [[nodiscard]] const std::vector<std::string>& regions() const { return regions_; }
+  [[nodiscard]] const std::vector<std::string>& firmwares() const { return firmwares_; }
+
+  /// Fixed device attributes (a device keeps its sensor kind and placement).
+  [[nodiscard]] const std::string& sensor_of(std::size_t device_idx) const {
+    return sensors_[device_idx % sensors_.size()];
+  }
+  [[nodiscard]] const std::string& region_of(std::size_t device_idx) const {
+    return regions_[(device_idx * 13) % regions_.size()];
+  }
+  [[nodiscard]] std::int64_t zone_of(std::size_t device_idx) const {
+    return static_cast<std::int64_t>((device_idx * 31) % config_.zones_per_region);
+  }
+  [[nodiscard]] const std::string& firmware_of(std::size_t device_idx) const {
+    return firmwares_[(device_idx * 3) % firmwares_.size()];
+  }
+
+  /// Typical reading range of a sensor kind (used by generators and
+  /// threshold subscriptions so selectivities are meaningful).
+  struct Range {
+    double lo, hi;
+  };
+  [[nodiscard]] Range reading_range(const std::string& sensor_kind) const;
+
+ private:
+  IotConfig config_;
+  Schema schema_;
+  std::vector<std::string> devices_;
+  std::vector<std::string> sensors_;
+  std::vector<std::string> regions_;
+  std::vector<std::string> firmwares_;
+};
+
+/// Generates periodic telemetry: Zipf-popular devices report their sensor's
+/// reading plus health attributes (battery drains monotonically and is
+/// occasionally swapped, RSSI jitters, uptime accumulates). Deterministic
+/// for a given (config.seed, stream) pair.
+class IotEventGenerator {
+ public:
+  IotEventGenerator(const IotDomain& domain, std::uint64_t stream = 0);
+
+  [[nodiscard]] Event next();
+  [[nodiscard]] std::vector<Event> generate(std::size_t n);
+
+ private:
+  const IotDomain* domain_;
+  Rng rng_;
+  ZipfDistribution device_dist_;
+  std::vector<double> battery_;
+  std::vector<double> uptime_;
+};
+
+/// The subscriber profile a generated IoT subscription belongs to.
+enum class IotSubscriberClass : std::uint8_t {
+  DeviceWatch,   ///< one device's health (battery / signal)
+  Threshold,     ///< region + sensor kind + reading threshold
+  ZoneMonitor,   ///< region + zone + reading band
+  FleetHealth,   ///< fleet-wide battery/firmware sweep
+  AlarmFeed,     ///< region's alarm stream
+};
+
+/// Generates the narrow monitoring subscriptions typical of sensor
+/// middleware deployments.
+class IotSubscriptionGenerator {
+ public:
+  IotSubscriptionGenerator(const IotDomain& domain, std::uint64_t stream = 1);
+
+  struct Generated {
+    std::unique_ptr<Node> tree;
+    IotSubscriberClass cls;
+  };
+
+  [[nodiscard]] Generated next();
+  [[nodiscard]] std::unique_ptr<Node> next_tree() { return next().tree; }
+
+  /// Flash-crowd template: a heat-wave style pile-on — temperature alerts
+  /// concentrated on the hottest region.
+  [[nodiscard]] std::unique_ptr<Node> hot_tree();
+
+ private:
+  [[nodiscard]] std::unique_ptr<Node> device_watch();
+  [[nodiscard]] std::unique_ptr<Node> threshold_alert();
+  [[nodiscard]] std::unique_ptr<Node> zone_monitor();
+  [[nodiscard]] std::unique_ptr<Node> fleet_health();
+  [[nodiscard]] std::unique_ptr<Node> alarm_feed();
+
+  const IotDomain* domain_;
+  Rng rng_;
+  ZipfDistribution device_dist_;
+  ZipfDistribution region_dist_;
+};
+
+}  // namespace dbsp

@@ -1,0 +1,294 @@
+#include "workload/stock.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dbsp {
+
+namespace {
+
+std::unique_ptr<Node> and_of(std::vector<std::unique_ptr<Node>> parts) {
+  if (parts.size() == 1) return std::move(parts.front());
+  return Node::and_(std::move(parts));
+}
+
+std::unique_ptr<Node> or_of(std::vector<std::unique_ptr<Node>> parts) {
+  if (parts.size() == 1) return std::move(parts.front());
+  return Node::or_(std::move(parts));
+}
+
+double round2(double v) { return std::round(v * 100.0) / 100.0; }
+
+/// Ticker codes AAA, AAB, ... — dense, readable, unbounded.
+std::string ticker_code(std::size_t i) {
+  std::string code;
+  code.push_back(static_cast<char>('A' + (i / 676) % 26));
+  code.push_back(static_cast<char>('A' + (i / 26) % 26));
+  code.push_back(static_cast<char>('A' + i % 26));
+  if (i >= 26 * 26 * 26) code += std::to_string(i / (26 * 26 * 26));
+  return code;
+}
+
+constexpr const char* kSectors[] = {
+    "technology", "financials", "healthcare", "energy", "industrials",
+    "materials", "utilities", "consumer_staples", "consumer_discretionary",
+    "real_estate", "communications", "transport"};
+
+constexpr const char* kExchanges[] = {"nyse", "nasdaq", "lse", "tse", "fra", "asx"};
+
+}  // namespace
+
+StockDomain::StockDomain(const StockConfig& config) : config_(config) {
+  symbol = schema_.add_attribute("symbol", ValueType::String);
+  exchange = schema_.add_attribute("exchange", ValueType::String);
+  sector = schema_.add_attribute("sector", ValueType::String);
+  price = schema_.add_attribute("price", ValueType::Double);
+  change_pct = schema_.add_attribute("change_pct", ValueType::Double);
+  volume = schema_.add_attribute("volume", ValueType::Int);
+  bid = schema_.add_attribute("bid", ValueType::Double);
+  ask = schema_.add_attribute("ask", ValueType::Double);
+  spread_bps = schema_.add_attribute("spread_bps", ValueType::Double);
+  market_cap_m = schema_.add_attribute("market_cap_m", ValueType::Double);
+  pe_ratio = schema_.add_attribute("pe_ratio", ValueType::Double);
+  dividend_yield = schema_.add_attribute("dividend_yield", ValueType::Double);
+  volatility = schema_.add_attribute("volatility", ValueType::Double);
+  halted = schema_.add_attribute("halted", ValueType::Bool);
+
+  symbols_.reserve(config.symbols);
+  for (std::size_t i = 0; i < config.symbols; ++i) symbols_.push_back(ticker_code(i));
+  sectors_.reserve(config.sectors);
+  for (std::size_t i = 0; i < config.sectors; ++i) {
+    sectors_.push_back(i < std::size(kSectors) ? kSectors[i]
+                                               : "sector_" + std::to_string(i));
+  }
+  exchanges_.reserve(config.exchanges);
+  for (std::size_t i = 0; i < config.exchanges; ++i) {
+    exchanges_.push_back(i < std::size(kExchanges) ? kExchanges[i]
+                                                   : "exch_" + std::to_string(i));
+  }
+
+  // Fixed per-symbol fundamentals drawn once from the seed, so every
+  // generator and subscription of a run agrees on them.
+  Rng rng(config.seed * 0x2545f4914f6cdd1dULL + 7);
+  base_price_.reserve(config.symbols);
+  base_volatility_.reserve(config.symbols);
+  for (std::size_t i = 0; i < config.symbols; ++i) {
+    base_price_.push_back(round2(std::clamp(rng.log_normal(3.4, 1.2), 1.0, 5000.0)));
+    base_volatility_.push_back(std::clamp(rng.log_normal(-4.8, 0.5), 0.002, 0.08));
+  }
+}
+
+StockEventGenerator::StockEventGenerator(const StockDomain& domain,
+                                         std::uint64_t stream)
+    : domain_(&domain),
+      rng_(domain.config().seed * 0x9e3779b97f4a7c15ULL + stream + 101),
+      symbol_dist_(domain.symbols().size(), domain.config().zipf_symbols),
+      price_(domain.symbols().size()) {
+  for (std::size_t i = 0; i < price_.size(); ++i) price_[i] = domain.base_price(i);
+}
+
+Event StockEventGenerator::next() {
+  const StockDomain& d = *domain_;
+  const StockConfig& cfg = d.config();
+
+  if (burst_remaining_ == 0 && rng_.chance(cfg.burst_probability)) {
+    burst_remaining_ = cfg.burst_events;
+    burst_symbol_ = symbol_dist_(rng_);  // Zipf: usually a hot ticker
+  }
+
+  bool bursting = false;
+  std::size_t idx;
+  if (burst_remaining_ > 0) {
+    --burst_remaining_;
+    bursting = rng_.chance(cfg.burst_share);
+    idx = bursting ? burst_symbol_ : symbol_dist_(rng_);
+  } else {
+    idx = symbol_dist_(rng_);
+  }
+
+  // Multiplicative random walk with mean reversion toward the base price;
+  // bursts amplify the step and the traded volume.
+  const double amp = bursting ? 5.0 : 1.0;
+  const double sigma = d.base_volatility(idx) * amp;
+  const double reversion = 0.02 * std::log(d.base_price(idx) / price_[idx]);
+  const double step = std::exp(rng_.normal(reversion, sigma));
+  const double prev = price_[idx];
+  price_[idx] = std::clamp(prev * step, 0.01, 100000.0);
+  const double change = (price_[idx] / prev - 1.0) * 100.0;
+
+  const double spread_frac =
+      std::clamp(rng_.log_normal(bursting ? -6.2 : -7.0, 0.6), 1e-5, 0.02);
+  const double half_spread = price_[idx] * spread_frac / 2.0;
+
+  Event e;
+  e.set(d.symbol, d.symbols()[idx]);
+  e.set(d.exchange, d.exchange_of(idx));
+  e.set(d.sector, d.sector_of(idx));
+  e.set(d.price, round2(price_[idx]));
+  e.set(d.change_pct, std::round(change * 1000.0) / 1000.0);
+  e.set(d.volume, static_cast<std::int64_t>(
+                      std::floor(rng_.log_normal(bursting ? 9.5 : 7.0, 1.3))));
+  e.set(d.bid, round2(price_[idx] - half_spread));
+  e.set(d.ask, round2(price_[idx] + half_spread));
+  e.set(d.spread_bps, std::round(spread_frac * 10000.0 * 10.0) / 10.0);
+  e.set(d.market_cap_m,
+        round2(d.base_price(idx) * (50.0 + static_cast<double>(idx % 997))));
+  e.set(d.pe_ratio, round2(std::clamp(rng_.log_normal(2.9, 0.6), 2.0, 400.0)));
+  e.set(d.dividend_yield,
+        std::round(std::clamp(rng_.log_normal(0.3, 0.9), 0.0, 12.0) * 100.0) / 100.0);
+  e.set(d.volatility, std::round(sigma * 10000.0) / 10000.0);
+  // Exchanges halt on extreme moves; bursts trip the breaker far more often.
+  e.set(d.halted, std::abs(change) > 8.0 || rng_.chance(0.0005));
+  return e;
+}
+
+std::vector<Event> StockEventGenerator::generate(std::size_t n) {
+  std::vector<Event> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next());
+  return out;
+}
+
+StockSubscriptionGenerator::StockSubscriptionGenerator(const StockDomain& domain,
+                                                       std::uint64_t stream)
+    : domain_(&domain),
+      rng_(domain.config().seed * 0xbf58476d1ce4e5b9ULL + stream + 211),
+      symbol_dist_(domain.symbols().size(), domain.config().zipf_symbols),
+      sector_dist_(domain.sectors().size(), domain.config().zipf_sectors) {}
+
+std::unique_ptr<Node> StockSubscriptionGenerator::symbol_is(std::size_t idx) {
+  return Node::leaf(Predicate(domain_->symbol, Op::Eq, domain_->symbols()[idx]));
+}
+
+std::unique_ptr<Node> StockSubscriptionGenerator::price_alert() {
+  // "Tell me when S trades below X or above Y" — thresholds scatter around
+  // the symbol's base price so per-subscription selectivity varies widely.
+  const std::size_t idx = symbol_dist_(rng_);
+  const double base = domain_->base_price(idx);
+  const double low = round2(base * rng_.uniform_real(0.75, 1.0));
+  const double high = round2(base * rng_.uniform_real(1.0, 1.3));
+
+  std::vector<std::unique_ptr<Node>> band;
+  band.push_back(Node::leaf(Predicate(domain_->price, Op::Le, low)));
+  band.push_back(Node::leaf(Predicate(domain_->price, Op::Ge, high)));
+
+  std::vector<std::unique_ptr<Node>> parts;
+  parts.push_back(symbol_is(idx));
+  parts.push_back(or_of(std::move(band)));
+  if (rng_.chance(0.4)) {
+    parts.push_back(Node::leaf(Predicate(
+        domain_->volume, Op::Ge,
+        static_cast<std::int64_t>(rng_.uniform_int(100, 20000)))));
+  }
+  if (rng_.chance(0.25)) {
+    parts.push_back(Node::leaf(Predicate(
+        domain_->spread_bps, Op::Le, std::round(rng_.uniform_real(2.0, 40.0)))));
+  }
+  return and_of(std::move(parts));
+}
+
+std::unique_ptr<Node> StockSubscriptionGenerator::momentum_scanner() {
+  std::vector<std::unique_ptr<Node>> parts;
+  parts.push_back(Node::leaf(
+      Predicate(domain_->sector, Op::Eq, domain_->sectors()[sector_dist_(rng_)])));
+  const double floor = std::round(rng_.uniform_real(0.2, 4.0) * 10.0) / 10.0;
+  parts.push_back(Node::leaf(Predicate(
+      domain_->change_pct, rng_.chance(0.5) ? Op::Ge : Op::Le,
+      rng_.chance(0.5) ? floor : -floor)));
+  parts.push_back(Node::leaf(Predicate(
+      domain_->volume, Op::Ge, static_cast<std::int64_t>(rng_.uniform_int(500, 50000)))));
+  if (rng_.chance(0.4)) {
+    const double lo = round2(rng_.log_normal(3.0, 1.0));
+    parts.push_back(Node::leaf(
+        Predicate(domain_->price, Value(lo), Value(round2(lo * rng_.uniform_real(2.0, 8.0))))));
+  }
+  if (rng_.chance(0.3)) {
+    parts.push_back(Node::leaf(Predicate(
+        domain_->market_cap_m, Op::Ge, std::round(rng_.uniform_real(100.0, 5000.0)))));
+  }
+  return and_of(std::move(parts));
+}
+
+std::unique_ptr<Node> StockSubscriptionGenerator::portfolio_guard() {
+  // Holdings OR-group + "something is wrong" conditions.
+  const auto holdings = static_cast<std::size_t>(rng_.uniform_int(2, 5));
+  std::vector<std::unique_ptr<Node>> held;
+  for (std::size_t i = 0; i < holdings; ++i) held.push_back(symbol_is(symbol_dist_(rng_)));
+
+  std::vector<std::unique_ptr<Node>> trouble;
+  trouble.push_back(Node::leaf(Predicate(
+      domain_->change_pct, Op::Le,
+      -std::round(rng_.uniform_real(1.0, 6.0) * 10.0) / 10.0)));
+  trouble.push_back(Node::leaf(Predicate(domain_->halted, Op::Eq, true)));
+  if (rng_.chance(0.3)) {
+    trouble.push_back(Node::leaf(Predicate(
+        domain_->spread_bps, Op::Ge, std::round(rng_.uniform_real(30.0, 120.0)))));
+  }
+
+  std::vector<std::unique_ptr<Node>> parts;
+  parts.push_back(or_of(std::move(held)));
+  parts.push_back(or_of(std::move(trouble)));
+  return and_of(std::move(parts));
+}
+
+std::unique_ptr<Node> StockSubscriptionGenerator::circuit_breaker() {
+  // Broad extreme-move monitoring, the tape-wide minority.
+  const double limit = std::round(rng_.uniform_real(4.0, 9.0) * 10.0) / 10.0;
+  std::vector<std::unique_ptr<Node>> extreme;
+  extreme.push_back(Node::leaf(Predicate(domain_->change_pct, Op::Ge, limit)));
+  extreme.push_back(Node::leaf(Predicate(domain_->change_pct, Op::Le, -limit)));
+  extreme.push_back(Node::leaf(Predicate(domain_->halted, Op::Eq, true)));
+
+  std::vector<std::unique_ptr<Node>> parts;
+  parts.push_back(or_of(std::move(extreme)));
+  parts.push_back(Node::leaf(Predicate(
+      domain_->volume, Op::Ge, static_cast<std::int64_t>(rng_.uniform_int(100, 5000)))));
+  if (rng_.chance(0.5)) {
+    parts.push_back(Node::leaf(Predicate(
+        domain_->exchange, Op::Eq,
+        domain_->exchanges()[static_cast<std::size_t>(
+            rng_.uniform_int(0, static_cast<std::int64_t>(domain_->exchanges().size()) - 1))])));
+  }
+  return and_of(std::move(parts));
+}
+
+std::unique_ptr<Node> StockSubscriptionGenerator::hot_tree() {
+  // The flash-crowd shape: everyone piles onto the hottest ticker with a
+  // slightly different move threshold.
+  std::vector<std::unique_ptr<Node>> parts;
+  parts.push_back(symbol_is(0));
+  parts.push_back(Node::leaf(Predicate(
+      domain_->change_pct, rng_.chance(0.7) ? Op::Ge : Op::Le,
+      std::round(rng_.uniform_real(-2.0, 2.0) * 10.0) / 10.0)));
+  if (rng_.chance(0.5)) {
+    parts.push_back(Node::leaf(Predicate(
+        domain_->volume, Op::Ge, static_cast<std::int64_t>(rng_.uniform_int(10, 5000)))));
+  }
+  return and_of(std::move(parts));
+}
+
+StockSubscriptionGenerator::Generated StockSubscriptionGenerator::next() {
+  const StockConfig& cfg = domain_->config();
+  const double total = cfg.class_price_alert + cfg.class_momentum +
+                       cfg.class_portfolio + cfg.class_breaker;
+  const double u = rng_.uniform_real(0.0, total);
+
+  Generated g;
+  if (u < cfg.class_price_alert) {
+    g.cls = StockSubscriberClass::PriceAlert;
+    g.tree = price_alert();
+  } else if (u < cfg.class_price_alert + cfg.class_momentum) {
+    g.cls = StockSubscriberClass::MomentumScanner;
+    g.tree = momentum_scanner();
+  } else if (u < cfg.class_price_alert + cfg.class_momentum + cfg.class_portfolio) {
+    g.cls = StockSubscriberClass::PortfolioGuard;
+    g.tree = portfolio_guard();
+  } else {
+    g.cls = StockSubscriberClass::CircuitBreaker;
+    g.tree = circuit_breaker();
+  }
+  g.tree = simplify(std::move(g.tree));
+  return g;
+}
+
+}  // namespace dbsp

@@ -1,0 +1,151 @@
+#pragma once
+
+/// \file
+/// The stock-ticker workload domain: numeric-heavy predicates over bursty
+/// price events. Complements the auction domain with the opposite predicate
+/// mix — mostly range/threshold conditions on a handful of hot numeric
+/// attributes — and with regime-switching event traffic (quiet tape vs.
+/// price bursts concentrated on one symbol).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "event/event.hpp"
+#include "event/schema.hpp"
+#include "subscription/node.hpp"
+
+namespace dbsp {
+
+/// Scale and shape knobs of the synthetic stock-ticker workload.
+struct StockConfig {
+  std::uint64_t seed = 42;
+
+  std::size_t symbols = 1500;
+  std::size_t sectors = 12;
+  std::size_t exchanges = 6;
+  /// Trading interest concentrates sharply in a few tickers.
+  double zipf_symbols = 0.9;
+  double zipf_sectors = 0.7;
+
+  /// Probability per event that a burst regime starts (when none is
+  /// running): `burst_events` ticks during which `burst_share` of events
+  /// are the burst symbol with amplified moves and volume.
+  double burst_probability = 0.004;
+  std::size_t burst_events = 40;
+  double burst_share = 0.7;
+
+  // Mix of the four subscription classes; normalized internally.
+  double class_price_alert = 0.40;
+  double class_momentum = 0.30;
+  double class_portfolio = 0.20;
+  double class_breaker = 0.10;
+};
+
+/// Attribute layout of ticker events plus shared symbol/sector pools. One
+/// instance backs both generators and all subscriptions of a run.
+class StockDomain {
+ public:
+  explicit StockDomain(const StockConfig& config);
+
+  [[nodiscard]] const Schema& schema() const { return schema_; }
+  [[nodiscard]] const StockConfig& config() const { return config_; }
+
+  // Attribute handles.
+  AttributeId symbol, exchange, sector, price, change_pct, volume, bid, ask,
+      spread_bps, market_cap_m, pe_ratio, dividend_yield, volatility, halted;
+
+  /// Pools are indexed by popularity rank: index 0 is the hottest.
+  [[nodiscard]] const std::vector<std::string>& symbols() const { return symbols_; }
+  [[nodiscard]] const std::vector<std::string>& sectors() const { return sectors_; }
+  [[nodiscard]] const std::vector<std::string>& exchanges() const { return exchanges_; }
+
+  /// Fixed symbol attributes (deterministic from the seed).
+  [[nodiscard]] const std::string& sector_of(std::size_t symbol_idx) const {
+    return sectors_[symbol_idx % sectors_.size()];
+  }
+  [[nodiscard]] const std::string& exchange_of(std::size_t symbol_idx) const {
+    return exchanges_[(symbol_idx * 7) % exchanges_.size()];
+  }
+  [[nodiscard]] double base_price(std::size_t symbol_idx) const {
+    return base_price_[symbol_idx];
+  }
+  [[nodiscard]] double base_volatility(std::size_t symbol_idx) const {
+    return base_volatility_[symbol_idx];
+  }
+
+ private:
+  StockConfig config_;
+  Schema schema_;
+  std::vector<std::string> symbols_;
+  std::vector<std::string> sectors_;
+  std::vector<std::string> exchanges_;
+  std::vector<double> base_price_;
+  std::vector<double> base_volatility_;
+};
+
+/// Generates ticker events: per-symbol multiplicative random-walk prices
+/// around the symbol's base price, Zipf symbol popularity, and burst
+/// regimes during which one symbol dominates the tape with amplified moves.
+/// Deterministic for a given (config.seed, stream) pair.
+class StockEventGenerator {
+ public:
+  StockEventGenerator(const StockDomain& domain, std::uint64_t stream = 0);
+
+  [[nodiscard]] Event next();
+  [[nodiscard]] std::vector<Event> generate(std::size_t n);
+
+  /// True while a burst regime is running (tests).
+  [[nodiscard]] bool in_burst() const { return burst_remaining_ > 0; }
+
+ private:
+  const StockDomain* domain_;
+  Rng rng_;
+  ZipfDistribution symbol_dist_;
+  std::vector<double> price_;       // per-symbol current price
+  std::size_t burst_remaining_ = 0;
+  std::size_t burst_symbol_ = 0;
+};
+
+/// The subscriber profile a generated stock subscription belongs to.
+enum class StockSubscriberClass : std::uint8_t {
+  PriceAlert,      ///< symbol anchor + price threshold band
+  MomentumScanner, ///< sector + change/volume floors
+  PortfolioGuard,  ///< OR of held symbols + drawdown/halt conditions
+  CircuitBreaker,  ///< broad extreme-move monitoring
+};
+
+/// Generates Boolean subscription trees of the four ticker classes.
+/// Thresholds are drawn relative to each symbol's base price so predicate
+/// selectivities span the whole unit interval.
+class StockSubscriptionGenerator {
+ public:
+  StockSubscriptionGenerator(const StockDomain& domain, std::uint64_t stream = 1);
+
+  struct Generated {
+    std::unique_ptr<Node> tree;
+    StockSubscriberClass cls;
+  };
+
+  [[nodiscard]] Generated next();
+  [[nodiscard]] std::unique_ptr<Node> next_tree() { return next().tree; }
+
+  /// Flash-crowd template: a narrow subscription on the hottest symbol
+  /// (rank 0), the shape a sudden retail pile-in produces.
+  [[nodiscard]] std::unique_ptr<Node> hot_tree();
+
+ private:
+  [[nodiscard]] std::unique_ptr<Node> price_alert();
+  [[nodiscard]] std::unique_ptr<Node> momentum_scanner();
+  [[nodiscard]] std::unique_ptr<Node> portfolio_guard();
+  [[nodiscard]] std::unique_ptr<Node> circuit_breaker();
+  [[nodiscard]] std::unique_ptr<Node> symbol_is(std::size_t idx);
+
+  const StockDomain* domain_;
+  Rng rng_;
+  ZipfDistribution symbol_dist_;
+  ZipfDistribution sector_dist_;
+};
+
+}  // namespace dbsp

@@ -1,0 +1,199 @@
+// The WorkloadDomain interface and the two new domains (stock ticker, IoT
+// telemetry): registry, determinism, schema conformance, and the domain-
+// specific traffic shapes (bursty prices, narrow sensor subscriptions,
+// flash-crowd templates).
+
+#include "scenario/workload_domain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace dbsp {
+namespace {
+
+std::vector<std::string> tree_strings(WorkloadDomain& domain, std::uint64_t stream,
+                                      std::size_t n, bool flash = false) {
+  auto source = flash ? domain.flash_subscriptions(stream) : domain.subscriptions(stream);
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(source->next()->to_string(domain.schema()));
+  }
+  return out;
+}
+
+TEST(WorkloadDomainTest, RegistryKnowsAllThreeDomains) {
+  ASSERT_EQ(workload_names().size(), 3u);
+  for (const auto name : workload_names()) {
+    const auto domain = make_workload(name);
+    EXPECT_EQ(domain->name(), name);
+    EXPECT_GT(domain->schema().attribute_count(), 0u);
+  }
+  EXPECT_THROW((void)make_workload("telegraph"), std::invalid_argument);
+}
+
+TEST(WorkloadDomainTest, StreamsAreDeterministicAndIndependent) {
+  for (const auto name : workload_names()) {
+    const auto domain = make_workload(name);
+
+    EXPECT_EQ(tree_strings(*domain, 1, 20), tree_strings(*domain, 1, 20))
+        << name << ": same stream must replay identically";
+    EXPECT_NE(tree_strings(*domain, 1, 20), tree_strings(*domain, 7, 20))
+        << name << ": distinct streams must differ";
+    EXPECT_EQ(tree_strings(*domain, 4, 10, true), tree_strings(*domain, 4, 10, true))
+        << name << ": flash stream must replay identically";
+
+    auto a = domain->events(2);
+    auto b = domain->events(2);
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_EQ(a->next().to_string(domain->schema()),
+                b->next().to_string(domain->schema()));
+    }
+  }
+}
+
+TEST(WorkloadDomainTest, EventsConformToSchemaAndSubscriptionsEvaluate) {
+  for (const auto name : workload_names()) {
+    const auto domain = make_workload(name);
+    const Schema& schema = domain->schema();
+
+    auto events = domain->events(2)->generate(300);
+    for (const Event& e : events) {
+      ASSERT_GT(e.size(), 0u);
+      for (const auto& [attr, value] : e.pairs()) {
+        ASSERT_LT(attr.value(), schema.attribute_count());
+        // Int attributes may carry Int only; Double may not carry String...
+        const ValueType declared = schema.type(attr);
+        EXPECT_EQ(value.type(), declared)
+            << name << ": attribute " << schema.name(attr);
+      }
+    }
+
+    auto subs = domain->subscriptions(1);
+    std::size_t matches = 0;
+    for (std::size_t i = 0; i < 80; ++i) {
+      const auto tree = subs->next();
+      ASSERT_NE(tree, nullptr);
+      ASSERT_FALSE(tree->is_constant());
+      EXPECT_GE(tree->leaf_count(), 1u);
+      for (const Event& e : events) matches += tree->evaluate_event(e) ? 1u : 0u;
+    }
+    // The population is selective but not dead: someone matches something.
+    EXPECT_GT(matches, 0u) << name;
+  }
+}
+
+TEST(StockDomainTest, BurstRegimesConcentrateTheTape) {
+  StockConfig config;
+  config.symbols = 200;
+  config.burst_probability = 0.01;
+  const StockDomain domain(config);
+  StockEventGenerator gen(domain, 2);
+
+  std::size_t burst_ticks = 0;
+  std::set<std::string> symbols_seen;
+  std::size_t halted = 0;
+  for (int i = 0; i < 6000; ++i) {
+    const Event e = gen.next();
+    if (gen.in_burst()) ++burst_ticks;
+    symbols_seen.insert(e.find(domain.symbol)->as_string());
+    if (e.find(domain.halted)->as_bool()) ++halted;
+  }
+  EXPECT_GT(burst_ticks, 0u) << "no burst regime in 6000 events";
+  EXPECT_GT(symbols_seen.size(), 50u);  // Zipf, but not degenerate
+  EXPECT_GT(halted, 0u);                // extreme moves trip the breaker
+}
+
+TEST(StockDomainTest, SubscriptionsAreNumericHeavy) {
+  const StockDomain domain{StockConfig{}};
+  StockSubscriptionGenerator gen(domain, 1);
+  std::size_t numeric_leaves = 0;
+  std::size_t total_leaves = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto g = gen.next();
+    g.tree->for_each_leaf([&](const Node& leaf) {
+      ++total_leaves;
+      const auto type = domain.schema().type(leaf.predicate().attribute());
+      if (type == ValueType::Int || type == ValueType::Double) ++numeric_leaves;
+    });
+  }
+  // The defining trait vs the auction domain: mostly numeric predicates.
+  EXPECT_GT(numeric_leaves * 2, total_leaves);
+}
+
+TEST(StockDomainTest, FlashTemplateTargetsTheHottestSymbol) {
+  const StockDomain domain{StockConfig{}};
+  StockSubscriptionGenerator gen(domain, 9);
+  const std::string& hot = domain.symbols()[0];
+  for (int i = 0; i < 30; ++i) {
+    auto tree = gen.hot_tree();
+    bool anchored = false;
+    tree->for_each_leaf([&](const Node& leaf) {
+      if (leaf.predicate().attribute() == domain.symbol &&
+          leaf.predicate().op() == Op::Eq &&
+          leaf.predicate().operand().as_string() == hot) {
+        anchored = true;
+      }
+    });
+    EXPECT_TRUE(anchored);
+  }
+}
+
+TEST(IotDomainTest, NarrowSubscriptionsAndPeriodicReadings) {
+  IotConfig config;
+  config.devices = 500;
+  const IotDomain domain(config);
+
+  // Readings stay within each sensor kind's declared range.
+  IotEventGenerator gen(domain, 2);
+  for (int i = 0; i < 2000; ++i) {
+    const Event e = gen.next();
+    const auto& kind = e.find(domain.sensor)->as_string();
+    const auto range = domain.reading_range(kind);
+    const double reading = e.find(domain.reading)->numeric();
+    EXPECT_GE(reading, range.lo) << kind;
+    EXPECT_LE(reading, range.hi) << kind;
+    const double battery = e.find(domain.battery)->numeric();
+    EXPECT_GE(battery, 0.0);
+    EXPECT_LE(battery, 100.0);
+  }
+
+  // mware-style narrowness: the typical subscription pins an equality
+  // anchor (device / region / sensor) next to its numeric condition.
+  IotSubscriptionGenerator subs(domain, 1);
+  std::size_t anchored = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto g = subs.next();
+    bool has_eq_anchor = false;
+    g.tree->for_each_leaf([&](const Node& leaf) {
+      const auto attr = leaf.predicate().attribute();
+      if (leaf.predicate().op() == Op::Eq &&
+          (attr == domain.device || attr == domain.region || attr == domain.sensor)) {
+        has_eq_anchor = true;
+      }
+    });
+    anchored += has_eq_anchor ? 1u : 0u;
+  }
+  EXPECT_GT(anchored, 80u);
+}
+
+TEST(IotDomainTest, FlashTemplateTargetsTheHottestRegion) {
+  const IotDomain domain{IotConfig{}};
+  IotSubscriptionGenerator gen(domain, 9);
+  for (int i = 0; i < 20; ++i) {
+    auto tree = gen.hot_tree();
+    bool anchored = false;
+    tree->for_each_leaf([&](const Node& leaf) {
+      if (leaf.predicate().attribute() == domain.region &&
+          leaf.predicate().operand().as_string() == domain.regions()[0]) {
+        anchored = true;
+      }
+    });
+    EXPECT_TRUE(anchored);
+  }
+}
+
+}  // namespace
+}  // namespace dbsp

@@ -1,10 +1,14 @@
 #!/usr/bin/env python3
 """Run the dbsp micro benchmarks (plus a scaled-down fig1 sweep) and emit a
-machine-readable BENCH_micro.json.
+machine-readable BENCH_micro.json, then run the scenario soak (all three
+workload domains through churn + flash crowd + pruning maintenance) and
+emit BENCH_scenario.json.
 
-The JSON is the repo's perf trajectory record: each entry carries the
-benchmark name, events/sec, and ns/event so later PRs can diff numbers
-against this baseline. Usage:
+The JSON files are the repo's perf trajectory record: each entry carries
+the benchmark name, events/sec, and ns/event (micro) or events/sec,
+churn ops/sec, per-phase memory, and the notification-exactness flag
+(scenario) so later PRs can diff numbers against this baseline. A
+scenario oracle mismatch fails the run. Usage:
 
     cmake --build build --target bench_runner          # via CMake
     tools/bench_runner.py --build-dir build            # directly
@@ -28,6 +32,12 @@ FIG1_ENV = {
     "DBSP_EVENTS": "500",
     "DBSP_TRAINING_EVENTS": "1000",
     "DBSP_STEP_PCT": "25",
+}
+
+# Quick-mode scenario soak: same phase structure, smaller population.
+SCENARIO_QUICK_ENV = {
+    "DBSP_SCENARIO_SUBS": "400",
+    "DBSP_SCENARIO_EVENTS": "250",
 }
 
 
@@ -114,10 +124,62 @@ def run_fig1(binary):
     }
 
 
+def run_scenario(binary, quick):
+    """Run the scenario soak and return its parsed JSON report. Raises on a
+    non-zero exit (the binary exits 1 on any oracle mismatch)."""
+    env = dict(os.environ)
+    if quick:
+        env.update(SCENARIO_QUICK_ENV)
+    start = time.monotonic()
+    proc = subprocess.run([binary], capture_output=True, text=True, env=env)
+    elapsed = time.monotonic() - start
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        raise SystemExit(f"{binary} exited with {proc.returncode} (oracle mismatch?)")
+    report = json.loads(proc.stdout)
+    report["elapsed_seconds"] = round(elapsed, 3)
+    return report
+
+
+def write_scenario_json(build_dir, out_path, quick, context):
+    binary = find_binary(build_dir, "scenario_soak")
+    if binary is None:
+        print("[bench_runner] scenario_soak binary not found; skipping BENCH_scenario.json")
+        return None
+    print("[bench_runner] running scenario_soak (all domains) ...", flush=True)
+    report = run_scenario(binary, quick)
+    result = {
+        "schema_version": 1,
+        "generated_unix_time": int(time.time()),
+        "host": {
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "num_cpus": context.get("num_cpus"),
+            "mhz_per_cpu": context.get("mhz_per_cpu"),
+        },
+        "mode": "quick" if quick else "full",
+        "exact": report.get("exact", False),
+        "scenario": report,
+    }
+    with open(out_path, "w") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+    n_runs = len(report.get("runs", []))
+    print(f"[bench_runner] wrote {out_path} ({n_runs} scenario runs, exact={result['exact']})")
+    if not result["exact"]:
+        raise SystemExit("scenario soak reported oracle mismatches")
+    return result
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
     parser.add_argument("--out", default=None, help="default: <build-dir>/BENCH_micro.json")
+    parser.add_argument(
+        "--scenario-out",
+        default=None,
+        help="default: <build-dir>/BENCH_scenario.json",
+    )
     parser.add_argument(
         "--quick",
         action="store_true",
@@ -125,6 +187,7 @@ def main():
     )
     args = parser.parse_args()
     out_path = args.out or os.path.join(args.build_dir, "BENCH_micro.json")
+    scenario_out = args.scenario_out or os.path.join(args.build_dir, "BENCH_scenario.json")
 
     benchmarks = []
     context = {}
@@ -168,6 +231,8 @@ def main():
         json.dump(result, f, indent=2)
         f.write("\n")
     print(f"[bench_runner] wrote {out_path} ({len(benchmarks)} benchmark rows)")
+
+    write_scenario_json(args.build_dir, scenario_out, args.quick, context)
 
 
 if __name__ == "__main__":
