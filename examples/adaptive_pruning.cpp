@@ -1,24 +1,18 @@
 // Adaptive dimension selection — the paper's §1/§5 outlook ("we are also
 // able to dynamically adjust our optimization based on current system
-// parameters") implemented as a small controller: watch memory pressure and
-// wire pressure, and drive pruning with whichever dimension relieves the
-// binding constraint, re-deciding every round.
+// parameters") implemented as a small controller over the public API:
+// watch memory pressure and wire pressure, and drive pruning with
+// whichever dimension relieves the binding constraint, re-deciding every
+// round through PubSub::set_prune_dimension().
 //
 // The controller is intentionally simple (threshold rules); the point is
-// that the engine supports switching dimensions mid-stream because every
-// queue entry is re-derived from the subscription's current state.
+// that switching dimensions mid-stream just rebuilds the pruning queues
+// from the subscriptions' current (already pruned) state.
 
 #include <cstdio>
-#include <memory>
 #include <vector>
 
-#include "common/env.hpp"
-#include "core/engine.hpp"
-#include "filter/counting_matcher.hpp"
-#include "selectivity/estimator.hpp"
-#include "selectivity/stats.hpp"
-#include "workload/event_gen.hpp"
-#include "workload/subscription_gen.hpp"
+#include "dbsp/dbsp.hpp"
 
 namespace {
 
@@ -38,26 +32,29 @@ PruneDimension decide(std::size_t associations, std::size_t assoc_budget,
 
 int main() {
   const auto n_subs = static_cast<std::size_t>(env_int("DBSP_SUBS", 1500));
-  const WorkloadConfig wl;
-  const AuctionDomain domain(wl);
+  const auto domain = make_auction_workload();
 
-  EventStats stats(domain.schema());
-  AuctionEventGenerator training(domain, 3);
-  for (int i = 0; i < 8000; ++i) stats.observe(training.next());
-  stats.finalize();
-  const SelectivityEstimator estimator(stats);
+  PubSubOptions options;
+  options.pruning = true;
+  PubSub pubsub(domain->schema(), options);
 
-  AuctionSubscriptionGenerator sub_gen(domain, 1);
-  std::vector<std::unique_ptr<Subscription>> subs;
-  CountingMatcher matcher(domain.schema());
-  for (std::uint32_t i = 0; i < n_subs; ++i) {
-    subs.push_back(std::make_unique<Subscription>(SubscriptionId(i), sub_gen.next_tree()));
-    matcher.add(*subs.back());
+  {
+    std::vector<Event> training;
+    auto gen = domain->events(3);
+    for (int i = 0; i < 8000; ++i) training.push_back(gen->next());
+    (void)pubsub.train(training);
   }
 
-  const std::size_t assoc_budget = matcher.association_count() * 3 / 4;
+  auto sub_gen = domain->subscriptions(1);
+  std::vector<SubscriptionHandle> handles;
+  handles.reserve(n_subs);
+  for (std::size_t i = 0; i < n_subs; ++i) {
+    handles.push_back(pubsub.subscribe(sub_gen->next()).value());
+  }
+
+  const std::size_t assoc_budget = pubsub.association_count() * 3 / 4;
   const double match_budget = 0.02;  // forwarded fraction ceiling
-  AuctionEventGenerator event_gen(domain, 2);
+  auto event_gen = domain->events(2);
 
   std::printf("adaptive pruning: %zu subs, association budget %zu, match budget %.3f\n\n",
               n_subs, assoc_budget, match_budget);
@@ -66,33 +63,28 @@ int main() {
 
   for (int round = 0; round < 6; ++round) {
     // Observe one traffic window.
-    matcher.reset_counters();
-    std::vector<SubscriptionId> matches;
-    const auto window = event_gen.generate(300);
-    for (const auto& e : window) {
-      matches.clear();
-      matcher.match(e, matches);
-    }
+    pubsub.reset_counters();
+    const auto window = event_gen->generate(300);
+    (void)pubsub.publish_batch(window);
     const double match_rate =
-        static_cast<double>(matcher.counters().matches) /
+        static_cast<double>(pubsub.counters().matches) /
         (static_cast<double>(window.size()) * static_cast<double>(n_subs));
 
     const PruneDimension dim =
-        decide(matcher.association_count(), assoc_budget, match_rate, match_budget);
+        decide(pubsub.association_count(), assoc_budget, match_rate, match_budget);
 
-    // A fresh engine per round re-reads the current (already pruned) trees;
-    // Δ≈sel/Δ≈eff baselines reset to the current state, which makes the
-    // controller conservative — exactly what incremental re-optimization
-    // wants.
-    PruneEngineConfig config;
-    config.dimension = dim;
-    PruningEngine engine(estimator, config, &matcher);
-    for (auto& s : subs) engine.register_subscription(*s);
-    const std::size_t step = engine.total_possible() / 12 + 1;
-    engine.prune(step);
+    // Rebuilding the queues on the chosen dimension re-reads the current
+    // (already pruned) trees; Δ≈sel/Δ≈eff baselines reset to the current
+    // state, which makes the controller conservative — exactly what
+    // incremental re-optimization wants.
+    (void)pubsub.set_prune_dimension(dim);
+    const std::size_t before = pubsub.pruning_stats().performed;
+    const std::size_t step = pubsub.pruning_stats().total_possible / 12 + 1;
+    (void)pubsub.prune(step).value();
 
     std::printf("%-6d %-12s %12zu %12zu %12.5f\n", round, to_string(dim),
-                engine.performed(), matcher.association_count(), match_rate);
+                pubsub.pruning_stats().performed - before,
+                pubsub.association_count(), match_rate);
   }
   std::printf("\ndimension switches follow whichever budget is currently violated.\n");
   return 0;

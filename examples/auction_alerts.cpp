@@ -1,41 +1,31 @@
-// Auction alerts: the paper's application scenario on a single broker.
-// Generates the online book-auction workload (three subscriber classes),
-// filters a stream of listing events, and shows how the three pruning
-// dimensions trade network load, memory and throughput against each other
-// at a fixed pruning budget.
+// Auction alerts: the paper's application scenario on a single broker,
+// driven entirely through the public PubSub facade. Generates the online
+// book-auction workload, filters a stream of listing events, and shows how
+// the three pruning dimensions trade network load, memory and throughput
+// against each other at a fixed pruning budget.
 //
 // Knobs: DBSP_SUBS (default 2000), DBSP_EVENTS (default 1000).
 
 #include <cstdio>
-#include <memory>
 #include <vector>
 
-#include "common/env.hpp"
-#include "common/timer.hpp"
-#include "core/engine.hpp"
-#include "filter/counting_matcher.hpp"
-#include "selectivity/estimator.hpp"
-#include "selectivity/stats.hpp"
-#include "workload/event_gen.hpp"
-#include "workload/subscription_gen.hpp"
+#include "dbsp/dbsp.hpp"
 
 int main() {
   using namespace dbsp;
   const auto n_subs = static_cast<std::size_t>(env_int("DBSP_SUBS", 2000));
   const auto n_events = static_cast<std::size_t>(env_int("DBSP_EVENTS", 1000));
 
-  const WorkloadConfig wl;
-  const AuctionDomain domain(wl);
+  const auto domain = make_auction_workload();
 
-  // Train selectivity statistics on a sample of historical listings.
-  EventStats stats(domain.schema());
-  AuctionEventGenerator training(domain, 3);
-  for (int i = 0; i < 10000; ++i) stats.observe(training.next());
-  stats.finalize();
-  const SelectivityEstimator estimator(stats);
-
-  AuctionEventGenerator event_gen(domain, 2);
-  const auto events = event_gen.generate(n_events);
+  // Historical listings: one sample trains the selectivity statistics,
+  // an independent stream is the measured traffic.
+  std::vector<Event> training;
+  {
+    auto gen = domain->events(3);
+    for (int i = 0; i < 10000; ++i) training.push_back(gen->next());
+  }
+  const auto events = domain->events(2)->generate(n_events);
 
   std::printf("auction_alerts: %zu subscriptions, %zu events, pruning budget 40%%\n\n",
               n_subs, n_events);
@@ -46,34 +36,31 @@ int main() {
        {PruneDimension::NetworkLoad, PruneDimension::MemoryUsage,
         PruneDimension::Throughput}) {
     // Fresh broker state per dimension — identical workload via the seed.
-    AuctionSubscriptionGenerator sub_gen(domain, 1);
-    std::vector<std::unique_ptr<Subscription>> subs;
-    CountingMatcher matcher(domain.schema());
-    for (std::uint32_t i = 0; i < n_subs; ++i) {
-      subs.push_back(std::make_unique<Subscription>(SubscriptionId(i),
-                                                    sub_gen.next_tree()));
-      matcher.add(*subs.back());
+    PubSubOptions options;
+    options.pruning = true;
+    options.prune.dimension = dim;
+    PubSub pubsub(domain->schema(), options);
+    (void)pubsub.train(training);
+
+    auto sub_gen = domain->subscriptions(1);
+    std::vector<SubscriptionHandle> handles;
+    handles.reserve(n_subs);
+    for (std::size_t i = 0; i < n_subs; ++i) {
+      handles.push_back(pubsub.subscribe(sub_gen->next()).value());
     }
 
-    PruneEngineConfig config;
-    config.dimension = dim;
-    PruningEngine engine(estimator, config, &matcher);
-    for (auto& s : subs) engine.register_subscription(*s);
-    engine.prune(engine.total_possible() * 2 / 5);  // 40% of all prunings
+    const std::size_t budget = pubsub.pruning_stats().total_possible * 2 / 5;
+    (void)pubsub.prune(budget).value();  // 40% of all prunings
 
-    matcher.reset_counters();
-    std::vector<SubscriptionId> matches;
+    pubsub.reset_counters();
     Stopwatch watch;
     watch.start();
-    for (const auto& e : events) {
-      matches.clear();
-      matcher.match(e, matches);
-    }
+    (void)pubsub.publish_batch(events);
     watch.stop();
 
     std::printf("%-12s %12zu %14zu %14llu %12.3f\n", to_string(dim),
-                engine.performed(), matcher.association_count(),
-                static_cast<unsigned long long>(matcher.counters().matches),
+                pubsub.pruning_stats().performed, pubsub.association_count(),
+                static_cast<unsigned long long>(pubsub.counters().matches),
                 1e3 * watch.seconds() / static_cast<double>(n_events));
   }
   std::printf("\nSee bench/fig1* for the full sweeps of Figure 1.\n");

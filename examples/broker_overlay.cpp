@@ -1,22 +1,15 @@
 // Distributed routing walkthrough: the paper's 5-broker line. Floods
 // subscriptions through the overlay, publishes auction events at every
-// broker, then prunes each broker's remote routing entries on the network
-// dimension and shows that (1) subscribers still receive exactly the same
-// notifications, (2) routing state shrank, (3) only transit traffic grew.
+// broker, then enables broker-owned pruning of each broker's remote
+// routing entries on the network dimension and shows that (1) subscribers
+// still receive exactly the same notifications, (2) routing state shrank,
+// (3) only transit traffic grew.
 //
 // Knobs: DBSP_SUBS (default 1000), DBSP_EVENTS (default 400).
 
 #include <cstdio>
-#include <memory>
-#include <vector>
 
-#include "broker/overlay.hpp"
-#include "common/env.hpp"
-#include "core/pruning_set.hpp"
-#include "selectivity/estimator.hpp"
-#include "selectivity/stats.hpp"
-#include "workload/event_gen.hpp"
-#include "workload/subscription_gen.hpp"
+#include "dbsp/dbsp.hpp"
 
 int main() {
   using namespace dbsp;
@@ -24,27 +17,30 @@ int main() {
   const auto n_events = static_cast<std::size_t>(env_int("DBSP_EVENTS", 400));
   constexpr std::size_t kBrokers = 5;
 
-  const WorkloadConfig wl;
-  const AuctionDomain domain(wl);
-  Overlay overlay(domain.schema(), kBrokers, Overlay::line(kBrokers));
+  const auto domain = make_auction_workload();
 
-  AuctionSubscriptionGenerator sub_gen(domain, 1);
+  // Selectivity statistics first: brokers with pruning enabled reference
+  // the estimator, so it must outlive the overlay.
+  EventStats stats(domain->schema());
+  {
+    auto training = domain->events(3);
+    for (int i = 0; i < 8000; ++i) stats.observe(training->next());
+  }
+  stats.finalize();
+  const SelectivityEstimator estimator(stats);
+
+  Overlay overlay(domain->schema(), kBrokers, Overlay::line(kBrokers));
+
+  auto sub_gen = domain->subscriptions(1);
   for (std::uint32_t i = 0; i < n_subs; ++i) {
     overlay.subscribe(BrokerId(i % kBrokers), ClientId(i), SubscriptionId(i),
-                      sub_gen.next_tree());
+                      sub_gen->next());
   }
   std::printf("overlay: %zu brokers in a line, %zu subscriptions flooded (%llu control msgs)\n",
               kBrokers, n_subs,
               static_cast<unsigned long long>(overlay.network().total().control_messages));
 
-  EventStats stats(domain.schema());
-  AuctionEventGenerator training(domain, 3);
-  for (int i = 0; i < 8000; ++i) stats.observe(training.next());
-  stats.finalize();
-  const SelectivityEstimator estimator(stats);
-
-  AuctionEventGenerator event_gen(domain, 2);
-  const auto events = event_gen.generate(n_events);
+  const auto events = domain->events(2)->generate(n_events);
 
   auto publish_all = [&] {
     overlay.reset_metrics();
@@ -64,27 +60,19 @@ int main() {
 
   // Prune 60% of each broker's remote entries on the network dimension.
   // Each broker's filter table is sharded (DBSP_SHARDS, default = hardware
-  // concurrency), so the pruning queue runs per shard.
+  // concurrency), so the pruning queue runs per shard. The broker owns the
+  // set and keeps it in sync were any churn to follow.
   std::printf("each broker matches over %zu shard(s)\n",
               overlay.broker(BrokerId(0)).engine().shard_count());
   PruneEngineConfig config;
   config.dimension = PruneDimension::NetworkLoad;
-  std::vector<std::unique_ptr<ShardedPruningSet>> sets;
   for (std::size_t b = 0; b < kBrokers; ++b) {
-    Broker& broker = overlay.broker(BrokerId(static_cast<BrokerId::value_type>(b)));
-    sets.push_back(std::make_unique<ShardedPruningSet>(
-        broker.engine(), estimator, config, broker.remote_subscriptions()));
-    // Attached: later unsubscribes would release pruning state automatically.
-    broker.set_pruning(sets.back().get());
-    sets.back()->prune_to_fraction(0.6);
+    overlay.broker(BrokerId(static_cast<BrokerId::value_type>(b)))
+        .enable_pruning(estimator, config)
+        .prune_to_fraction(0.6);
   }
 
   publish_all();
-  // Done with pruning: detach before `sets` goes out of scope so no broker
-  // keeps a dangling pointer.
-  for (std::size_t b = 0; b < kBrokers; ++b) {
-    overlay.broker(BrokerId(static_cast<BrokerId::value_type>(b))).set_pruning(nullptr);
-  }
   std::printf("pruned 60%%:  %llu notifications, %llu event messages, %zu remote assoc.\n",
               static_cast<unsigned long long>(overlay.total_notifications()),
               static_cast<unsigned long long>(overlay.network().total().event_messages),

@@ -1,30 +1,23 @@
 // Covering, merging and pruning side by side — the paper's §2.3 argument
 // as a runnable demo. Covering and perfect merging only help when
 // subscriptions are conjunctive and structurally related; dimension-based
-// pruning optimizes *every* subscription independently of its shape.
+// pruning (run here through the PubSub facade) optimizes *every*
+// subscription independently of its shape.
 
 #include <cstdio>
 #include <memory>
 #include <vector>
 
-#include "common/env.hpp"
-#include "core/engine.hpp"
-#include "routing/covering.hpp"
-#include "routing/merging.hpp"
-#include "selectivity/estimator.hpp"
-#include "selectivity/stats.hpp"
-#include "workload/event_gen.hpp"
-#include "workload/subscription_gen.hpp"
+#include "dbsp/dbsp.hpp"
 
 int main() {
   using namespace dbsp;
   const auto n_subs = static_cast<std::size_t>(env_int("DBSP_SUBS", 1500));
 
-  const WorkloadConfig wl;
-  const AuctionDomain domain(wl);
-  AuctionSubscriptionGenerator gen(domain, 1);
+  const auto domain = make_auction_workload();
+  auto gen = domain->subscriptions(1);
   std::vector<std::unique_ptr<Node>> trees;
-  for (std::size_t i = 0; i < n_subs; ++i) trees.push_back(gen.next_tree());
+  for (std::size_t i = 0; i < n_subs; ++i) trees.push_back(gen->next());
 
   // --- Covering: how many routing entries are redundant? -------------------
   std::size_t conjunctive = 0;
@@ -55,28 +48,26 @@ int main() {
               conjunctive_trees.size(), merged.size());
 
   // --- Pruning: applies to all of them --------------------------------------
-  EventStats stats(domain.schema());
-  AuctionEventGenerator training(domain, 3);
-  for (int i = 0; i < 8000; ++i) stats.observe(training.next());
-  stats.finalize();
-  const SelectivityEstimator estimator(stats);
-
-  std::vector<std::unique_ptr<Subscription>> subs;
-  for (std::size_t i = 0; i < trees.size(); ++i) {
-    subs.push_back(std::make_unique<Subscription>(
-        SubscriptionId(static_cast<SubscriptionId::value_type>(i)),
-        trees[i]->clone()));
+  PubSubOptions options;
+  options.pruning = true;
+  options.prune.dimension = PruneDimension::MemoryUsage;
+  PubSub pubsub(domain->schema(), options);
+  {
+    std::vector<Event> training;
+    auto event_gen = domain->events(3);
+    for (int i = 0; i < 8000; ++i) training.push_back(event_gen->next());
+    (void)pubsub.train(training);
   }
-  PruneEngineConfig config;
-  config.dimension = PruneDimension::MemoryUsage;
-  PruningEngine engine(estimator, config);
-  for (auto& s : subs) engine.register_subscription(*s);
 
-  std::size_t bytes_before = 0;
-  for (const auto& s : subs) bytes_before += s->root().size_bytes();
-  engine.prune(engine.total_possible() / 2);
-  std::size_t bytes_after = 0;
-  for (const auto& s : subs) bytes_after += s->root().size_bytes();
+  std::vector<SubscriptionHandle> handles;
+  handles.reserve(trees.size());
+  for (const auto& t : trees) {
+    handles.push_back(pubsub.subscribe(t->clone()).value());
+  }
+
+  const std::size_t bytes_before = pubsub.subscription_bytes();
+  (void)pubsub.prune(pubsub.pruning_stats().total_possible / 2).value();
+  const std::size_t bytes_after = pubsub.subscription_bytes();
 
   std::printf("pruning:   50%% of prunings shrink routing state %zu -> %zu bytes "
               "(-%.0f%%), across ALL %zu subscriptions\n",

@@ -1,74 +1,100 @@
-// Quickstart: declare a schema, register Boolean subscriptions through the
-// textual DSL, match events with the counting filter engine, then watch
-// dimension-based pruning generalize a routing entry step by step.
+// Quickstart on the public API: build a PubSub, register Boolean
+// subscriptions through the fluent filter builder and the textual DSL,
+// publish events to RAII subscription handles, then watch dimension-based
+// pruning generalize a filter step by step.
 //
 // Build & run:  cmake --build build && ./build/examples/quickstart
 
 #include <iostream>
-#include <memory>
 #include <vector>
 
-#include "core/engine.hpp"
-#include "event/event.hpp"
-#include "filter/counting_matcher.hpp"
-#include "selectivity/estimator.hpp"
-#include "subscription/parser.hpp"
+#include "dbsp/dbsp.hpp"
 
 int main() {
   using namespace dbsp;
 
-  // 1. A schema: the attributes events may carry.
+  // 1. A schema: the attributes events may carry. The PubSub facade owns
+  //    it (and the sharded matching engine, and the pruning queues).
   Schema schema;
   schema.add_attribute("category", ValueType::String);
   schema.add_attribute("price", ValueType::Double);
   schema.add_attribute("condition", ValueType::String);
   schema.add_attribute("seller_rating", ValueType::Double);
 
-  // 2. Subscriptions are arbitrary Boolean filter expressions.
-  const char* texts[] = {
-      "category = 'science_fiction' and price < 15",
-      "category in ('mystery', 'thriller') and condition = 'new' and price < 30",
-      "(category = 'art' or category = 'photography') and seller_rating >= 95",
-  };
-  std::vector<std::unique_ptr<Subscription>> subs;
-  CountingMatcher matcher(schema);
-  for (std::uint32_t i = 0; i < 3; ++i) {
-    subs.push_back(std::make_unique<Subscription>(
-        SubscriptionId(i), parse_subscription(texts[i], schema)));
-    matcher.add(*subs.back());
-  }
+  PubSubOptions options;
+  options.pruning = true;  // enable the pruning queues for step 4
+  options.prune.dimension = PruneDimension::MemoryUsage;
+  PubSub pubsub(std::move(schema), options);
 
-  // 3. Match an event against all subscriptions at once.
-  const Event listing = EventBuilder(schema)
+  // 2. Subscriptions are arbitrary Boolean filters: compose them with the
+  //    fluent builder or parse DSL text — both compile to the same trees.
+  const auto on_match = [](const Notification& n) {
+    std::cout << "  -> subscription #" << n.subscription.value() << " matched\n";
+  };
+
+  const Filter fiction =
+      where("category").eq("science_fiction") && where("price").lt(15);
+  const Filter art = (where("category").eq("art") ||
+                      where("category").eq("photography")) &&
+                     where("seller_rating").ge(95);
+
+  std::vector<SubscriptionHandle> handles;
+  handles.push_back(pubsub.subscribe(fiction, on_match).value());
+  handles.push_back(
+      pubsub
+          .subscribe("category in ('mystery', 'thriller') and "
+                     "condition = 'new' and price < 30",
+                     on_match)
+          .value());
+  handles.push_back(pubsub.subscribe(art, on_match).value());
+
+  // Compile-time names, runtime checking: errors come back as Status, not
+  // exceptions.
+  const auto bad = pubsub.subscribe(where("colour").eq("red"));
+  std::cout << "subscribing on an unknown attribute: "
+            << bad.status().to_string() << "\n\n";
+
+  // 3. Publish an event; callbacks fire per matching subscription.
+  const Event listing = pubsub.event()
                             .with("category", "mystery")
                             .with("price", 12.5)
                             .with("condition", "new")
                             .with("seller_rating", 88.0)
                             .build();
-  std::vector<SubscriptionId> matches;
-  matcher.match(listing, matches);
-  std::cout << "event " << listing.to_string(schema) << "\nmatches:";
-  for (const auto id : matches) std::cout << " #" << id.value();
-  std::cout << "\n\n";
+  std::cout << "publishing " << listing.to_string(pubsub.schema()) << "\n";
+  const std::size_t delivered = pubsub.publish(listing);
+  std::cout << delivered << " notification(s) delivered\n\n";
 
   // 4. Dimension-based pruning: generalize subscriptions to save routing
-  //    state. Here we prune twice on the memory dimension.
-  const SelectivityEstimator estimator(
-      LeafSelectivityFn([](const Predicate&) { return 0.1; }));
-  PruneEngineConfig config;
-  config.dimension = PruneDimension::MemoryUsage;
-  PruningEngine engine(estimator, config, &matcher);
-  for (auto& s : subs) engine.register_subscription(*s);
-
-  std::cout << "total possible prunings: " << engine.total_possible() << "\n";
-  std::cout << "associations before: " << matcher.association_count() << "\n";
-  for (int step = 0; step < 2 && engine.prune_one(); ++step) {
-    const auto& applied = engine.history().back();
-    std::cout << "pruned subscription #" << applied.sub.value()
-              << " (saved " << applied.scores.mem_improvement << " bytes)\n";
-    std::cout << "  now: "
-              << subs[applied.sub.value()]->to_string(schema) << "\n";
+  //    state. Train the selectivity statistics on a small sample, then
+  //    prune twice on the memory dimension.
+  std::vector<Event> sample;
+  for (int i = 0; i < 64; ++i) {
+    sample.push_back(pubsub.event()
+                         .with("category", i % 4 == 0 ? "mystery" : "art")
+                         .with("price", 5.0 + static_cast<double>(i))
+                         .with("condition", i % 2 == 0 ? "new" : "used")
+                         .with("seller_rating", 50.0 + static_cast<double>(i))
+                         .build());
   }
-  std::cout << "associations after: " << matcher.association_count() << "\n";
+  (void)pubsub.train(sample);
+  (void)pubsub.rescore_all();
+
+  std::cout << "total possible prunings: " << pubsub.pruning_stats().total_possible
+            << "\n";
+  std::cout << "associations before: " << pubsub.association_count() << "\n";
+  (void)pubsub.prune(2).value();
+  for (const auto& handle : handles) {
+    std::cout << "  #" << handle.id().value() << ": "
+              << pubsub.subscription_text(handle.id()).value() << "\n";
+  }
+  std::cout << "associations after: " << pubsub.association_count() << "\n\n";
+
+  // 5. Handles are RAII claims: dropping one unsubscribes and releases its
+  //    pruning state automatically.
+  handles.pop_back();
+  std::cout << "after dropping one handle: " << pubsub.subscription_count()
+            << " subscriptions, " << pubsub.pruning_stats().tracked
+            << " tracked by pruning\n";
   return 0;
 }

@@ -1,0 +1,319 @@
+#include "api/filter.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <utility>
+
+namespace dbsp {
+
+namespace api_detail {
+
+/// The builder's private expression node. Leaves keep the attribute *name*
+/// (resolution is deferred to compile()) plus the raw operand list exactly
+/// as written — normalization (Between swap, In sort/dedup) happens in the
+/// Predicate constructor on both the compile and the parse path, which is
+/// what makes the two converge.
+struct FilterNode {
+  enum class Kind : std::uint8_t { Leaf, And, Or, Not };
+
+  Kind kind = Kind::Leaf;
+  std::string attribute;        // Leaf
+  Op op = Op::Eq;               // Leaf
+  std::vector<Value> operands;  // Leaf
+  std::vector<std::shared_ptr<const FilterNode>> children;  // And/Or/Not
+};
+
+}  // namespace api_detail
+
+namespace {
+
+using api_detail::FilterNode;
+
+std::shared_ptr<const FilterNode> make_composite(
+    FilterNode::Kind kind, std::vector<std::shared_ptr<const FilterNode>> children) {
+  auto node = std::make_shared<FilterNode>();
+  node->kind = kind;
+  node->children = std::move(children);
+  return node;
+}
+
+/// Number of operands each operator requires in a well-formed leaf;
+/// 0 = "one or more" (In).
+[[nodiscard]] bool operand_count_ok(Op op, std::size_t n) {
+  switch (op) {
+    case Op::Between: return n == 2;
+    case Op::In: return n >= 1;
+    default: return n == 1;
+  }
+}
+
+/// Type compatibility of one operand against the attribute's declared
+/// type. Int and Double interchange (matching compares numerically).
+[[nodiscard]] bool operand_type_ok(ValueType attr_type, const Value& v) {
+  switch (attr_type) {
+    case ValueType::Int:
+    case ValueType::Double: return v.is_numeric();
+    case ValueType::String: return v.type() == ValueType::String;
+    case ValueType::Bool: return v.type() == ValueType::Bool;
+  }
+  return false;
+}
+
+/// Operator applicability per attribute type: string operators need a
+/// string attribute; Bool supports equality and set membership only.
+[[nodiscard]] bool op_type_ok(ValueType attr_type, Op op) {
+  switch (op) {
+    case Op::Prefix:
+    case Op::Suffix:
+    case Op::Contains: return attr_type == ValueType::String;
+    case Op::Lt:
+    case Op::Le:
+    case Op::Gt:
+    case Op::Ge:
+    case Op::Between: return attr_type != ValueType::Bool;
+    case Op::Eq:
+    case Op::Ne:
+    case Op::In: return true;
+  }
+  return false;
+}
+
+Result<std::unique_ptr<Node>> compile_node(const FilterNode& node, const Schema& schema) {
+  switch (node.kind) {
+    case FilterNode::Kind::Leaf: {
+      const auto attr = schema.find(node.attribute);
+      if (!attr) {
+        return Status::error(ErrorCode::kNotFound,
+                             "unknown attribute '" + node.attribute + "'");
+      }
+      if (!operand_count_ok(node.op, node.operands.size())) {
+        return Status::error(ErrorCode::kInvalidArgument,
+                             "wrong operand count for '" + node.attribute + "' " +
+                                 dbsp::to_string(node.op));
+      }
+      const ValueType attr_type = schema.type(*attr);
+      if (!op_type_ok(attr_type, node.op)) {
+        return Status::error(ErrorCode::kInvalidArgument,
+                             std::string("operator '") + dbsp::to_string(node.op) +
+                                 "' does not apply to attribute '" + node.attribute + "'");
+      }
+      for (const Value& v : node.operands) {
+        if (!operand_type_ok(attr_type, v)) {
+          return Status::error(ErrorCode::kInvalidArgument,
+                               "operand " + v.to_string() + " has the wrong type for '" +
+                                   node.attribute + "'");
+        }
+      }
+      if (node.op == Op::Between) {
+        return Node::leaf(Predicate(*attr, node.operands[0], node.operands[1]));
+      }
+      if (node.op == Op::In) {
+        return Node::leaf(Predicate(*attr, node.operands));
+      }
+      return Node::leaf(Predicate(*attr, node.op, node.operands[0]));
+    }
+    case FilterNode::Kind::Not: {
+      auto child = compile_node(*node.children[0], schema);
+      if (!child.ok()) return child.status();
+      return Node::not_(std::move(child).value());
+    }
+    case FilterNode::Kind::And:
+    case FilterNode::Kind::Or: {
+      if (node.children.empty()) {
+        // Only the zero-part case reaches a composite here: all_of/any_of
+        // with one part collapse to that part at build time.
+        return Status::error(ErrorCode::kInvalidArgument,
+                             "all_of/any_of over an empty set of parts");
+      }
+      std::vector<std::unique_ptr<Node>> children;
+      children.reserve(node.children.size());
+      for (const auto& c : node.children) {
+        auto child = compile_node(*c, schema);
+        if (!child.ok()) return child.status();
+        children.push_back(std::move(child).value());
+      }
+      return node.kind == FilterNode::Kind::And ? Node::and_(std::move(children))
+                                                : Node::or_(std::move(children));
+    }
+  }
+  return Status::error(ErrorCode::kInvalidArgument, "malformed filter node");
+}
+
+/// A double literal that re-parses as a Double: shortest round-trip form,
+/// forced to carry '.'/'e' so the DSL lexer does not read it as an Int.
+/// (Int(x) and Double(x) compare numerically equal anyway; this just keeps
+/// the round-tripped operand the same ValueType.)
+std::string double_literal(double d) {
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  std::string out(buf, end);
+  (void)ec;
+  if (out.find_first_of(".eE") == std::string::npos &&
+      out.find_first_not_of("-0123456789") == std::string::npos) {
+    out += ".0";
+  }
+  return out;
+}
+
+/// A DSL string literal: single quotes, inner quotes doubled (SQL style —
+/// the lexer's matching escape).
+std::string string_literal(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('\'');
+  for (const char c : s) {
+    if (c == '\'') out.push_back('\'');
+    out.push_back(c);
+  }
+  out.push_back('\'');
+  return out;
+}
+
+std::string value_literal(const Value& v) {
+  switch (v.type()) {
+    case ValueType::Int: return std::to_string(v.as_int());
+    case ValueType::Double: return double_literal(v.as_double());
+    case ValueType::String: return string_literal(v.as_string());
+    case ValueType::Bool: return v.as_bool() ? "true" : "false";
+  }
+  return "?";
+}
+
+void render(const FilterNode& node, std::ostringstream& os) {
+  switch (node.kind) {
+    case FilterNode::Kind::Leaf: {
+      os << node.attribute << ' ' << dbsp::to_string(node.op) << ' ';
+      if (node.op == Op::Between) {
+        os << value_literal(node.operands[0]) << " and " << value_literal(node.operands[1]);
+      } else if (node.op == Op::In) {
+        os << '(';
+        for (std::size_t i = 0; i < node.operands.size(); ++i) {
+          if (i != 0) os << ", ";
+          os << value_literal(node.operands[i]);
+        }
+        os << ')';
+      } else {
+        os << value_literal(node.operands[0]);
+      }
+      break;
+    }
+    case FilterNode::Kind::Not:
+      os << "not (";
+      render(*node.children[0], os);
+      os << ')';
+      break;
+    case FilterNode::Kind::And:
+    case FilterNode::Kind::Or: {
+      const char* sep = node.kind == FilterNode::Kind::And ? " and " : " or ";
+      os << '(';
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        if (i != 0) os << sep;
+        render(*node.children[i], os);
+      }
+      os << ')';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Node>> Filter::compile(const Schema& schema) const {
+  if (!node_) {
+    return Status::error(ErrorCode::kInvalidArgument, "empty filter");
+  }
+  auto tree = compile_node(*node_, schema);
+  if (!tree.ok()) return tree.status();
+  auto simplified = simplify(std::move(tree).value());
+  if (simplified->is_constant()) {
+    // Unreachable from the constant-free builder grammar; guards future
+    // extensions (and mirrors parse_subscription's contract).
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "filter simplifies to a constant");
+  }
+  return simplified;
+}
+
+std::string Filter::to_string() const {
+  if (!node_) return "<empty filter>";
+  std::ostringstream os;
+  render(*node_, os);
+  return os.str();
+}
+
+Filter operator&&(const Filter& a, const Filter& b) {
+  if (!a.valid() || !b.valid()) return Filter();
+  return Filter(make_composite(FilterNode::Kind::And, {a.node_, b.node_}));
+}
+
+Filter operator||(const Filter& a, const Filter& b) {
+  if (!a.valid() || !b.valid()) return Filter();
+  return Filter(make_composite(FilterNode::Kind::Or, {a.node_, b.node_}));
+}
+
+Filter operator!(const Filter& a) {
+  if (!a.valid()) return Filter();
+  return Filter(make_composite(FilterNode::Kind::Not, {a.node_}));
+}
+
+Filter AttributeRef::leaf(Op op, std::vector<Value> operands) const {
+  auto node = std::make_shared<FilterNode>();
+  node->kind = FilterNode::Kind::Leaf;
+  node->attribute = name_;
+  node->op = op;
+  node->operands = std::move(operands);
+  return Filter(std::move(node));
+}
+
+Filter AttributeRef::eq(Value v) const { return leaf(Op::Eq, {std::move(v)}); }
+Filter AttributeRef::ne(Value v) const { return leaf(Op::Ne, {std::move(v)}); }
+Filter AttributeRef::lt(Value v) const { return leaf(Op::Lt, {std::move(v)}); }
+Filter AttributeRef::le(Value v) const { return leaf(Op::Le, {std::move(v)}); }
+Filter AttributeRef::gt(Value v) const { return leaf(Op::Gt, {std::move(v)}); }
+Filter AttributeRef::ge(Value v) const { return leaf(Op::Ge, {std::move(v)}); }
+
+Filter AttributeRef::between(Value low, Value high) const {
+  return leaf(Op::Between, {std::move(low), std::move(high)});
+}
+
+Filter AttributeRef::in(std::vector<Value> values) const {
+  return leaf(Op::In, std::move(values));
+}
+
+Filter AttributeRef::prefix(std::string text) const {
+  return leaf(Op::Prefix, {Value(std::move(text))});
+}
+Filter AttributeRef::suffix(std::string text) const {
+  return leaf(Op::Suffix, {Value(std::move(text))});
+}
+Filter AttributeRef::contains(std::string text) const {
+  return leaf(Op::Contains, {Value(std::move(text))});
+}
+
+Filter all_of(std::vector<Filter> parts) {
+  std::vector<std::shared_ptr<const FilterNode>> children;
+  children.reserve(parts.size());
+  for (const Filter& p : parts) {
+    if (!p.valid()) return Filter();
+    children.push_back(p.node_);
+  }
+  if (children.size() == 1) return parts.front();
+  // Zero parts still yields a composite node: compile() then reports the
+  // descriptive kInvalidArgument instead of silently producing emptiness.
+  return Filter(make_composite(FilterNode::Kind::And, std::move(children)));
+}
+
+Filter any_of(std::vector<Filter> parts) {
+  std::vector<std::shared_ptr<const FilterNode>> children;
+  children.reserve(parts.size());
+  for (const Filter& p : parts) {
+    if (!p.valid()) return Filter();
+    children.push_back(p.node_);
+  }
+  if (children.size() == 1) return parts.front();
+  return Filter(make_composite(FilterNode::Kind::Or, std::move(children)));
+}
+
+Filter not_of(Filter f) { return !f; }
+
+}  // namespace dbsp

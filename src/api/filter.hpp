@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file
+/// The fluent, schema-checked filter builder of the public API. A `Filter`
+/// is an immutable value describing a Boolean subscription expression over
+/// *named* attributes:
+///
+///   Filter f = (where("price").gt(100) && where("sym").eq("ACME"))
+///              || where("volume").ge(1e6);
+///
+/// Filters are cheap to copy (shared immutable nodes) and schema-free
+/// until compile(): compiling resolves names against a Schema, type-checks
+/// every predicate, and produces the same simplified `Node` tree the DSL
+/// parser would — `to_string()` renders the equivalent DSL text, and
+/// `parse_subscription(f.to_string(), schema)` yields a semantically equal
+/// tree (enforced by a randomized round-trip test).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/status.hpp"
+#include "event/schema.hpp"
+#include "event/value.hpp"
+#include "subscription/node.hpp"
+
+namespace dbsp {
+
+namespace api_detail {
+struct FilterNode;
+}  // namespace api_detail
+
+/// An immutable Boolean filter expression over named attributes. Compose
+/// with `&&`, `||`, `!` or the `all_of`/`any_of`/`not_of` free functions;
+/// leaves come from `where("attr").<op>(...)`. A default-constructed
+/// Filter is empty and fails compile() with kInvalidArgument; composing
+/// with an empty Filter propagates emptiness.
+class Filter {
+ public:
+  Filter() = default;
+
+  /// True when this holds an expression (leaves and composites of leaves).
+  [[nodiscard]] bool valid() const { return node_ != nullptr; }
+
+  /// Compiles against `schema`: resolves attribute names, type-checks each
+  /// predicate (numeric ops need numeric attributes and operands, string
+  /// ops string ones, Bool supports =/!=/in only), simplifies, and returns
+  /// the constant-free tree — or a kInvalidArgument/kNotFound Status.
+  [[nodiscard]] Result<std::unique_ptr<Node>> compile(const Schema& schema) const;
+
+  /// Renders the expression in the subscription DSL (subscription/parser.hpp)
+  /// with explicit parentheses and SQL-style '' escaping inside string
+  /// literals. Attribute names must be DSL identifiers ([A-Za-z_][A-Za-z0-9_]*,
+  /// not a keyword) and doubles finite for the text to parse back.
+  [[nodiscard]] std::string to_string() const;
+
+  friend Filter operator&&(const Filter& a, const Filter& b);
+  friend Filter operator||(const Filter& a, const Filter& b);
+  friend Filter operator!(const Filter& a);
+
+ private:
+  friend class AttributeRef;
+  friend Filter all_of(std::vector<Filter> parts);
+  friend Filter any_of(std::vector<Filter> parts);
+
+  explicit Filter(std::shared_ptr<const api_detail::FilterNode> node)
+      : node_(std::move(node)) {}
+
+  std::shared_ptr<const api_detail::FilterNode> node_;
+};
+
+/// One attribute named in a filter under construction; the result of
+/// where(). Each method yields a single-predicate Filter.
+class AttributeRef {
+ public:
+  explicit AttributeRef(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] Filter eq(Value v) const;        ///< attribute == v
+  [[nodiscard]] Filter ne(Value v) const;        ///< attribute != v (and present)
+  [[nodiscard]] Filter lt(Value v) const;        ///< attribute <  v
+  [[nodiscard]] Filter le(Value v) const;        ///< attribute <= v
+  [[nodiscard]] Filter gt(Value v) const;        ///< attribute >  v
+  [[nodiscard]] Filter ge(Value v) const;        ///< attribute >= v
+  [[nodiscard]] Filter between(Value low, Value high) const;
+  [[nodiscard]] Filter in(std::vector<Value> values) const;
+  [[nodiscard]] Filter prefix(std::string text) const;
+  [[nodiscard]] Filter suffix(std::string text) const;
+  [[nodiscard]] Filter contains(std::string text) const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  [[nodiscard]] Filter leaf(Op op, std::vector<Value> operands) const;
+
+  std::string name_;
+};
+
+/// Entry point of the fluent builder: where("price").gt(100).
+[[nodiscard]] inline AttributeRef where(std::string attribute) {
+  return AttributeRef(std::move(attribute));
+}
+
+/// Conjunction of all parts (n-ary And). One part returns that part;
+/// an empty vector yields a Filter that fails compile().
+[[nodiscard]] Filter all_of(std::vector<Filter> parts);
+/// Disjunction of any part (n-ary Or); same edge-case rules as all_of.
+[[nodiscard]] Filter any_of(std::vector<Filter> parts);
+/// Negation; equivalent to !f.
+[[nodiscard]] Filter not_of(Filter f);
+
+}  // namespace dbsp

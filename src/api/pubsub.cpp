@@ -1,0 +1,343 @@
+#include "api/pubsub.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "selectivity/estimator.hpp"
+#include "selectivity/stats.hpp"
+#include "subscription/parser.hpp"
+
+namespace dbsp {
+
+namespace api_detail {
+
+struct SubEntry {
+  std::unique_ptr<Subscription> sub;
+  PubSub::Callback callback;
+};
+
+/// The facade's whole state. Held by the PubSub through a shared_ptr so
+/// handles can observe its lifetime through weak_ptrs — a handle outliving
+/// the PubSub degrades to explicit kUnavailable errors instead of UB.
+struct PubSubCore {
+  PubSubCore(Schema schema_in, PubSubOptions options_in)
+      : schema(std::move(schema_in)),
+        options(options_in),
+        stats(schema),
+        engine(schema, options.engine) {
+    if (options.pruning) {
+      if (options.engine.backend != MatcherBackend::Counting) {
+        throw std::logic_error("PubSub: pruning requires the Counting backend");
+      }
+      // Untrained statistics estimate every predicate at 0 presence; the
+      // queues still work, train() upgrades the scores in place.
+      stats.finalize();
+      estimator.emplace(stats);
+      pruning.emplace(engine, *estimator, options.prune);
+    }
+  }
+
+  Schema schema;
+  PubSubOptions options;
+  EventStats stats;
+  std::optional<SelectivityEstimator> estimator;
+  /// Declared before engine/pruning: the owned Subscriptions must outlive
+  /// both (they reference the trees), so they must be destroyed last.
+  std::unordered_map<SubscriptionId::value_type, SubEntry> subs;
+  ShardedEngine engine;  // references this->schema; PubSubCore never moves
+  std::optional<ShardedPruningSet> pruning;
+
+  SubscriptionId::value_type next_id = 0;
+  std::size_t callbacks_registered = 0;
+  std::uint64_t next_seq = 0;
+  std::uint64_t notifications = 0;
+
+  std::vector<SubscriptionId> match_scratch;
+  std::vector<std::vector<SubscriptionId>> batch_scratch;
+
+  Status unsubscribe(SubscriptionId id) {
+    const auto it = subs.find(id.value());
+    if (it == subs.end()) {
+      return Status::error(ErrorCode::kNotFound,
+                           "subscription #" + std::to_string(id.value()) +
+                               " is not registered");
+    }
+    // Pruning state first (release-before-engine-removal invariant), then
+    // the engine entry, then the owning map slot.
+    if (pruning) pruning->remove(id);
+    engine.remove(id);
+    if (it->second.callback) --callbacks_registered;
+    subs.erase(it);
+    return Status();
+  }
+
+  void dispatch(std::span<const SubscriptionId> matched, std::uint64_t seq,
+                const Event& event) {
+    for (const SubscriptionId id : matched) {
+      const auto it = subs.find(id.value());
+      if (it != subs.end() && it->second.callback) {
+        it->second.callback(Notification{id, seq, event});
+      }
+    }
+  }
+};
+
+}  // namespace api_detail
+
+using api_detail::PubSubCore;
+
+// --- SubscriptionHandle ------------------------------------------------------
+
+SubscriptionHandle::SubscriptionHandle(SubscriptionHandle&& other) noexcept
+    : core_(std::move(other.core_)), id_(other.id_) {
+  other.core_.reset();
+  other.id_ = SubscriptionId();
+}
+
+SubscriptionHandle& SubscriptionHandle::operator=(SubscriptionHandle&& other) noexcept {
+  if (this != &other) {
+    if (attached()) (void)release();  // drop the current claim first
+    core_ = std::move(other.core_);
+    id_ = other.id_;
+    other.core_.reset();
+    other.id_ = SubscriptionId();
+  }
+  return *this;
+}
+
+SubscriptionHandle::~SubscriptionHandle() {
+  if (attached()) (void)release();
+}
+
+bool SubscriptionHandle::active() const {
+  if (!id_.valid()) return false;
+  const auto core = core_.lock();
+  return core != nullptr && core->subs.count(id_.value()) != 0;
+}
+
+Status SubscriptionHandle::release() {
+  if (!id_.valid()) {
+    return Status::error(ErrorCode::kFailedPrecondition,
+                         "handle is empty, moved-from, or already released");
+  }
+  const SubscriptionId id = id_;
+  id_ = SubscriptionId();
+  const auto core = core_.lock();
+  core_.reset();
+  if (core == nullptr) {
+    return Status::error(ErrorCode::kUnavailable,
+                         "the PubSub behind this handle no longer exists");
+  }
+  return core->unsubscribe(id);
+}
+
+// --- PubSub ------------------------------------------------------------------
+
+PubSub::PubSub(Schema schema, PubSubOptions options)
+    : core_(std::make_shared<PubSubCore>(std::move(schema), options)) {}
+
+PubSub::~PubSub() = default;
+
+const Schema& PubSub::schema() const { return core_->schema; }
+
+EventBuilder PubSub::event() const { return EventBuilder(core_->schema); }
+
+Result<SubscriptionHandle> PubSub::subscribe(const Filter& filter, Callback callback) {
+  auto tree = filter.compile(core_->schema);
+  if (!tree.ok()) return tree.status();
+  return subscribe(std::move(tree).value(), std::move(callback));
+}
+
+Result<SubscriptionHandle> PubSub::subscribe(std::string_view dsl_text,
+                                             Callback callback) {
+  std::unique_ptr<Node> tree;
+  try {
+    tree = parse_subscription(dsl_text, core_->schema);
+  } catch (const ParseError& e) {
+    return Status::error(ErrorCode::kParseError,
+                         std::string(e.what()) + " at position " +
+                             std::to_string(e.position()));
+  } catch (const std::exception& e) {  // unknown attribute etc.
+    return Status::error(ErrorCode::kParseError, e.what());
+  }
+  return subscribe(std::move(tree), std::move(callback));
+}
+
+Result<SubscriptionHandle> PubSub::subscribe(std::unique_ptr<Node> tree,
+                                             Callback callback) {
+  if (tree == nullptr) {
+    return Status::error(ErrorCode::kInvalidArgument, "null subscription tree");
+  }
+  if (tree->is_constant()) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "constant filters cannot be subscribed");
+  }
+  auto& c = *core_;
+  const SubscriptionId id(c.next_id);
+  auto sub = std::make_unique<Subscription>(id, std::move(tree));
+  if (!c.engine.add(*sub)) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "filter is not convertible by the configured backend");
+  }
+  ++c.next_id;
+  if (c.pruning) c.pruning->add(*sub);
+  if (callback) ++c.callbacks_registered;
+  c.subs.emplace(id.value(),
+                 api_detail::SubEntry{std::move(sub), std::move(callback)});
+  return SubscriptionHandle(core_, id);
+}
+
+Status PubSub::unsubscribe(SubscriptionId id) { return core_->unsubscribe(id); }
+
+bool PubSub::contains(SubscriptionId id) const {
+  return core_->subs.count(id.value()) != 0;
+}
+
+std::size_t PubSub::subscription_count() const { return core_->subs.size(); }
+
+Result<bool> PubSub::matches(SubscriptionId id, const Event& event) const {
+  const auto it = core_->subs.find(id.value());
+  if (it == core_->subs.end()) {
+    return Status::error(ErrorCode::kNotFound, "unknown subscription id");
+  }
+  return it->second.sub->matches(event);
+}
+
+Result<std::string> PubSub::subscription_text(SubscriptionId id) const {
+  const auto it = core_->subs.find(id.value());
+  if (it == core_->subs.end()) {
+    return Status::error(ErrorCode::kNotFound, "unknown subscription id");
+  }
+  return it->second.sub->to_string(core_->schema);
+}
+
+std::size_t PubSub::publish(const Event& event) {
+  auto& c = *core_;
+  c.match_scratch.clear();
+  c.engine.match(event, c.match_scratch);
+  const std::uint64_t seq = c.next_seq++;
+  c.notifications += c.match_scratch.size();
+  if (c.callbacks_registered > 0) c.dispatch(c.match_scratch, seq, event);
+  return c.match_scratch.size();
+}
+
+std::uint64_t PubSub::publish_batch(std::span<const Event> events) {
+  auto& c = *core_;
+  c.engine.match_batch(events, c.batch_scratch);
+  std::uint64_t total = 0;
+  for (const auto& row : c.batch_scratch) total += row.size();
+  c.notifications += total;
+  if (c.callbacks_registered > 0) {
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      c.dispatch(c.batch_scratch[i], c.next_seq + i, events[i]);
+    }
+  }
+  c.next_seq += events.size();
+  return total;
+}
+
+std::uint64_t PubSub::notifications_delivered() const { return core_->notifications; }
+
+namespace {
+
+Status pruning_disabled() {
+  return Status::error(ErrorCode::kFailedPrecondition,
+                       "pruning is disabled (PubSubOptions::pruning)");
+}
+
+}  // namespace
+
+Status PubSub::train(std::span<const Event> sample) {
+  auto& c = *core_;
+  if (!c.options.pruning) return pruning_disabled();
+  c.stats.reset();
+  for (const Event& e : sample) c.stats.observe(e);
+  c.stats.finalize();
+  // The estimator holds the stats by reference; queued candidate scores go
+  // stale until the caller's next rescore_all().
+  return Status();
+}
+
+Result<std::size_t> PubSub::prune(std::size_t k) {
+  if (!core_->pruning) return pruning_disabled();
+  return core_->pruning->prune(k);
+}
+
+Result<std::size_t> PubSub::prune_to_fraction(double fraction) {
+  if (!core_->pruning) return pruning_disabled();
+  if (!(fraction >= 0.0 && fraction <= 1.0)) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "fraction must be in [0, 1]");
+  }
+  return core_->pruning->prune_to_fraction(fraction);
+}
+
+Status PubSub::set_prune_dimension(PruneDimension dimension) {
+  auto& c = *core_;
+  if (!c.pruning) return pruning_disabled();
+  c.options.prune.dimension = dimension;
+  // Rebuild over the current trees in ascending-id order for determinism;
+  // baselines re-capture the present (already pruned) state, which is what
+  // incremental re-optimization wants.
+  std::vector<Subscription*> subs;
+  subs.reserve(c.subs.size());
+  for (auto& [raw_id, entry] : c.subs) subs.push_back(entry.sub.get());
+  std::sort(subs.begin(), subs.end(),
+            [](const Subscription* a, const Subscription* b) { return a->id() < b->id(); });
+  c.pruning.emplace(c.engine, *c.estimator, c.options.prune, subs);
+  return Status();
+}
+
+Status PubSub::set_drift_threshold(std::size_t mutations) {
+  if (!core_->pruning) return pruning_disabled();
+  core_->pruning->set_drift_threshold(mutations);
+  return Status();
+}
+
+bool PubSub::drift_pending() const {
+  return core_->pruning && core_->pruning->drift_pending();
+}
+
+Status PubSub::rescore_all() {
+  if (!core_->pruning) return pruning_disabled();
+  core_->pruning->rescore_all();
+  return Status();
+}
+
+PubSub::PruningStats PubSub::pruning_stats() const {
+  PruningStats out;
+  const auto& c = *core_;
+  if (!c.pruning) return out;
+  out.enabled = true;
+  out.tracked = c.pruning->subscription_count();
+  out.total_possible = c.pruning->total_possible();
+  out.performed = c.pruning->performed();
+  out.maintenance = c.pruning->maintenance();
+  return out;
+}
+
+std::size_t PubSub::shard_count() const { return core_->engine.shard_count(); }
+
+std::size_t PubSub::association_count() const {
+  return core_->engine.association_count();
+}
+
+std::size_t PubSub::subscription_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [raw_id, entry] : core_->subs) {
+    total += entry.sub->root().size_bytes();
+  }
+  return total;
+}
+
+CountingMatcher::Counters PubSub::counters() const { return core_->engine.counters(); }
+
+void PubSub::reset_counters() {
+  core_->engine.reset_counters();
+  core_->notifications = 0;
+}
+
+}  // namespace dbsp

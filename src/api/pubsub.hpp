@@ -1,0 +1,207 @@
+#pragma once
+
+/// \file
+/// The `dbsp::PubSub` facade — the stable public entry point of the
+/// library. One object owns the schema, the sharded matching engine, the
+/// selectivity statistics, and (optionally) the per-shard pruning queues;
+/// subscriptions are registered through fluent `Filter`s, DSL text, or raw
+/// trees and handed back as RAII `SubscriptionHandle`s whose destruction
+/// unsubscribes and releases all pruning state automatically. Errors
+/// travel through the Status/Result channel (api/status.hpp), not
+/// exceptions.
+///
+/// Thread safety: like the engine it wraps, a PubSub must be externally
+/// serialized — one mutating or matching call at a time (publish_batch
+/// still fans out internally across shards). Callbacks run on the calling
+/// thread and must not re-enter the PubSub.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/filter.hpp"
+#include "api/status.hpp"
+#include "core/pruning_set.hpp"
+#include "event/event.hpp"
+
+namespace dbsp {
+
+namespace api_detail {
+struct PubSubCore;
+}  // namespace api_detail
+
+/// Construction-time knobs of a PubSub.
+struct PubSubOptions {
+  /// Shard count / matcher backend of the matching engine.
+  ShardedEngineOptions engine;
+  /// Enables dimension-based pruning maintenance: every subscription is
+  /// admitted to a per-shard pruning queue on subscribe and released on
+  /// unsubscribe/handle drop. Requires the Counting backend.
+  bool pruning = false;
+  /// Dimension / tie-break order / bottom-up restriction of the pruning
+  /// queues (used only when `pruning` is set).
+  PruneEngineConfig prune;
+};
+
+/// One delivered notification: which subscription matched which event.
+/// `seq` is the PubSub-assigned publish sequence number. `event` refers to
+/// the caller's published event and is valid only for the duration of the
+/// callback — copy the Event (not the Notification) to keep it longer.
+struct Notification {
+  SubscriptionId subscription;
+  std::uint64_t seq = 0;
+  const Event& event;
+};
+
+/// RAII claim on one registration: destruction (or release()) unsubscribes
+/// and releases the subscription's pruning state. Move-only. A handle may
+/// outlive its PubSub — every operation on it then reports kUnavailable
+/// instead of touching freed memory, and destruction is a no-op.
+class SubscriptionHandle {
+ public:
+  /// An empty handle (no registration claim).
+  SubscriptionHandle() = default;
+  SubscriptionHandle(SubscriptionHandle&& other) noexcept;
+  SubscriptionHandle& operator=(SubscriptionHandle&& other) noexcept;
+  SubscriptionHandle(const SubscriptionHandle&) = delete;
+  SubscriptionHandle& operator=(const SubscriptionHandle&) = delete;
+  ~SubscriptionHandle();
+
+  /// The registered id; kInvalid on empty/moved-from/released handles.
+  [[nodiscard]] SubscriptionId id() const { return id_; }
+
+  /// True while this handle holds an unreleased claim (the PubSub may
+  /// still be gone; see active()).
+  [[nodiscard]] bool attached() const { return id_.valid(); }
+
+  /// True iff the claim is live end to end: not released, the PubSub still
+  /// exists, and the subscription is still registered there.
+  [[nodiscard]] bool active() const;
+
+  /// Unsubscribes now. Errors instead of UB on every misuse: empty or
+  /// moved-from handle / double release -> kFailedPrecondition; PubSub
+  /// already destroyed -> kUnavailable; id already unsubscribed through
+  /// another path -> kNotFound. The handle is empty afterwards either way.
+  Status release();
+
+ private:
+  friend class PubSub;
+  SubscriptionHandle(std::weak_ptr<api_detail::PubSubCore> core, SubscriptionId id)
+      : core_(std::move(core)), id_(id) {}
+
+  std::weak_ptr<api_detail::PubSubCore> core_;
+  SubscriptionId id_{};
+};
+
+/// The facade. See the file comment for the ownership picture.
+class PubSub {
+ public:
+  using Callback = std::function<void(const Notification&)>;
+
+  /// Takes the schema by value: the PubSub is the authority over its event
+  /// domain for its whole lifetime. Throws std::logic_error when
+  /// options.pruning is combined with a non-Counting backend.
+  explicit PubSub(Schema schema, PubSubOptions options = {});
+  ~PubSub();
+
+  PubSub(const PubSub&) = delete;
+  PubSub& operator=(const PubSub&) = delete;
+
+  [[nodiscard]] const Schema& schema() const;
+  /// Convenience: an EventBuilder over this PubSub's schema.
+  [[nodiscard]] EventBuilder event() const;
+
+  // --- Subscribing ---------------------------------------------------------
+
+  /// Registers a filter built with the fluent builder. The callback (may
+  /// be empty) fires once per matching published event.
+  [[nodiscard]] Result<SubscriptionHandle> subscribe(const Filter& filter,
+                                                     Callback callback = {});
+  /// Registers subscription DSL text (subscription/parser.hpp grammar).
+  /// *Every* failure of the text — bad syntax and unknown attributes alike
+  /// — reports kParseError with the offending position; only the builder
+  /// path distinguishes kNotFound for unknown attributes.
+  [[nodiscard]] Result<SubscriptionHandle> subscribe(std::string_view dsl_text,
+                                                     Callback callback = {});
+  /// Interop entry point for pre-built trees (workload generators, codec).
+  [[nodiscard]] Result<SubscriptionHandle> subscribe(std::unique_ptr<Node> tree,
+                                                     Callback callback = {});
+
+  /// Id-based unsubscribe (the handle's release() calls this). kNotFound
+  /// when the id is not registered.
+  Status unsubscribe(SubscriptionId id);
+
+  [[nodiscard]] bool contains(SubscriptionId id) const;
+  [[nodiscard]] std::size_t subscription_count() const;
+
+  /// Direct tree evaluation of one registered subscription against an
+  /// event — the correctness oracle (bypasses the counting indexes).
+  [[nodiscard]] Result<bool> matches(SubscriptionId id, const Event& event) const;
+  /// The subscription's current (possibly pruned) expression as DSL text.
+  [[nodiscard]] Result<std::string> subscription_text(SubscriptionId id) const;
+
+  // --- Publishing ----------------------------------------------------------
+
+  /// Matches one event, dispatches callbacks in ascending subscription-id
+  /// order, and returns the number of notifications.
+  std::size_t publish(const Event& event);
+  /// Batched dispatch through ShardedEngine::match_batch (shards fan out
+  /// on the internal pool); returns total notifications over the batch.
+  std::uint64_t publish_batch(std::span<const Event> events);
+
+  /// Notifications delivered since construction / the last reset_counters().
+  [[nodiscard]] std::uint64_t notifications_delivered() const;
+
+  // --- Pruning maintenance -------------------------------------------------
+
+  /// (Re)trains the selectivity statistics on a sample of events; the
+  /// pruning heuristics price candidates against them. Call before bulk
+  /// subscribing for meaningful scores, and again (followed by
+  /// rescore_all()) when drift_pending() fires.
+  Status train(std::span<const Event> sample);
+
+  /// Performs up to `k` prunings across the shard queues.
+  Result<std::size_t> prune(std::size_t k);
+  /// Prunes each shard to `fraction` (in [0,1]) of its live capacity;
+  /// idempotent, cheap to call every churn tick.
+  Result<std::size_t> prune_to_fraction(double fraction);
+
+  /// Rebuilds the pruning queues on a new primary dimension, re-reading
+  /// every subscription's *current* (possibly already pruned) tree — the
+  /// adaptive-dimension hook. Resets the drift trigger.
+  Status set_prune_dimension(PruneDimension dimension);
+
+  /// Drift trigger plumbing (see PruningEngine): after `mutations` churn
+  /// operations per shard, drift_pending() asks for train() + rescore_all().
+  Status set_drift_threshold(std::size_t mutations);
+  [[nodiscard]] bool drift_pending() const;
+  Status rescore_all();
+
+  struct PruningStats {
+    bool enabled = false;
+    std::size_t tracked = 0;         ///< subscriptions in the queues
+    std::size_t total_possible = 0;  ///< live pruning capacity
+    std::size_t performed = 0;
+    PruningEngine::MaintenanceCounters maintenance;
+  };
+  [[nodiscard]] PruningStats pruning_stats() const;
+
+  // --- Introspection -------------------------------------------------------
+
+  [[nodiscard]] std::size_t shard_count() const;
+  /// Predicate/subscription associations (the memory metric of Fig. 1).
+  [[nodiscard]] std::size_t association_count() const;
+  /// Deterministic model bytes of all registered subscription trees.
+  [[nodiscard]] std::size_t subscription_bytes() const;
+  [[nodiscard]] CountingMatcher::Counters counters() const;
+  void reset_counters();
+
+ private:
+  std::shared_ptr<api_detail::PubSubCore> core_;
+};
+
+}  // namespace dbsp

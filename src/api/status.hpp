@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file
+/// The public API's error channel: a `Status` code/message pair and a
+/// small `Result<T>` (value-or-Status) in the spirit of std::expected.
+/// Facade entry points that can fail return these instead of throwing, so
+/// subscribe/unsubscribe churn loops stay exception-free; programming
+/// errors (null trees, misuse of internals) still throw inside the core.
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace dbsp {
+
+/// Coarse error taxonomy of the public API.
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,     ///< malformed filter, bad operand type, bad fraction...
+  kNotFound,            ///< unknown subscription id
+  kFailedPrecondition,  ///< operation needs state the object is not in
+  kUnavailable,         ///< the backing PubSub is gone (handle outlived it)
+  kParseError,          ///< subscription DSL text did not parse
+};
+
+[[nodiscard]] constexpr const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid argument";
+    case ErrorCode::kNotFound: return "not found";
+    case ErrorCode::kFailedPrecondition: return "failed precondition";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kParseError: return "parse error";
+  }
+  return "?";
+}
+
+/// Success or an (code, message) error. Default-constructed = ok.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+
+  [[nodiscard]] static Status error(ErrorCode code, std::string message) {
+    Status s;
+    s.code_ = code == ErrorCode::kOk ? ErrorCode::kFailedPrecondition : code;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  [[nodiscard]] bool ok() const { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>" — for logs and test failure output.
+  [[nodiscard]] std::string to_string() const {
+    if (ok()) return "ok";
+    return std::string(dbsp::to_string(code_)) + ": " + message_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// A value or the Status explaining why there is none.
+template <class T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (status_.ok()) {
+      throw std::logic_error("Result: constructed from an ok Status without a value");
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  /// Access the value; throws std::logic_error when !ok() (a caller bug —
+  /// check ok() or status() first).
+  [[nodiscard]] T& value() & { return checked(); }
+  [[nodiscard]] const T& value() const& { return const_cast<Result*>(this)->checked(); }
+  [[nodiscard]] T&& value() && { return std::move(checked()); }
+
+  /// The value, or `fallback` when this holds an error.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  [[nodiscard]] T* operator->() { return &checked(); }
+  [[nodiscard]] const T* operator->() const { return &const_cast<Result*>(this)->checked(); }
+
+ private:
+  T& checked() {
+    if (!value_) {
+      throw std::logic_error("Result: value() on error — " + status_.to_string());
+    }
+    return *value_;
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dbsp

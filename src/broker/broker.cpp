@@ -10,6 +10,8 @@ Broker::Broker(BrokerId id, const Schema& schema, SimulatedNetwork& net,
                ShardedEngineOptions engine_options)
     : id_(id), net_(&net), engine_(schema, engine_options) {}
 
+Broker::~Broker() = default;
+
 void Broker::subscribe_local(SubscriptionId id, ClientId client,
                              std::unique_ptr<Node> tree) {
   std::shared_ptr<const Node> wire_copy(tree->clone().release());
@@ -115,12 +117,48 @@ void Broker::route_event(BrokerId from, const Event& event, std::uint64_t seq) {
   }
 }
 
-std::vector<Subscription*> Broker::remote_subscriptions() {
+namespace {
+
+/// Remote entries as Subscription pointers — valid only until the next
+/// churn operation; callers must consume them immediately.
+std::vector<Subscription*> collect_remote(RoutingTable& table) {
   std::vector<Subscription*> out;
-  table_.for_each([&](RoutingTable::Entry& e) {
+  table.for_each([&](RoutingTable::Entry& e) {
     if (!e.local) out.push_back(e.sub.get());
   });
   return out;
+}
+
+}  // namespace
+
+std::vector<SubscriptionId> Broker::remote_subscription_ids() const {
+  std::vector<SubscriptionId> out;
+  table_.for_each([&](const RoutingTable::Entry& e) {
+    if (!e.local) out.push_back(e.sub->id());
+  });
+  return out;
+}
+
+std::vector<Subscription*> Broker::remote_subscriptions() {
+  return collect_remote(table_);
+}
+
+ShardedPruningSet& Broker::enable_pruning(const SelectivityEstimator& estimator,
+                                          const PruneEngineConfig& config) {
+  owned_pruning_ = std::make_unique<ShardedPruningSet>(engine_, estimator, config,
+                                                       collect_remote(table_));
+  pruning_ = owned_pruning_.get();
+  return *owned_pruning_;
+}
+
+void Broker::disable_pruning() {
+  pruning_ = nullptr;
+  owned_pruning_.reset();
+}
+
+void Broker::set_pruning(ShardedPruningSet* set) {
+  owned_pruning_.reset();
+  pruning_ = set;
 }
 
 std::size_t Broker::remote_association_count() const {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -19,9 +20,10 @@ class ShardedPruningSet;
 ///
 /// The filter table is a ShardedEngine over counting matchers; the shard
 /// count comes from `engine_options` (default: DBSP_SHARDS / hardware
-/// concurrency). Callers running pruning over this broker's entries build
-/// a ShardedPruningSet over engine() and attach it with set_pruning(), and
-/// the broker then keeps per-shard pruning state in sync under churn.
+/// concurrency). Callers running pruning over this broker's entries call
+/// enable_pruning(), which builds and owns a ShardedPruningSet over
+/// engine(); the broker keeps the per-shard pruning state in sync under
+/// churn for as long as it is enabled.
 ///
 /// Notifications are decided by *local* entries, which stay unpruned, so
 /// end-to-end delivery is exact regardless of how remote entries were
@@ -31,6 +33,7 @@ class Broker {
  public:
   Broker(BrokerId id, const Schema& schema, SimulatedNetwork& net,
          ShardedEngineOptions engine_options = {});
+  ~Broker();
 
   Broker(const Broker&) = delete;
   Broker& operator=(const Broker&) = delete;
@@ -59,16 +62,35 @@ class Broker {
   [[nodiscard]] ShardedEngine& engine() { return engine_; }
   [[nodiscard]] const ShardedEngine& engine() const { return engine_; }
 
-  /// Remote (prunable) subscriptions — the pruning engine's inputs.
+  /// Ids of the remote (prunable) entries — the pruning engine's inputs.
+  /// Stable under churn (plain values, nothing to dangle); resolve lazily
+  /// through table().find() when the trees are needed.
+  [[nodiscard]] std::vector<SubscriptionId> remote_subscription_ids() const;
+
+  /// Remote (prunable) subscriptions as raw pointers.
+  [[deprecated(
+      "the pointers dangle as soon as churn removes an entry; use "
+      "remote_subscription_ids() or enable_pruning()")]]
   [[nodiscard]] std::vector<Subscription*> remote_subscriptions();
 
-  /// Attaches the pruning set covering this broker's remote entries (or
-  /// nullptr to detach). While attached, the broker keeps it in sync under
-  /// churn: remote subscriptions arriving via the overlay are admitted and
-  /// unsubscriptions released automatically — the former unsubscribe
-  /// footgun (leaked pruning-queue state) is gone. The set must be built
-  /// over this broker's engine() and outlive the attachment.
-  void set_pruning(ShardedPruningSet* set) { pruning_ = set; }
+  /// Builds a pruning set over this broker's current remote entries,
+  /// attaches it, and *owns* it: while enabled, remote subscriptions
+  /// arriving via the overlay are admitted and unsubscriptions released
+  /// automatically — no manual sync, no dangling set pointer to detach.
+  /// The estimator must outlive the broker (or a disable_pruning() call).
+  /// Replaces any previously enabled or attached set.
+  ShardedPruningSet& enable_pruning(const SelectivityEstimator& estimator,
+                                    const PruneEngineConfig& config);
+  /// Drops the owned (or attached) pruning set.
+  void disable_pruning();
+
+  /// Attaches an externally owned pruning set (or nullptr to detach),
+  /// which then must outlive the attachment.
+  [[deprecated(
+      "lifetime footgun (broker keeps a raw pointer); use enable_pruning() / "
+      "disable_pruning() — the broker owns its set")]]
+  void set_pruning(ShardedPruningSet* set);
+  /// The enabled/attached pruning set, nullptr when none.
   [[nodiscard]] ShardedPruningSet* pruning() { return pruning_; }
 
   /// Predicate/subscription associations contributed by remote entries
@@ -101,6 +123,9 @@ class Broker {
   SimulatedNetwork* net_;
   RoutingTable table_;
   ShardedEngine engine_;
+  /// Set via enable_pruning(); pruning_ aliases it (or an externally
+  /// attached set through the deprecated set_pruning()).
+  std::unique_ptr<ShardedPruningSet> owned_pruning_;
   ShardedPruningSet* pruning_ = nullptr;
 
   Stopwatch filter_time_;

@@ -2,11 +2,10 @@
 
 #include <cmath>
 #include <memory>
+#include <stdexcept>
 
+#include "api/pubsub.hpp"
 #include "common/timer.hpp"
-#include "core/pruning_set.hpp"
-#include "selectivity/estimator.hpp"
-#include "selectivity/stats.hpp"
 #include "workload/event_gen.hpp"
 #include "workload/subscription_gen.hpp"
 
@@ -16,78 +15,75 @@ CentralizedResult run_centralized(const CentralizedConfig& config,
                                   PruneDimension dimension) {
   const AuctionDomain domain(config.workload);
 
-  // Workload: identical across heuristics for a given seed.
+  // The broker under test is a PubSub facade: schema + sharded engine +
+  // per-shard pruning queues in one object (with shards == 1 this is the
+  // paper's single global queue).
+  PubSubOptions options;
+  options.engine.shards = config.shards;
+  options.pruning = true;
+  options.prune.dimension = dimension;
+  options.prune.bottom_up = config.bottom_up;
+  options.prune.order = config.tie_break_order;
+  PubSub pubsub(domain.schema(), options);
+
+  // Selectivity statistics from an independent training stream, trained
+  // before the bulk subscribe so admission scores are meaningful.
+  {
+    AuctionEventGenerator training_gen(domain, /*stream=*/3);
+    std::vector<Event> sample;
+    sample.reserve(config.training_events);
+    for (std::size_t i = 0; i < config.training_events; ++i) {
+      sample.push_back(training_gen.next());
+    }
+    const Status trained = pubsub.train(sample);
+    if (!trained.ok()) throw std::logic_error(trained.to_string());
+  }
+
+  // Workload: identical across heuristics for a given seed. Handles keep
+  // the registrations alive for the whole sweep.
   AuctionSubscriptionGenerator sub_gen(domain, /*stream=*/1);
-  std::vector<std::unique_ptr<Subscription>> subs;
-  subs.reserve(config.subscriptions);
+  std::vector<SubscriptionHandle> handles;
+  handles.reserve(config.subscriptions);
   for (std::size_t i = 0; i < config.subscriptions; ++i) {
-    subs.push_back(std::make_unique<Subscription>(
-        SubscriptionId(static_cast<SubscriptionId::value_type>(i)),
-        sub_gen.next_tree()));
+    auto subscribed = pubsub.subscribe(sub_gen.next_tree());
+    if (!subscribed.ok()) throw std::logic_error(subscribed.status().to_string());
+    handles.push_back(std::move(subscribed).value());
   }
   AuctionEventGenerator event_gen(domain, /*stream=*/2);
   const std::vector<Event> events = event_gen.generate(config.events);
 
-  // Selectivity statistics from an independent training stream.
-  EventStats stats(domain.schema());
-  AuctionEventGenerator training_gen(domain, /*stream=*/3);
-  for (std::size_t i = 0; i < config.training_events; ++i) {
-    stats.observe(training_gen.next());
-  }
-  stats.finalize();
-  const SelectivityEstimator estimator(stats);
-
-  ShardedEngineOptions engine_options;
-  engine_options.shards = config.shards;
-  ShardedEngine engine(domain.schema(), engine_options);
-  std::vector<Subscription*> sub_ptrs;
-  sub_ptrs.reserve(subs.size());
-  for (auto& s : subs) {
-    engine.add(*s);
-    sub_ptrs.push_back(s.get());
-  }
-
-  PruneEngineConfig prune_config;
-  prune_config.dimension = dimension;
-  prune_config.bottom_up = config.bottom_up;
-  prune_config.order = config.tie_break_order;
-  // One pruning queue per shard, each pruned to the requested fraction of
-  // its own capacity (with shards == 1 this is the paper's global queue).
-  ShardedPruningSet pruning(engine, estimator, prune_config, sub_ptrs);
-
   CentralizedResult result;
   result.dimension = dimension;
-  result.total_possible_prunings = pruning.total_possible();
-  const double baseline_assocs = static_cast<double>(engine.association_count());
+  result.total_possible_prunings = pubsub.pruning_stats().total_possible;
+  const double baseline_assocs = static_cast<double>(pubsub.association_count());
 
-  std::vector<std::vector<SubscriptionId>> batch_results;
   for (const double fraction : config.fractions) {
-    pruning.prune_to_fraction(fraction);
+    (void)pubsub.prune_to_fraction(fraction).value();
 
     // Warm up caches/branch predictors so the first sampled fraction is
     // not penalized relative to later ones.
     const std::size_t warmup = std::min<std::size_t>(events.size(), 200);
-    engine.match_batch(std::span<const Event>(events).first(warmup), batch_results);
+    (void)pubsub.publish_batch(std::span<const Event>(events).first(warmup));
 
-    engine.reset_counters();
+    pubsub.reset_counters();
     Stopwatch watch;
     watch.start();
-    engine.match_batch(events, batch_results);
+    (void)pubsub.publish_batch(events);
     watch.stop();
 
     CentralizedPoint p;
     p.fraction = fraction;
-    p.prunings_performed = pruning.performed();
+    p.prunings_performed = pubsub.pruning_stats().performed;
     p.filter_time_per_event =
         config.events == 0 ? 0.0 : watch.seconds() / static_cast<double>(config.events);
-    const auto counters = engine.counters();
+    const auto counters = pubsub.counters();
     p.matches = counters.matches;
     p.counter_increments = counters.counter_increments;
     p.tree_evaluations = counters.tree_evaluations;
     p.matching_fraction =
         static_cast<double>(counters.matches) /
         (static_cast<double>(config.events) * static_cast<double>(config.subscriptions));
-    p.associations = engine.association_count();
+    p.associations = pubsub.association_count();
     p.association_reduction =
         baseline_assocs == 0.0
             ? 0.0

@@ -16,7 +16,21 @@ namespace dbsp {
 DistributedResult run_distributed(const DistributedConfig& config,
                                   PruneDimension dimension) {
   const AuctionDomain domain(config.workload);
+
+  // Selectivity statistics trained first: brokers that enable pruning hold
+  // the estimator by reference, so it must outlive the overlay.
+  EventStats stats(domain.schema());
+  AuctionEventGenerator training_gen(domain, /*stream=*/3);
+  for (std::size_t i = 0; i < config.training_events; ++i) {
+    stats.observe(training_gen.next());
+  }
+  stats.finalize();
+  const SelectivityEstimator estimator(stats);
+
   Overlay overlay(domain.schema(), config.brokers, Overlay::line(config.brokers));
+  const auto broker_at = [&overlay](std::size_t b) -> Broker& {
+    return overlay.broker(BrokerId(static_cast<BrokerId::value_type>(b)));
+  };
 
   // Subscriptions are registered round-robin across brokers and flooded
   // through the overlay (subscription forwarding).
@@ -28,27 +42,15 @@ DistributedResult run_distributed(const DistributedConfig& config,
                       sub_gen.next_tree());
   }
 
-  EventStats stats(domain.schema());
-  AuctionEventGenerator training_gen(domain, /*stream=*/3);
-  for (std::size_t i = 0; i < config.training_events; ++i) {
-    stats.observe(training_gen.next());
-  }
-  stats.finalize();
-  const SelectivityEstimator estimator(stats);
-
-  // One pruning set per broker (one queue per shard inside) over the
-  // broker's remote routing entries (§2.2: pruning applies only to
-  // subscriptions from non-local clients). Attached so any churn would
+  // One broker-owned pruning set per broker (one queue per shard inside)
+  // over the broker's remote routing entries (§2.2: pruning applies only
+  // to subscriptions from non-local clients). Enabled so any churn would
   // stay in sync; the sweep itself is static.
   PruneEngineConfig engine_config;
   engine_config.dimension = dimension;
   engine_config.bottom_up = config.bottom_up;
-  std::vector<std::unique_ptr<ShardedPruningSet>> sets;
   for (std::size_t b = 0; b < config.brokers; ++b) {
-    Broker& broker = overlay.broker(BrokerId(static_cast<BrokerId::value_type>(b)));
-    sets.push_back(std::make_unique<ShardedPruningSet>(
-        broker.engine(), estimator, engine_config, broker.remote_subscriptions()));
-    broker.set_pruning(sets.back().get());
+    broker_at(b).enable_pruning(estimator, engine_config);
   }
 
   AuctionEventGenerator event_gen(domain, /*stream=*/2);
@@ -56,12 +58,16 @@ DistributedResult run_distributed(const DistributedConfig& config,
 
   DistributedResult result;
   result.dimension = dimension;
-  for (const auto& s : sets) result.total_possible_prunings += s->total_possible();
+  for (std::size_t b = 0; b < config.brokers; ++b) {
+    result.total_possible_prunings += broker_at(b).pruning()->total_possible();
+  }
   const std::size_t baseline_remote_assocs = overlay.total_remote_associations();
 
   std::uint64_t baseline_event_messages = 0;
   for (const double fraction : config.fractions) {
-    for (auto& set : sets) set->prune_to_fraction(fraction);
+    for (std::size_t b = 0; b < config.brokers; ++b) {
+      broker_at(b).pruning()->prune_to_fraction(fraction);
+    }
 
     // Warm-up pass (not measured) so the first sampled fraction is not
     // penalized by cold caches.
@@ -79,7 +85,9 @@ DistributedResult run_distributed(const DistributedConfig& config,
 
     DistributedPoint p;
     p.fraction = fraction;
-    for (const auto& s : sets) p.prunings_performed += s->performed();
+    for (std::size_t b = 0; b < config.brokers; ++b) {
+      p.prunings_performed += broker_at(b).pruning()->performed();
+    }
     p.filter_time_per_event =
         events.empty() ? 0.0
                        : overlay.total_filter_seconds() / static_cast<double>(events.size());
@@ -106,11 +114,6 @@ DistributedResult run_distributed(const DistributedConfig& config,
                       static_cast<double>(baseline_event_messages) -
                   1.0;
     result.points.push_back(p);
-  }
-  // `sets` dies before the overlay: detach so no broker keeps a dangling
-  // pruning pointer.
-  for (std::size_t b = 0; b < config.brokers; ++b) {
-    overlay.broker(BrokerId(static_cast<BrokerId::value_type>(b))).set_pruning(nullptr);
   }
   return result;
 }

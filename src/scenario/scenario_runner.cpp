@@ -1,15 +1,9 @@
 #include "scenario/scenario_runner.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <map>
-#include <optional>
+#include <stdexcept>
 #include <utility>
-
-#include "broker/overlay.hpp"
-#include "common/timer.hpp"
-#include "selectivity/estimator.hpp"
-#include "selectivity/stats.hpp"
 
 namespace dbsp {
 
@@ -19,14 +13,40 @@ namespace {
 /// trigger stays pending until more traffic accumulated.
 constexpr std::size_t kMinRetrainSample = 32;
 
-/// Shared drift-maintenance state of both run modes: the trained
-/// EventStats (estimators hold it by reference) plus the rolling window of
-/// recent published events that drift retraining replays.
+/// Rolling window of the most recent published events — the retraining
+/// sample of the drift-maintenance path. Ring storage; EventStats training
+/// is order-independent, so the rotated order is irrelevant.
+class RollingWindow {
+ public:
+  explicit RollingWindow(std::size_t cap) : cap_(cap == 0 ? 1 : cap) {}
+
+  void observe(const Event& e) {
+    if (events_.size() < cap_) {
+      events_.push_back(e);
+    } else {
+      events_[next_] = e;
+      next_ = (next_ + 1) % cap_;
+    }
+  }
+
+  [[nodiscard]] bool ready() const { return events_.size() >= kMinRetrainSample; }
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+
+ private:
+  std::vector<Event> events_;
+  std::size_t cap_;
+  std::size_t next_ = 0;
+};
+
+/// Overlay-mode drift state: the trained EventStats (broker-side
+/// estimators hold it by reference) plus the rolling retrain window. The
+/// centralized mode does not need this — the PubSub facade owns its
+/// statistics and train() replays the window into them.
 class RollingStats {
  public:
   RollingStats(const WorkloadDomain& domain, std::size_t training_events,
                std::size_t window_cap)
-      : stats_(domain.schema()), window_cap_(window_cap) {
+      : stats_(domain.schema()), window_(window_cap) {
     auto training = domain.events(3);
     for (std::size_t i = 0; i < training_events; ++i) {
       stats_.observe(training->next());
@@ -36,25 +56,21 @@ class RollingStats {
 
   [[nodiscard]] const EventStats& stats() const { return stats_; }
 
-  void observe(const Event& e) {
-    window_.push_back(e);
-    if (window_.size() > window_cap_) window_.pop_front();
-  }
+  void observe(const Event& e) { window_.observe(e); }
 
   /// Retrains in place when drift is pending and the window carries enough
   /// sample. Returns true when it did (the caller then rescores queues).
   bool maybe_retrain(bool drift_pending) {
-    if (!drift_pending || window_.size() < kMinRetrainSample) return false;
+    if (!drift_pending || !window_.ready()) return false;
     stats_.reset();
-    for (const Event& e : window_) stats_.observe(e);
+    for (const Event& e : window_.events()) stats_.observe(e);
     stats_.finalize();
     return true;
   }
 
  private:
   EventStats stats_;
-  std::deque<Event> window_;
-  std::size_t window_cap_;
+  RollingWindow window_;
 };
 
 /// One churn tick, identical in both run modes: Poisson arrivals admitted
@@ -139,45 +155,58 @@ ScenarioReport ScenarioRunner::run() {
 }
 
 ScenarioReport ScenarioRunner::run_centralized() {
-  RollingStats rolling(*domain_, config_.training_events, config_.stats_window);
-  const SelectivityEstimator estimator(rolling.stats());
+  // The system under soak is the public facade: schema, sharded engine and
+  // pruning queues all live inside one PubSub; churn goes through RAII
+  // handles whose destruction releases engine and pruning state.
+  PubSubOptions options;
+  options.engine.shards = config_.shards == 0 ? 1 : config_.shards;
+  options.pruning = config_.pruning;
+  options.prune.dimension = config_.dimension;
+  PubSub pubsub(domain_->schema(), options);
 
-  ShardedEngineOptions engine_options;
-  engine_options.shards = config_.shards == 0 ? 1 : config_.shards;
-  ShardedEngine engine(domain_->schema(), engine_options);
+  RollingWindow window(config_.stats_window);
+  if (config_.pruning) {
+    auto training = domain_->events(3);
+    std::vector<Event> sample;
+    sample.reserve(config_.training_events);
+    for (std::size_t i = 0; i < config_.training_events; ++i) {
+      sample.push_back(training->next());
+    }
+    const Status trained = pubsub.train(sample);
+    if (!trained.ok()) throw std::logic_error(trained.to_string());
+  }
 
-  PruneEngineConfig prune_config;
-  prune_config.dimension = config_.dimension;
-  std::optional<ShardedPruningSet> pruning;
-  if (config_.pruning) pruning.emplace(engine, estimator, prune_config);
+  // Matched ids of the current publish, filled by the shared callback in
+  // dispatch (= ascending id) order.
+  std::vector<SubscriptionId> matched;
+  const auto on_match = [&matched](const Notification& n) {
+    matched.push_back(n.subscription);
+  };
 
-  // Live population in arrival order (ids are assigned monotonically, so
-  // the order is also ascending-id order — what engine.match() returns).
-  std::vector<std::unique_ptr<Subscription>> live;
+  // Live population in arrival order (the facade assigns ids
+  // monotonically, so the order is also ascending-id order — what the
+  // callbacks deliver).
+  std::vector<SubscriptionHandle> live;
   live.reserve(config_.initial_subscriptions * 2);
-  std::uint32_t next_id = 0;
 
   auto subs_source = domain_->subscriptions(1);
   auto flash_source = domain_->flash_subscriptions(4);
   auto admit = [&](std::unique_ptr<Node> tree) {
-    auto sub = std::make_unique<Subscription>(SubscriptionId(next_id++), std::move(tree));
-    engine.add(*sub);
-    if (pruning) pruning->add(*sub);
-    live.push_back(std::move(sub));
+    auto subscribed = pubsub.subscribe(std::move(tree), on_match);
+    if (!subscribed.ok()) throw std::logic_error(subscribed.status().to_string());
+    live.push_back(std::move(subscribed).value());
   };
   auto release = [&](std::size_t idx) {
-    const SubscriptionId id = live[idx]->id();
-    if (pruning) pruning->remove(id);
-    engine.remove(id);
+    // Handle destruction unsubscribes and releases pruning state.
     live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
   };
   for (std::size_t i = 0; i < config_.initial_subscriptions; ++i) {
     admit(subs_source->next());
   }
-  if (pruning) {
-    pruning->prune_to_fraction(config_.prune_fraction);
+  if (config_.pruning) {
+    (void)pubsub.prune_to_fraction(config_.prune_fraction).value();
     // Armed only now: the initial bulk load is not churn.
-    pruning->set_drift_threshold(config_.drift_threshold);
+    (void)pubsub.set_drift_threshold(config_.drift_threshold);
   }
 
   auto events = domain_->events(2);
@@ -185,9 +214,8 @@ ScenarioReport ScenarioRunner::run_centralized() {
   ScenarioReport report;
   report.domain = std::string(domain_->name());
   report.mode = "centralized";
-  report.shards = engine.shard_count();
+  report.shards = pubsub.shard_count();
 
-  std::vector<SubscriptionId> matched;
   std::vector<SubscriptionId> expected;
   std::size_t phase_index = 0;
   for (const ScenarioPhase& phase : config_.phases) {
@@ -203,45 +231,50 @@ ScenarioReport ScenarioRunner::run_centralized() {
     wall.start();
     for (std::size_t ev = 0; ev < phase.events; ++ev) {
       churn_tick(churn, arrivals, pr, admit, [&] { return live.size(); }, release);
-      if (pruning) {
-        pr.prunings += pruning->prune_to_fraction(config_.prune_fraction);
-        if (rolling.maybe_retrain(pruning->drift_pending())) {
-          pruning->rescore_all();
+      if (config_.pruning) {
+        pr.prunings += pubsub.prune_to_fraction(config_.prune_fraction).value();
+        if (pubsub.drift_pending() && window.ready()) {
+          const Status retrained = pubsub.train(window.events());
+          if (!retrained.ok()) throw std::logic_error(retrained.to_string());
+          (void)pubsub.rescore_all();
           ++pr.drift_retrains;
         }
       }
 
       const Event event = events->next();
-      rolling.observe(event);
+      window.observe(event);
 
       matched.clear();
       match_watch.start();
-      engine.match(event, matched);
+      pr.matches += pubsub.publish(event);
       match_watch.stop();
-      pr.matches += matched.size();
 
       if (config_.check_every != 0 && ev % config_.check_every == 0) {
         ++pr.oracle_checked;
         expected.clear();
-        for (const auto& s : live) {
-          if (s->matches(event)) expected.push_back(s->id());
+        for (const auto& handle : live) {
+          if (pubsub.matches(handle.id(), event).value()) {
+            expected.push_back(handle.id());
+          }
         }
         if (expected != matched) ++pr.oracle_mismatches;
       }
     }
     wall.stop();
     pr.live_subscriptions = live.size();
-    pr.associations = engine.association_count();
+    pr.associations = pubsub.association_count();
     pr.match_seconds = match_watch.seconds();
     pr.wall_seconds = wall.seconds();
     report.phases.push_back(std::move(pr));
   }
-  if (pruning) report.maintenance = pruning->maintenance();
+  report.maintenance = pubsub.pruning_stats().maintenance;
   return report;
 }
 
 ScenarioReport ScenarioRunner::run_overlay() {
   const std::size_t brokers = config_.brokers;
+  // The estimator must outlive the overlay: brokers with pruning enabled
+  // hold it by reference.
   RollingStats rolling(*domain_, config_.training_events, config_.stats_window);
   const SelectivityEstimator estimator(rolling.stats());
 
@@ -250,6 +283,10 @@ ScenarioReport ScenarioRunner::run_overlay() {
   Overlay overlay(domain_->schema(), brokers, Overlay::line(brokers), {},
                   engine_options);
   overlay.set_record_notifications(true);
+
+  const auto broker_at = [&overlay](std::size_t b) -> Broker& {
+    return overlay.broker(BrokerId(static_cast<BrokerId::value_type>(b)));
+  };
 
   // Live population (arrival order) with each subscription's home broker
   // and an unpruned oracle copy of its tree. Local entries are never
@@ -280,19 +317,15 @@ ScenarioReport ScenarioRunner::run_overlay() {
     admit(subs_source->next());
   }
 
-  // One pruning set per broker over its remote entries, attached to the
-  // broker so churn stays in sync automatically.
+  // Broker-owned pruning over each broker's remote entries; churn stays in
+  // sync automatically for as long as pruning is enabled.
   PruneEngineConfig prune_config;
   prune_config.dimension = config_.dimension;
-  std::vector<std::unique_ptr<ShardedPruningSet>> sets;
   if (config_.pruning) {
     for (std::size_t b = 0; b < brokers; ++b) {
-      Broker& broker = overlay.broker(BrokerId(static_cast<BrokerId::value_type>(b)));
-      sets.push_back(std::make_unique<ShardedPruningSet>(
-          broker.engine(), estimator, prune_config, broker.remote_subscriptions()));
-      sets.back()->prune_to_fraction(config_.prune_fraction);
-      sets.back()->set_drift_threshold(config_.drift_threshold);
-      broker.set_pruning(sets.back().get());
+      ShardedPruningSet& set = broker_at(b).enable_pruning(estimator, prune_config);
+      set.prune_to_fraction(config_.prune_fraction);
+      set.set_drift_threshold(config_.drift_threshold);
     }
   }
 
@@ -320,14 +353,17 @@ ScenarioReport ScenarioRunner::run_overlay() {
     wall.start();
     for (std::size_t ev = 0; ev < phase.events; ++ev) {
       churn_tick(churn, arrivals, pr, admit, [&] { return live.size(); }, release);
-      if (!sets.empty()) {
+      if (config_.pruning) {
         bool drift = false;
-        for (const auto& set : sets) {
+        for (std::size_t b = 0; b < brokers; ++b) {
+          ShardedPruningSet* set = broker_at(b).pruning();
           pr.prunings += set->prune_to_fraction(config_.prune_fraction);
           drift = drift || set->drift_pending();
         }
         if (rolling.maybe_retrain(drift)) {
-          for (const auto& set : sets) set->rescore_all();
+          for (std::size_t b = 0; b < brokers; ++b) {
+            broker_at(b).pruning()->rescore_all();
+          }
           ++pr.drift_retrains;
         }
       }
@@ -350,8 +386,7 @@ ScenarioReport ScenarioRunner::run_overlay() {
     for (const auto& [seq, ids] : expected) actual[seq];  // seed empty rows
     std::uint64_t notifications = 0;
     for (std::size_t b = 0; b < brokers; ++b) {
-      const Broker& broker =
-          overlay.broker(BrokerId(static_cast<BrokerId::value_type>(b)));
+      const Broker& broker = broker_at(b);
       notifications += broker.notifications_delivered();
       for (const auto& [sid, seq] : broker.notification_log()) {
         actual[seq].push_back(sid);
@@ -369,8 +404,7 @@ ScenarioReport ScenarioRunner::run_overlay() {
     std::size_t assocs = 0;
     double filter_seconds = 0.0;
     for (std::size_t b = 0; b < brokers; ++b) {
-      const Broker& broker =
-          overlay.broker(BrokerId(static_cast<BrokerId::value_type>(b)));
+      const Broker& broker = broker_at(b);
       assocs += broker.engine().association_count();
       filter_seconds += broker.filter_seconds();
     }
@@ -381,17 +415,14 @@ ScenarioReport ScenarioRunner::run_overlay() {
     overlay.reset_metrics();  // clears logs and filter timers for the next phase
   }
 
-  for (const auto& set : sets) {
-    const auto m = set->maintenance();
-    report.maintenance.admissions += m.admissions;
-    report.maintenance.releases += m.releases;
-    report.maintenance.queue_compactions += m.queue_compactions;
-    report.maintenance.full_rescores += m.full_rescores;
-  }
-  // `sets` dies before the overlay: detach so no broker keeps a dangling
-  // pruning pointer.
-  for (std::size_t b = 0; b < brokers; ++b) {
-    overlay.broker(BrokerId(static_cast<BrokerId::value_type>(b))).set_pruning(nullptr);
+  if (config_.pruning) {
+    for (std::size_t b = 0; b < brokers; ++b) {
+      const auto m = broker_at(b).pruning()->maintenance();
+      report.maintenance.admissions += m.admissions;
+      report.maintenance.releases += m.releases;
+      report.maintenance.queue_compactions += m.queue_compactions;
+      report.maintenance.full_rescores += m.full_rescores;
+    }
   }
   return report;
 }

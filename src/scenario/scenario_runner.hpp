@@ -2,21 +2,20 @@
 
 /// \file
 /// The ScenarioRunner: drives a workload domain through timed phases of
-/// interleaved subscribe/unsubscribe/publish against the centralized
-/// sharded engine or a broker overlay, with adaptive pruning maintenance
-/// (incremental admission/release + drift-triggered retrain/rescore), and
-/// asserts exact delivery against a naive oracle the whole way. This is
-/// the substrate for long-running and multi-tenant evaluations beyond the
-/// paper's single static sweep.
+/// interleaved subscribe/unsubscribe/publish against the public PubSub
+/// facade (centralized mode) or a broker overlay, with adaptive pruning
+/// maintenance (incremental admission/release + drift-triggered
+/// retrain/rescore), and asserts exact delivery against a naive oracle the
+/// whole way. Built entirely on the dbsp/dbsp.hpp surface — it is both the
+/// substrate for long-running evaluations and the in-tree proof that the
+/// public API carries churn, flash crowds, and pruning end to end.
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
-#include "core/dimension.hpp"
-#include "core/pruning_set.hpp"
+#include "dbsp/dbsp.hpp"
 #include "scenario/churn.hpp"
-#include "scenario/workload_domain.hpp"
 
 namespace dbsp {
 
@@ -82,7 +81,9 @@ struct ScenarioPhaseReport {
   std::uint64_t matches = 0;           ///< notifications delivered
   std::size_t oracle_checked = 0;
   std::size_t oracle_mismatches = 0;
-  double match_seconds = 0.0;          ///< engine-only matching time
+  /// Matching time: facade publish (match + callback dispatch) in
+  /// centralized mode, per-broker filter CPU time in overlay mode.
+  double match_seconds = 0.0;
   double wall_seconds = 0.0;
 };
 

@@ -63,7 +63,18 @@ class Lexer {
     if (c == '\'') {
       std::size_t start = ++pos_;
       std::string text;
-      while (pos_ < src_.size() && src_[pos_] != '\'') text.push_back(src_[pos_++]);
+      // SQL-style escaping: '' inside a literal is one quote character.
+      while (pos_ < src_.size()) {
+        if (src_[pos_] == '\'') {
+          if (pos_ + 1 < src_.size() && src_[pos_ + 1] == '\'') {
+            text.push_back('\'');
+            pos_ += 2;
+            continue;
+          }
+          break;
+        }
+        text.push_back(src_[pos_++]);
+      }
       if (pos_ >= src_.size()) throw ParseError("unterminated string literal", start - 1);
       ++pos_;  // closing quote
       current_ = {TokKind::String, std::move(text), start - 1};

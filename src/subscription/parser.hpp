@@ -35,6 +35,8 @@ class ParseError : public std::runtime_error {
 ///   value    := number | 'single quoted string' | true | false
 ///
 /// Attribute names must exist in `schema`. Keywords are case-insensitive.
+/// Inside string literals, '' denotes one quote character (SQL-style
+/// escaping) — the form Filter::to_string() emits.
 [[nodiscard]] std::unique_ptr<Node> parse_subscription(std::string_view text,
                                                        const Schema& schema);
 

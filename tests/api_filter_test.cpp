@@ -1,0 +1,298 @@
+// The fluent filter builder: composition operators, schema/type checking
+// through the Status channel, and the builder/parser round-trip — for any
+// builder-generated filter f, parse_subscription(f.to_string()) must be
+// structurally equal to f.compile() (both sides simplify), including
+// precedence-sensitive nestings and string operands that need escaping.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <iterator>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "dbsp/dbsp.hpp"
+
+namespace dbsp {
+namespace {
+
+Schema test_schema() {
+  Schema s;
+  s.add_attribute("price", ValueType::Double);
+  s.add_attribute("qty", ValueType::Int);
+  s.add_attribute("sym", ValueType::String);
+  s.add_attribute("active", ValueType::Bool);
+  return s;
+}
+
+std::unique_ptr<Node> compile_ok(const Filter& f, const Schema& schema) {
+  auto result = f.compile(schema);
+  EXPECT_TRUE(result.ok()) << result.status().to_string() << " for " << f.to_string();
+  return std::move(result).value();
+}
+
+TEST(FilterBuilderTest, LeafOperatorsMatchParserEquivalents) {
+  const Schema schema = test_schema();
+  const struct {
+    Filter filter;
+    const char* dsl;
+  } cases[] = {
+      {where("price").eq(10.5), "price = 10.5"},
+      {where("price").ne(10.5), "price != 10.5"},
+      {where("qty").lt(7), "qty < 7"},
+      {where("qty").le(7), "qty <= 7"},
+      {where("qty").gt(7), "qty > 7"},
+      {where("qty").ge(7), "qty >= 7"},
+      {where("price").between(5, 10), "price between 5 and 10"},
+      {where("sym").in({Value("ACME"), Value("INIT")}), "sym in ('ACME', 'INIT')"},
+      {where("sym").prefix("AC"), "sym prefix 'AC'"},
+      {where("sym").suffix("ME"), "sym suffix 'ME'"},
+      {where("sym").contains("CM"), "sym contains 'CM'"},
+      {where("active").eq(true), "active = true"},
+  };
+  for (const auto& c : cases) {
+    const auto built = compile_ok(c.filter, schema);
+    const auto parsed = parse_subscription(c.dsl, schema);
+    EXPECT_TRUE(built->equals(*parsed)) << c.dsl << " vs " << c.filter.to_string();
+  }
+}
+
+TEST(FilterBuilderTest, CompositionOperatorsAndComposers) {
+  const Schema schema = test_schema();
+  const Filter f = (where("price").gt(100) && where("sym").eq("ACME")) ||
+                   !(where("qty").le(3));
+  const auto built = compile_ok(f, schema);
+  const auto parsed = parse_subscription(
+      "(price > 100 and sym = 'ACME') or not (qty <= 3)", schema);
+  EXPECT_TRUE(built->equals(*parsed));
+
+  const Filter composed = all_of({where("price").gt(1), where("qty").lt(5),
+                                  any_of({where("sym").eq("A"), where("sym").eq("B")})});
+  const auto built2 = compile_ok(composed, schema);
+  const auto parsed2 = parse_subscription(
+      "price > 1 and qty < 5 and (sym = 'A' or sym = 'B')", schema);
+  EXPECT_TRUE(built2->equals(*parsed2));
+
+  // not_of == operator!
+  const auto a = compile_ok(not_of(where("qty").gt(2)), schema);
+  const auto b = compile_ok(!where("qty").gt(2), schema);
+  EXPECT_TRUE(a->equals(*b));
+
+  // Single-element composers collapse to the element.
+  const auto single = compile_ok(all_of({where("qty").gt(2)}), schema);
+  const auto plain = compile_ok(where("qty").gt(2), schema);
+  EXPECT_TRUE(single->equals(*plain));
+}
+
+TEST(FilterBuilderTest, ErrorsTravelThroughStatusNotExceptions) {
+  const Schema schema = test_schema();
+
+  const auto unknown = where("nope").eq(1).compile(schema);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), ErrorCode::kNotFound);
+
+  const auto type_mismatch = where("price").eq("not a number").compile(schema);
+  ASSERT_FALSE(type_mismatch.ok());
+  EXPECT_EQ(type_mismatch.status().code(), ErrorCode::kInvalidArgument);
+
+  const auto string_op_on_numeric = where("qty").prefix("x").compile(schema);
+  ASSERT_FALSE(string_op_on_numeric.ok());
+  EXPECT_EQ(string_op_on_numeric.status().code(), ErrorCode::kInvalidArgument);
+
+  const auto order_on_bool = where("active").lt(true).compile(schema);
+  ASSERT_FALSE(order_on_bool.ok());
+  EXPECT_EQ(order_on_bool.status().code(), ErrorCode::kInvalidArgument);
+
+  const auto empty_in = where("qty").in({}).compile(schema);
+  ASSERT_FALSE(empty_in.ok());
+  EXPECT_EQ(empty_in.status().code(), ErrorCode::kInvalidArgument);
+
+  const auto empty = Filter().compile(schema);
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), ErrorCode::kInvalidArgument);
+
+  const auto empty_all_of = all_of({}).compile(schema);
+  ASSERT_FALSE(empty_all_of.ok());
+  EXPECT_EQ(empty_all_of.status().code(), ErrorCode::kInvalidArgument);
+
+  // Composing with an empty filter propagates emptiness.
+  EXPECT_FALSE((Filter() && where("qty").gt(1)).valid());
+  EXPECT_FALSE((where("qty").gt(1) || Filter()).valid());
+  EXPECT_FALSE((!Filter()).valid());
+
+  // Result::value() on an error is a detectable logic error, not UB.
+  EXPECT_THROW((void)unknown.value(), std::logic_error);
+}
+
+TEST(FilterBuilderTest, ToStringEscapesQuotesSqlStyle) {
+  const Schema schema = test_schema();
+  const Filter f = where("sym").eq("o'brien's");
+  EXPECT_EQ(f.to_string(), "sym = 'o''brien''s'");
+  const auto built = compile_ok(f, schema);
+  const auto parsed = parse_subscription(f.to_string(), schema);
+  EXPECT_TRUE(built->equals(*parsed));
+}
+
+// --- Randomized round-trip ---------------------------------------------------
+
+/// Random filter generator over test_schema(): every operator, strings
+/// containing quotes/spaces, fractional and negative numbers, arbitrary
+/// And/Or/Not nestings up to `depth`.
+class RandomFilterGen {
+ public:
+  explicit RandomFilterGen(std::uint64_t seed) : rng_(seed) {}
+
+  Filter filter(int depth) {
+    if (depth <= 0 || chance(0.4)) return leaf();
+    switch (pick(3)) {
+      case 0: {
+        std::vector<Filter> parts;
+        const int n = 2 + pick(3);
+        parts.reserve(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) parts.push_back(filter(depth - 1));
+        return chance(0.5) ? all_of(std::move(parts)) : any_of(std::move(parts));
+      }
+      case 1:
+        return chance(0.5) ? (filter(depth - 1) && filter(depth - 1))
+                           : (filter(depth - 1) || filter(depth - 1));
+      default:
+        return !filter(depth - 1);
+    }
+  }
+
+ private:
+  bool chance(double p) { return std::uniform_real_distribution<>(0, 1)(rng_) < p; }
+  int pick(int n) { return std::uniform_int_distribution<>(0, n - 1)(rng_); }
+
+  double num() {
+    // Mix of integral-looking, fractional, negative and large magnitudes.
+    const double base = std::uniform_real_distribution<>(-1e4, 1e4)(rng_);
+    return chance(0.3) ? std::round(base) : base;
+  }
+
+  std::string str() {
+    static const char* pool[] = {"ACME", "a b", "o'brien", "", "x''y", "café",
+                                 "INIT-2", "'"};
+    return pool[pick(static_cast<int>(std::size(pool)))];
+  }
+
+  Filter leaf() {
+    switch (pick(4)) {
+      case 0: {  // Double attribute
+        AttributeRef a = where("price");
+        switch (pick(7)) {
+          case 0: return a.eq(num());
+          case 1: return a.ne(num());
+          case 2: return a.lt(num());
+          case 3: return a.le(num());
+          case 4: return a.gt(num());
+          case 5: return a.ge(num());
+          default: return a.between(num(), num());
+        }
+      }
+      case 1: {  // Int attribute (mixes Int and Double operands)
+        AttributeRef a = where("qty");
+        const std::int64_t iv = pick(2000) - 1000;
+        switch (pick(4)) {
+          case 0: return a.eq(iv);
+          case 1: return a.ge(iv);
+          case 2: return a.between(iv, num());
+          default: {
+            std::vector<Value> vals;
+            const int n = 1 + pick(4);
+            for (int i = 0; i < n; ++i) vals.push_back(Value(std::int64_t(pick(100))));
+            return a.in(std::move(vals));
+          }
+        }
+      }
+      case 2: {  // String attribute
+        AttributeRef a = where("sym");
+        switch (pick(6)) {
+          case 0: return a.eq(str());
+          case 1: return a.ne(str());
+          case 2: return a.prefix(str());
+          case 3: return a.suffix(str());
+          case 4: return a.contains(str());
+          default: {
+            std::vector<Value> vals;
+            const int n = 1 + pick(3);
+            for (int i = 0; i < n; ++i) vals.push_back(Value(str()));
+            return a.in(std::move(vals));
+          }
+        }
+      }
+      default:
+        return chance(0.5) ? where("active").eq(chance(0.5)) : where("active").ne(true);
+    }
+  }
+
+  std::mt19937_64 rng_;
+};
+
+TEST(FilterRoundTripTest, RandomizedParseOfToStringEqualsCompile) {
+  const Schema schema = test_schema();
+  RandomFilterGen gen(20260727);
+  for (int i = 0; i < 500; ++i) {
+    const Filter f = gen.filter(/*depth=*/4);
+    const auto compiled = f.compile(schema);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().to_string() << "\n"
+                               << f.to_string();
+    const std::string text = f.to_string();
+    std::unique_ptr<Node> parsed;
+    ASSERT_NO_THROW(parsed = parse_subscription(text, schema)) << text;
+    EXPECT_TRUE(compiled.value()->equals(*parsed))
+        << "round-trip diverged:\n  text:     " << text
+        << "\n  compiled: " << compiled.value()->to_string(schema)
+        << "\n  parsed:   " << parsed->to_string(schema);
+  }
+}
+
+TEST(FilterRoundTripTest, RoundTripPreservesMatchingSemantics) {
+  // Beyond structure: compiled and re-parsed trees must agree on actual
+  // events (catches any future divergence between equals() and matching).
+  const Schema schema = test_schema();
+  RandomFilterGen gen(77);
+  std::mt19937_64 rng(99);
+  const char* syms[] = {"ACME", "a b", "o'brien", "INIT-2", "zzz"};
+  for (int i = 0; i < 100; ++i) {
+    const Filter f = gen.filter(3);
+    const auto compiled = f.compile(schema);
+    ASSERT_TRUE(compiled.ok());
+    const auto parsed = parse_subscription(f.to_string(), schema);
+    for (int e = 0; e < 20; ++e) {
+      EventBuilder b(schema);
+      if (rng() % 4 != 0) {
+        b.with("price", std::uniform_real_distribution<>(-1e4, 1e4)(rng));
+      }
+      if (rng() % 4 != 0) {
+        b.with("qty", static_cast<std::int64_t>(rng() % 2000) - 1000);
+      }
+      if (rng() % 4 != 0) b.with("sym", syms[rng() % std::size(syms)]);
+      if (rng() % 4 != 0) b.with("active", rng() % 2 == 0);
+      const Event event = b.build();
+      EXPECT_EQ(compiled.value()->evaluate_event(event),
+                parsed->evaluate_event(event))
+          << f.to_string() << " on " << event.to_string(schema);
+    }
+  }
+}
+
+TEST(ParserEscapeTest, DoubledQuoteIsOneQuoteCharacter) {
+  const Schema schema = test_schema();
+  const auto tree = parse_subscription("sym = 'it''s'", schema);
+  Event match = EventBuilder(schema).with("sym", "it's").build();
+  Event miss = EventBuilder(schema).with("sym", "its").build();
+  EXPECT_TRUE(tree->evaluate_event(match));
+  EXPECT_FALSE(tree->evaluate_event(miss));
+  // A lone '' is the empty string.
+  const auto empty = parse_subscription("sym = ''", schema);
+  EXPECT_TRUE(empty->evaluate_event(EventBuilder(schema).with("sym", "").build()));
+  // Unterminated literals still error.
+  EXPECT_THROW(parse_subscription("sym = 'oops''", schema), ParseError);
+}
+
+}  // namespace
+}  // namespace dbsp

@@ -7,6 +7,7 @@
 #include <algorithm>
 
 #include "broker/overlay.hpp"
+#include "core/pruning_set.hpp"
 #include "core/sharded_engine.hpp"
 #include "selectivity/stats.hpp"
 #include "workload/event_gen.hpp"
@@ -18,8 +19,11 @@ namespace {
 struct Harness {
   WorkloadConfig cfg;
   std::unique_ptr<AuctionDomain> domain;
-  std::unique_ptr<Overlay> overlay;
+  // Declared before the overlay: brokers that enable_pruning() reference
+  // the estimator, so it must be destroyed after them.
   std::unique_ptr<EventStats> stats;
+  std::unique_ptr<SelectivityEstimator> estimator;
+  std::unique_ptr<Overlay> overlay;
   std::vector<Event> events;
 
   explicit Harness(std::size_t brokers, std::size_t subs, std::size_t events_n) {
@@ -27,6 +31,11 @@ struct Harness {
     cfg.titles = 300;
     cfg.authors = 120;
     domain = std::make_unique<AuctionDomain>(cfg);
+    stats = std::make_unique<EventStats>(domain->schema());
+    AuctionEventGenerator training(*domain, 3);
+    for (int i = 0; i < 3000; ++i) stats->observe(training.next());
+    stats->finalize();
+    estimator = std::make_unique<SelectivityEstimator>(*stats);
     overlay = std::make_unique<Overlay>(domain->schema(), brokers,
                                         Overlay::line(brokers));
     AuctionSubscriptionGenerator sub_gen(*domain);
@@ -34,10 +43,6 @@ struct Harness {
       overlay->subscribe(BrokerId(i % brokers), ClientId(i), SubscriptionId(i),
                          sub_gen.next_tree());
     }
-    stats = std::make_unique<EventStats>(domain->schema());
-    AuctionEventGenerator training(*domain, 3);
-    for (int i = 0; i < 3000; ++i) stats->observe(training.next());
-    stats->finalize();
     AuctionEventGenerator event_gen(*domain, 2);
     events = event_gen.generate(events_n);
   }
@@ -73,24 +78,17 @@ TEST_P(DistributedPruning, NotificationsInvariantUnderPruning) {
   const auto baseline = setup.run();
   const auto baseline_messages = setup.overlay->network().total().event_messages;
 
-  const SelectivityEstimator estimator(*setup.stats);
   PruneEngineConfig cfg;
   cfg.dimension = GetParam();
-  std::vector<std::unique_ptr<PruningEngine>> engines;
+  std::vector<ShardedPruningSet*> sets;
   for (std::size_t b = 0; b < setup.overlay->broker_count(); ++b) {
     Broker& broker = setup.overlay->broker(BrokerId(static_cast<BrokerId::value_type>(b)));
-    auto broker_engines = make_sharded_pruning_engines(
-        broker.engine(), estimator, cfg, broker.remote_subscriptions());
-    for (auto& engine : broker_engines) engines.push_back(std::move(engine));
+    sets.push_back(&broker.enable_pruning(*setup.estimator, cfg));
   }
 
   std::uint64_t last_messages = baseline_messages;
   for (const double fraction : {0.3, 0.7, 1.0}) {
-    for (auto& engine : engines) {
-      const auto target = static_cast<std::size_t>(
-          fraction * static_cast<double>(engine->total_possible()));
-      if (target > engine->performed()) engine->prune(target - engine->performed());
-    }
+    for (ShardedPruningSet* set : sets) set->prune_to_fraction(fraction);
     const auto pruned_run = setup.run();
     EXPECT_EQ(pruned_run, baseline)
         << "notifications changed at fraction " << fraction;
@@ -120,17 +118,12 @@ TEST(DistributedPruningMetrics, MemoryDimensionShrinksAssociationsFastest) {
   for (int d = 0; d < 3; ++d) {
     Harness setup(3, 400, 1);
     const std::size_t before = setup.overlay->total_remote_associations();
-    const SelectivityEstimator estimator(*setup.stats);
     PruneEngineConfig cfg;
     cfg.dimension = dims[d];
     for (std::size_t b = 0; b < setup.overlay->broker_count(); ++b) {
       Broker& broker =
           setup.overlay->broker(BrokerId(static_cast<BrokerId::value_type>(b)));
-      auto engines = make_sharded_pruning_engines(
-          broker.engine(), estimator, cfg, broker.remote_subscriptions());
-      for (auto& engine : engines) {
-        engine->prune(engine->total_possible() / 5);  // 20% budget
-      }
+      broker.enable_pruning(*setup.estimator, cfg).prune_to_fraction(0.2);
     }
     reductions[d] = before - setup.overlay->total_remote_associations();
   }

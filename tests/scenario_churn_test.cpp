@@ -199,12 +199,9 @@ TEST(ScenarioOverlayTest, BrokerKeepsAttachedPruningSetInSyncUnderChurn) {
                       dom.random_tree(rng, 4));
   }
   PruneEngineConfig config;
-  std::vector<std::unique_ptr<ShardedPruningSet>> sets;
+  std::vector<ShardedPruningSet*> sets;
   for (std::uint32_t b = 0; b < 3; ++b) {
-    Broker& broker = overlay.broker(BrokerId(b));
-    sets.push_back(std::make_unique<ShardedPruningSet>(
-        broker.engine(), estimator, config, broker.remote_subscriptions()));
-    broker.set_pruning(sets.back().get());
+    sets.push_back(&overlay.broker(BrokerId(b)).enable_pruning(estimator, config));
   }
 
   // A new subscription at broker 0 becomes remote at brokers 1 and 2 and
