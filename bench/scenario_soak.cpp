@@ -11,13 +11,21 @@
 // DBSP_SCENARIO_BROKERS (overlay size, 0 skips the overlay run, default 3),
 // DBSP_SCENARIO_DOMAINS (csv, default all), DBSP_SCENARIO_DRIFT (drift
 // threshold, default 200), DBSP_SCENARIO_CHECK_EVERY (centralized oracle
-// sampling, default 7).
+// sampling, default 7), DBSP_SCENARIO_RECOVER (default 1: one extra
+// store-backed kill-and-recover run per domain — crash mid-churn and
+// mid-flash-crowd, reopen, assert oracle exactness — reporting recovery
+// timings and replayed WAL record counts).
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "common/env.hpp"
 #include "scenario/scenario_runner.hpp"
@@ -48,11 +56,15 @@ void print_phase(const ScenarioPhaseReport& p, bool last) {
       "\"unsubscribes\": %zu, \"prunings\": %zu, \"drift_retrains\": %zu, "
       "\"live_subscriptions\": %zu, \"associations\": %zu, \"matches\": %llu, "
       "\"oracle_checked\": %zu, \"oracle_mismatches\": %zu, "
-      "\"match_seconds\": %.6f, \"wall_seconds\": %.6f}%s\n",
+      "\"match_seconds\": %.6f, \"wall_seconds\": %.6f, "
+      "\"recoveries\": %zu, \"recovery_seconds\": %.6f, "
+      "\"recovered_subscriptions\": %zu, \"replayed_wal_records\": %llu}%s\n",
       p.name.c_str(), p.events, p.subscribes, p.unsubscribes, p.prunings,
       p.drift_retrains, p.live_subscriptions, p.associations,
       static_cast<unsigned long long>(p.matches), p.oracle_checked,
-      p.oracle_mismatches, p.match_seconds, p.wall_seconds, last ? "" : ",");
+      p.oracle_mismatches, p.match_seconds, p.wall_seconds, p.recoveries,
+      p.recovery_seconds, p.recovered_subscriptions,
+      static_cast<unsigned long long>(p.replayed_wal_records), last ? "" : ",");
 }
 
 void print_run(const ScenarioReport& r, bool last) {
@@ -67,6 +79,15 @@ void print_run(const ScenarioReport& r, bool last) {
               r.domain.c_str(), r.mode.c_str(), r.shards);
   std::printf("      \"exact\": %s, \"oracle_mismatches\": %zu,\n",
               r.exact() ? "true" : "false", r.total_mismatches());
+  if (r.total_recoveries() > 0) {
+    const std::uint64_t replayed = r.total_replayed_wal_records();
+    const double rec_s = r.total_recovery_seconds();
+    std::printf(
+        "      \"recovery\": {\"recoveries\": %zu, \"recovery_seconds\": %.6f, "
+        "\"replayed_wal_records\": %llu, \"replayed_records_per_sec\": %.1f},\n",
+        r.total_recoveries(), rec_s, static_cast<unsigned long long>(replayed),
+        rec_s > 0.0 ? static_cast<double>(replayed) / rec_s : 0.0);
+  }
   std::printf("      \"events\": %zu, \"churn_ops\": %zu,\n", r.total_events(),
               r.total_churn_ops());
   std::printf("      \"events_per_sec\": %.1f, \"churn_ops_per_sec\": %.1f,\n",
@@ -94,6 +115,7 @@ int main() {
   const auto drift = static_cast<std::size_t>(env_int("DBSP_SCENARIO_DRIFT", 200));
   const auto check_every =
       static_cast<std::size_t>(env_int("DBSP_SCENARIO_CHECK_EVERY", 7));
+  const bool recover = env_bool("DBSP_SCENARIO_RECOVER", true);
   const auto domains = split_csv("DBSP_SCENARIO_DOMAINS", "auction,stock,iot");
   std::vector<std::size_t> shard_counts;
   for (const auto& s : split_csv("DBSP_SCENARIO_SHARDS", "1,4")) {
@@ -141,6 +163,32 @@ int main() {
                    brokers);
       reports.push_back(ScenarioRunner(*domain, config).run());
     }
+    if (recover) {
+      // Store-backed kill-and-recover: crash mid-churn and mid-flash-crowd,
+      // reopen from snapshot + WAL, and keep asserting oracle exactness.
+      namespace fs = std::filesystem;
+      // Per-process scratch path: concurrent soaks (parallel CI jobs on one
+      // runner) must not delete each other's live store.
+#if defined(__unix__) || defined(__APPLE__)
+      const std::string owner = std::to_string(::getpid());
+#else
+      const std::string owner = "0";
+#endif
+      const fs::path store_dir =
+          fs::temp_directory_path() / ("dbsp_soak_store_" + owner + "_" + name);
+      fs::remove_all(store_dir);
+      ScenarioConfig config = ScenarioConfig::soak(subs / 2, events / 2);
+      config.shards = shard_counts.front();
+      config.drift_threshold = drift;
+      config.check_every = check_every;
+      config.store_directory = store_dir.string();
+      config.kill_recover_phases = {1, 2};
+      std::fprintf(stderr, "[scenario_soak] %s kill-and-recover ...\n",
+                   name.c_str());
+      reports.push_back(ScenarioRunner(*domain, config).run());
+      std::error_code cleanup_ec;
+      fs::remove_all(store_dir, cleanup_ec);
+    }
   }
 
   bool exact = true;
@@ -149,8 +197,8 @@ int main() {
   std::printf("{\n  \"schema_version\": 1,\n");
   std::printf(
       "  \"config\": {\"subs\": %zu, \"events_per_phase\": %zu, \"brokers\": %zu, "
-      "\"drift_threshold\": %zu, \"check_every\": %zu},\n",
-      subs, events, brokers, drift, check_every);
+      "\"drift_threshold\": %zu, \"check_every\": %zu, \"recover\": %s},\n",
+      subs, events, brokers, drift, check_every, recover ? "true" : "false");
   std::printf("  \"exact\": %s,\n", exact ? "true" : "false");
   std::printf("  \"runs\": [\n");
   for (std::size_t i = 0; i < reports.size(); ++i) {

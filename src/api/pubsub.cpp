@@ -50,6 +50,13 @@ struct PubSubCore {
   ShardedEngine engine;  // references this->schema; PubSubCore never moves
   std::optional<ShardedPruningSet> pruning;
 
+  /// Durable mode (PubSub::open). Fail-stop: the first append/checkpoint
+  /// failure moves its Status into store_failure and drops the store, so
+  /// the on-disk state stays a consistent prefix of history.
+  std::unique_ptr<store::StateStore> store;
+  Status store_failure;
+  bool stats_trained = false;
+
   SubscriptionId::value_type next_id = 0;
   std::size_t callbacks_registered = 0;
   std::uint64_t next_seq = 0;
@@ -58,6 +65,60 @@ struct PubSubCore {
   std::vector<SubscriptionId> match_scratch;
   std::vector<std::vector<SubscriptionId>> batch_scratch;
 
+  /// Runs one durable-store operation; converts a throw into the fail-stop
+  /// detach. Returns ok when not durable (in-memory mode logs nothing).
+  template <class Fn>
+  Status log_to_store(Fn&& fn) {
+    if (!store) return Status();
+    try {
+      fn(*store);
+      return Status();
+    } catch (const store::StoreError& e) {
+      store_failure = Status::error(
+          e.io() ? ErrorCode::kIoError : ErrorCode::kDataLoss, e.what());
+    } catch (const WireError& e) {
+      store_failure = Status::error(ErrorCode::kDataLoss, e.what());
+    }
+    store.reset();
+    return store_failure;
+  }
+
+  /// The borrowed full-state view the store snapshots: every subscription's
+  /// current tree plus its pruning accounting, the id/seq counters, and the
+  /// trained statistics.
+  [[nodiscard]] store::SnapshotData build_snapshot() const {
+    store::SnapshotData snap;
+    snap.schema = &schema;
+    snap.next_id = next_id;
+    snap.next_seq = next_seq;
+    snap.stats = stats_trained ? &stats : nullptr;
+    snap.subs.reserve(subs.size());
+    for (const auto& [raw_id, entry] : subs) {
+      store::SnapshotSub s;
+      s.id = entry.sub->id();
+      s.tree = &entry.sub->root();
+      if (pruning) {
+        if (const auto acct = pruning->accounting(s.id)) {
+          s.capacity = acct->first;
+          s.performed = acct->second;
+        }
+      }
+      snap.subs.push_back(s);
+    }
+    std::sort(snap.subs.begin(), snap.subs.end(),
+              [](const store::SnapshotSub& a, const store::SnapshotSub& b) {
+                return a.id < b.id;
+              });
+    return snap;
+  }
+
+  /// Auto-checkpoint once enough records accumulated since the last one.
+  Status maybe_checkpoint() {
+    if (!store || !store->wants_checkpoint()) return Status();
+    return log_to_store(
+        [this](store::StateStore& s) { s.checkpoint(build_snapshot()); });
+  }
+
   Status unsubscribe(SubscriptionId id) {
     const auto it = subs.find(id.value());
     if (it == subs.end()) {
@@ -65,13 +126,20 @@ struct PubSubCore {
                            "subscription #" + std::to_string(id.value()) +
                                " is not registered");
     }
+    // On append failure the store detaches (fail-stop), frozen at a state
+    // that still holds this subscription — a consistent prefix of history —
+    // while the in-memory unsubscribe below completes and the error is
+    // reported to the caller.
+    const Status logged = log_to_store(
+        [&](store::StateStore& s) { s.append_unsubscribe(id); });
     // Pruning state first (release-before-engine-removal invariant), then
     // the engine entry, then the owning map slot.
     if (pruning) pruning->remove(id);
     engine.remove(id);
     if (it->second.callback) --callbacks_registered;
     subs.erase(it);
-    return Status();
+    if (!logged.ok()) return logged;
+    return maybe_checkpoint();
   }
 
   void dispatch(std::span<const SubscriptionId> matched, std::uint64_t seq,
@@ -141,6 +209,94 @@ PubSub::PubSub(Schema schema, PubSubOptions options)
 
 PubSub::~PubSub() = default;
 
+Result<PubSub> PubSub::open(StoreOptions store_options, PubSubOptions options) {
+  std::unique_ptr<store::StateStore> state_store;
+  store::RecoveredState rec;
+  try {
+    auto opened = store::StateStore::open(store_options);
+    state_store = std::move(opened.first);
+    rec = std::move(opened.second);
+  } catch (const store::StoreError& e) {
+    if (e.not_found()) return Status::error(ErrorCode::kNotFound, e.what());
+    return Status::error(e.io() ? ErrorCode::kIoError : ErrorCode::kDataLoss,
+                         e.what());
+  } catch (const WireError& e) {
+    return Status::error(ErrorCode::kDataLoss, e.what());
+  }
+  if (store_options.schema.attribute_count() > 0 &&
+      !store::schemas_equal(store_options.schema, rec.schema)) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "the store's schema does not match the provided one");
+  }
+
+  std::shared_ptr<PubSubCore> core;
+  try {
+    core = std::make_shared<PubSubCore>(std::move(rec.schema), options);
+  } catch (const std::logic_error& e) {
+    return Status::error(ErrorCode::kInvalidArgument, e.what());
+  }
+  if (!rec.stats.empty()) {
+    try {
+      WireReader reader(rec.stats);
+      core->stats.load(reader);
+      if (!reader.exhausted()) throw WireError("trailing bytes after statistics");
+      core->stats_trained = true;
+    } catch (const WireError& e) {
+      return Status::error(ErrorCode::kDataLoss,
+                           std::string("stored statistics: ") + e.what());
+    }
+  }
+  for (auto& rsub : rec.subs) {
+    auto sub = std::make_unique<Subscription>(rsub.id, std::move(rsub.tree));
+    if (!core->engine.add(*sub)) {
+      return Status::error(ErrorCode::kFailedPrecondition,
+                           "recovered subscription #" +
+                               std::to_string(rsub.id.value()) +
+                               " is not convertible by the configured backend");
+    }
+    if (core->pruning) {
+      core->pruning->add(*sub);
+      // Zero/zero means "no accounting was captured" (leaf-only tree, or a
+      // snapshot written with pruning off); the fresh capture above is then
+      // already right. Anything else is pre-crash accounting to restore.
+      if (rsub.capacity != 0 || rsub.performed != 0) {
+        core->pruning->restore_accounting(rsub.id, rsub.capacity, rsub.performed);
+      }
+    }
+    core->subs.emplace(rsub.id.value(),
+                       api_detail::SubEntry{std::move(sub), PubSub::Callback{}});
+  }
+  // A CRC-clean but hostile next_id must not truncate below recovered ids
+  // — a wrapped counter would hand out an id the engine already indexes
+  // and leave the matcher holding a freed Subscription.
+  if (rec.next_id >= SubscriptionId::kInvalid) {
+    return Status::error(ErrorCode::kDataLoss,
+                         "stored next id is outside the id space");
+  }
+  core->next_id = static_cast<SubscriptionId::value_type>(rec.next_id);
+  core->next_seq = rec.next_seq;
+  core->store = std::move(state_store);
+  return PubSub(std::move(core));
+}
+
+bool PubSub::durable() const { return core_->store != nullptr; }
+
+Status PubSub::checkpoint() {
+  auto& c = *core_;
+  if (!c.store) {
+    return c.store_failure.ok()
+               ? Status::error(ErrorCode::kFailedPrecondition,
+                               "this PubSub is not durable (use PubSub::open)")
+               : c.store_failure;
+  }
+  return c.log_to_store(
+      [&](store::StateStore& s) { s.checkpoint(c.build_snapshot()); });
+}
+
+StoreStats PubSub::store_stats() const {
+  return core_->store ? core_->store->stats() : StoreStats{};
+}
+
 const Schema& PubSub::schema() const { return core_->schema; }
 
 EventBuilder PubSub::event() const { return EventBuilder(core_->schema); }
@@ -182,11 +338,39 @@ Result<SubscriptionHandle> PubSub::subscribe(std::unique_ptr<Node> tree,
     return Status::error(ErrorCode::kInvalidArgument,
                          "filter is not convertible by the configured backend");
   }
+  // Durable mode: the registration is rolled back when its record cannot
+  // be appended, so the WAL never misses a subscribe that later records
+  // (prune/unsubscribe of this id) would depend on at replay. A due
+  // auto-checkpoint runs *before* the append (the pre-registration state
+  // it snapshots is exactly what c.subs holds here), so its failure also
+  // surfaces through this rollback instead of being swallowed.
+  const Status logged = c.log_to_store([&](store::StateStore& s) {
+    if (s.wants_checkpoint()) s.checkpoint(c.build_snapshot());
+    s.append_subscribe(id, sub->root());
+  });
+  if (!logged.ok()) {
+    c.engine.remove(id);
+    return logged;
+  }
   ++c.next_id;
   if (c.pruning) c.pruning->add(*sub);
   if (callback) ++c.callbacks_registered;
   c.subs.emplace(id.value(),
                  api_detail::SubEntry{std::move(sub), std::move(callback)});
+  return SubscriptionHandle(core_, id);
+}
+
+Result<SubscriptionHandle> PubSub::adopt(SubscriptionId id, Callback callback) {
+  auto& c = *core_;
+  const auto it = c.subs.find(id.value());
+  if (it == c.subs.end()) {
+    return Status::error(ErrorCode::kNotFound,
+                         "subscription #" + std::to_string(id.value()) +
+                             " is not registered");
+  }
+  if (it->second.callback) --c.callbacks_registered;
+  if (callback) ++c.callbacks_registered;
+  it->second.callback = std::move(callback);
   return SubscriptionHandle(core_, id);
 }
 
@@ -197,6 +381,14 @@ bool PubSub::contains(SubscriptionId id) const {
 }
 
 std::size_t PubSub::subscription_count() const { return core_->subs.size(); }
+
+std::vector<SubscriptionId> PubSub::subscription_ids() const {
+  std::vector<SubscriptionId> out;
+  out.reserve(core_->subs.size());
+  for (const auto& [raw_id, entry] : core_->subs) out.emplace_back(raw_id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
 
 Result<bool> PubSub::matches(SubscriptionId id, const Event& event) const {
   const auto it = core_->subs.find(id.value());
@@ -256,23 +448,67 @@ Status PubSub::train(std::span<const Event> sample) {
   c.stats.reset();
   for (const Event& e : sample) c.stats.observe(e);
   c.stats.finalize();
+  c.stats_trained = true;
   // The estimator holds the stats by reference; queued candidate scores go
   // stale until the caller's next rescore_all().
-  return Status();
+  const Status logged =
+      c.log_to_store([&](store::StateStore& s) { s.append_train(c.stats); });
+  if (!logged.ok()) return logged;
+  return c.maybe_checkpoint();
 }
 
+namespace {
+
+/// Runs a pruning pass and logs one kPrune record (current full tree) per
+/// applied pruning, discovered through the per-shard history deltas. On an
+/// append failure the prunings stay applied (they cannot be unwound), the
+/// store fail-stops at its pre-pass state — the recovered trees are then
+/// simply one generation behind — and the error is reported.
+template <class Fn>
+Result<std::size_t> logged_prune(PubSubCore& c, Fn&& fn) {
+  std::vector<std::size_t> history_before;
+  if (c.store) {
+    history_before.resize(c.pruning->shard_count());
+    for (std::size_t i = 0; i < c.pruning->shard_count(); ++i) {
+      history_before[i] = c.pruning->shard(i).history().size();
+    }
+  }
+  const std::size_t done = std::forward<Fn>(fn)();
+  if (c.store && done > 0) {
+    for (std::size_t i = 0; i < c.pruning->shard_count(); ++i) {
+      const auto& history = c.pruning->shard(i).history();
+      for (std::size_t j = history_before[i]; j < history.size(); ++j) {
+        const SubscriptionId id = history[j].sub;
+        const auto it = c.subs.find(id.value());
+        if (it == c.subs.end()) continue;  // released since; nothing to log
+        const Status logged = c.log_to_store([&](store::StateStore& s) {
+          s.append_prune(id, it->second.sub->root());
+        });
+        if (!logged.ok()) return logged;
+      }
+    }
+    const Status snapped = c.maybe_checkpoint();
+    if (!snapped.ok()) return snapped;
+  }
+  return done;
+}
+
+}  // namespace
+
 Result<std::size_t> PubSub::prune(std::size_t k) {
-  if (!core_->pruning) return pruning_disabled();
-  return core_->pruning->prune(k);
+  auto& c = *core_;
+  if (!c.pruning) return pruning_disabled();
+  return logged_prune(c, [&] { return c.pruning->prune(k); });
 }
 
 Result<std::size_t> PubSub::prune_to_fraction(double fraction) {
-  if (!core_->pruning) return pruning_disabled();
+  auto& c = *core_;
+  if (!c.pruning) return pruning_disabled();
   if (!(fraction >= 0.0 && fraction <= 1.0)) {
     return Status::error(ErrorCode::kInvalidArgument,
                          "fraction must be in [0, 1]");
   }
-  return core_->pruning->prune_to_fraction(fraction);
+  return logged_prune(c, [&] { return c.pruning->prune_to_fraction(fraction); });
 }
 
 Status PubSub::set_prune_dimension(PruneDimension dimension) {

@@ -8,7 +8,9 @@
 /// trees and handed back as RAII `SubscriptionHandle`s whose destruction
 /// unsubscribes and releases all pruning state automatically. Errors
 /// travel through the Status/Result channel (api/status.hpp), not
-/// exceptions.
+/// exceptions. `PubSub::open()` runs the same facade durably: state is
+/// recovered from (and every table mutation logged to) a store directory
+/// (store/state_store.hpp, docs/ARCHITECTURE.md "Durability").
 ///
 /// Thread safety: like the engine it wraps, a PubSub must be externally
 /// serialized — one mutating or matching call at a time (publish_batch
@@ -27,6 +29,7 @@
 #include "api/status.hpp"
 #include "core/pruning_set.hpp"
 #include "event/event.hpp"
+#include "store/state_store.hpp"
 
 namespace dbsp {
 
@@ -110,6 +113,41 @@ class PubSub {
 
   PubSub(const PubSub&) = delete;
   PubSub& operator=(const PubSub&) = delete;
+  /// Movable so Result<PubSub> (and containers) can carry one. A moved-from
+  /// PubSub may only be destroyed or assigned to; outstanding handles keep
+  /// working against the moved-to object.
+  PubSub(PubSub&&) noexcept = default;
+  PubSub& operator=(PubSub&&) noexcept = default;
+
+  // --- Durability ----------------------------------------------------------
+
+  /// Opens (or creates) a durable PubSub backed by a store directory: the
+  /// subscription table, the trained statistics, and all pruning state are
+  /// recovered from snapshot + WAL, and every later subscribe /
+  /// unsubscribe / prune / train is logged before the call returns.
+  /// Recovered registrations carry no callbacks — re-claim them with
+  /// adopt(). Errors: kDataLoss (corrupt or truncated files — never UB),
+  /// kIoError (filesystem), kInvalidArgument (schema mismatch, or pruning
+  /// with a non-Counting backend), kFailedPrecondition (a recovered filter
+  /// the configured backend cannot index), kNotFound (no store and
+  /// create_if_missing off).
+  [[nodiscard]] static Result<PubSub> open(StoreOptions store,
+                                           PubSubOptions options = {});
+
+  /// True while a store is attached and healthy. Durability is fail-stop:
+  /// the first failed append detaches the store (leaving it a consistent
+  /// prefix of history), the failing call reports the error, and the
+  /// PubSub continues in-memory-only.
+  [[nodiscard]] bool durable() const;
+
+  /// Forces a compacted snapshot + WAL truncation now (also runs
+  /// automatically every StoreOptions::snapshot_every records).
+  /// kFailedPrecondition when not durable.
+  Status checkpoint();
+
+  /// Durability counters: WAL appends/bytes, snapshots, and what open()
+  /// replayed. Zeros when not durable.
+  [[nodiscard]] StoreStats store_stats() const;
 
   [[nodiscard]] const Schema& schema() const;
   /// Convenience: an EventBuilder over this PubSub's schema.
@@ -135,8 +173,19 @@ class PubSub {
   /// when the id is not registered.
   Status unsubscribe(SubscriptionId id);
 
+  /// Claims an existing registration — the recovery counterpart of
+  /// subscribe(): after open(), walk subscription_ids() and adopt each id
+  /// to attach its callback and regain a RAII handle. Replaces any
+  /// callback already attached to the id. At most one handle per
+  /// registration should be live (a second one releases the same claim;
+  /// the loser sees kNotFound). kNotFound for unregistered ids.
+  [[nodiscard]] Result<SubscriptionHandle> adopt(SubscriptionId id,
+                                                 Callback callback = {});
+
   [[nodiscard]] bool contains(SubscriptionId id) const;
   [[nodiscard]] std::size_t subscription_count() const;
+  /// All registered ids in ascending order (recovery adoption order).
+  [[nodiscard]] std::vector<SubscriptionId> subscription_ids() const;
 
   /// Direct tree evaluation of one registered subscription against an
   /// event — the correctness oracle (bypasses the counting indexes).
@@ -201,6 +250,9 @@ class PubSub {
   void reset_counters();
 
  private:
+  explicit PubSub(std::shared_ptr<api_detail::PubSubCore> core)
+      : core_(std::move(core)) {}
+
   std::shared_ptr<api_detail::PubSubCore> core_;
 };
 

@@ -23,6 +23,8 @@ enum class ErrorCode : std::uint8_t {
   kFailedPrecondition,  ///< operation needs state the object is not in
   kUnavailable,         ///< the backing PubSub is gone (handle outlived it)
   kParseError,          ///< subscription DSL text did not parse
+  kDataLoss,            ///< durable store is corrupt or truncated
+  kIoError,             ///< filesystem operation failed
 };
 
 [[nodiscard]] constexpr const char* to_string(ErrorCode code) {
@@ -33,6 +35,8 @@ enum class ErrorCode : std::uint8_t {
     case ErrorCode::kFailedPrecondition: return "failed precondition";
     case ErrorCode::kUnavailable: return "unavailable";
     case ErrorCode::kParseError: return "parse error";
+    case ErrorCode::kDataLoss: return "data loss";
+    case ErrorCode::kIoError: return "io error";
   }
   return "?";
 }

@@ -1,8 +1,10 @@
 #include "broker/broker.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "core/pruning_set.hpp"
+#include "routing/codec.hpp"
 
 namespace dbsp {
 
@@ -159,6 +161,43 @@ void Broker::disable_pruning() {
 void Broker::set_pruning(ShardedPruningSet* set) {
   owned_pruning_.reset();
   pruning_ = set;
+}
+
+void Broker::save_table(WireWriter& out) const {
+  encode_wire_header(out);
+  std::vector<const RoutingTable::Entry*> entries;
+  entries.reserve(table_.size());
+  table_.for_each([&](const RoutingTable::Entry& e) { entries.push_back(&e); });
+  std::sort(entries.begin(), entries.end(),
+            [](const RoutingTable::Entry* a, const RoutingTable::Entry* b) {
+              return a->sub->id() < b->sub->id();
+            });
+  out.put_u32(static_cast<std::uint32_t>(entries.size()));
+  for (const RoutingTable::Entry* e : entries) {
+    out.put_u32(e->sub->id().value());
+    out.put_u8(e->local ? 1 : 0);
+    out.put_u32(e->local ? e->client.value() : e->from.value());
+    encode_tree(e->sub->root(), out);
+  }
+}
+
+void Broker::restore_table(WireReader& in) {
+  if (table_.size() != 0) {
+    throw std::logic_error("broker: restore_table into a non-empty broker");
+  }
+  (void)decode_wire_header(in);
+  const std::uint32_t count = in.get_u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const SubscriptionId id(in.get_u32());
+    const std::uint8_t local = in.get_u8();
+    if (local > 1) throw WireError("broker table: bad entry kind");
+    const std::uint32_t origin = in.get_u32();
+    std::unique_ptr<Node> tree = decode_tree(in);
+    Subscription& sub =
+        local != 0 ? table_.add_local(id, ClientId(origin), std::move(tree))
+                   : table_.add_remote(id, BrokerId(origin), std::move(tree));
+    engine_.add(sub);
+  }
 }
 
 std::size_t Broker::remote_association_count() const {

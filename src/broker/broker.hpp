@@ -13,6 +13,8 @@
 namespace dbsp {
 
 class ShardedPruningSet;
+class WireWriter;
+class WireReader;
 
 /// A content-based broker: routing table + sharded counting-matcher engine
 /// + forwarding logic over the simulated network (subscription-forwarding
@@ -96,6 +98,25 @@ class Broker {
   /// Predicate/subscription associations contributed by remote entries
   /// (the distributed memory metric, Fig. 1(f)).
   [[nodiscard]] std::size_t remote_association_count() const;
+
+  // --- Warm restart --------------------------------------------------------
+
+  /// Serializes the whole routing table — local and remote entries with
+  /// their origins and *current* (possibly pruned) trees — in the
+  /// routing/codec wire format, entries in ascending-id order. The bytes
+  /// are what a warm restart needs: a replacement broker at the same
+  /// overlay position restores them instead of re-flooding every
+  /// subscription through the network.
+  void save_table(WireWriter& out) const;
+
+  /// Restores a table saved by save_table() into this broker: repopulates
+  /// the routing table and the matcher engine without sending a single
+  /// message. The broker must be empty (throws std::logic_error otherwise)
+  /// and pruning must not be enabled yet — enable_pruning() afterwards
+  /// re-admits the restored remote entries. Throws WireError on truncated
+  /// or malformed input, leaving the broker unusable only in the sense
+  /// that partially restored entries remain (callers discard the broker).
+  void restore_table(WireReader& in);
 
   // --- Metrics ------------------------------------------------------------
   [[nodiscard]] std::uint64_t notifications_delivered() const { return notifications_; }

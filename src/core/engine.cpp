@@ -151,6 +151,26 @@ std::size_t PruningEngine::prune_until(double budget) {
   return done;
 }
 
+std::optional<std::pair<std::size_t, std::size_t>> PruningEngine::accounting(
+    SubscriptionId id) const {
+  auto it = subs_.find(id.value());
+  if (it == subs_.end()) return std::nullopt;
+  return std::make_pair(it->second.capacity, it->second.performed);
+}
+
+void PruningEngine::restore_accounting(SubscriptionId id, std::size_t capacity,
+                                       std::size_t performed) {
+  auto it = subs_.find(id.value());
+  if (it == subs_.end()) {
+    throw std::invalid_argument("pruning engine: restore of unregistered subscription");
+  }
+  // Unsigned wrap in the deltas is fine: the add below undoes it exactly.
+  total_possible_ += capacity - it->second.capacity;
+  performed_ += performed - it->second.performed;
+  it->second.capacity = capacity;
+  it->second.performed = performed;
+}
+
 std::optional<PruneScores> PruningEngine::peek_best(SubscriptionId id) const {
   auto it = subs_.find(id.value());
   if (it == subs_.end()) return std::nullopt;

@@ -8,6 +8,7 @@
 #include <optional>
 #include <queue>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/candidates.hpp"
@@ -138,6 +139,22 @@ class PruningEngine {
   /// propagates without rewiring). Baselines (OriginalProfile) deliberately
   /// stay as captured at registration.
   void rescore_all();
+
+  /// Per-subscription pruning accounting: {capacity captured at
+  /// registration, prunings performed since}. nullopt for unknown ids.
+  /// Snapshotted by the durable store so accounting survives restarts.
+  [[nodiscard]] std::optional<std::pair<std::size_t, std::size_t>> accounting(
+      SubscriptionId id) const;
+
+  /// Crash-recovery hook: overrides a registered subscription's captured
+  /// capacity and performed count with the values persisted before the
+  /// crash. register_subscription() sees the recovered (already pruned)
+  /// tree and would otherwise capture the smaller post-pruning capacity,
+  /// silently shrinking total_possible()/performed() — and with them every
+  /// prune_to_fraction() target — across a restart. Throws
+  /// std::invalid_argument for unregistered ids.
+  void restore_accounting(SubscriptionId id, std::size_t capacity,
+                          std::size_t performed);
 
   /// Best candidate currently queued for a subscription (for tests).
   [[nodiscard]] std::optional<PruneScores> peek_best(SubscriptionId id) const;

@@ -26,6 +26,16 @@ bool ShardedPruningSet::tracks(SubscriptionId id) const {
   return shards_[engine_->shard_of(id)]->contains(id);
 }
 
+std::optional<std::pair<std::size_t, std::size_t>> ShardedPruningSet::accounting(
+    SubscriptionId id) const {
+  return shards_[engine_->shard_of(id)]->accounting(id);
+}
+
+void ShardedPruningSet::restore_accounting(SubscriptionId id, std::size_t capacity,
+                                           std::size_t performed) {
+  shards_[engine_->shard_of(id)]->restore_accounting(id, capacity, performed);
+}
+
 std::size_t ShardedPruningSet::subscription_count() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) total += shard->subscription_count();

@@ -9,6 +9,8 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -44,6 +46,15 @@ class ShardedPruningSet {
   bool remove(SubscriptionId id);
   [[nodiscard]] bool tracks(SubscriptionId id) const;
   [[nodiscard]] std::size_t subscription_count() const;
+
+  /// Per-subscription {capacity, performed} accounting, routed to the
+  /// owning shard (see PruningEngine::accounting). nullopt when untracked.
+  [[nodiscard]] std::optional<std::pair<std::size_t, std::size_t>> accounting(
+      SubscriptionId id) const;
+  /// Crash-recovery accounting override, routed to the owning shard (see
+  /// PruningEngine::restore_accounting).
+  void restore_accounting(SubscriptionId id, std::size_t capacity,
+                          std::size_t performed);
 
   /// Performs up to `k` prunings, always picking the shard whose pending
   /// best candidate rates best on the primary dimension — the closest

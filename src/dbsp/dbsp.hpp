@@ -8,10 +8,10 @@
 ///
 /// It exports the stable public surface: the PubSub facade with RAII
 /// subscription handles, the fluent filter builder and the Status/Result
-/// error channel (api/), the event model and subscription DSL parser, the
-/// broker overlay simulation, the workload domains, the selectivity
-/// statistics needed to drive pruning on brokers, and the covering/merging
-/// baselines. Everything below these headers (core/, filter/, routing
+/// error channel (api/), the durable state store behind `PubSub::open()`
+/// (store/), the event model and subscription DSL parser, the broker
+/// overlay simulation, the workload domains, the selectivity statistics
+/// needed to drive pruning on brokers, and the covering/merging baselines. Everything below these headers (core/, filter/, routing
 /// internals) is implementation detail that may change without notice;
 /// in-tree consumers of the public surface must not include it directly
 /// (CI greps for it), and legacy entry points carry [[deprecated]].
@@ -28,4 +28,5 @@
 #include "scenario/workload_domain.hpp"
 #include "selectivity/estimator.hpp"
 #include "selectivity/stats.hpp"
+#include "store/state_store.hpp"
 #include "subscription/parser.hpp"

@@ -81,6 +81,21 @@ std::string WireReader::get_string() {
   return s;
 }
 
+void encode_wire_header(WireWriter& out) {
+  out.put_u8(kWireMagic);
+  out.put_u8(kWireFormatVersion);
+}
+
+std::uint8_t decode_wire_header(WireReader& in) {
+  if (in.get_u8() != kWireMagic) throw WireError("codec: bad magic byte");
+  const std::uint8_t version = in.get_u8();
+  if (version == 0 || version > kWireFormatVersion) {
+    throw WireError("codec: unsupported wire format version " +
+                    std::to_string(version));
+  }
+  return version;
+}
+
 void encode_value(const Value& value, WireWriter& out) {
   switch (value.type()) {
     case ValueType::Int:

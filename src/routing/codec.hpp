@@ -23,14 +23,30 @@ class WireError : public std::runtime_error {
 /// would ship these bytes as-is.
 ///
 /// Layout (all integers little-endian):
+///   header  := magic u8 (0xDB), version u8 (1..kWireFormatVersion)
 ///   value   := tag u8 (0 int | 1 double | 2 string | 3 bool) payload
 ///   event   := count u16, (attr u32, value)*
 ///   pred    := attr u32, op u8, operand-count u16, value*
 ///   tree    := kind u8 (0 leaf | 1 and | 2 or | 3 not), leaf: pred,
 ///              and/or: count u16 + children, not: child
+///
+/// Every message and durable file (WAL, snapshot) starts with the 2-byte
+/// header; decoders reject unknown versions with a clean WireError so the
+/// format can evolve without old readers misparsing new bytes.
+
+/// The magic byte opening every wire header.
+inline constexpr std::uint8_t kWireMagic = 0xDB;
+/// Current format version. Bump when the encoding of any payload changes;
+/// decode_wire_header rejects anything newer (or version 0).
+inline constexpr std::uint8_t kWireFormatVersion = 1;
+/// Bytes added by encode_wire_header (magic + version).
+inline constexpr std::size_t kWireHeaderBytes = 2;
 class WireWriter {
  public:
   void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_bytes(std::span<const std::uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
   void put_u16(std::uint16_t v);
   void put_u32(std::uint32_t v);
   void put_u64(std::uint64_t v);
@@ -65,6 +81,13 @@ class WireReader {
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
 };
+
+/// Writes the 2-byte header: magic + kWireFormatVersion.
+void encode_wire_header(WireWriter& out);
+/// Reads and validates a header; returns the (accepted) format version.
+/// Throws WireError on a wrong magic byte or a version this build cannot
+/// decode (0 or newer than kWireFormatVersion).
+[[nodiscard]] std::uint8_t decode_wire_header(WireReader& in);
 
 void encode_value(const Value& value, WireWriter& out);
 [[nodiscard]] Value decode_value(WireReader& in);

@@ -5,8 +5,9 @@
 namespace dbsp {
 
 namespace {
-// type tag + event sequence / subscription id.
-constexpr std::size_t kHeaderBytes = 1 + 8;
+// wire header (magic + format version) + type tag + event sequence /
+// subscription id.
+constexpr std::size_t kHeaderBytes = kWireHeaderBytes + 1 + 8;
 }  // namespace
 
 std::size_t Message::wire_size_bytes() const {

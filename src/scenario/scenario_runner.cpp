@@ -147,22 +147,59 @@ double ScenarioReport::total_wall_seconds() const {
   return s;
 }
 
+std::size_t ScenarioReport::total_recoveries() const {
+  std::size_t n = 0;
+  for (const auto& p : phases) n += p.recoveries;
+  return n;
+}
+
+double ScenarioReport::total_recovery_seconds() const {
+  double s = 0.0;
+  for (const auto& p : phases) s += p.recovery_seconds;
+  return s;
+}
+
+std::uint64_t ScenarioReport::total_replayed_wal_records() const {
+  std::uint64_t n = 0;
+  for (const auto& p : phases) n += p.replayed_wal_records;
+  return n;
+}
+
 ScenarioRunner::ScenarioRunner(const WorkloadDomain& domain, ScenarioConfig config)
     : domain_(&domain), config_(std::move(config)) {}
 
 ScenarioReport ScenarioRunner::run() {
+  if (!config_.store_directory.empty() && config_.brokers > 0) {
+    throw std::logic_error("scenario: store-backed runs are centralized only");
+  }
+  if (!config_.kill_recover_phases.empty() && config_.store_directory.empty()) {
+    throw std::logic_error("scenario: kill_recover_phases requires store_directory");
+  }
   return config_.brokers > 0 ? run_overlay() : run_centralized();
 }
 
 ScenarioReport ScenarioRunner::run_centralized() {
   // The system under soak is the public facade: schema, sharded engine and
   // pruning queues all live inside one PubSub; churn goes through RAII
-  // handles whose destruction releases engine and pruning state.
+  // handles whose destruction releases engine and pruning state. With a
+  // store directory configured, the PubSub opens durably and the
+  // kill-and-recover phases crash and reopen it mid-churn.
   PubSubOptions options;
   options.engine.shards = config_.shards == 0 ? 1 : config_.shards;
   options.pruning = config_.pruning;
   options.prune.dimension = config_.dimension;
-  PubSub pubsub(domain_->schema(), options);
+  const bool durable = !config_.store_directory.empty();
+  const auto make_pubsub = [&]() -> PubSub {
+    if (!durable) return PubSub(domain_->schema(), options);
+    StoreOptions store;
+    store.directory = config_.store_directory;
+    store.schema = domain_->schema();
+    store.snapshot_every = config_.store_snapshot_every;
+    auto opened = PubSub::open(std::move(store), options);
+    if (!opened.ok()) throw std::logic_error(opened.status().to_string());
+    return std::move(opened).value();
+  };
+  std::optional<PubSub> pubsub(make_pubsub());
 
   RollingWindow window(config_.stats_window);
   if (config_.pruning) {
@@ -172,7 +209,7 @@ ScenarioReport ScenarioRunner::run_centralized() {
     for (std::size_t i = 0; i < config_.training_events; ++i) {
       sample.push_back(training->next());
     }
-    const Status trained = pubsub.train(sample);
+    const Status trained = pubsub->train(sample);
     if (!trained.ok()) throw std::logic_error(trained.to_string());
   }
 
@@ -192,7 +229,7 @@ ScenarioReport ScenarioRunner::run_centralized() {
   auto subs_source = domain_->subscriptions(1);
   auto flash_source = domain_->flash_subscriptions(4);
   auto admit = [&](std::unique_ptr<Node> tree) {
-    auto subscribed = pubsub.subscribe(std::move(tree), on_match);
+    auto subscribed = pubsub->subscribe(std::move(tree), on_match);
     if (!subscribed.ok()) throw std::logic_error(subscribed.status().to_string());
     live.push_back(std::move(subscribed).value());
   };
@@ -204,9 +241,9 @@ ScenarioReport ScenarioRunner::run_centralized() {
     admit(subs_source->next());
   }
   if (config_.pruning) {
-    (void)pubsub.prune_to_fraction(config_.prune_fraction).value();
+    (void)pubsub->prune_to_fraction(config_.prune_fraction).value();
     // Armed only now: the initial bulk load is not churn.
-    (void)pubsub.set_drift_threshold(config_.drift_threshold);
+    (void)pubsub->set_drift_threshold(config_.drift_threshold);
   }
 
   auto events = domain_->events(2);
@@ -214,7 +251,7 @@ ScenarioReport ScenarioRunner::run_centralized() {
   ScenarioReport report;
   report.domain = std::string(domain_->name());
   report.mode = "centralized";
-  report.shards = pubsub.shard_count();
+  report.shards = pubsub->shard_count();
 
   std::vector<SubscriptionId> expected;
   std::size_t phase_index = 0;
@@ -226,17 +263,51 @@ ScenarioReport ScenarioRunner::run_centralized() {
     SubscriptionSource& arrivals =
         phase.flash_crowd ? *flash_source : *subs_source;
 
+    const bool kill_here =
+        std::find(config_.kill_recover_phases.begin(),
+                  config_.kill_recover_phases.end(),
+                  phase_index - 1) != config_.kill_recover_phases.end();
+
     Stopwatch wall;
     Stopwatch match_watch;
     wall.start();
     for (std::size_t ev = 0; ev < phase.events; ++ev) {
+      if (durable && kill_here && ev == phase.events / 2) {
+        // Simulated crash mid-churn: destroy the PubSub with no checkpoint
+        // and no clean shutdown — every acknowledged operation is already
+        // in the WAL, and the handles in `live` turn inert (their core is
+        // gone). Then reopen from the store and re-adopt every recovered
+        // registration in ascending-id (= arrival) order, so the
+        // recency-biased churn and the oracle below keep their semantics.
+        pubsub.reset();
+        Stopwatch recovery;
+        recovery.start();
+        pubsub.emplace(make_pubsub());
+        std::vector<SubscriptionHandle> adopted;
+        adopted.reserve(live.size());
+        for (const SubscriptionId id : pubsub->subscription_ids()) {
+          auto handle = pubsub->adopt(id, on_match);
+          if (!handle.ok()) throw std::logic_error(handle.status().to_string());
+          adopted.push_back(std::move(handle).value());
+        }
+        live = std::move(adopted);
+        if (config_.pruning) {
+          // Runtime-only knobs are re-armed, not recovered.
+          (void)pubsub->set_drift_threshold(config_.drift_threshold);
+        }
+        recovery.stop();
+        ++pr.recoveries;
+        pr.recovery_seconds += recovery.seconds();
+        pr.recovered_subscriptions = live.size();
+        pr.replayed_wal_records += pubsub->store_stats().replayed_records;
+      }
       churn_tick(churn, arrivals, pr, admit, [&] { return live.size(); }, release);
       if (config_.pruning) {
-        pr.prunings += pubsub.prune_to_fraction(config_.prune_fraction).value();
-        if (pubsub.drift_pending() && window.ready()) {
-          const Status retrained = pubsub.train(window.events());
+        pr.prunings += pubsub->prune_to_fraction(config_.prune_fraction).value();
+        if (pubsub->drift_pending() && window.ready()) {
+          const Status retrained = pubsub->train(window.events());
           if (!retrained.ok()) throw std::logic_error(retrained.to_string());
-          (void)pubsub.rescore_all();
+          (void)pubsub->rescore_all();
           ++pr.drift_retrains;
         }
       }
@@ -246,14 +317,14 @@ ScenarioReport ScenarioRunner::run_centralized() {
 
       matched.clear();
       match_watch.start();
-      pr.matches += pubsub.publish(event);
+      pr.matches += pubsub->publish(event);
       match_watch.stop();
 
       if (config_.check_every != 0 && ev % config_.check_every == 0) {
         ++pr.oracle_checked;
         expected.clear();
         for (const auto& handle : live) {
-          if (pubsub.matches(handle.id(), event).value()) {
+          if (pubsub->matches(handle.id(), event).value()) {
             expected.push_back(handle.id());
           }
         }
@@ -262,12 +333,12 @@ ScenarioReport ScenarioRunner::run_centralized() {
     }
     wall.stop();
     pr.live_subscriptions = live.size();
-    pr.associations = pubsub.association_count();
+    pr.associations = pubsub->association_count();
     pr.match_seconds = match_watch.seconds();
     pr.wall_seconds = wall.seconds();
     report.phases.push_back(std::move(pr));
   }
-  report.maintenance = pubsub.pruning_stats().maintenance;
+  report.maintenance = pubsub->pruning_stats().maintenance;
   return report;
 }
 

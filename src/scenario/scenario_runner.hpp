@@ -63,6 +63,20 @@ struct ScenarioConfig {
   /// size (notification-log exactness checked per phase).
   std::size_t brokers = 0;
 
+  // --- Durability / crash recovery -----------------------------------------
+  /// Non-empty: the centralized runner opens its PubSub from this store
+  /// directory (PubSub::open; created when missing) and every churn and
+  /// pruning operation is logged durably. Incompatible with overlay mode.
+  std::string store_directory;
+  /// Phase indices (0-based) that crash the broker mid-phase: after half
+  /// the phase's events the PubSub is destroyed without checkpoint or
+  /// clean shutdown, reopened from the store, and every registration
+  /// re-adopted — matching must stay oracle-exact throughout. Requires
+  /// store_directory.
+  std::vector<std::size_t> kill_recover_phases;
+  /// Auto-checkpoint cadence of the store (WAL records between snapshots).
+  std::size_t store_snapshot_every = 256;
+
   /// The standard 4-phase soak: steady warmup -> heavy churn -> flash
   /// crowd -> drain. Churn rates scale with the initial population.
   [[nodiscard]] static ScenarioConfig soak(std::size_t initial_subs,
@@ -85,6 +99,11 @@ struct ScenarioPhaseReport {
   /// centralized mode, per-broker filter CPU time in overlay mode.
   double match_seconds = 0.0;
   double wall_seconds = 0.0;
+  // --- Kill-and-recover (durable runs only) --------------------------------
+  std::size_t recoveries = 0;        ///< crash/reopen cycles in this phase
+  double recovery_seconds = 0.0;     ///< open() + re-adoption wall time
+  std::size_t recovered_subscriptions = 0;  ///< live population after recovery
+  std::uint64_t replayed_wal_records = 0;   ///< WAL records open() replayed
 };
 
 struct ScenarioReport {
@@ -102,6 +121,9 @@ struct ScenarioReport {
   [[nodiscard]] std::size_t total_mismatches() const;
   [[nodiscard]] double total_match_seconds() const;
   [[nodiscard]] double total_wall_seconds() const;
+  [[nodiscard]] std::size_t total_recoveries() const;
+  [[nodiscard]] double total_recovery_seconds() const;
+  [[nodiscard]] std::uint64_t total_replayed_wal_records() const;
 };
 
 /// Runs one scenario to completion. Deterministic apart from the timing

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+
+#include "routing/codec.hpp"
 
 namespace dbsp {
 
@@ -30,13 +33,64 @@ void NumericHistogram::finalize() {
   pending_.shrink_to_fit();
 }
 
+void NumericHistogram::save(WireWriter& out) const {
+  if (!finalized_) throw std::logic_error("histogram: save before finalize()");
+  out.put_u64(total_);
+  out.put_f64(lo_);
+  out.put_f64(hi_);
+  out.put_f64(width_);
+  out.put_u32(static_cast<std::uint32_t>(counts_.size()));
+  for (const std::uint64_t c : counts_) out.put_u64(c);
+}
+
+void NumericHistogram::load(WireReader& in) {
+  const std::uint64_t total = in.get_u64();
+  const double lo = in.get_f64();
+  const double hi = in.get_f64();
+  const double width = in.get_f64();
+  const std::uint32_t bins = in.get_u32();
+  // Each bin occupies 8 bytes; a hostile count must not reserve beyond
+  // what the buffer can possibly hold.
+  if (bins > in.remaining() / 8) throw WireError("histogram: bin count exceeds input");
+  // CRC framing is integrity, not authentication: a blob that decodes
+  // cleanly can still carry geometry finalize() could never produce, and
+  // estimation would index counts_[...] out of bounds (bins == 0) or hit
+  // UB float->size_t casts (width <= 0, non-finite bounds). Reject here.
+  if (total > 0 && (bins == 0 || !std::isfinite(lo) || !std::isfinite(hi) ||
+                    !std::isfinite(width) || !(hi > lo) || !(width > 0.0))) {
+    throw WireError("histogram: invalid trained geometry");
+  }
+  // width must be what finalize() derives from (lo, hi, bins): a tiny
+  // forged width would blow `(x - lo) / width` past SIZE_MAX and make the
+  // float->size_t cast in cumulative_below undefined.
+  if (total > 0) {
+    const double derived = (hi - lo) / static_cast<double>(bins);
+    if (!(std::abs(width - derived) <= 1e-9 * derived)) {
+      throw WireError("histogram: inconsistent bin width");
+    }
+  }
+  std::vector<std::uint64_t> counts(bins);
+  for (auto& c : counts) c = in.get_u64();
+  total_ = total;
+  lo_ = lo;
+  hi_ = hi;
+  width_ = width;
+  counts_ = std::move(counts);
+  pending_.clear();
+  finalized_ = true;
+}
+
 double NumericHistogram::cumulative_below(double x, bool inclusive) const {
   assert(finalized_);
   if (total_ == 0) return 0.0;
   if (x < lo_ || (x == lo_ && !inclusive)) return 0.0;
   if (x >= hi_) return 1.0;
+  // Compare in the double domain before casting: a float->size_t cast of a
+  // value past SIZE_MAX is UB, so the clamp must come first.
   const double offset = (x - lo_) / width_;
-  const auto bin = std::min(static_cast<std::size_t>(offset), counts_.size() - 1);
+  const auto bin = offset >= static_cast<double>(counts_.size() - 1)
+                       ? counts_.size() - 1
+                       : static_cast<std::size_t>(offset);
   std::uint64_t below = 0;
   for (std::size_t i = 0; i < bin; ++i) below += counts_[i];
   const double in_bin_fraction = offset - static_cast<double>(bin);
@@ -72,6 +126,37 @@ void ValueCounts::add(const Value& v) {
     ++overflow_count_;
     ++overflow_distinct_;  // upper bound: each overflow value assumed fresh
   }
+}
+
+void ValueCounts::save(WireWriter& out) const {
+  out.put_u64(total_);
+  out.put_u64(overflow_count_);
+  out.put_u64(overflow_distinct_);
+  out.put_u32(static_cast<std::uint32_t>(counts_.size()));
+  for (const auto& [value, count] : counts_) {
+    encode_value(value, out);
+    out.put_u64(count);
+  }
+}
+
+void ValueCounts::load(WireReader& in) {
+  const std::uint64_t total = in.get_u64();
+  const std::uint64_t overflow_count = in.get_u64();
+  const std::uint64_t overflow_distinct = in.get_u64();
+  const std::uint32_t entries = in.get_u32();
+  // Every entry needs at least a value tag byte plus its u64 count.
+  if (entries > in.remaining() / 9) throw WireError("value counts: entry count exceeds input");
+  std::unordered_map<Value, std::uint64_t> counts;
+  counts.reserve(entries);
+  for (std::uint32_t i = 0; i < entries; ++i) {
+    Value v = decode_value(in);
+    const std::uint64_t count = in.get_u64();
+    counts.emplace(std::move(v), count);
+  }
+  total_ = total;
+  overflow_count_ = overflow_count;
+  overflow_distinct_ = overflow_distinct;
+  counts_ = std::move(counts);
 }
 
 double ValueCounts::fraction_equal(const Value& v) const {

@@ -8,6 +8,9 @@
 
 namespace dbsp {
 
+class WireWriter;
+class WireReader;
+
 /// Equi-width histogram over a numeric attribute, trained on sample values.
 /// Range queries interpolate uniformly within bins — the standard
 /// System-R-style estimator.
@@ -28,6 +31,13 @@ class NumericHistogram {
   [[nodiscard]] double fraction_less_equal(double x) const;
   /// P[lo <= value <= hi].
   [[nodiscard]] double fraction_between(double lo, double hi) const;
+
+  /// Serializes the trained (finalized) state in the routing/codec wire
+  /// format; throws std::logic_error before finalize().
+  void save(WireWriter& out) const;
+  /// Restores state written by save(); the object ends finalized. Throws
+  /// WireError on truncated or malformed input.
+  void load(WireReader& in);
 
  private:
   [[nodiscard]] double cumulative_below(double x, bool inclusive) const;
@@ -55,6 +65,13 @@ class ValueCounts {
 
   /// P[value == v] under the trained distribution.
   [[nodiscard]] double fraction_equal(const Value& v) const;
+
+  /// Serializes the tracked counts in the routing/codec wire format.
+  void save(WireWriter& out) const;
+  /// Restores state written by save() (replacing current counts); the
+  /// max-distinct cap keeps its constructed value. Throws WireError on
+  /// truncated or malformed input.
+  void load(WireReader& in);
 
   /// Iterates tracked (value, count) pairs — used for string operators
   /// (prefix/suffix/contains) which must scan the domain.

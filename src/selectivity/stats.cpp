@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "routing/codec.hpp"
+
 namespace dbsp {
 
 EventStats::EventStats(const Schema& schema) : schema_(&schema) {
@@ -40,6 +42,43 @@ void EventStats::reset() {
     s = AttributeStats();
     s.numeric = numeric;
   }
+}
+
+void EventStats::save(WireWriter& out) const {
+  if (!finalized_) throw std::logic_error("EventStats: save before finalize()");
+  out.put_u32(static_cast<std::uint32_t>(attrs_.size()));
+  out.put_u64(events_observed_);
+  for (const auto& s : attrs_) {
+    out.put_u64(s.present);
+    out.put_u8(s.numeric ? 1 : 0);
+    s.histogram.save(out);
+    s.values.save(out);
+  }
+}
+
+void EventStats::load(WireReader& in) {
+  const std::uint32_t count = in.get_u32();
+  if (count != attrs_.size()) {
+    throw WireError("EventStats: stored attribute count does not match schema");
+  }
+  const std::uint64_t observed = in.get_u64();
+  // Decode into a scratch vector first so a mid-stream WireError leaves the
+  // object in its previous (consistent) state.
+  std::vector<AttributeStats> loaded(attrs_.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    auto& s = loaded[i];
+    s.present = in.get_u64();
+    const std::uint8_t numeric = in.get_u8();
+    if (numeric > 1 || (numeric != 0) != attrs_[i].numeric) {
+      throw WireError("EventStats: stored attribute kind does not match schema");
+    }
+    s.numeric = attrs_[i].numeric;
+    s.histogram.load(in);
+    s.values.load(in);
+  }
+  attrs_ = std::move(loaded);
+  events_observed_ = observed;
+  finalized_ = true;
 }
 
 double EventStats::presence(const AttributeStats& s) const {

@@ -10,6 +10,9 @@
 
 namespace dbsp {
 
+class WireWriter;
+class WireReader;
+
 /// Per-attribute distribution statistics trained on a sample of events.
 /// Brokers train this once on observed traffic (or a provided sample) and
 /// the pruning engine derives predicate selectivities from it — the paper's
@@ -35,6 +38,16 @@ class EventStats {
   [[nodiscard]] double predicate_selectivity(const Predicate& pred) const;
 
   [[nodiscard]] const Schema& schema() const { return *schema_; }
+
+  /// Serializes the trained state (routing/codec wire format) — the payload
+  /// of the durable store's train-checkpoint records and snapshots. Only
+  /// valid after finalize(); throws std::logic_error otherwise.
+  void save(WireWriter& out) const;
+  /// Restores state written by save() over the *same schema* (attribute
+  /// count and numeric kinds must match — the store verifies the schema
+  /// separately, so a mismatch here means corruption and throws WireError).
+  /// Replaces any current training; the object ends finalized.
+  void load(WireReader& in);
 
  private:
   struct AttributeStats {

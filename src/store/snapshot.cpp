@@ -1,0 +1,99 @@
+#include "store/snapshot.hpp"
+
+#include <utility>
+
+namespace dbsp::store {
+
+void write_snapshot(const std::string& path, std::uint64_t epoch,
+                    const SnapshotData& data, bool sync) {
+  WireWriter body;
+  body.put_u64(epoch);
+  body.put_u64(data.next_id);
+  body.put_u64(data.next_seq);
+  encode_schema(*data.schema, body);
+  body.put_u64(data.subs.size());
+  for (const SnapshotSub& sub : data.subs) {
+    body.put_u32(sub.id.value());
+    body.put_u64(sub.capacity);
+    body.put_u64(sub.performed);
+    encode_tree(*sub.tree, body);
+  }
+  if (data.stats != nullptr) {
+    body.put_u8(1);
+    WireWriter stats;
+    data.stats->save(stats);
+    body.put_u64(stats.size());
+    body.put_bytes(stats.bytes());
+  } else {
+    body.put_u8(0);
+  }
+
+  WireWriter file;
+  encode_wire_header(file);
+  file.put_u8(static_cast<std::uint8_t>(FileKind::kSnapshot));
+  file.put_u64(body.size());
+  file.put_u32(crc32(body.bytes()));
+  std::vector<std::uint8_t> out = std::move(file).take();
+  out.insert(out.end(), body.bytes().begin(), body.bytes().end());
+  write_file_atomic(path, out, sync);
+}
+
+LoadedSnapshot read_snapshot(const std::string& path) {
+  const std::vector<std::uint8_t> bytes = read_file(path);
+  WireReader in(bytes);
+  (void)decode_wire_header(in);
+  if (in.get_u8() != static_cast<std::uint8_t>(FileKind::kSnapshot)) {
+    throw StoreError("store: " + path + " is not a snapshot file");
+  }
+  const std::uint64_t len = in.get_u64();
+  const std::uint32_t crc = in.get_u32();
+  if (len != in.remaining()) {
+    throw StoreError("store: truncated snapshot body in " + path);
+  }
+  const std::span<const std::uint8_t> body(bytes.data() + (bytes.size() - len), len);
+  if (crc32(body) != crc) {
+    throw StoreError("store: snapshot checksum mismatch in " + path);
+  }
+
+  WireReader b(body);
+  LoadedSnapshot snap;
+  snap.epoch = b.get_u64();
+  snap.next_id = b.get_u64();
+  snap.next_seq = b.get_u64();
+  snap.schema = decode_schema(b);
+  const std::uint64_t count = b.get_u64();
+  // Each subscription needs at least id + capacity + performed + one tree
+  // byte; reject hostile counts before reserving.
+  if (count > b.remaining() / 21) {
+    throw StoreError("store: snapshot subscription count exceeds input");
+  }
+  snap.subs.reserve(count);
+  SubscriptionId::value_type prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    LoadedSub sub;
+    sub.id = SubscriptionId(b.get_u32());
+    if (!sub.id.valid() || (i > 0 && sub.id.value() <= prev)) {
+      throw StoreError("store: snapshot subscriptions out of order");
+    }
+    prev = sub.id.value();
+    sub.capacity = b.get_u64();
+    sub.performed = b.get_u64();
+    sub.tree = decode_tree(b);
+    snap.subs.push_back(std::move(sub));
+  }
+  const std::uint8_t stats_flag = b.get_u8();
+  if (stats_flag > 1) throw StoreError("store: bad snapshot stats flag");
+  if (stats_flag == 1) {
+    const std::uint64_t stats_len = b.get_u64();
+    if (stats_len != b.remaining()) {
+      throw StoreError("store: truncated snapshot statistics in " + path);
+    }
+    snap.stats.assign(body.end() - static_cast<std::ptrdiff_t>(stats_len),
+                      body.end());
+  } else if (!b.exhausted()) {
+    throw StoreError("store: trailing bytes in snapshot body");
+  }
+  return snap;
+}
+
+}  // namespace dbsp::store

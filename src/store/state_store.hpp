@@ -1,0 +1,153 @@
+#pragma once
+
+/// \file
+/// StateStore: the durability subsystem behind dbsp::PubSub::open(). One
+/// directory holds a compacted snapshot (snapshot.dbsp) plus an append-only
+/// WAL of subscription-lifecycle records (wal.dbsp); see store/format.hpp
+/// for the byte layout and docs/ARCHITECTURE.md "Durability" for the
+/// protocol. Recovery = load snapshot, replay the WAL of the matching
+/// epoch; checkpoint = atomically replace the snapshot, then truncate the
+/// WAL to a fresh epoch.
+///
+/// The class throws StoreError (and codec WireError) — the PubSub facade
+/// converts both into the Status channel, so corrupt input surfaces as
+/// ErrorCode::kDataLoss and filesystem failures as kIoError, never as UB.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "store/snapshot.hpp"
+#include "store/wal.hpp"
+
+namespace dbsp {
+
+/// Opening knobs of a durable PubSub (see PubSub::open).
+struct StoreOptions {
+  /// Directory holding snapshot.dbsp + wal.dbsp; created when missing (and
+  /// create_if_missing is set).
+  std::string directory;
+  /// Schema used when creating a fresh store. For an existing store the
+  /// persisted schema is authoritative; a non-empty schema here is then
+  /// verified against it (exact names and types, kInvalidArgument on
+  /// mismatch). Leave empty to accept whatever the store holds.
+  Schema schema;
+  /// Checkpoint automatically after this many WAL records. 0 = the
+  /// DBSP_STORE_SNAPSHOT_EVERY environment knob, falling back to 1024.
+  std::size_t snapshot_every = 0;
+  /// fsync every WAL append and snapshot (machine-crash durability, not
+  /// just process-crash). Defaults off; DBSP_STORE_FSYNC=1 forces it on.
+  bool fsync = false;
+  /// Refuse to create a fresh store (kNotFound) when the directory holds
+  /// none — for "open what is there" callers.
+  bool create_if_missing = true;
+};
+
+/// Durability counters of a live store (PubSub::store_stats()).
+struct StoreStats {
+  std::uint64_t epoch = 0;              ///< current snapshot epoch
+  std::uint64_t wal_records = 0;        ///< records appended since open()
+  std::uint64_t wal_bytes = 0;          ///< framed bytes appended since open()
+  std::uint64_t snapshots_written = 0;  ///< checkpoints since open()
+  std::uint64_t records_since_checkpoint = 0;
+  // --- What open() found and replayed (zeros for a fresh store) ------------
+  bool recovered = false;  ///< false = the store was created by this open()
+  /// True when recovery found (and truncated away) a torn final WAL frame
+  /// — the signature of a kill mid-append. Only that unacknowledged write
+  /// was lost.
+  bool recovered_torn_tail = false;
+  std::uint64_t snapshot_subscriptions = 0;  ///< subs loaded from the snapshot
+  std::uint64_t replayed_records = 0;        ///< WAL records applied on top
+  std::uint64_t replayed_subscribes = 0;
+  std::uint64_t replayed_unsubscribes = 0;
+  std::uint64_t replayed_prunes = 0;
+  std::uint64_t replayed_train_checkpoints = 0;
+};
+
+namespace store {
+
+/// One recovered subscription (snapshot state + WAL replay applied).
+struct RecoveredSub {
+  SubscriptionId id;
+  std::size_t capacity = 0;   ///< pruning capacity at original registration
+  std::size_t performed = 0;  ///< prunings applied before the crash
+  std::unique_ptr<Node> tree;  ///< current (possibly pruned) tree
+};
+
+/// Everything open() reconstructs for the facade.
+struct RecoveredState {
+  Schema schema;
+  std::uint64_t next_id = 0;
+  std::uint64_t next_seq = 0;
+  std::vector<RecoveredSub> subs;   ///< ascending id
+  std::vector<std::uint8_t> stats;  ///< serialized EventStats; empty = untrained
+};
+
+/// The directory-level store: owns the WAL writer and the checkpoint
+/// protocol. Not thread-safe; the owning PubSub serializes access. On
+/// POSIX a flock-held `lock` file makes opens exclusive: a second open of
+/// a live directory fails cleanly (kIoError) instead of two writers
+/// sharing one WAL; the lock dies with the process, so a crash never
+/// wedges the store.
+class StateStore {
+ public:
+  /// Opens an existing store (recovering its state) or creates a fresh one.
+  /// Throws StoreError on IO failure or corruption; never returns half a
+  /// state.
+  static std::pair<std::unique_ptr<StateStore>, RecoveredState> open(
+      const StoreOptions& options);
+
+  /// True when `directory` already holds a store (its snapshot exists).
+  [[nodiscard]] static bool exists(const std::string& directory);
+
+  ~StateStore();
+  StateStore(const StateStore&) = delete;
+  StateStore& operator=(const StateStore&) = delete;
+
+  // --- Append hooks (one WAL record each; throw StoreError on failure) ------
+  void append_subscribe(SubscriptionId id, const Node& tree);
+  void append_unsubscribe(SubscriptionId id);
+  void append_prune(SubscriptionId id, const Node& tree);
+  void append_train(const EventStats& stats);
+
+  /// True once snapshot_every records accumulated since the last
+  /// checkpoint — the owner should build a SnapshotData and checkpoint().
+  [[nodiscard]] bool wants_checkpoint() const {
+    return stats_.records_since_checkpoint >= snapshot_every_;
+  }
+
+  /// Writes a compacted snapshot of `data` (epoch + 1) and truncates the
+  /// WAL. Crash-safe: the snapshot replaces the old one atomically, and a
+  /// crash before the WAL truncation leaves a stale-epoch WAL that the next
+  /// recovery discards.
+  void checkpoint(const SnapshotData& data);
+
+  [[nodiscard]] const StoreStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] const std::string& directory() const { return directory_; }
+
+ private:
+  StateStore(std::string directory, std::size_t snapshot_every, bool sync)
+      : directory_(std::move(directory)),
+        snapshot_every_(snapshot_every),
+        sync_(sync) {}
+
+  void append(const WireWriter& payload);
+  /// Takes the directory's exclusive flock (POSIX; no-op elsewhere).
+  void acquire_lock();
+  [[nodiscard]] std::string snapshot_path() const;
+  [[nodiscard]] std::string wal_path() const;
+
+  std::string directory_;
+  std::size_t snapshot_every_;
+  bool sync_;
+  std::uint64_t epoch_ = 0;
+  std::unique_ptr<WalWriter> wal_;
+  StoreStats stats_;
+  int lock_fd_ = -1;
+};
+
+}  // namespace store
+}  // namespace dbsp

@@ -175,6 +175,43 @@ TEST(CodecRobustnessTest, DeeplyNestedTreeThrowsInsteadOfOverflowingStack) {
   EXPECT_THROW((void)decode_tree(r), WireError);
 }
 
+TEST(CodecRobustnessTest, WireHeaderRoundTrips) {
+  WireWriter w;
+  encode_wire_header(w);
+  ASSERT_EQ(w.size(), kWireHeaderBytes);
+  WireReader r(w.bytes());
+  EXPECT_EQ(decode_wire_header(r), kWireFormatVersion);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(CodecRobustnessTest, WireHeaderRejectsBadMagic) {
+  const Bytes buf = {0x00, kWireFormatVersion};
+  WireReader r(buf);
+  EXPECT_THROW((void)decode_wire_header(r), WireError);
+}
+
+TEST(CodecRobustnessTest, WireHeaderRejectsUnknownVersions) {
+  // Version 0 and every version newer than this build must be refused: a
+  // future format bump may change any payload encoding, so decoding past
+  // the header would misparse. 1..kWireFormatVersion stay accepted.
+  for (int version = 0; version <= 255; ++version) {
+    const Bytes buf = {kWireMagic, static_cast<std::uint8_t>(version)};
+    WireReader r(buf);
+    if (version >= 1 && version <= kWireFormatVersion) {
+      EXPECT_EQ(decode_wire_header(r), version);
+    } else {
+      EXPECT_THROW((void)decode_wire_header(r), WireError) << version;
+    }
+  }
+}
+
+TEST(CodecRobustnessTest, TruncatedWireHeaderThrows) {
+  WireWriter w;
+  encode_wire_header(w);
+  expect_all_truncations_throw(
+      w.bytes(), [](WireReader& r) { return decode_wire_header(r); });
+}
+
 TEST(CodecRobustnessTest, ValidBuffersStillDecodeAfterHardening) {
   const Bytes event = encode_sample_event();
   WireReader re(event);

@@ -1,14 +1,16 @@
 #!/usr/bin/env python3
 """Run the dbsp micro benchmarks (plus a scaled-down fig1 sweep) and emit a
-machine-readable BENCH_micro.json, then run the scenario soak (all three
-workload domains through churn + flash crowd + pruning maintenance) and
+machine-readable BENCH_micro.json, run the durable-store benchmarks
+(WAL append / snapshot / crash-recovery replay throughput) into
+BENCH_store.json, then run the scenario soak (all three workload domains
+through churn + flash crowd + pruning maintenance + kill-and-recover) and
 emit BENCH_scenario.json.
 
 The JSON files are the repo's perf trajectory record: each entry carries
 the benchmark name, events/sec, and ns/event (micro) or events/sec,
-churn ops/sec, per-phase memory, and the notification-exactness flag
-(scenario) so later PRs can diff numbers against this baseline. A
-scenario oracle mismatch fails the run. Usage:
+churn ops/sec, per-phase memory, recovery timings/replay counts, and the
+notification-exactness flag (scenario) so later PRs can diff numbers
+against this baseline. A scenario oracle mismatch fails the run. Usage:
 
     cmake --build build --target bench_runner          # via CMake
     tools/bench_runner.py --build-dir build            # directly
@@ -145,6 +147,62 @@ def api_overhead(rows):
     }
 
 
+def store_summary(rows):
+    """Summarize micro_store: durable subscribes (WAL appends) per second,
+    snapshot and recovery-replay throughput per table size."""
+    appends = None
+    snapshot = {}
+    recover = {}
+    for row in rows:
+        name = row.get("name", "")
+        eps = row.get("events_per_sec")
+        if not eps:
+            continue
+        parts = name.split("/")
+        if parts[0] == "BM_DurableSubscribe":
+            appends = eps
+        elif parts[0] == "BM_SnapshotWrite" and parts[1].isdigit():
+            snapshot[int(parts[1])] = eps
+        elif parts[0] == "BM_RecoverFromWal" and parts[1].isdigit():
+            recover[int(parts[1])] = eps
+    if appends is None and not snapshot and not recover:
+        return None
+    return {
+        "durable_subscribes_per_sec": appends,
+        "snapshot_subs_per_sec": {str(k): v for k, v in sorted(snapshot.items())},
+        "recovery_replayed_subs_per_sec": {
+            str(k): v for k, v in sorted(recover.items())
+        },
+    }
+
+
+def write_store_json(build_dir, out_path, quick, context):
+    binary = find_binary(build_dir, "micro_store")
+    if binary is None:
+        print("[bench_runner] micro_store binary not found; skipping BENCH_store.json")
+        return None
+    print("[bench_runner] running micro_store ...", flush=True)
+    rows, ctx = run_micro(binary, quick)
+    result = {
+        "schema_version": 1,
+        "generated_unix_time": int(time.time()),
+        "host": {
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "num_cpus": (context or ctx).get("num_cpus"),
+            "mhz_per_cpu": (context or ctx).get("mhz_per_cpu"),
+        },
+        "mode": "quick" if quick else "full",
+        "benchmarks": rows,
+        "store": store_summary(rows),
+    }
+    with open(out_path, "w") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+    print(f"[bench_runner] wrote {out_path} ({len(rows)} benchmark rows)")
+    return result
+
+
 def run_fig1(binary):
     env = dict(os.environ)
     env.update(FIG1_ENV)
@@ -219,6 +277,11 @@ def main():
         help="default: <build-dir>/BENCH_scenario.json",
     )
     parser.add_argument(
+        "--store-out",
+        default=None,
+        help="default: <build-dir>/BENCH_store.json",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
         help="CI smoke mode: short min-time and only the small benchmark args",
@@ -234,6 +297,7 @@ def main():
     args = parser.parse_args()
     out_path = args.out or os.path.join(args.build_dir, "BENCH_micro.json")
     scenario_out = args.scenario_out or os.path.join(args.build_dir, "BENCH_scenario.json")
+    store_out = args.store_out or os.path.join(args.build_dir, "BENCH_store.json")
 
     benchmarks = []
     context = {}
@@ -289,6 +353,7 @@ def main():
                 f"call (limit {args.api_overhead_limit}%; contract <= 5%)"
             )
 
+    write_store_json(args.build_dir, store_out, args.quick, context)
     write_scenario_json(args.build_dir, scenario_out, args.quick, context)
 
 
