@@ -42,7 +42,7 @@ int main() {
     std::vector<Event> training;
     auto gen = domain->events(3);
     for (int i = 0; i < 8000; ++i) training.push_back(gen->next());
-    (void)pubsub.train(training);
+    pubsub.train(training).expect_ok();
   }
 
   auto sub_gen = domain->subscriptions(1);
@@ -77,7 +77,7 @@ int main() {
     // (already pruned) trees; Δ≈sel/Δ≈eff baselines reset to the current
     // state, which makes the controller conservative — exactly what
     // incremental re-optimization wants.
-    (void)pubsub.set_prune_dimension(dim);
+    pubsub.set_prune_dimension(dim).expect_ok();
     const std::size_t before = pubsub.pruning_stats().performed;
     const std::size_t step = pubsub.pruning_stats().total_possible / 12 + 1;
     (void)pubsub.prune(step).value();

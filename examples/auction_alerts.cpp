@@ -40,7 +40,7 @@ int main() {
     options.pruning = true;
     options.prune.dimension = dim;
     PubSub pubsub(domain->schema(), options);
-    (void)pubsub.train(training);
+    pubsub.train(training).expect_ok();
 
     auto sub_gen = domain->subscriptions(1);
     std::vector<SubscriptionHandle> handles;

@@ -56,7 +56,7 @@ int main() {
     std::vector<Event> training;
     auto event_gen = domain->events(3);
     for (int i = 0; i < 8000; ++i) training.push_back(event_gen->next());
-    (void)pubsub.train(training);
+    pubsub.train(training).expect_ok();
   }
 
   std::vector<SubscriptionHandle> handles;

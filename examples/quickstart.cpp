@@ -77,8 +77,8 @@ int main() {
                          .with("seller_rating", 50.0 + static_cast<double>(i))
                          .build());
   }
-  (void)pubsub.train(sample);
-  (void)pubsub.rescore_all();
+  pubsub.train(sample).expect_ok();
+  pubsub.rescore_all().expect_ok();
 
   std::cout << "total possible prunings: " << pubsub.pruning_stats().total_possible
             << "\n";

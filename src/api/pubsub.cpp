@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "selectivity/estimator.hpp"
 #include "selectivity/stats.hpp"
 #include "subscription/parser.hpp"
@@ -22,6 +24,17 @@ struct SubEntry {
 /// The facade's whole state. Held by the PubSub through a shared_ptr so
 /// handles can observe its lifetime through weak_ptrs — a handle outliving
 /// the PubSub degrades to explicit kUnavailable errors instead of UB.
+///
+/// `mutex` serializes every facade entry point (including the handle
+/// paths), which is what makes the match-vs-churn exclusion contract of
+/// the wrapped ShardedEngine — and the single-writer contract of the
+/// StateStore — hold under concurrent callers. Everything mutable is
+/// DBSP_GUARDED_BY(mutex), so under clang's thread-safety analysis a new
+/// entry point that forgets the lock fails to compile; the runtime side
+/// of the same contract is exercised by tests/concurrent_stress_test.cpp
+/// under ThreadSanitizer. `schema` (and `options.engine`) are written
+/// only during construction and immutable afterwards, so they are read
+/// without the lock.
 struct PubSubCore {
   PubSubCore(Schema schema_in, PubSubOptions options_in)
       : schema(std::move(schema_in)),
@@ -40,35 +53,51 @@ struct PubSubCore {
     }
   }
 
+  /// Immutable after construction (the facade is the schema authority).
   Schema schema;
-  PubSubOptions options;
-  EventStats stats;
-  std::optional<SelectivityEstimator> estimator;
+
+  /// Serializes all facade state below. Declared before the guarded
+  /// members so diagnostics can reference it; mutable so const observers
+  /// (subscription_count, pruning_stats, ...) can lock too.
+  mutable Mutex mutex;
+
+  /// options.prune.dimension is rewritten by set_prune_dimension; the rest
+  /// is construction-time configuration.
+  PubSubOptions options DBSP_GUARDED_BY(mutex);
+  EventStats stats DBSP_GUARDED_BY(mutex);
+  std::optional<SelectivityEstimator> estimator DBSP_GUARDED_BY(mutex);
   /// Declared before engine/pruning: the owned Subscriptions must outlive
   /// both (they reference the trees), so they must be destroyed last.
-  std::unordered_map<SubscriptionId::value_type, SubEntry> subs;
-  ShardedEngine engine;  // references this->schema; PubSubCore never moves
-  std::optional<ShardedPruningSet> pruning;
+  std::unordered_map<SubscriptionId::value_type, SubEntry> subs
+      DBSP_GUARDED_BY(mutex);
+  // References this->schema; PubSubCore never moves. Holding `mutex` across
+  // every engine call is exactly the engine's external-serialization
+  // contract — one writer OR one matching call at a time (match_batch still
+  // fans out internally; its workers touch disjoint per-shard state).
+  ShardedEngine engine DBSP_GUARDED_BY(mutex);
+  std::optional<ShardedPruningSet> pruning DBSP_GUARDED_BY(mutex);
 
   /// Durable mode (PubSub::open). Fail-stop: the first append/checkpoint
   /// failure moves its Status into store_failure and drops the store, so
-  /// the on-disk state stays a consistent prefix of history.
-  std::unique_ptr<store::StateStore> store;
-  Status store_failure;
-  bool stats_trained = false;
+  /// the on-disk state stays a consistent prefix of history. The store is
+  /// single-writer by contract; `mutex` is what serializes it.
+  std::unique_ptr<store::StateStore> store DBSP_GUARDED_BY(mutex)
+      DBSP_PT_GUARDED_BY(mutex);
+  Status store_failure DBSP_GUARDED_BY(mutex);
+  bool stats_trained DBSP_GUARDED_BY(mutex) = false;
 
-  SubscriptionId::value_type next_id = 0;
-  std::size_t callbacks_registered = 0;
-  std::uint64_t next_seq = 0;
-  std::uint64_t notifications = 0;
+  SubscriptionId::value_type next_id DBSP_GUARDED_BY(mutex) = 0;
+  std::size_t callbacks_registered DBSP_GUARDED_BY(mutex) = 0;
+  std::uint64_t next_seq DBSP_GUARDED_BY(mutex) = 0;
+  std::uint64_t notifications DBSP_GUARDED_BY(mutex) = 0;
 
-  std::vector<SubscriptionId> match_scratch;
-  std::vector<std::vector<SubscriptionId>> batch_scratch;
+  std::vector<SubscriptionId> match_scratch DBSP_GUARDED_BY(mutex);
+  std::vector<std::vector<SubscriptionId>> batch_scratch DBSP_GUARDED_BY(mutex);
 
   /// Runs one durable-store operation; converts a throw into the fail-stop
   /// detach. Returns ok when not durable (in-memory mode logs nothing).
   template <class Fn>
-  Status log_to_store(Fn&& fn) {
+  Status log_to_store(Fn&& fn) DBSP_REQUIRES(mutex) {
     if (!store) return Status();
     try {
       fn(*store);
@@ -86,7 +115,7 @@ struct PubSubCore {
   /// The borrowed full-state view the store snapshots: every subscription's
   /// current tree plus its pruning accounting, the id/seq counters, and the
   /// trained statistics.
-  [[nodiscard]] store::SnapshotData build_snapshot() const {
+  [[nodiscard]] store::SnapshotData build_snapshot() const DBSP_REQUIRES(mutex) {
     store::SnapshotData snap;
     snap.schema = &schema;
     snap.next_id = next_id;
@@ -113,13 +142,15 @@ struct PubSubCore {
   }
 
   /// Auto-checkpoint once enough records accumulated since the last one.
-  Status maybe_checkpoint() {
+  Status maybe_checkpoint() DBSP_REQUIRES(mutex) {
     if (!store || !store->wants_checkpoint()) return Status();
-    return log_to_store(
-        [this](store::StateStore& s) { s.checkpoint(build_snapshot()); });
+    return log_to_store([this](store::StateStore& s) {
+      mutex.assert_held();  // runs inside log_to_store, under the lock
+      s.checkpoint(build_snapshot());
+    });
   }
 
-  Status unsubscribe(SubscriptionId id) {
+  Status unsubscribe(SubscriptionId id) DBSP_REQUIRES(mutex) {
     const auto it = subs.find(id.value());
     if (it == subs.end()) {
       return Status::error(ErrorCode::kNotFound,
@@ -142,8 +173,10 @@ struct PubSubCore {
     return maybe_checkpoint();
   }
 
+  /// Callbacks run under `mutex` (the dispatch order is part of the
+  /// serialized publish) — which is why they must not re-enter the facade.
   void dispatch(std::span<const SubscriptionId> matched, std::uint64_t seq,
-                const Event& event) {
+                const Event& event) DBSP_REQUIRES(mutex) {
     for (const SubscriptionId id : matched) {
       const auto it = subs.find(id.value());
       if (it != subs.end() && it->second.callback) {
@@ -183,7 +216,9 @@ SubscriptionHandle::~SubscriptionHandle() {
 bool SubscriptionHandle::active() const {
   if (!id_.valid()) return false;
   const auto core = core_.lock();
-  return core != nullptr && core->subs.count(id_.value()) != 0;
+  if (core == nullptr) return false;
+  MutexLock lock(core->mutex);
+  return core->subs.count(id_.value()) != 0;
 }
 
 Status SubscriptionHandle::release() {
@@ -199,6 +234,7 @@ Status SubscriptionHandle::release() {
     return Status::error(ErrorCode::kUnavailable,
                          "the PubSub behind this handle no longer exists");
   }
+  MutexLock lock(core->mutex);
   return core->unsubscribe(id);
 }
 
@@ -235,6 +271,10 @@ Result<PubSub> PubSub::open(StoreOptions store_options, PubSubOptions options) {
   } catch (const std::logic_error& e) {
     return Status::error(ErrorCode::kInvalidArgument, e.what());
   }
+  // The core is not shared with anyone yet, but the recovery population
+  // below touches guarded state, so take the lock (uncontended) to keep
+  // the analysis airtight.
+  MutexLock lock(core->mutex);
   if (!rec.stats.empty()) {
     try {
       WireReader reader(rec.stats);
@@ -279,21 +319,28 @@ Result<PubSub> PubSub::open(StoreOptions store_options, PubSubOptions options) {
   return PubSub(std::move(core));
 }
 
-bool PubSub::durable() const { return core_->store != nullptr; }
+bool PubSub::durable() const {
+  MutexLock lock(core_->mutex);
+  return core_->store != nullptr;
+}
 
 Status PubSub::checkpoint() {
   auto& c = *core_;
+  MutexLock lock(c.mutex);
   if (!c.store) {
     return c.store_failure.ok()
                ? Status::error(ErrorCode::kFailedPrecondition,
                                "this PubSub is not durable (use PubSub::open)")
                : c.store_failure;
   }
-  return c.log_to_store(
-      [&](store::StateStore& s) { s.checkpoint(c.build_snapshot()); });
+  return c.log_to_store([&](store::StateStore& s) {
+    c.mutex.assert_held();  // runs inside log_to_store, under the lock
+    s.checkpoint(c.build_snapshot());
+  });
 }
 
 StoreStats PubSub::store_stats() const {
+  MutexLock lock(core_->mutex);
   return core_->store ? core_->store->stats() : StoreStats{};
 }
 
@@ -332,6 +379,7 @@ Result<SubscriptionHandle> PubSub::subscribe(std::unique_ptr<Node> tree,
                          "constant filters cannot be subscribed");
   }
   auto& c = *core_;
+  MutexLock lock(c.mutex);
   const SubscriptionId id(c.next_id);
   auto sub = std::make_unique<Subscription>(id, std::move(tree));
   if (!c.engine.add(*sub)) {
@@ -345,6 +393,7 @@ Result<SubscriptionHandle> PubSub::subscribe(std::unique_ptr<Node> tree,
   // it snapshots is exactly what c.subs holds here), so its failure also
   // surfaces through this rollback instead of being swallowed.
   const Status logged = c.log_to_store([&](store::StateStore& s) {
+    c.mutex.assert_held();  // runs inside log_to_store, under the lock
     if (s.wants_checkpoint()) s.checkpoint(c.build_snapshot());
     s.append_subscribe(id, sub->root());
   });
@@ -362,6 +411,7 @@ Result<SubscriptionHandle> PubSub::subscribe(std::unique_ptr<Node> tree,
 
 Result<SubscriptionHandle> PubSub::adopt(SubscriptionId id, Callback callback) {
   auto& c = *core_;
+  MutexLock lock(c.mutex);
   const auto it = c.subs.find(id.value());
   if (it == c.subs.end()) {
     return Status::error(ErrorCode::kNotFound,
@@ -374,15 +424,23 @@ Result<SubscriptionHandle> PubSub::adopt(SubscriptionId id, Callback callback) {
   return SubscriptionHandle(core_, id);
 }
 
-Status PubSub::unsubscribe(SubscriptionId id) { return core_->unsubscribe(id); }
+Status PubSub::unsubscribe(SubscriptionId id) {
+  MutexLock lock(core_->mutex);
+  return core_->unsubscribe(id);
+}
 
 bool PubSub::contains(SubscriptionId id) const {
+  MutexLock lock(core_->mutex);
   return core_->subs.count(id.value()) != 0;
 }
 
-std::size_t PubSub::subscription_count() const { return core_->subs.size(); }
+std::size_t PubSub::subscription_count() const {
+  MutexLock lock(core_->mutex);
+  return core_->subs.size();
+}
 
 std::vector<SubscriptionId> PubSub::subscription_ids() const {
+  MutexLock lock(core_->mutex);
   std::vector<SubscriptionId> out;
   out.reserve(core_->subs.size());
   for (const auto& [raw_id, entry] : core_->subs) out.emplace_back(raw_id);
@@ -391,6 +449,7 @@ std::vector<SubscriptionId> PubSub::subscription_ids() const {
 }
 
 Result<bool> PubSub::matches(SubscriptionId id, const Event& event) const {
+  MutexLock lock(core_->mutex);
   const auto it = core_->subs.find(id.value());
   if (it == core_->subs.end()) {
     return Status::error(ErrorCode::kNotFound, "unknown subscription id");
@@ -399,6 +458,7 @@ Result<bool> PubSub::matches(SubscriptionId id, const Event& event) const {
 }
 
 Result<std::string> PubSub::subscription_text(SubscriptionId id) const {
+  MutexLock lock(core_->mutex);
   const auto it = core_->subs.find(id.value());
   if (it == core_->subs.end()) {
     return Status::error(ErrorCode::kNotFound, "unknown subscription id");
@@ -408,6 +468,7 @@ Result<std::string> PubSub::subscription_text(SubscriptionId id) const {
 
 std::size_t PubSub::publish(const Event& event) {
   auto& c = *core_;
+  MutexLock lock(c.mutex);
   c.match_scratch.clear();
   c.engine.match(event, c.match_scratch);
   const std::uint64_t seq = c.next_seq++;
@@ -418,6 +479,7 @@ std::size_t PubSub::publish(const Event& event) {
 
 std::uint64_t PubSub::publish_batch(std::span<const Event> events) {
   auto& c = *core_;
+  MutexLock lock(c.mutex);
   c.engine.match_batch(events, c.batch_scratch);
   std::uint64_t total = 0;
   for (const auto& row : c.batch_scratch) total += row.size();
@@ -431,7 +493,10 @@ std::uint64_t PubSub::publish_batch(std::span<const Event> events) {
   return total;
 }
 
-std::uint64_t PubSub::notifications_delivered() const { return core_->notifications; }
+std::uint64_t PubSub::notifications_delivered() const {
+  MutexLock lock(core_->mutex);
+  return core_->notifications;
+}
 
 namespace {
 
@@ -444,6 +509,7 @@ Status pruning_disabled() {
 
 Status PubSub::train(std::span<const Event> sample) {
   auto& c = *core_;
+  MutexLock lock(c.mutex);
   if (!c.options.pruning) return pruning_disabled();
   c.stats.reset();
   for (const Event& e : sample) c.stats.observe(e);
@@ -451,8 +517,10 @@ Status PubSub::train(std::span<const Event> sample) {
   c.stats_trained = true;
   // The estimator holds the stats by reference; queued candidate scores go
   // stale until the caller's next rescore_all().
-  const Status logged =
-      c.log_to_store([&](store::StateStore& s) { s.append_train(c.stats); });
+  const Status logged = c.log_to_store([&](store::StateStore& s) {
+    c.mutex.assert_held();  // runs inside log_to_store, under the lock
+    s.append_train(c.stats);
+  });
   if (!logged.ok()) return logged;
   return c.maybe_checkpoint();
 }
@@ -465,7 +533,7 @@ namespace {
 /// store fail-stops at its pre-pass state — the recovered trees are then
 /// simply one generation behind — and the error is reported.
 template <class Fn>
-Result<std::size_t> logged_prune(PubSubCore& c, Fn&& fn) {
+Result<std::size_t> logged_prune(PubSubCore& c, Fn&& fn) DBSP_REQUIRES(c.mutex) {
   std::vector<std::size_t> history_before;
   if (c.store) {
     history_before.resize(c.pruning->shard_count());
@@ -497,22 +565,31 @@ Result<std::size_t> logged_prune(PubSubCore& c, Fn&& fn) {
 
 Result<std::size_t> PubSub::prune(std::size_t k) {
   auto& c = *core_;
+  MutexLock lock(c.mutex);
   if (!c.pruning) return pruning_disabled();
-  return logged_prune(c, [&] { return c.pruning->prune(k); });
+  return logged_prune(c, [&] {
+    c.mutex.assert_held();  // runs inside logged_prune, under the lock
+    return c.pruning->prune(k);
+  });
 }
 
 Result<std::size_t> PubSub::prune_to_fraction(double fraction) {
   auto& c = *core_;
+  MutexLock lock(c.mutex);
   if (!c.pruning) return pruning_disabled();
   if (!(fraction >= 0.0 && fraction <= 1.0)) {
     return Status::error(ErrorCode::kInvalidArgument,
                          "fraction must be in [0, 1]");
   }
-  return logged_prune(c, [&] { return c.pruning->prune_to_fraction(fraction); });
+  return logged_prune(c, [&] {
+    c.mutex.assert_held();  // runs inside logged_prune, under the lock
+    return c.pruning->prune_to_fraction(fraction);
+  });
 }
 
 Status PubSub::set_prune_dimension(PruneDimension dimension) {
   auto& c = *core_;
+  MutexLock lock(c.mutex);
   if (!c.pruning) return pruning_disabled();
   c.options.prune.dimension = dimension;
   // Rebuild over the current trees in ascending-id order for determinism;
@@ -528,16 +605,19 @@ Status PubSub::set_prune_dimension(PruneDimension dimension) {
 }
 
 Status PubSub::set_drift_threshold(std::size_t mutations) {
+  MutexLock lock(core_->mutex);
   if (!core_->pruning) return pruning_disabled();
   core_->pruning->set_drift_threshold(mutations);
   return Status();
 }
 
 bool PubSub::drift_pending() const {
+  MutexLock lock(core_->mutex);
   return core_->pruning && core_->pruning->drift_pending();
 }
 
 Status PubSub::rescore_all() {
+  MutexLock lock(core_->mutex);
   if (!core_->pruning) return pruning_disabled();
   core_->pruning->rescore_all();
   return Status();
@@ -546,6 +626,7 @@ Status PubSub::rescore_all() {
 PubSub::PruningStats PubSub::pruning_stats() const {
   PruningStats out;
   const auto& c = *core_;
+  MutexLock lock(c.mutex);
   if (!c.pruning) return out;
   out.enabled = true;
   out.tracked = c.pruning->subscription_count();
@@ -555,13 +636,18 @@ PubSub::PruningStats PubSub::pruning_stats() const {
   return out;
 }
 
-std::size_t PubSub::shard_count() const { return core_->engine.shard_count(); }
+std::size_t PubSub::shard_count() const {
+  MutexLock lock(core_->mutex);
+  return core_->engine.shard_count();
+}
 
 std::size_t PubSub::association_count() const {
+  MutexLock lock(core_->mutex);
   return core_->engine.association_count();
 }
 
 std::size_t PubSub::subscription_bytes() const {
+  MutexLock lock(core_->mutex);
   std::size_t total = 0;
   for (const auto& [raw_id, entry] : core_->subs) {
     total += entry.sub->root().size_bytes();
@@ -569,9 +655,13 @@ std::size_t PubSub::subscription_bytes() const {
   return total;
 }
 
-CountingMatcher::Counters PubSub::counters() const { return core_->engine.counters(); }
+CountingMatcher::Counters PubSub::counters() const {
+  MutexLock lock(core_->mutex);
+  return core_->engine.counters();
+}
 
 void PubSub::reset_counters() {
+  MutexLock lock(core_->mutex);
   core_->engine.reset_counters();
   core_->notifications = 0;
 }

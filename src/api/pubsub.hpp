@@ -12,10 +12,19 @@
 /// recovered from (and every table mutation logged to) a store directory
 /// (store/state_store.hpp, docs/ARCHITECTURE.md "Durability").
 ///
-/// Thread safety: like the engine it wraps, a PubSub must be externally
-/// serialized — one mutating or matching call at a time (publish_batch
-/// still fans out internally across shards). Callbacks run on the calling
-/// thread and must not re-enter the PubSub.
+/// Thread safety: a PubSub is safe for concurrent use from any number of
+/// threads. Every entry point — publishing, subscribe/unsubscribe churn,
+/// pruning maintenance, handle release — is serialized on one internal
+/// mutex (annotated with Clang Thread Safety attributes and checked under
+/// `-Wthread-safety -Werror`; raced under ThreadSanitizer by
+/// tests/concurrent_stress_test.cpp), which is exactly the
+/// external-serialization contract the wrapped ShardedEngine and
+/// StateStore demand. publish_batch still fans out across shards on the
+/// engine's internal pool while the facade lock is held. Callbacks run on
+/// the publishing thread *under* that lock: they must not call back into
+/// the PubSub or release handles (the mutex is non-recursive — re-entry
+/// deadlocks rather than corrupts), and they serialize against all other
+/// facade calls.
 
 #include <cstdint>
 #include <functional>
@@ -89,7 +98,7 @@ class SubscriptionHandle {
   /// moved-from handle / double release -> kFailedPrecondition; PubSub
   /// already destroyed -> kUnavailable; id already unsubscribed through
   /// another path -> kNotFound. The handle is empty afterwards either way.
-  Status release();
+  [[nodiscard]] Status release();
 
  private:
   friend class PubSub;
@@ -143,7 +152,7 @@ class PubSub {
   /// Forces a compacted snapshot + WAL truncation now (also runs
   /// automatically every StoreOptions::snapshot_every records).
   /// kFailedPrecondition when not durable.
-  Status checkpoint();
+  [[nodiscard]] Status checkpoint();
 
   /// Durability counters: WAL appends/bytes, snapshots, and what open()
   /// replayed. Zeros when not durable.
@@ -171,7 +180,7 @@ class PubSub {
 
   /// Id-based unsubscribe (the handle's release() calls this). kNotFound
   /// when the id is not registered.
-  Status unsubscribe(SubscriptionId id);
+  [[nodiscard]] Status unsubscribe(SubscriptionId id);
 
   /// Claims an existing registration — the recovery counterpart of
   /// subscribe(): after open(), walk subscription_ids() and adopt each id
@@ -211,24 +220,24 @@ class PubSub {
   /// pruning heuristics price candidates against them. Call before bulk
   /// subscribing for meaningful scores, and again (followed by
   /// rescore_all()) when drift_pending() fires.
-  Status train(std::span<const Event> sample);
+  [[nodiscard]] Status train(std::span<const Event> sample);
 
   /// Performs up to `k` prunings across the shard queues.
-  Result<std::size_t> prune(std::size_t k);
+  [[nodiscard]] Result<std::size_t> prune(std::size_t k);
   /// Prunes each shard to `fraction` (in [0,1]) of its live capacity;
   /// idempotent, cheap to call every churn tick.
-  Result<std::size_t> prune_to_fraction(double fraction);
+  [[nodiscard]] Result<std::size_t> prune_to_fraction(double fraction);
 
   /// Rebuilds the pruning queues on a new primary dimension, re-reading
   /// every subscription's *current* (possibly already pruned) tree — the
   /// adaptive-dimension hook. Resets the drift trigger.
-  Status set_prune_dimension(PruneDimension dimension);
+  [[nodiscard]] Status set_prune_dimension(PruneDimension dimension);
 
   /// Drift trigger plumbing (see PruningEngine): after `mutations` churn
   /// operations per shard, drift_pending() asks for train() + rescore_all().
-  Status set_drift_threshold(std::size_t mutations);
+  [[nodiscard]] Status set_drift_threshold(std::size_t mutations);
   [[nodiscard]] bool drift_pending() const;
-  Status rescore_all();
+  [[nodiscard]] Status rescore_all();
 
   struct PruningStats {
     bool enabled = false;

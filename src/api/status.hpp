@@ -64,6 +64,13 @@ class [[nodiscard]] Status {
     return std::string(dbsp::to_string(code_)) + ": " + message_;
   }
 
+  /// Throws std::logic_error when not ok — for call sites (examples,
+  /// scenario infrastructure) where failure is a programming error and a
+  /// `(void)` discard would silently swallow a real bug.
+  void expect_ok() const {
+    if (!ok()) throw std::logic_error("unexpected Status: " + to_string());
+  }
+
  private:
   ErrorCode code_ = ErrorCode::kOk;
   std::string message_;

@@ -8,6 +8,9 @@
 namespace dbsp {
 
 std::int64_t env_int(const char* name, std::int64_t fallback) {
+  // Knobs are read at startup/construction, before worker threads exist,
+  // and nothing in-tree calls setenv — getenv's thread-unsafety is moot.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
   char* end = nullptr;
@@ -21,6 +24,7 @@ std::int64_t env_int(const char* name, std::int64_t fallback) {
 }
 
 bool env_bool(const char* name, bool fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) -- see env_int
   const char* raw = std::getenv(name);
   if (raw == nullptr) return fallback;
   const std::string_view v(raw);

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file
+/// Annotated synchronization primitives: `dbsp::Mutex` (a std::mutex that
+/// is a Clang Thread Safety *capability*), `dbsp::MutexLock` (the RAII
+/// scoped hold), and `dbsp::CondVar` (a condition variable waiting on a
+/// Mutex). All locking in the library goes through these wrappers so that
+/// members declared DBSP_GUARDED_BY(mutex_) are machine-checked under
+/// `clang -Wthread-safety -Werror`: touching one without the lock — or
+/// calling a DBSP_REQUIRES function without it — is a build error.
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace dbsp {
+
+class CondVar;
+
+/// A std::mutex carrying the `capability` attribute. Prefer MutexLock over
+/// calling lock()/unlock() directly; the raw methods exist for the rare
+/// split acquire/release (and are equally analyzed).
+class DBSP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DBSP_ACQUIRE() { impl_.lock(); }
+  void unlock() DBSP_RELEASE() { impl_.unlock(); }
+  [[nodiscard]] bool try_lock() DBSP_TRY_ACQUIRE(true) {
+    return impl_.try_lock();
+  }
+
+  /// Declares to the analysis that the calling thread already holds this
+  /// mutex — the entry ticket for lambdas that run under a lock taken by
+  /// their (annotated) caller, which the intra-procedural analysis cannot
+  /// see across. Runtime no-op; only use where a DBSP_REQUIRES caller
+  /// guarantees the hold.
+  void assert_held() const DBSP_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex impl_;
+};
+
+/// RAII hold on a Mutex for one scope — the annotated equivalent of
+/// std::lock_guard. Non-movable: a hold belongs to exactly one scope.
+class DBSP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) DBSP_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() DBSP_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// A condition variable over dbsp::Mutex. wait() atomically releases and
+/// reacquires the mutex the caller already holds, so from the analysis'
+/// point of view the capability is held across the call — which is why
+/// the idiomatic predicate loop
+///
+///     MutexLock lock(mutex_);
+///     while (!ready_) cv_.wait(mutex_);   // ready_ is GUARDED_BY(mutex_)
+///
+/// checks cleanly: the guarded read happens while the lock is held.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified; `mutex` must be held (it is released for the
+  /// duration of the block and reacquired before returning). Spurious
+  /// wakeups happen — always wait in a predicate loop.
+  void wait(Mutex& mutex) DBSP_REQUIRES(mutex) {
+    // Adopt the caller's hold into a unique_lock for the wait, then give
+    // ownership back (release()) so the caller's RAII hold stays the one
+    // true owner. The mutex is locked on both edges of this function.
+    std::unique_lock<std::mutex> lock(mutex.impl_, std::adopt_lock);
+    impl_.wait(lock);
+    lock.release();
+  }
+
+  void notify_one() { impl_.notify_one(); }
+  void notify_all() { impl_.notify_all(); }
+
+ private:
+  std::condition_variable impl_;
+};
+
+}  // namespace dbsp

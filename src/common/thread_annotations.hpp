@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file
+/// Clang Thread Safety Analysis attribute macros (DBSP_GUARDED_BY,
+/// DBSP_REQUIRES, ...). Under clang the whole library compiles with
+/// `-Wthread-safety -Werror`, so a member access that violates its
+/// declared lock discipline is a *build error*; under GCC (no analysis)
+/// every macro expands to nothing and the annotations are pure
+/// documentation. See docs/ARCHITECTURE.md "Concurrency contracts &
+/// static analysis" and https://clang.llvm.org/docs/ThreadSafetyAnalysis.html.
+///
+/// The annotated primitives living on top of these macros are in
+/// common/mutex.hpp (dbsp::Mutex / MutexLock / CondVar); tests/
+/// thread_safety_fixtures/ proves the analysis actually fires (a CTest
+/// compiles known-bad snippets and expects them to be rejected).
+
+#if defined(__clang__) && (!defined(SWIG))
+#define DBSP_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DBSP_THREAD_ANNOTATION(x)  // no-op: GCC/MSVC have no analysis
+#endif
+
+/// Declares a class to be a capability (lockable) type. The string names
+/// the capability kind in diagnostics, e.g. DBSP_CAPABILITY("mutex").
+#define DBSP_CAPABILITY(x) DBSP_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class whose lifetime equals a capability hold
+/// (dbsp::MutexLock). Constructors acquire, the destructor releases.
+#define DBSP_SCOPED_CAPABILITY DBSP_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data members: reading or writing requires holding `x`.
+#define DBSP_GUARDED_BY(x) DBSP_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer members: dereferencing the pointee requires holding `x`
+/// (the pointer itself is covered by DBSP_GUARDED_BY).
+#define DBSP_PT_GUARDED_BY(x) DBSP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Functions: the caller must hold the capability (exclusively / shared)
+/// on entry, and still holds it on exit.
+#define DBSP_REQUIRES(...) \
+  DBSP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define DBSP_REQUIRES_SHARED(...) \
+  DBSP_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Functions: the caller must NOT hold the capability (deadlock guard for
+/// entry points that take the lock themselves).
+#define DBSP_EXCLUDES(...) DBSP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Functions that acquire / release a capability (the primitive methods of
+/// Mutex and MutexLock).
+#define DBSP_ACQUIRE(...) \
+  DBSP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define DBSP_ACQUIRE_SHARED(...) \
+  DBSP_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define DBSP_RELEASE(...) \
+  DBSP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define DBSP_RELEASE_SHARED(...) \
+  DBSP_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// try_lock-style functions: acquires only when returning `ret`.
+#define DBSP_TRY_ACQUIRE(...) \
+  DBSP_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Tells the analysis the capability is already held at this point — for
+/// lambdas and callbacks that run under a lock the (intra-procedural)
+/// analysis cannot see across. With no argument the capability is `this`
+/// (the Mutex::assert_held() form).
+#define DBSP_ASSERT_CAPABILITY(...) \
+  DBSP_THREAD_ANNOTATION(assert_capability(__VA_ARGS__))
+
+/// A function returning a reference to the capability guarding its result.
+#define DBSP_RETURN_CAPABILITY(x) DBSP_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use only with a
+/// comment explaining why the discipline cannot be expressed.
+#define DBSP_NO_THREAD_SAFETY_ANALYSIS \
+  DBSP_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -23,8 +23,12 @@ namespace dbsp {
 /// registered with the engine (the pruning engines reindex the owning
 /// shard's matcher after every applied pruning).
 ///
-/// Not thread-safe; serialize externally together with the engine it wraps.
-/// The ShardedEngine, the estimator, and every admitted Subscription must
+/// Not thread-safe; serialize externally together with the engine it wraps
+/// (every applied pruning reindexes that engine, so the two always mutate
+/// under one serialization domain — in the public API both are members of
+/// PubSubCore declared DBSP_GUARDED_BY the facade mutex, making a
+/// lock-free access path a clang -Wthread-safety build error). The
+/// ShardedEngine, the estimator, and every admitted Subscription must
 /// outlive the set.
 class ShardedPruningSet {
  public:

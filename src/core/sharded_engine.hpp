@@ -63,12 +63,21 @@ struct ShardedEngineOptions {
 ///
 /// Thread safety: add/remove/reindex and the match entry points mutate
 /// engine state and must be externally serialized — one writer OR one
-/// matching call at a time. Inside match_batch() the engine fans the batch
-/// out to its shards on an internal thread pool (created lazily on first
-/// use when shard_count() > 1); each worker touches only its own shard's
-/// matcher and scratch row, so no two threads ever share mutable state.
-/// Distinct ShardedEngine instances are fully independent and may be used
-/// from different threads concurrently.
+/// matching call at a time (the match-vs-churn exclusion contract).
+/// Inside match_batch() the engine fans the batch out to its shards on an
+/// internal thread pool (created lazily on first use when shard_count() >
+/// 1); each worker touches only its own shard's matcher and scratch row,
+/// so no two threads ever share mutable state. Distinct ShardedEngine
+/// instances are fully independent and may be used from different threads
+/// concurrently.
+///
+/// Enforcement: the engine itself carries no lock — its serializer is its
+/// owner. In the public API the owning PubSubCore declares its engine
+/// member DBSP_GUARDED_BY the facade mutex, so under clang's thread-safety
+/// analysis any facade path that touches the engine without holding that
+/// lock is a compile error, and tests/concurrent_stress_test.cpp races
+/// the contract under ThreadSanitizer (see docs/ARCHITECTURE.md
+/// "Concurrency contracts & static analysis").
 class ShardedEngine {
  public:
   explicit ShardedEngine(const Schema& schema, ShardedEngineOptions options = {});

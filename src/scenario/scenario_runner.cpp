@@ -243,7 +243,7 @@ ScenarioReport ScenarioRunner::run_centralized() {
   if (config_.pruning) {
     (void)pubsub->prune_to_fraction(config_.prune_fraction).value();
     // Armed only now: the initial bulk load is not churn.
-    (void)pubsub->set_drift_threshold(config_.drift_threshold);
+    pubsub->set_drift_threshold(config_.drift_threshold).expect_ok();
   }
 
   auto events = domain_->events(2);
@@ -293,7 +293,7 @@ ScenarioReport ScenarioRunner::run_centralized() {
         live = std::move(adopted);
         if (config_.pruning) {
           // Runtime-only knobs are re-armed, not recovered.
-          (void)pubsub->set_drift_threshold(config_.drift_threshold);
+          pubsub->set_drift_threshold(config_.drift_threshold).expect_ok();
         }
         recovery.stop();
         ++pr.recoveries;
@@ -305,9 +305,8 @@ ScenarioReport ScenarioRunner::run_centralized() {
       if (config_.pruning) {
         pr.prunings += pubsub->prune_to_fraction(config_.prune_fraction).value();
         if (pubsub->drift_pending() && window.ready()) {
-          const Status retrained = pubsub->train(window.events());
-          if (!retrained.ok()) throw std::logic_error(retrained.to_string());
-          (void)pubsub->rescore_all();
+          pubsub->train(window.events()).expect_ok();
+          pubsub->rescore_all().expect_ok();
           ++pr.drift_retrains;
         }
       }

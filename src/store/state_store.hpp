@@ -86,7 +86,11 @@ struct RecoveredState {
 };
 
 /// The directory-level store: owns the WAL writer and the checkpoint
-/// protocol. Not thread-safe; the owning PubSub serializes access. On
+/// protocol. Not thread-safe — single-writer by contract. Its one owner
+/// is the PubSub facade, whose core declares the store pointer
+/// DBSP_GUARDED_BY + DBSP_PT_GUARDED_BY the facade mutex: every append and
+/// checkpoint provably runs under that lock (clang -Wthread-safety), and
+/// the durable-churn stress test races the path under TSan. On
 /// POSIX a flock-held `lock` file makes opens exclusive: a second open of
 /// a live directory fails cleanly (kIoError) instead of two writers
 /// sharing one WAL; the lock dies with the process, so a crash never

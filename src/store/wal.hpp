@@ -21,7 +21,9 @@ namespace dbsp::store {
 /// Appends framed records to a WAL file. Each append is flushed to the OS
 /// (and fsync'd when `sync`) before returning, so a process crash — as
 /// opposed to a machine crash without fsync — never loses an acknowledged
-/// record. Not thread-safe (serialize with the PubSub that owns it).
+/// record. Not thread-safe: the writer is reached only through the owning
+/// StateStore, itself guarded by the PubSub facade mutex (see
+/// state_store.hpp), so appends are serialized end to end.
 class WalWriter {
  public:
   /// Creates `path` atomically (tmp + rename: a crash mid-creation leaves

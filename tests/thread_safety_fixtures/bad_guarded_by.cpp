@@ -1,0 +1,29 @@
+// Negative-compile fixture: touching a DBSP_GUARDED_BY member without the
+// lock must be rejected by clang -Wthread-safety (tools/check_annotations.py
+// asserts this TU FAILS to compile, proving the annotation layer is armed —
+// a silently inert macro set would pass everywhere and protect nothing).
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment_unlocked() {
+    // BUG under test: no MutexLock — writing a guarded member lock-free.
+    ++value_;
+  }
+
+ private:
+  dbsp::Mutex mutex_;
+  int value_ DBSP_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment_unlocked();
+  return 0;
+}

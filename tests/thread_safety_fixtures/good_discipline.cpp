@@ -1,0 +1,59 @@
+// Positive fixture: the full annotated-locking vocabulary used by the real
+// code — MutexLock scopes, REQUIRES contracts, assert_held() inside a
+// lambda running under a caller-held lock, and CondVar waits — must compile
+// *clean* under clang -Wthread-safety -Werror. Together with the bad_*
+// fixtures this pins both directions: violations fire, the idioms don't.
+
+#include <deque>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Queue {
+ public:
+  void push(int value) DBSP_EXCLUDES(mutex_) {
+    {
+      dbsp::MutexLock lock(mutex_);
+      items_.push_back(value);
+    }
+    cv_.notify_one();
+  }
+
+  int pop_blocking() DBSP_EXCLUDES(mutex_) {
+    dbsp::MutexLock lock(mutex_);
+    while (items_.empty()) cv_.wait(mutex_);
+    const int front = items_.front();
+    items_.pop_front();
+    return front;
+  }
+
+  // The lambda-under-held-lock idiom: TSA analyzes lambdas as separate
+  // functions, so the lambda re-asserts the capability it inherits.
+  template <class Fn>
+  void with_size(Fn&& fn) DBSP_EXCLUDES(mutex_) {
+    dbsp::MutexLock lock(mutex_);
+    auto body = [this] {
+      mutex_.assert_held();  // runs only under the caller's lock
+      return items_.size();
+    };
+    fn(body());
+  }
+
+ private:
+  void drain() DBSP_REQUIRES(mutex_) { items_.clear(); }
+
+  dbsp::Mutex mutex_;
+  dbsp::CondVar cv_;
+  std::deque<int> items_ DBSP_GUARDED_BY(mutex_);
+};
+
+}  // namespace
+
+int main() {
+  Queue queue;
+  queue.push(1);
+  queue.with_size([](std::size_t) {});
+  return queue.pop_blocking() == 1 ? 0 : 1;
+}

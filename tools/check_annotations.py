@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Negative-compile harness proving the thread-safety annotations are armed.
+
+The DBSP_* macros (src/common/thread_annotations.hpp) expand to nothing on
+GCC, so a build passing says nothing about lock discipline unless clang's
+-Wthread-safety actually *fires* on violations. This harness compiles each
+fixture in tests/thread_safety_fixtures/ with clang:
+
+  * ``bad_*.cpp``  must FAIL, and the diagnostics must come from the
+    thread-safety group (an unrelated syntax error does not count) — this
+    is the negative-compile check;
+  * ``good_*.cpp`` must compile CLEAN — the sanctioned idioms (MutexLock,
+    REQUIRES contracts, assert_held-in-lambda, CondVar::wait) never fight
+    the analysis.
+
+Registered as a CTest (``thread_safety_negative_compile``) when the
+configured compiler is Clang; tier-1 on GCC skips it (the macros are no-ops
+there by design).
+
+Usage: check_annotations.py --compiler clang++ --include src FIXTURE_DIR
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+TSA_FLAGS = ["-std=c++20", "-fsyntax-only", "-Wthread-safety",
+             "-Werror=thread-safety"]
+
+
+def compile_fixture(compiler: str, include: Path, fixture: Path):
+    command = [compiler, *TSA_FLAGS, f"-I{include}", str(fixture)]
+    proc = subprocess.run(command, capture_output=True, text=True)
+    return proc.returncode, proc.stderr
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--compiler", required=True,
+                        help="clang++ binary to drive")
+    parser.add_argument("--include", required=True, type=Path,
+                        help="include root (the repo's src/ directory)")
+    parser.add_argument("fixtures", type=Path,
+                        help="directory of bad_*.cpp / good_*.cpp fixtures")
+    args = parser.parse_args()
+
+    fixtures = sorted(args.fixtures.glob("*.cpp"))
+    if not fixtures:
+        print(f"check_annotations: no fixtures in {args.fixtures}",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    for fixture in fixtures:
+        returncode, stderr = compile_fixture(args.compiler, args.include, fixture)
+        if fixture.name.startswith("bad_"):
+            if returncode == 0:
+                failures.append(f"{fixture.name}: compiled CLEAN — the "
+                                f"thread-safety annotations are not firing")
+            elif "thread-safety" not in stderr:
+                failures.append(
+                    f"{fixture.name}: failed for the wrong reason (no "
+                    f"thread-safety diagnostic):\n{stderr}")
+            else:
+                print(f"  {fixture.name}: rejected by -Wthread-safety (good)")
+        elif fixture.name.startswith("good_"):
+            if returncode != 0:
+                failures.append(f"{fixture.name}: sanctioned locking idiom "
+                                f"rejected:\n{stderr}")
+            else:
+                print(f"  {fixture.name}: compiles clean (good)")
+        else:
+            failures.append(f"{fixture.name}: fixture name must start with "
+                            f"bad_ or good_")
+
+    if failures:
+        print("check_annotations: FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"check_annotations: OK ({len(fixtures)} fixtures)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
