@@ -1,0 +1,96 @@
+// Network-edge microbenchmarks: an in-process NetServer on an ephemeral
+// loopback port, driven by the blocking DbspClient. Prices the full wire
+// path — frame encode, kernel loopback round-trip, epoll wake, dispatch,
+// reply — on top of the facade numbers from micro_api. bench_runner.py
+// summarizes ping RTT and publish throughput into BENCH_net.json.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dbsp/dbsp.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "workload/event_gen.hpp"
+#include "workload/subscription_gen.hpp"
+
+namespace {
+
+using namespace dbsp;
+using net::DbspClient;
+using net::NetServer;
+using net::NetServerOptions;
+
+constexpr std::size_t kSubs = 1000;
+constexpr std::size_t kEvents = 256;
+
+struct Harness {
+  std::unique_ptr<AuctionDomain> domain;
+  std::vector<Event> events;
+  std::vector<SubscriptionHandle> handles;
+  std::unique_ptr<NetServer> server;
+  std::unique_ptr<DbspClient> client;
+
+  explicit Harness(std::size_t n_subs) {
+    WorkloadConfig cfg;
+    cfg.seed = 7;
+    domain = std::make_unique<AuctionDomain>(cfg);
+    events = AuctionEventGenerator(*domain, 2).generate(kEvents);
+
+    PubSub pubsub(domain->schema());
+    AuctionSubscriptionGenerator sub_gen(*domain, 1);
+    handles.reserve(n_subs);
+    for (std::size_t i = 0; i < n_subs; ++i) {
+      // Handles outlive the facade's move into the server; dropping one
+      // after the server is gone is a safe no-op.
+      handles.push_back(pubsub.subscribe(sub_gen.next_tree()).value());
+    }
+    NetServerOptions options;  // ephemeral port
+    server = NetServer::start(std::move(pubsub), options).value();
+    client = std::make_unique<DbspClient>(
+        DbspClient::connect("127.0.0.1", server->port()).value());
+  }
+};
+
+// One iteration = one ping round-trip: the floor for any request verb
+// (frame out, epoll wake, dispatch, frame back).
+void BM_NetPingRoundTrip(benchmark::State& state) {
+  Harness h(0);
+  std::uint64_t token = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.client->ping(++token).value());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NetPingRoundTrip)->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+// One iteration = one event published over the wire against kSubs
+// engine-resident subscriptions (no notification fan-out back).
+void BM_NetPublish(benchmark::State& state) {
+  Harness h(kSubs);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.client->publish(h.events[i]).value());
+    i = (i + 1) % h.events.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NetPublish)->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+// One iteration = one 256-event batch in a single frame — amortizes the
+// round-trip the way dbsp-cli and the scenario sockets transport do.
+void BM_NetPublishBatch(benchmark::State& state) {
+  Harness h(kSubs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.client->publish_batch(h.events).value());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(h.events.size()));
+}
+BENCHMARK(BM_NetPublishBatch)->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

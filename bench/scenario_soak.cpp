@@ -14,7 +14,10 @@
 // sampling, default 7), DBSP_SCENARIO_RECOVER (default 1: one extra
 // store-backed kill-and-recover run per domain — crash mid-churn and
 // mid-flash-crowd, reopen, assert oracle exactness — reporting recovery
-// timings and replayed WAL record counts).
+// timings and replayed WAL record counts), DBSP_SCENARIO_TRANSPORT
+// ("inprocess" default, or "sockets": drive every run through a real
+// NetServer over loopback TCP — pruning is forced off and the overlay
+// runs are skipped, both unsupported by the sockets transport).
 
 #include <algorithm>
 #include <cstdio>
@@ -116,6 +119,18 @@ int main() {
   const auto check_every =
       static_cast<std::size_t>(env_int("DBSP_SCENARIO_CHECK_EVERY", 7));
   const bool recover = env_bool("DBSP_SCENARIO_RECOVER", true);
+  const char* transport_raw = std::getenv("DBSP_SCENARIO_TRANSPORT");
+  const std::string transport =
+      (transport_raw != nullptr && *transport_raw != '\0') ? transport_raw
+                                                           : "inprocess";
+  if (transport != "inprocess" && transport != "sockets") {
+    std::fprintf(stderr,
+                 "[scenario_soak] bad DBSP_SCENARIO_TRANSPORT: '%s' "
+                 "(expected 'inprocess' or 'sockets')\n",
+                 transport.c_str());
+    return 2;
+  }
+  const bool sockets = transport == "sockets";
   const auto domains = split_csv("DBSP_SCENARIO_DOMAINS", "auction,stock,iot");
   std::vector<std::size_t> shard_counts;
   for (const auto& s : split_csv("DBSP_SCENARIO_SHARDS", "1,4")) {
@@ -148,11 +163,15 @@ int main() {
       config.shards = shards;
       config.drift_threshold = drift;
       config.check_every = check_every;
-      std::fprintf(stderr, "[scenario_soak] %s centralized N=%zu ...\n",
-                   name.c_str(), shards);
+      if (sockets) {
+        config.transport = ScenarioTransport::kSockets;
+        config.pruning = false;  // the wire oracle holds unpruned clones
+      }
+      std::fprintf(stderr, "[scenario_soak] %s %s N=%zu ...\n", name.c_str(),
+                   sockets ? "sockets" : "centralized", shards);
       reports.push_back(ScenarioRunner(*domain, config).run());
     }
-    if (brokers > 0) {
+    if (brokers > 0 && !sockets) {
       // Overlay exactness check at a reduced scale: every publish floods
       // the line to quiescence, so per-event cost is brokers x higher.
       ScenarioConfig config = ScenarioConfig::soak(subs / 2, events / 2);
@@ -183,8 +202,12 @@ int main() {
       config.check_every = check_every;
       config.store_directory = store_dir.string();
       config.kill_recover_phases = {1, 2};
-      std::fprintf(stderr, "[scenario_soak] %s kill-and-recover ...\n",
-                   name.c_str());
+      if (sockets) {
+        config.transport = ScenarioTransport::kSockets;
+        config.pruning = false;
+      }
+      std::fprintf(stderr, "[scenario_soak] %s kill-and-recover (%s) ...\n",
+                   name.c_str(), transport.c_str());
       reports.push_back(ScenarioRunner(*domain, config).run());
       std::error_code cleanup_ec;
       fs::remove_all(store_dir, cleanup_ec);
@@ -197,8 +220,10 @@ int main() {
   std::printf("{\n  \"schema_version\": 1,\n");
   std::printf(
       "  \"config\": {\"subs\": %zu, \"events_per_phase\": %zu, \"brokers\": %zu, "
-      "\"drift_threshold\": %zu, \"check_every\": %zu, \"recover\": %s},\n",
-      subs, events, brokers, drift, check_every, recover ? "true" : "false");
+      "\"drift_threshold\": %zu, \"check_every\": %zu, \"recover\": %s, "
+      "\"transport\": \"%s\"},\n",
+      subs, events, brokers, drift, check_every, recover ? "true" : "false",
+      transport.c_str());
   std::printf("  \"exact\": %s,\n", exact ? "true" : "false");
   std::printf("  \"runs\": [\n");
   for (std::size_t i = 0; i < reports.size(); ++i) {

@@ -1,0 +1,165 @@
+/// \file
+/// dbspd — the networked broker daemon. Fronts a dbsp::PubSub (optionally
+/// durable via --store) with the net::NetServer TCP edge.
+///
+///   dbspd [--host H] [--port P] [--domain auction|stock|iot]
+///         [--store DIR] [--pruning] [--drain-timeout-ms N]
+///
+/// Unset options fall back to the DBSP_NET_* environment knobs (see
+/// README). SIGTERM/SIGINT trigger a graceful drain: stop accepting,
+/// flush every client's delivery queue, checkpoint the store, exit 0. A
+/// second signal (or SIGQUIT) kills immediately — the crash path the
+/// warm-restart tests exercise.
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <sys/resource.h>
+
+#include "api/pubsub.hpp"
+#include "net/server.hpp"
+#include "scenario/workload_domain.hpp"
+
+namespace {
+
+dbsp::net::NetServer* g_server = nullptr;
+std::atomic<int> g_signals{0};
+
+void on_signal(int sig) {
+  const int prior = g_signals.fetch_add(1, std::memory_order_relaxed);
+  if (g_server != nullptr) {
+    const bool drain = sig != SIGQUIT && prior == 0;
+    g_server->request_stop_async(drain);
+  }
+}
+
+void raise_nofile_limit() {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return;
+  if (lim.rlim_cur < lim.rlim_max) {
+    lim.rlim_cur = lim.rlim_max;
+    (void)::setrlimit(RLIMIT_NOFILE, &lim);
+  }
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port P] [--domain auction|stock|iot]\n"
+               "          [--store DIR] [--pruning] [--drain-timeout-ms N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dbsp::net::NetServerOptions options = dbsp::net::NetServerOptions::from_env();
+  std::string domain = "auction";
+  std::string store_dir;
+  bool pruning = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--host") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.host = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (arg == "--domain") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      domain = v;
+    } else if (arg == "--store") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      store_dir = v;
+    } else if (arg == "--pruning") {
+      pruning = true;
+    } else if (arg == "--drain-timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.drain_timeout_ms = std::atoi(v);
+    } else if (arg == "--help" || arg == "-h") {
+      (void)usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "dbspd: unknown option '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  raise_nofile_limit();
+
+  std::unique_ptr<dbsp::WorkloadDomain> workload;
+  try {
+    workload = dbsp::make_workload(domain);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "dbspd: %s\n", e.what());
+    return 2;
+  }
+
+  dbsp::PubSubOptions pubsub_options;
+  pubsub_options.pruning = pruning;
+
+  std::optional<dbsp::PubSub> pubsub;
+  if (!store_dir.empty()) {
+    dbsp::StoreOptions store;
+    store.directory = store_dir;
+    store.schema = workload->schema();
+    auto opened = dbsp::PubSub::open(std::move(store), pubsub_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "dbspd: open store '%s': %s\n", store_dir.c_str(),
+                   opened.status().to_string().c_str());
+      return 1;
+    }
+    pubsub.emplace(std::move(opened).value());
+    std::fprintf(stderr, "dbspd: store %s recovered %zu subscription(s)\n",
+                 store_dir.c_str(), pubsub->subscription_count());
+  } else {
+    pubsub.emplace(workload->schema(), pubsub_options);
+  }
+
+  auto server =
+      dbsp::net::NetServer::start(std::move(*pubsub), std::move(options));
+  if (!server.ok()) {
+    std::fprintf(stderr, "dbspd: %s\n", server.status().to_string().c_str());
+    return 1;
+  }
+  g_server = server.value().get();
+
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGQUIT, &sa, nullptr);
+
+  // The readiness line CI scripts wait for (stdout, flushed).
+  std::printf("dbspd listening on %s:%u (domain=%s%s%s)\n",
+              server.value()->options().host.c_str(), server.value()->port(),
+              domain.c_str(), store_dir.empty() ? "" : ", store=",
+              store_dir.c_str());
+  std::fflush(stdout);
+
+  server.value()->wait();
+  const auto stats = server.value()->stats();
+  std::fprintf(stderr,
+               "dbspd: stopped (accepted=%llu frames=%llu published=%llu "
+               "delivered=%llu protocol_errors=%llu slow_disconnects=%llu)\n",
+               static_cast<unsigned long long>(stats.connections_accepted),
+               static_cast<unsigned long long>(stats.frames_received),
+               static_cast<unsigned long long>(stats.events_published),
+               static_cast<unsigned long long>(stats.notifications_delivered),
+               static_cast<unsigned long long>(stats.protocol_errors),
+               static_cast<unsigned long long>(stats.slow_consumer_disconnects));
+  g_server = nullptr;
+  return 0;
+}

@@ -1,0 +1,249 @@
+#include "net/client.hpp"
+
+#include <utility>
+
+#include "routing/codec.hpp"
+#include "store/format.hpp"
+#include "subscription/parser.hpp"
+
+namespace dbsp::net {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 16 * 1024;
+
+Status unavailable(const std::string& what) {
+  return Status::error(ErrorCode::kUnavailable, what);
+}
+
+}  // namespace
+
+Result<DbspClient> DbspClient::connect(const std::string& host,
+                                       std::uint16_t port, int timeout_ms) {
+  auto sock = tcp_connect(host, port, timeout_ms);
+  if (!sock.ok()) return sock.status();
+  DbspClient client(std::move(sock).value(), kDefaultMaxFrameBytes);
+  auto reply = client.request(make_empty_frame(MsgType::kHello),
+                              MsgType::kHelloReply);
+  if (!reply.ok()) return reply.status();
+  try {
+    WireReader r(reply.value());
+    client.schema_ = store::decode_schema(r);
+    if (!r.exhausted()) throw WireError("hello: trailing bytes");
+  } catch (const WireError& e) {
+    return Status::error(ErrorCode::kDataLoss,
+                         std::string("hello reply: ") + e.what());
+  }
+  return client;
+}
+
+Status DbspClient::fail(Status status) {
+  // An io/protocol failure poisons the connection: framing may be lost.
+  sock_.close();
+  return status;
+}
+
+Result<std::vector<std::uint8_t>> DbspClient::read_until(MsgType stop_type,
+                                                         int timeout_ms) {
+  while (true) {
+    // Serve from already-buffered stream bytes first.
+    try {
+      auto frame = assembler_.next();
+      if (frame.has_value()) {
+        WireReader r(*frame);
+        (void)decode_wire_header(r);
+        const MsgType type = checked_msg_type(r.get_u8());
+        if (type == MsgType::kNotify) {
+          NetNotification n;
+          n.subscription = r.get_u64();
+          n.seq = r.get_u64();
+          n.event = decode_event(r);
+          if (!r.exhausted()) throw WireError("notify: trailing bytes");
+          notifications_.push_back(std::move(n));
+          continue;
+        }
+        if (type == MsgType::kError) {
+          const WireStatus ws = decode_error(r);
+          if (!r.exhausted()) throw WireError("error frame: trailing bytes");
+          return to_status(ws);
+        }
+        if (type != stop_type) {
+          return fail(Status::error(
+              ErrorCode::kDataLoss,
+              "unexpected reply type " +
+                  std::to_string(static_cast<unsigned>(type))));
+        }
+        // Hand back the reply payload (header + type byte stripped).
+        return std::vector<std::uint8_t>(frame->begin() +
+                                             static_cast<std::ptrdiff_t>(
+                                                 frame->size() - r.remaining()),
+                                         frame->end());
+      }
+    } catch (const WireError& e) {
+      return fail(Status::error(ErrorCode::kDataLoss,
+                                std::string("wire: ") + e.what()));
+    }
+
+    if (!sock_.valid()) return unavailable("connection closed");
+    auto readable = wait_readable(sock_.fd(), timeout_ms);
+    if (!readable.ok()) return fail(readable.status());
+    if (readable.value() == 0) {
+      return Status::error(ErrorCode::kUnavailable, "timed out");
+    }
+    std::uint8_t chunk[kReadChunk];
+    auto got = recv_some(sock_.fd(), chunk);
+    if (!got.ok()) return fail(got.status());
+    if (got.value() == 0) return fail(unavailable("server closed connection"));
+    try {
+      assembler_.push(std::span<const std::uint8_t>(chunk, got.value()));
+    } catch (const WireError& e) {
+      return fail(Status::error(ErrorCode::kDataLoss,
+                                std::string("framing: ") + e.what()));
+    }
+  }
+}
+
+Result<std::vector<std::uint8_t>> DbspClient::request(
+    std::span<const std::uint8_t> frame, MsgType expected_reply) {
+  if (!sock_.valid()) return unavailable("not connected");
+  if (Status s = send_all(sock_.fd(), frame); !s.ok()) return fail(std::move(s));
+  return read_until(expected_reply, /*timeout_ms=*/-1);
+}
+
+Result<std::uint64_t> DbspClient::u64_request(std::span<const std::uint8_t> frame,
+                                              MsgType expected_reply) {
+  auto reply = request(frame, expected_reply);
+  if (!reply.ok()) return reply.status();
+  try {
+    WireReader r(reply.value());
+    const std::uint64_t value = r.get_u64();
+    if (!r.exhausted()) throw WireError("reply: trailing bytes");
+    return value;
+  } catch (const WireError& e) {
+    return fail(Status::error(ErrorCode::kDataLoss,
+                              std::string("reply: ") + e.what()));
+  }
+}
+
+Result<std::uint64_t> DbspClient::subscribe(const Node& tree) {
+  WireWriter payload;
+  encode_tree(tree, payload);
+  return u64_request(make_frame(MsgType::kSubscribe, payload),
+                     MsgType::kSubscribeReply);
+}
+
+Result<std::uint64_t> DbspClient::subscribe(std::string_view dsl_text) {
+  std::unique_ptr<Node> tree;
+  try {
+    tree = parse_subscription(dsl_text, schema_);
+  } catch (const ParseError& e) {
+    return Status::error(ErrorCode::kParseError, e.what());
+  }
+  return subscribe(*tree);
+}
+
+Status DbspClient::unsubscribe(std::uint64_t id) {
+  auto reply = request(make_u64_frame(MsgType::kUnsubscribe, id),
+                       MsgType::kUnsubscribeReply);
+  if (!reply.ok()) return reply.status();
+  if (!reply.value().empty()) {
+    return fail(Status::error(ErrorCode::kDataLoss,
+                              "unsubscribe reply: trailing bytes"));
+  }
+  return Status();
+}
+
+Result<std::uint64_t> DbspClient::adopt(std::uint64_t id) {
+  return u64_request(make_u64_frame(MsgType::kAdopt, id), MsgType::kAdoptReply);
+}
+
+Result<std::uint64_t> DbspClient::publish(const Event& event) {
+  WireWriter payload;
+  encode_event(event, payload);
+  return u64_request(make_frame(MsgType::kPublish, payload),
+                     MsgType::kPublishReply);
+}
+
+Result<std::uint64_t> DbspClient::publish_batch(std::span<const Event> events) {
+  WireWriter payload;
+  payload.put_u32(static_cast<std::uint32_t>(events.size()));
+  for (const Event& e : events) encode_event(e, payload);
+  return u64_request(make_frame(MsgType::kPublishBatch, payload),
+                     MsgType::kPublishBatchReply);
+}
+
+Result<std::uint64_t> DbspClient::ping(std::uint64_t token) {
+  return u64_request(make_u64_frame(MsgType::kPing, token), MsgType::kPong);
+}
+
+Result<NetStats> DbspClient::stats() {
+  auto reply = request(make_empty_frame(MsgType::kStats), MsgType::kStatsReply);
+  if (!reply.ok()) return reply.status();
+  try {
+    WireReader r(reply.value());
+    NetStats s = decode_stats(r);
+    if (!r.exhausted()) throw WireError("stats reply: trailing bytes");
+    return s;
+  } catch (const WireError& e) {
+    return fail(Status::error(ErrorCode::kDataLoss,
+                              std::string("stats reply: ") + e.what()));
+  }
+}
+
+Result<std::optional<NetNotification>> DbspClient::next_notification(
+    int timeout_ms) {
+  if (!notifications_.empty()) {
+    NetNotification n = std::move(notifications_.front());
+    notifications_.pop_front();
+    return std::optional<NetNotification>(std::move(n));
+  }
+  if (!sock_.valid()) return unavailable("not connected");
+  while (notifications_.empty()) {
+    // Drain whole frames already buffered before touching the socket.
+    try {
+      auto frame = assembler_.next();
+      if (frame.has_value()) {
+        WireReader r(*frame);
+        (void)decode_wire_header(r);
+        const MsgType type = checked_msg_type(r.get_u8());
+        if (type == MsgType::kNotify) {
+          NetNotification n;
+          n.subscription = r.get_u64();
+          n.seq = r.get_u64();
+          n.event = decode_event(r);
+          if (!r.exhausted()) throw WireError("notify: trailing bytes");
+          notifications_.push_back(std::move(n));
+          break;
+        }
+        if (type == MsgType::kError) {
+          const WireStatus ws = decode_error(r);
+          return to_status(ws);
+        }
+        return fail(Status::error(ErrorCode::kDataLoss,
+                                  "unexpected frame while waiting for "
+                                  "notifications"));
+      }
+    } catch (const WireError& e) {
+      return fail(Status::error(ErrorCode::kDataLoss,
+                                std::string("wire: ") + e.what()));
+    }
+    auto readable = wait_readable(sock_.fd(), timeout_ms);
+    if (!readable.ok()) return fail(readable.status());
+    if (readable.value() == 0) return std::optional<NetNotification>();
+    std::uint8_t chunk[kReadChunk];
+    auto got = recv_some(sock_.fd(), chunk);
+    if (!got.ok()) return fail(got.status());
+    if (got.value() == 0) return fail(unavailable("server closed connection"));
+    try {
+      assembler_.push(std::span<const std::uint8_t>(chunk, got.value()));
+    } catch (const WireError& e) {
+      return fail(Status::error(ErrorCode::kDataLoss,
+                                std::string("framing: ") + e.what()));
+    }
+  }
+  NetNotification n = std::move(notifications_.front());
+  notifications_.pop_front();
+  return std::optional<NetNotification>(std::move(n));
+}
+
+}  // namespace dbsp::net

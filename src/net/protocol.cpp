@@ -1,0 +1,175 @@
+#include "net/protocol.hpp"
+
+namespace dbsp::net {
+
+MsgType checked_msg_type(std::uint8_t raw) {
+  switch (static_cast<MsgType>(raw)) {
+    case MsgType::kHello:
+    case MsgType::kSubscribe:
+    case MsgType::kUnsubscribe:
+    case MsgType::kAdopt:
+    case MsgType::kPublish:
+    case MsgType::kPublishBatch:
+    case MsgType::kPing:
+    case MsgType::kStats:
+    case MsgType::kHelloReply:
+    case MsgType::kSubscribeReply:
+    case MsgType::kUnsubscribeReply:
+    case MsgType::kAdoptReply:
+    case MsgType::kPublishReply:
+    case MsgType::kPublishBatchReply:
+    case MsgType::kPong:
+    case MsgType::kStatsReply:
+    case MsgType::kNotify:
+    case MsgType::kError:
+      return static_cast<MsgType>(raw);
+  }
+  throw WireError("net: unknown message type " + std::to_string(raw));
+}
+
+namespace {
+
+// The NetStats wire order. Adding a field = append here and bump nothing:
+// the count prefix keeps old decoders working.
+constexpr std::size_t kStatsFieldCount = 15;
+
+void stats_fields(const NetStats& s, std::uint64_t (&out)[kStatsFieldCount]) {
+  std::size_t i = 0;
+  out[i++] = s.connections;
+  out[i++] = s.connections_accepted;
+  out[i++] = s.connections_rejected;
+  out[i++] = s.frames_received;
+  out[i++] = s.frames_sent;
+  out[i++] = s.bytes_received;
+  out[i++] = s.bytes_sent;
+  out[i++] = s.protocol_errors;
+  out[i++] = s.slow_consumer_disconnects;
+  out[i++] = s.subscriptions;
+  out[i++] = s.notifications_enqueued;
+  out[i++] = s.events_published;
+  out[i++] = s.notifications_delivered;
+  out[i++] = s.write_queue_high_water;
+  out[i++] = s.draining;
+}
+
+}  // namespace
+
+void encode_stats(const NetStats& stats, WireWriter& out) {
+  std::uint64_t fields[kStatsFieldCount];
+  stats_fields(stats, fields);
+  out.put_u32(static_cast<std::uint32_t>(kStatsFieldCount));
+  for (const std::uint64_t f : fields) out.put_u64(f);
+}
+
+NetStats decode_stats(WireReader& in) {
+  const std::uint32_t count = in.get_u32();
+  std::uint64_t fields[kStatsFieldCount] = {};
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t v = in.get_u64();  // skips fields newer than us
+    if (i < kStatsFieldCount) fields[i] = v;
+  }
+  NetStats s;
+  std::size_t i = 0;
+  s.connections = fields[i++];
+  s.connections_accepted = fields[i++];
+  s.connections_rejected = fields[i++];
+  s.frames_received = fields[i++];
+  s.frames_sent = fields[i++];
+  s.bytes_received = fields[i++];
+  s.bytes_sent = fields[i++];
+  s.protocol_errors = fields[i++];
+  s.slow_consumer_disconnects = fields[i++];
+  s.subscriptions = fields[i++];
+  s.notifications_enqueued = fields[i++];
+  s.events_published = fields[i++];
+  s.notifications_delivered = fields[i++];
+  s.write_queue_high_water = fields[i++];
+  s.draining = fields[i++];
+  return s;
+}
+
+std::vector<std::uint8_t> make_frame(MsgType type, const WireWriter& payload) {
+  WireWriter body;
+  encode_wire_header(body);
+  body.put_u8(static_cast<std::uint8_t>(type));
+  body.put_bytes(payload.bytes());
+  std::vector<std::uint8_t> frame;
+  frame.reserve(body.size() + 4);
+  append_frame(frame, body.bytes());
+  return frame;
+}
+
+std::vector<std::uint8_t> make_empty_frame(MsgType type) {
+  return make_frame(type, WireWriter{});
+}
+
+std::vector<std::uint8_t> make_u64_frame(MsgType type, std::uint64_t value) {
+  WireWriter payload;
+  payload.put_u64(value);
+  return make_frame(type, payload);
+}
+
+std::vector<std::uint8_t> make_error_frame(ErrorCode code,
+                                           const std::string& message) {
+  WireWriter payload;
+  payload.put_u8(static_cast<std::uint8_t>(code));
+  payload.put_string(message);
+  return make_frame(MsgType::kError, payload);
+}
+
+std::vector<std::uint8_t> make_notify_frame(std::uint64_t sub, std::uint64_t seq,
+                                            const Event& event) {
+  WireWriter payload;
+  payload.put_u64(sub);
+  payload.put_u64(seq);
+  encode_event(event, payload);
+  return make_frame(MsgType::kNotify, payload);
+}
+
+WireStatus decode_error(WireReader& in) {
+  WireStatus ws;
+  const std::uint8_t raw = in.get_u8();
+  // Unknown codes (a newer server) degrade to the generic bucket instead
+  // of a decode failure.
+  ws.code = raw <= static_cast<std::uint8_t>(ErrorCode::kIoError)
+                ? static_cast<ErrorCode>(raw)
+                : ErrorCode::kFailedPrecondition;
+  if (ws.code == ErrorCode::kOk) ws.code = ErrorCode::kFailedPrecondition;
+  ws.message = in.get_string();
+  return ws;
+}
+
+Status to_status(const WireStatus& ws) {
+  return Status::error(ws.code, ws.message);
+}
+
+Status validate_event(const Event& event, const Schema& schema) {
+  for (const auto& [attr, value] : event.pairs()) {
+    if (attr.value() >= schema.attribute_count()) {
+      return Status::error(ErrorCode::kInvalidArgument,
+                           "event attribute id " + std::to_string(attr.value()) +
+                               " not in schema");
+    }
+    if (value.type() != schema.type(attr)) {
+      return Status::error(ErrorCode::kInvalidArgument,
+                           "event attribute '" + schema.name(attr) +
+                               "' has the wrong value type");
+    }
+  }
+  return Status();
+}
+
+Status validate_tree(const Node& tree, const Schema& schema) {
+  Status status;
+  tree.for_each_leaf([&](const Node& leaf) {
+    const AttributeId attr = leaf.predicate().attribute();
+    if (status.ok() && attr.value() >= schema.attribute_count()) {
+      status = Status::error(ErrorCode::kInvalidArgument,
+                             "filter attribute id " + std::to_string(attr.value()) +
+                                 " not in schema");
+    }
+  });
+  return status;
+}
+
+}  // namespace dbsp::net

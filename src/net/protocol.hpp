@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file
+/// The dbspd wire protocol: length-framed binary messages layered on the
+/// routing/codec wire format. Every frame body opens with the codec's
+/// 2-byte header (magic 0xDB + format version — so an old daemon rejects a
+/// newer client with a clean protocol-error frame instead of misparsing),
+/// followed by one MsgType byte and a type-specific payload reusing the
+/// codec's value/event/tree encodings:
+///
+///   frame  := len u32 (LE) | body                  (FrameAssembler framing)
+///   body   := wire-header | type u8 | payload
+///
+/// Requests are answered in order on each connection; kNotify frames are
+/// pushed asynchronously and may interleave with replies (the blocking
+/// client buffers them). Protocol-level garbage (bad magic/version, bad
+/// framing, undecodable payload) is answered with one kError frame and the
+/// connection is closed; application-level failures (unknown id, schema
+/// violation) are kError frames on a connection that stays usable.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/status.hpp"
+#include "event/event.hpp"
+#include "event/schema.hpp"
+#include "routing/codec.hpp"
+#include "subscription/node.hpp"
+
+namespace dbsp::net {
+
+/// Message type byte. Requests are < 64, replies >= 64, pushes >= 96.
+enum class MsgType : std::uint8_t {
+  // --- Requests (client -> server) ---
+  kHello = 1,         ///< empty; the connection handshake
+  kSubscribe = 2,     ///< tree
+  kUnsubscribe = 3,   ///< sub id u64
+  kAdopt = 4,         ///< sub id u64 — re-claim a recovered registration
+  kPublish = 5,       ///< event
+  kPublishBatch = 6,  ///< count u32, event*
+  kPing = 7,          ///< token u64
+  kStats = 8,         ///< empty
+
+  // --- Replies (server -> client, one per request, in order) ---
+  kHelloReply = 64,         ///< schema (store format codec)
+  kSubscribeReply = 65,     ///< sub id u64
+  kUnsubscribeReply = 66,   ///< empty
+  kAdoptReply = 67,         ///< sub id u64
+  kPublishReply = 68,       ///< matched count u64
+  kPublishBatchReply = 69,  ///< total matched count u64
+  kPong = 70,               ///< token u64
+  kStatsReply = 71,         ///< count u32, count x u64 (NetStats field order)
+
+  // --- Pushes ---
+  kNotify = 96,  ///< sub id u64, seq u64, event
+  kError = 97,   ///< code u8 (ErrorCode), message string
+};
+
+/// Converts a type byte from the wire; throws WireError on unknown values.
+[[nodiscard]] MsgType checked_msg_type(std::uint8_t raw);
+
+/// Server-side counters, also the kStatsReply payload. The codec writes a
+/// field-count prefix, so decoders tolerate both older servers (missing
+/// trailing fields stay zero) and newer ones (extra fields are skipped).
+struct NetStats {
+  std::uint64_t connections = 0;           ///< currently open
+  std::uint64_t connections_accepted = 0;  ///< lifetime accepts
+  std::uint64_t connections_rejected = 0;  ///< over max_connections
+  std::uint64_t frames_received = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t slow_consumer_disconnects = 0;
+  std::uint64_t subscriptions = 0;             ///< live in the engine
+  std::uint64_t notifications_enqueued = 0;    ///< written toward clients
+  std::uint64_t events_published = 0;          ///< via kPublish/kPublishBatch
+  std::uint64_t notifications_delivered = 0;   ///< engine-side match count
+  std::uint64_t write_queue_high_water = 0;    ///< worst pending bytes seen
+  std::uint64_t draining = 0;                  ///< 1 while shutting down
+};
+
+void encode_stats(const NetStats& stats, WireWriter& out);
+[[nodiscard]] NetStats decode_stats(WireReader& in);
+
+/// One notification as it crosses the wire.
+struct NetNotification {
+  std::uint64_t subscription = 0;
+  std::uint64_t seq = 0;
+  Event event;
+};
+
+// --- Frame builders ----------------------------------------------------------
+// Each returns a complete length-prefixed frame ready for the socket.
+
+[[nodiscard]] std::vector<std::uint8_t> make_frame(MsgType type,
+                                                   const WireWriter& payload);
+[[nodiscard]] std::vector<std::uint8_t> make_empty_frame(MsgType type);
+[[nodiscard]] std::vector<std::uint8_t> make_u64_frame(MsgType type,
+                                                       std::uint64_t value);
+[[nodiscard]] std::vector<std::uint8_t> make_error_frame(ErrorCode code,
+                                                         const std::string& message);
+[[nodiscard]] std::vector<std::uint8_t> make_notify_frame(std::uint64_t sub,
+                                                          std::uint64_t seq,
+                                                          const Event& event);
+
+/// Decoded kError payload.
+struct WireStatus {
+  ErrorCode code = ErrorCode::kOk;
+  std::string message;
+};
+[[nodiscard]] WireStatus decode_error(WireReader& in);
+[[nodiscard]] Status to_status(const WireStatus& ws);
+
+// --- Edge validation ---------------------------------------------------------
+// The network edge is the schema authority: attribute ids arrive as raw
+// u32s, and an out-of-range id would index past the matcher's per-schema
+// tables. Both checks reject before anything reaches the engine.
+
+/// Every attribute of `event` must exist in `schema` and carry the
+/// declared type.
+[[nodiscard]] Status validate_event(const Event& event, const Schema& schema);
+/// Every leaf predicate of `tree` must name an attribute of `schema`.
+[[nodiscard]] Status validate_tree(const Node& tree, const Schema& schema);
+
+}  // namespace dbsp::net

@@ -1,0 +1,640 @@
+#include "net/server.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/env.hpp"
+#include "net/socket.hpp"
+#include "store/format.hpp"
+
+namespace dbsp::net {
+
+namespace {
+
+constexpr int kStopKill = 1;
+constexpr int kStopDrain = 2;
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+}  // namespace
+
+NetServerOptions NetServerOptions::from_env() {
+  NetServerOptions o;
+  if (const char* host = std::getenv("DBSP_NET_HOST")) {  // NOLINT(concurrency-mt-unsafe)
+    if (*host != '\0') o.host = host;
+  }
+  o.port = static_cast<std::uint16_t>(env_int("DBSP_NET_PORT", o.port));
+  o.max_connections = static_cast<std::size_t>(
+      env_int("DBSP_NET_MAX_CONNS", static_cast<std::int64_t>(o.max_connections)));
+  o.max_frame_bytes = static_cast<std::size_t>(env_int(
+      "DBSP_NET_MAX_FRAME", static_cast<std::int64_t>(o.max_frame_bytes)));
+  o.max_write_queue_bytes = static_cast<std::size_t>(
+      env_int("DBSP_NET_MAX_WRITE_QUEUE",
+              static_cast<std::int64_t>(o.max_write_queue_bytes)));
+  o.drain_timeout_ms = static_cast<int>(
+      env_int("DBSP_NET_DRAIN_TIMEOUT_MS", o.drain_timeout_ms));
+  return o;
+}
+
+/// One connection's state machine: read-frame (assembler) -> dispatch ->
+/// write-queue. Owned by, and touched only from, the io thread.
+struct NetServer::Conn {
+  explicit Conn(Socket socket, std::size_t max_frame)
+      : sock(std::move(socket)), assembler(max_frame) {}
+
+  Socket sock;
+  FrameAssembler assembler;
+  std::vector<std::uint8_t> out;  ///< pending reply/notification bytes
+  std::size_t out_pos = 0;        ///< written prefix of `out`
+  bool close_after_flush = false;
+  bool stopped_reading = false;
+  bool kill_slow = false;  ///< marked by on_notify, reaped after publish
+  std::uint32_t interest = 0;  ///< current epoll interest mask
+  /// Subscriptions owned by this connection; released on disconnect.
+  std::unordered_map<std::uint64_t, SubscriptionHandle> subs;
+
+  [[nodiscard]] std::size_t pending_out() const { return out.size() - out_pos; }
+
+  void queue(std::span<const std::uint8_t> bytes) {
+    // Compact the written prefix before it dominates the buffer.
+    if (out_pos > 0 && (out_pos == out.size() || out_pos >= 64 * 1024)) {
+      out.erase(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(out_pos));
+      out_pos = 0;
+    }
+    out.insert(out.end(), bytes.begin(), bytes.end());
+  }
+};
+
+struct NetServer::Impl {
+  explicit Impl(PubSub pubsub_in) { pubsub.emplace(std::move(pubsub_in)); }
+
+  std::optional<PubSub> pubsub;
+  Socket listener;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns;
+  /// Live subscription id -> owning connection fd (adopt-exclusivity).
+  std::unordered_map<std::uint64_t, int> owners;
+
+  ~Impl() {
+    if (epoll_fd >= 0) ::close(epoll_fd);
+    if (wake_fd >= 0) ::close(wake_fd);
+  }
+};
+
+NetServer::NetServer(PubSub pubsub, NetServerOptions options)
+    : options_(std::move(options)),
+      impl_(std::make_unique<Impl>(std::move(pubsub))) {}
+
+Result<std::unique_ptr<NetServer>> NetServer::start(PubSub pubsub,
+                                                    NetServerOptions options) {
+  std::unique_ptr<NetServer> server(
+      new NetServer(std::move(pubsub), std::move(options)));
+  if (Status s = server->init(); !s.ok()) return s;
+  server->running_.store(true, std::memory_order_release);
+  server->thread_ = std::thread([raw = server.get()] { raw->run_loop(); });
+  return server;
+}
+
+Status NetServer::init() {
+  auto listener = tcp_listen(options_.host, options_.port, options_.listen_backlog);
+  if (!listener.ok()) return listener.status();
+  auto port = local_port(listener.value().fd());
+  if (!port.ok()) return port.status();
+  port_ = port.value();
+  if (Status s = set_nonblocking(listener.value().fd(), true); !s.ok()) return s;
+
+  impl_->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (impl_->epoll_fd < 0) {
+    return Status::error(ErrorCode::kIoError,
+                         std::string("epoll_create1: ") + std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
+  }
+  impl_->wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (impl_->wake_fd < 0) {
+    return Status::error(ErrorCode::kIoError,
+                         std::string("eventfd: ") + std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
+  }
+  impl_->listener = std::move(listener).value();
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = impl_->listener.fd();
+  if (::epoll_ctl(impl_->epoll_fd, EPOLL_CTL_ADD, impl_->listener.fd(), &ev) != 0) {
+    return Status::error(ErrorCode::kIoError, "epoll_ctl(listener)");
+  }
+  ev.events = EPOLLIN;
+  ev.data.fd = impl_->wake_fd;
+  if (::epoll_ctl(impl_->epoll_fd, EPOLL_CTL_ADD, impl_->wake_fd, &ev) != 0) {
+    return Status::error(ErrorCode::kIoError, "epoll_ctl(wake)");
+  }
+  subscriptions_.store(impl_->pubsub->subscription_count(),
+                       std::memory_order_relaxed);
+  return Status();
+}
+
+NetServer::~NetServer() { stop(/*drain=*/true); }
+
+void NetServer::request_stop_async(bool drain) noexcept {
+  int expected = 0;
+  // First request wins; a kill overrides a pending drain but not vice versa.
+  const int desired = drain ? kStopDrain : kStopKill;
+  if (!stop_request_.compare_exchange_strong(expected, desired,
+                                             std::memory_order_acq_rel) &&
+      desired == kStopKill) {
+    stop_request_.store(kStopKill, std::memory_order_release);
+  }
+  const std::uint64_t one = 1;
+  // write() is async-signal-safe; short writes cannot happen on an eventfd.
+  [[maybe_unused]] const ssize_t rc = ::write(impl_->wake_fd, &one, sizeof one);
+}
+
+void NetServer::stop(bool drain) {
+  request_stop_async(drain);
+  wait();
+}
+
+void NetServer::wait() {
+  MutexLock lock(join_mutex_);
+  if (thread_.joinable()) thread_.join();
+}
+
+PubSub* NetServer::pubsub() {
+  if (!running_.load(std::memory_order_acquire)) return nullptr;
+  return impl_->pubsub ? &*impl_->pubsub : nullptr;
+}
+
+NetStats NetServer::stats() const {
+  NetStats s;
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.connections_accepted = connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_rejected = connections_rejected_.load(std::memory_order_relaxed);
+  s.frames_received = frames_received_.load(std::memory_order_relaxed);
+  s.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.slow_consumer_disconnects =
+      slow_consumer_disconnects_.load(std::memory_order_relaxed);
+  s.subscriptions = subscriptions_.load(std::memory_order_relaxed);
+  s.notifications_enqueued = notifications_enqueued_.load(std::memory_order_relaxed);
+  s.events_published = events_published_.load(std::memory_order_relaxed);
+  s.notifications_delivered =
+      notifications_delivered_.load(std::memory_order_relaxed);
+  s.write_queue_high_water = write_queue_high_water_.load(std::memory_order_relaxed);
+  s.draining = draining_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// --- io thread ---------------------------------------------------------------
+// Everything below runs exclusively on the io thread.
+
+void NetServer::run_loop() {
+  auto& impl = *impl_;
+  const auto now_ms = [] {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
+
+  const auto update_subs_counter = [&] {
+    subscriptions_.store(impl.pubsub ? impl.pubsub->subscription_count() : 0,
+                         std::memory_order_relaxed);
+  };
+
+  const auto set_interest = [&](Conn& conn) {
+    std::uint32_t want = 0;
+    if (!conn.stopped_reading && !conn.close_after_flush) want |= EPOLLIN;
+    if (conn.pending_out() > 0) want |= EPOLLOUT;
+    if (want == conn.interest) return;
+    epoll_event ev{};
+    ev.events = want;
+    ev.data.fd = conn.sock.fd();
+    (void)::epoll_ctl(impl.epoll_fd, EPOLL_CTL_MOD, conn.sock.fd(), &ev);
+    conn.interest = want;
+  };
+
+  // Destroys a connection: subscriptions are released through their RAII
+  // handles (durably logged while the PubSub is alive; inert no-ops after
+  // shutdown has destroyed it), the fd leaves the epoll set, and the
+  // socket closes. Never called from inside a notification callback.
+  const auto destroy_conn = [&](int fd) {
+    const auto it = impl.conns.find(fd);
+    if (it == impl.conns.end()) return;
+    for (auto& [id, handle] : it->second->subs) {
+      impl.owners.erase(id);
+      (void)handle.release();
+    }
+    (void)::epoll_ctl(impl.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+    impl.conns.erase(it);
+    connections_.store(impl.conns.size(), std::memory_order_relaxed);
+    update_subs_counter();
+  };
+
+  const auto enqueue = [&](Conn& conn, std::span<const std::uint8_t> frame) {
+    conn.queue(frame);
+    frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    const auto pending = static_cast<std::uint64_t>(conn.pending_out());
+    std::uint64_t seen = write_queue_high_water_.load(std::memory_order_relaxed);
+    if (pending > seen) {
+      write_queue_high_water_.store(pending, std::memory_order_relaxed);
+    }
+  };
+
+  // Non-blocking flush of one connection's write queue. Returns false when
+  // the connection died mid-write (already destroyed).
+  const auto flush_writes = [&](int fd) -> bool {
+    const auto it = impl.conns.find(fd);
+    if (it == impl.conns.end()) return false;
+    Conn& conn = *it->second;
+    while (conn.pending_out() > 0) {
+      const ssize_t n =
+          ::send(fd, conn.out.data() + conn.out_pos, conn.pending_out(),
+                 MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n > 0) {
+        conn.out_pos += static_cast<std::size_t>(n);
+        bytes_sent_.fetch_add(static_cast<std::uint64_t>(n),
+                              std::memory_order_relaxed);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      destroy_conn(fd);
+      return false;
+    }
+    if (conn.pending_out() == 0 && conn.close_after_flush) {
+      destroy_conn(fd);
+      return false;
+    }
+    set_interest(conn);
+    return true;
+  };
+
+  // A protocol-level failure: answer with one kError frame, stop reading,
+  // and close once the error has been flushed. The connection is not
+  // recoverable — framing may be lost.
+  const auto protocol_error = [&](Conn& conn, const std::string& message) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      enqueue(conn, make_error_frame(ErrorCode::kInvalidArgument, message));
+    } catch (const WireError&) {
+      // Unencodable message (absurdly long) — just close.
+    }
+    conn.stopped_reading = true;
+    conn.close_after_flush = true;
+  };
+
+  // Application-level failure: error frame, connection stays usable.
+  const auto status_error = [&](Conn& conn, const Status& status) {
+    enqueue(conn, make_error_frame(status.code(), status.message()));
+  };
+
+  // Connections that received notification bytes during the current
+  // dispatch; their write queues are flushed once the publish returns.
+  std::vector<int> dirty;
+
+  // The notification sink: runs under the PubSub facade lock during
+  // publish, so it only appends bytes (or marks a slow consumer for the
+  // deferred reap) — it must not touch the facade or destroy connections.
+  const auto on_notify = [&](int fd, const Notification& n) {
+    const auto it = impl.conns.find(fd);
+    if (it == impl.conns.end()) return;
+    Conn& conn = *it->second;
+    if (conn.close_after_flush || conn.kill_slow) return;
+    const auto frame =
+        make_notify_frame(n.subscription.value(), n.seq, n.event);
+    if (conn.pending_out() + frame.size() > options_.max_write_queue_bytes) {
+      conn.kill_slow = true;
+      return;
+    }
+    enqueue(conn, frame);
+    dirty.push_back(fd);
+    notifications_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  // Deferred slow-consumer reap — runs after the publish that marked them
+  // has released the facade lock.
+  const auto reap_slow_consumers = [&] {
+    std::vector<int> victims;
+    for (const auto& [fd, conn] : impl.conns) {
+      if (conn->kill_slow) victims.push_back(fd);
+    }
+    for (const int fd : victims) {
+      slow_consumer_disconnects_.fetch_add(1, std::memory_order_relaxed);
+      destroy_conn(fd);
+    }
+  };
+
+  const auto handle_frame = [&](int fd, std::span<const std::uint8_t> body) {
+    const auto it = impl.conns.find(fd);
+    if (it == impl.conns.end()) return;
+    Conn& conn = *it->second;
+    frames_received_.fetch_add(1, std::memory_order_relaxed);
+    PubSub& pubsub = *impl.pubsub;
+    try {
+      WireReader r(body);
+      (void)decode_wire_header(r);
+      const MsgType type = checked_msg_type(r.get_u8());
+      const auto require_exhausted = [&r] {
+        if (!r.exhausted()) throw WireError("net: trailing bytes after payload");
+      };
+      switch (type) {
+        case MsgType::kHello: {
+          require_exhausted();
+          WireWriter payload;
+          store::encode_schema(pubsub.schema(), payload);
+          enqueue(conn, make_frame(MsgType::kHelloReply, payload));
+          break;
+        }
+        case MsgType::kSubscribe: {
+          std::unique_ptr<Node> tree = decode_tree(r);
+          require_exhausted();
+          if (Status v = validate_tree(*tree, pubsub.schema()); !v.ok()) {
+            status_error(conn, v);
+            break;
+          }
+          auto subscribed = pubsub.subscribe(
+              std::move(tree),
+              [&on_notify, fd](const Notification& n) { on_notify(fd, n); });
+          if (!subscribed.ok()) {
+            status_error(conn, subscribed.status());
+            break;
+          }
+          const std::uint64_t id = subscribed.value().id().value();
+          conn.subs.emplace(id, std::move(subscribed).value());
+          impl.owners.emplace(id, fd);
+          update_subs_counter();
+          enqueue(conn, make_u64_frame(MsgType::kSubscribeReply, id));
+          break;
+        }
+        case MsgType::kUnsubscribe: {
+          const std::uint64_t id = r.get_u64();
+          require_exhausted();
+          const auto sub_it = conn.subs.find(id);
+          if (sub_it == conn.subs.end()) {
+            status_error(conn,
+                         Status::error(ErrorCode::kNotFound,
+                                       "subscription not owned by this connection"));
+            break;
+          }
+          const Status released = sub_it->second.release();
+          conn.subs.erase(sub_it);
+          impl.owners.erase(id);
+          update_subs_counter();
+          if (!released.ok()) {
+            status_error(conn, released);
+            break;
+          }
+          enqueue(conn, make_empty_frame(MsgType::kUnsubscribeReply));
+          break;
+        }
+        case MsgType::kAdopt: {
+          const std::uint64_t id = r.get_u64();
+          require_exhausted();
+          if (id >= SubscriptionId::kInvalid) {
+            status_error(conn, Status::error(ErrorCode::kInvalidArgument,
+                                             "subscription id out of range"));
+            break;
+          }
+          if (impl.owners.contains(id)) {
+            status_error(conn,
+                         Status::error(ErrorCode::kFailedPrecondition,
+                                       "subscription already owned by a connection"));
+            break;
+          }
+          auto adopted = pubsub.adopt(
+              SubscriptionId(static_cast<SubscriptionId::value_type>(id)),
+              [&on_notify, fd](const Notification& n) { on_notify(fd, n); });
+          if (!adopted.ok()) {
+            status_error(conn, adopted.status());
+            break;
+          }
+          conn.subs.emplace(id, std::move(adopted).value());
+          impl.owners.emplace(id, fd);
+          update_subs_counter();
+          enqueue(conn, make_u64_frame(MsgType::kAdoptReply, id));
+          break;
+        }
+        case MsgType::kPublish: {
+          const Event event = decode_event(r);
+          require_exhausted();
+          if (Status v = validate_event(event, pubsub.schema()); !v.ok()) {
+            status_error(conn, v);
+            break;
+          }
+          const std::size_t matched = pubsub.publish(event);
+          events_published_.fetch_add(1, std::memory_order_relaxed);
+          notifications_delivered_.fetch_add(matched, std::memory_order_relaxed);
+          enqueue(conn, make_u64_frame(MsgType::kPublishReply, matched));
+          break;
+        }
+        case MsgType::kPublishBatch: {
+          const std::uint32_t count = r.get_u32();
+          std::vector<Event> events;
+          events.reserve(std::min<std::size_t>(count, r.remaining()));
+          for (std::uint32_t i = 0; i < count; ++i) {
+            events.push_back(decode_event(r));
+          }
+          require_exhausted();
+          for (const Event& e : events) {
+            if (Status v = validate_event(e, pubsub.schema()); !v.ok()) {
+              status_error(conn, v);
+              events.clear();
+              break;
+            }
+          }
+          if (events.empty() && count != 0) break;  // validation failed
+          const std::uint64_t total = pubsub.publish_batch(events);
+          events_published_.fetch_add(events.size(), std::memory_order_relaxed);
+          notifications_delivered_.fetch_add(total, std::memory_order_relaxed);
+          enqueue(conn, make_u64_frame(MsgType::kPublishBatchReply, total));
+          break;
+        }
+        case MsgType::kPing: {
+          const std::uint64_t token = r.get_u64();
+          require_exhausted();
+          enqueue(conn, make_u64_frame(MsgType::kPong, token));
+          break;
+        }
+        case MsgType::kStats: {
+          require_exhausted();
+          WireWriter payload;
+          encode_stats(stats(), payload);
+          enqueue(conn, make_frame(MsgType::kStatsReply, payload));
+          break;
+        }
+        default:
+          throw WireError("net: unexpected non-request message type");
+      }
+    } catch (const WireError& e) {
+      protocol_error(conn, e.what());
+    }
+    reap_slow_consumers();
+    // Flush notification bytes enqueued toward *other* connections during
+    // this dispatch (the current fd is flushed by its own read handler).
+    for (const int dfd : dirty) {
+      if (dfd != fd) (void)flush_writes(dfd);
+    }
+    dirty.clear();
+  };
+
+  const auto handle_readable = [&](int fd) {
+    std::uint8_t chunk[kReadChunk];
+    while (true) {
+      const auto it = impl.conns.find(fd);
+      if (it == impl.conns.end()) return;
+      Conn& conn = *it->second;
+      if (conn.stopped_reading) break;  // fall through to the flush
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, MSG_DONTWAIT);
+      if (n == 0) {
+        destroy_conn(fd);
+        return;
+      }
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        destroy_conn(fd);
+        return;
+      }
+      bytes_received_.fetch_add(static_cast<std::uint64_t>(n),
+                                std::memory_order_relaxed);
+      try {
+        conn.assembler.push(std::span<const std::uint8_t>(
+            chunk, static_cast<std::size_t>(n)));
+        while (true) {
+          auto frame = conn.assembler.next();
+          if (!frame.has_value()) break;
+          handle_frame(fd, *frame);
+          if (!impl.conns.contains(fd)) return;  // died while dispatching
+          if (it->second->stopped_reading) break;
+        }
+      } catch (const WireError& e) {
+        // Framing-level garbage (zero/oversized length prefix).
+        protocol_error(conn, e.what());
+      }
+      if (static_cast<std::size_t>(n) < sizeof chunk) break;
+    }
+    if (const auto it = impl.conns.find(fd); it != impl.conns.end()) {
+      (void)flush_writes(fd);
+    }
+  };
+
+  const auto accept_ready = [&] {
+    while (true) {
+      const int fd = ::accept4(impl.listener.fd(), nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        return;  // transient accept failure; stay up
+      }
+      if (impl.conns.size() >= options_.max_connections) {
+        connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+        ::close(fd);
+        continue;
+      }
+      const int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      auto conn = std::make_unique<Conn>(Socket(fd), options_.max_frame_bytes);
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = fd;
+      if (::epoll_ctl(impl.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        continue;  // Socket closes with `conn` going out of scope.
+      }
+      conn->interest = EPOLLIN;
+      impl.conns.emplace(fd, std::move(conn));
+      connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+      connections_.store(impl.conns.size(), std::memory_order_relaxed);
+    }
+  };
+
+  // --- The loop --------------------------------------------------------------
+  bool stopping = false;
+  bool drain = false;
+  long long drain_deadline = 0;
+  epoll_event events[256];
+  while (true) {
+    const int timeout = stopping ? 20 : -1;
+    const int n = ::epoll_wait(impl.epoll_fd, events, 256, timeout);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll itself failed; shut down hard
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const std::uint32_t mask = events[i].events;
+      if (fd == impl.wake_fd) {
+        std::uint64_t drainv = 0;
+        [[maybe_unused]] const ssize_t rc =
+            ::read(impl.wake_fd, &drainv, sizeof drainv);
+        continue;  // the stop flag is checked below
+      }
+      if (fd == impl.listener.fd()) {
+        if (!stopping) accept_ready();
+        continue;
+      }
+      if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
+        destroy_conn(fd);
+        continue;
+      }
+      if ((mask & EPOLLIN) != 0) handle_readable(fd);
+      if ((mask & EPOLLOUT) != 0) (void)flush_writes(fd);
+    }
+
+    if (!stopping) {
+      const int req = stop_request_.load(std::memory_order_acquire);
+      if (req != 0) {
+        stopping = true;
+        drain = req == kStopDrain;
+        draining_.store(1, std::memory_order_relaxed);
+        (void)::epoll_ctl(impl.epoll_fd, EPOLL_CTL_DEL, impl.listener.fd(),
+                          nullptr);
+        impl.listener.close();
+        for (auto& [fd, conn] : impl.conns) {
+          conn->stopped_reading = true;
+          set_interest(*conn);
+        }
+        drain_deadline = now_ms() + options_.drain_timeout_ms;
+        if (!drain) break;
+      }
+    }
+    if (stopping && drain) {
+      // A kill request arriving mid-drain cuts the flush short.
+      if (stop_request_.load(std::memory_order_acquire) == kStopKill) break;
+      bool pending = false;
+      for (const auto& [fd, conn] : impl.conns) {
+        if (conn->pending_out() > 0) {
+          pending = true;
+          break;
+        }
+      }
+      if (!pending || now_ms() >= drain_deadline) break;
+    }
+  }
+
+  // Shutdown epilogue (still on the io thread): checkpoint on a drained
+  // graceful stop, then destroy the PubSub *before* the connections so the
+  // handle destructors are inert — a daemon shutdown must never
+  // durably unsubscribe its clients.
+  if (drain && impl.pubsub && impl.pubsub->durable()) {
+    (void)impl.pubsub->checkpoint();
+  }
+  impl.pubsub.reset();
+  subscriptions_.store(0, std::memory_order_relaxed);
+  impl.owners.clear();
+  impl.conns.clear();
+  connections_.store(0, std::memory_order_relaxed);
+  draining_.store(0, std::memory_order_relaxed);
+  running_.store(false, std::memory_order_release);
+}
+
+}  // namespace dbsp::net

@@ -1,0 +1,145 @@
+#pragma once
+
+/// \file
+/// NetServer: the async TCP broker edge behind dbspd. One epoll-driven io
+/// thread owns every connection: non-blocking reads feed a per-connection
+/// FrameAssembler, complete frames dispatch into the owned dbsp::PubSub,
+/// and replies/notifications leave through per-connection bounded write
+/// queues (EPOLLOUT-driven, with a slow-consumer disconnect policy).
+///
+/// Threading model (see docs/ARCHITECTURE.md "Network edge"): the io
+/// thread is the only caller of PubSub entry points during normal
+/// operation, so notification callbacks — which run under the facade lock
+/// on the publishing thread — only ever append bytes to connection write
+/// queues; they never re-enter the facade (the PR 6 non-recursive-mutex
+/// contract). Slow-consumer disconnects are deferred until the publish
+/// that detected them returns, because releasing a SubscriptionHandle
+/// re-enters the facade. Cross-thread surface: stats() reads atomics only,
+/// stop()/request_stop_async() signal the io thread through an eventfd.
+///
+/// Lifecycle: start() takes the PubSub by value — the server is the broker
+/// process. stop(drain=true) is the graceful path (stop accepting, stop
+/// reading, flush every write queue, checkpoint a durable store);
+/// stop(drain=false) is the crash-like kill (nothing flushed, nothing
+/// checkpointed — every acknowledged durable operation is already in the
+/// WAL, so a reopen via PubSub::open() is warm and clients re-adopt their
+/// subscription ids). In both paths the PubSub is destroyed *before* the
+/// connection handles, so shutdown never unsubscribes anyone durably.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "api/pubsub.hpp"
+#include "api/status.hpp"
+#include "common/mutex.hpp"
+#include "net/protocol.hpp"
+
+namespace dbsp::net {
+
+/// Construction knobs of the network edge; from_env() reads the
+/// DBSP_NET_* environment knobs documented in the README.
+struct NetServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = kernel-assigned (read back with port())
+  int listen_backlog = 512;
+  /// Accepts beyond this are closed immediately (connections_rejected).
+  std::size_t max_connections = 4096;
+  /// FrameAssembler limit per connection; oversized frames are answered
+  /// with a protocol-error frame and the connection is closed.
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Bounded per-connection write queue: a consumer whose pending bytes
+  /// would exceed this is disconnected (slow_consumer_disconnects) instead
+  /// of growing server memory without bound.
+  std::size_t max_write_queue_bytes = 4u << 20;
+  /// stop(drain=true) flushes write queues for at most this long.
+  int drain_timeout_ms = 5000;
+
+  [[nodiscard]] static NetServerOptions from_env();
+};
+
+/// The daemon core. Construct via start(); non-movable (the io thread
+/// holds `this`).
+class NetServer {
+ public:
+  /// Binds, spawns the io thread, and takes ownership of the PubSub.
+  /// kIoError/kInvalidArgument on bind/listen failures.
+  [[nodiscard]] static Result<std::unique_ptr<NetServer>> start(
+      PubSub pubsub, NetServerOptions options = {});
+
+  /// Graceful stop (drain) unless already stopped.
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// The bound port (resolves option port 0 to the real ephemeral port).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// The options the server was started with.
+  [[nodiscard]] const NetServerOptions& options() const { return options_; }
+
+  /// Counter snapshot; safe from any thread, lock-free.
+  [[nodiscard]] NetStats stats() const;
+
+  /// Requests shutdown and joins the io thread. Idempotent and
+  /// thread-safe; the first caller's drain flag wins.
+  void stop(bool drain);
+
+  /// Async-signal-safe stop request (an eventfd write) — the SIGTERM path
+  /// of dbspd. Pair with wait() from a normal thread.
+  void request_stop_async(bool drain) noexcept;
+
+  /// Blocks until the io thread has exited (after some stop request).
+  void wait();
+
+  /// True until a stop request has been carried out.
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// In-process introspection of the owned PubSub (scenario runner, tests).
+  /// The PubSub itself is thread-safe; this pointer is valid only while
+  /// running() — stop() destroys the instance. Returns nullptr afterwards.
+  [[nodiscard]] PubSub* pubsub();
+
+ private:
+  struct Conn;
+  struct Impl;
+
+  NetServer(PubSub pubsub, NetServerOptions options);
+
+  [[nodiscard]] Status init();
+  void run_loop();
+
+  NetServerOptions options_;
+  std::uint16_t port_ = 0;
+  std::unique_ptr<Impl> impl_;
+  std::thread thread_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<int> stop_request_{0};  ///< 0 none, 1 kill, 2 drain
+
+  Mutex join_mutex_;
+
+  // Counters (io thread writes, stats() reads).
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_rejected_{0};
+  std::atomic<std::uint64_t> frames_received_{0};
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> slow_consumer_disconnects_{0};
+  std::atomic<std::uint64_t> subscriptions_{0};
+  std::atomic<std::uint64_t> notifications_enqueued_{0};
+  std::atomic<std::uint64_t> events_published_{0};
+  std::atomic<std::uint64_t> notifications_delivered_{0};
+  std::atomic<std::uint64_t> write_queue_high_water_{0};
+  std::atomic<std::uint64_t> draining_{0};
+};
+
+}  // namespace dbsp::net

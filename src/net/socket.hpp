@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file
+/// Thin POSIX TCP helpers for the network edge: an RAII fd wrapper plus
+/// listen/connect/IO utilities. Errors travel through the Status/Result
+/// channel (api/status.hpp) as kIoError — the net module never throws for
+/// socket failures. All sends use MSG_NOSIGNAL so a peer that closed
+/// mid-write produces an error return, not SIGPIPE.
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "api/status.hpp"
+
+namespace dbsp::net {
+
+/// Move-only owner of one file descriptor; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on host:port (port 0 = kernel-assigned ephemeral
+/// port; read it back with local_port). The socket is SO_REUSEADDR.
+[[nodiscard]] Result<Socket> tcp_listen(const std::string& host, std::uint16_t port,
+                                        int backlog);
+
+/// Blocking connect with a timeout. The returned socket is in blocking
+/// mode with TCP_NODELAY set (the protocol is request/response-y; Nagle
+/// only adds latency).
+[[nodiscard]] Result<Socket> tcp_connect(const std::string& host,
+                                         std::uint16_t port, int timeout_ms);
+
+/// The locally bound port of a socket (the ephemeral-port readback).
+[[nodiscard]] Result<std::uint16_t> local_port(int fd);
+
+Status set_nonblocking(int fd, bool on);
+
+/// Blocking write of the whole buffer (EINTR-retrying). kIoError on any
+/// failure, including the peer closing mid-write.
+Status send_all(int fd, std::span<const std::uint8_t> bytes);
+
+/// Waits up to timeout_ms for the fd to become readable. Returns 1 when
+/// readable, 0 on timeout; kIoError otherwise. timeout_ms < 0 waits
+/// forever.
+[[nodiscard]] Result<int> wait_readable(int fd, int timeout_ms);
+
+/// One blocking read into `out`; returns the byte count (0 = clean EOF).
+[[nodiscard]] Result<std::size_t> recv_some(int fd, std::span<std::uint8_t> out);
+
+}  // namespace dbsp::net

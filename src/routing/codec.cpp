@@ -81,6 +81,51 @@ std::string WireReader::get_string() {
   return s;
 }
 
+void FrameAssembler::push(std::span<const std::uint8_t> bytes) {
+  // Compact once the consumed prefix dominates the buffer, so a long-lived
+  // connection's assembler does not grow without bound.
+  if (pos_ > 0 && (pos_ == buf_.size() || pos_ >= 4096)) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<std::vector<std::uint8_t>> FrameAssembler::next() {
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < 4) return std::nullopt;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(buf_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+  }
+  if (len == 0) throw WireError("frame: zero-length frame");
+  if (len > max_frame_) {
+    throw WireError("frame: length " + std::to_string(len) +
+                    " exceeds max frame size " + std::to_string(max_frame_));
+  }
+  if (avail < 4 + static_cast<std::size_t>(len)) return std::nullopt;
+  const auto begin = buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4);
+  std::vector<std::uint8_t> payload(begin, begin + static_cast<std::ptrdiff_t>(len));
+  pos_ += 4 + static_cast<std::size_t>(len);
+  return payload;
+}
+
+void append_frame(std::vector<std::uint8_t>& out,
+                  std::span<const std::uint8_t> payload,
+                  std::size_t max_frame_bytes) {
+  if (payload.empty()) throw WireError("frame: empty payload");
+  if (payload.size() > max_frame_bytes ||
+      payload.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw WireError("frame: payload exceeds max frame size");
+  }
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
 void encode_wire_header(WireWriter& out) {
   out.put_u8(kWireMagic);
   out.put_u8(kWireFormatVersion);

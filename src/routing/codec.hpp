@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -81,6 +82,54 @@ class WireReader {
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
 };
+
+/// Default ceiling of FrameAssembler: no legitimate message (event, tree,
+/// or batch) comes close to 1 MiB, so anything larger is hostile or
+/// corrupt and is rejected before a single byte is buffered for it.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 1u << 20;
+
+/// Incremental assembler for u32-length-prefixed frames arriving as an
+/// arbitrary byte stream (the socket transport's read path). WireReader
+/// assumes it sees whole messages and treats underflow as corruption; the
+/// assembler sits in front of it and buffers stream fragments until a
+/// complete frame is available, so a read that stops mid-frame — at *any*
+/// byte boundary, even inside the length prefix — resumes cleanly on the
+/// next push().
+///
+/// Hostile-input contract: a zero or over-limit length prefix throws
+/// WireError immediately (before buffering the alleged payload), which
+/// caps the memory any peer can pin to max_frame + one read buffer. After
+/// a throw the stream is unrecoverable by design — framing is lost — and
+/// the owner must drop the connection.
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_(max_frame_bytes) {}
+
+  /// Appends raw stream bytes (no alignment with frame boundaries needed).
+  void push(std::span<const std::uint8_t> bytes);
+
+  /// Returns the payload of the next complete frame (length prefix
+  /// stripped), or nullopt when more bytes are needed. Throws WireError on
+  /// a zero or over-limit length prefix.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> next();
+
+  /// Bytes buffered but not yet returned by next().
+  [[nodiscard]] std::size_t buffered_bytes() const { return buf_.size() - pos_; }
+  [[nodiscard]] std::size_t max_frame_bytes() const { return max_frame_; }
+
+ private:
+  std::size_t max_frame_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buf_ (compacted lazily)
+};
+
+/// Appends one length-prefixed frame (u32 LE length + payload) to `out` —
+/// the encoding FrameAssembler::next() reverses. Throws WireError when the
+/// payload is empty or exceeds max_frame_bytes.
+void append_frame(std::vector<std::uint8_t>& out,
+                  std::span<const std::uint8_t> payload,
+                  std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
 
 /// Writes the 2-byte header: magic + kWireFormatVersion.
 void encode_wire_header(WireWriter& out);

@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "net/client.hpp"
+#include "net/server.hpp"
+
 namespace dbsp {
 
 namespace {
@@ -175,6 +178,17 @@ ScenarioReport ScenarioRunner::run() {
   if (!config_.kill_recover_phases.empty() && config_.store_directory.empty()) {
     throw std::logic_error("scenario: kill_recover_phases requires store_directory");
   }
+  if (config_.transport == ScenarioTransport::kSockets) {
+    if (config_.brokers > 0) {
+      throw std::logic_error("scenario: sockets transport is centralized only");
+    }
+    if (config_.pruning) {
+      throw std::logic_error(
+          "scenario: sockets transport requires pruning off (the oracle holds "
+          "unpruned local tree clones)");
+    }
+    return run_sockets();
+  }
   return config_.brokers > 0 ? run_overlay() : run_centralized();
 }
 
@@ -338,6 +352,171 @@ ScenarioReport ScenarioRunner::run_centralized() {
     report.phases.push_back(std::move(pr));
   }
   report.maintenance = pubsub->pruning_stats().maintenance;
+  return report;
+}
+
+ScenarioReport ScenarioRunner::run_sockets() {
+  // The system under soak is a real broker daemon core: a NetServer on a
+  // loopback ephemeral port fronting the PubSub, driven by two DbspClients
+  // — one holding every subscription (and receiving all notifications),
+  // one publishing. Every operation crosses the dbspd wire protocol.
+  // Exactness: publish replies carry the matched count n; the runner reads
+  // exactly n notification frames and compares the delivered ids against
+  // unpruned local oracle clones of the live trees.
+  PubSubOptions options;
+  options.engine.shards = config_.shards == 0 ? 1 : config_.shards;
+  const bool durable = !config_.store_directory.empty();
+  const auto make_pubsub = [&]() -> PubSub {
+    if (!durable) return PubSub(domain_->schema(), options);
+    StoreOptions store;
+    store.directory = config_.store_directory;
+    store.schema = domain_->schema();
+    store.snapshot_every = config_.store_snapshot_every;
+    auto opened = PubSub::open(std::move(store), options);
+    if (!opened.ok()) throw std::logic_error(opened.status().to_string());
+    return std::move(opened).value();
+  };
+
+  net::NetServerOptions server_options;
+  server_options.port = 0;  // ephemeral; each (re)start binds a fresh port
+  const auto start_server = [&]() -> std::unique_ptr<net::NetServer> {
+    auto server = net::NetServer::start(make_pubsub(), server_options);
+    if (!server.ok()) throw std::logic_error(server.status().to_string());
+    return std::move(server).value();
+  };
+  std::unique_ptr<net::NetServer> server = start_server();
+
+  const auto connect = [&]() -> net::DbspClient {
+    auto client = net::DbspClient::connect("127.0.0.1", server->port());
+    if (!client.ok()) throw std::logic_error(client.status().to_string());
+    return std::move(client).value();
+  };
+  std::optional<net::DbspClient> subscriber(connect());
+  std::optional<net::DbspClient> publisher(connect());
+
+  // Live population in arrival (= ascending server-assigned id) order,
+  // each with an unpruned oracle clone of its tree.
+  struct LiveSub {
+    std::uint64_t id;
+    std::unique_ptr<Node> oracle_tree;
+  };
+  std::vector<LiveSub> live;
+  live.reserve(config_.initial_subscriptions * 2);
+
+  auto subs_source = domain_->subscriptions(1);
+  auto flash_source = domain_->flash_subscriptions(4);
+  auto admit = [&](std::unique_ptr<Node> tree) {
+    auto id = subscriber->subscribe(*tree);
+    if (!id.ok()) throw std::logic_error(id.status().to_string());
+    live.push_back(LiveSub{id.value(), std::move(tree)});
+  };
+  auto release = [&](std::size_t idx) {
+    const Status released = subscriber->unsubscribe(live[idx].id);
+    if (!released.ok()) throw std::logic_error(released.to_string());
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+  };
+  for (std::size_t i = 0; i < config_.initial_subscriptions; ++i) {
+    admit(subs_source->next());
+  }
+
+  auto events = domain_->events(2);
+
+  ScenarioReport report;
+  report.domain = std::string(domain_->name());
+  report.mode = "sockets";
+  report.shards = options.engine.shards;
+
+  std::vector<std::uint64_t> expected;
+  std::vector<std::uint64_t> delivered;
+  std::size_t phase_index = 0;
+  for (const ScenarioPhase& phase : config_.phases) {
+    ScenarioPhaseReport pr;
+    pr.name = phase.name;
+    pr.events = phase.events;
+    ChurnProcess churn(phase.churn, config_.seed + 97 * ++phase_index);
+    SubscriptionSource& arrivals =
+        phase.flash_crowd ? *flash_source : *subs_source;
+
+    const bool kill_here =
+        std::find(config_.kill_recover_phases.begin(),
+                  config_.kill_recover_phases.end(),
+                  phase_index - 1) != config_.kill_recover_phases.end();
+
+    Stopwatch wall;
+    Stopwatch match_watch;
+    wall.start();
+    for (std::size_t ev = 0; ev < phase.events; ++ev) {
+      if (durable && kill_here && ev == phase.events / 2) {
+        // Daemon kill: no drain, no checkpoint, no client goodbyes — the
+        // crash path. Every acknowledged operation is already in the WAL,
+        // so the restarted daemon recovers warm and the clients reconnect
+        // and re-adopt their subscription ids.
+        server->stop(/*drain=*/false);
+        subscriber.reset();
+        publisher.reset();
+        Stopwatch recovery;
+        recovery.start();
+        server = start_server();
+        subscriber.emplace(connect());
+        publisher.emplace(connect());
+        for (const LiveSub& sub : live) {
+          auto adopted = subscriber->adopt(sub.id);
+          if (!adopted.ok()) throw std::logic_error(adopted.status().to_string());
+        }
+        recovery.stop();
+        ++pr.recoveries;
+        pr.recovery_seconds += recovery.seconds();
+        pr.recovered_subscriptions = live.size();
+        if (PubSub* pubsub = server->pubsub()) {
+          pr.replayed_wal_records += pubsub->store_stats().replayed_records;
+        }
+      }
+      churn_tick(churn, arrivals, pr, admit, [&] { return live.size(); }, release);
+
+      const Event event = events->next();
+      match_watch.start();
+      auto matched = publisher->publish(event);
+      match_watch.stop();
+      if (!matched.ok()) throw std::logic_error(matched.status().to_string());
+      pr.matches += matched.value();
+
+      // Drain exactly the notifications this publish produced (they are
+      // the only in-flight pushes: this thread is the only publisher).
+      delivered.clear();
+      for (std::uint64_t k = 0; k < matched.value(); ++k) {
+        auto n = subscriber->next_notification(/*timeout_ms=*/10000);
+        if (!n.ok()) throw std::logic_error(n.status().to_string());
+        if (!n.value().has_value()) break;  // timed out — a real delivery gap
+        delivered.push_back(n.value()->subscription);
+      }
+
+      if (config_.check_every != 0 && ev % config_.check_every == 0) {
+        ++pr.oracle_checked;
+        expected.clear();
+        for (const LiveSub& sub : live) {
+          if (sub.oracle_tree->evaluate_event(event)) expected.push_back(sub.id);
+        }
+        std::sort(delivered.begin(), delivered.end());
+        if (expected != delivered) ++pr.oracle_mismatches;
+      } else if (delivered.size() != matched.value()) {
+        ++pr.oracle_mismatches;  // lost notifications count even unchecked
+      }
+    }
+    wall.stop();
+    pr.live_subscriptions = live.size();
+    if (PubSub* pubsub = server->pubsub()) {
+      pr.associations = pubsub->association_count();
+    }
+    pr.match_seconds = match_watch.seconds();
+    pr.wall_seconds = wall.seconds();
+    report.phases.push_back(std::move(pr));
+  }
+
+  // Graceful end of the soak: clients say goodbye first (their clean
+  // disconnect releases the subscriptions), then the daemon drains.
+  subscriber.reset();
+  publisher.reset();
+  server->stop(/*drain=*/true);
   return report;
 }
 

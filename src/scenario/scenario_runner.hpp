@@ -31,6 +31,18 @@ struct ScenarioPhase {
   bool flash_crowd = false;
 };
 
+/// How the runner reaches the system under soak.
+enum class ScenarioTransport {
+  /// Direct calls into the in-process PubSub facade (or broker overlay).
+  kInProcess,
+  /// Real loopback TCP through a net::NetServer fronted by DbspClients —
+  /// every subscribe/publish/notification crosses the dbspd wire protocol.
+  /// Centralized only, and pruning must be off: the runner's oracle holds
+  /// unpruned local tree clones, which server-side pruning would diverge
+  /// from.
+  kSockets,
+};
+
 struct ScenarioConfig {
   std::uint64_t seed = 42;
   std::size_t initial_subscriptions = 1000;
@@ -62,6 +74,9 @@ struct ScenarioConfig {
   /// 0 = centralized single engine; >0 = a broker overlay line of this
   /// size (notification-log exactness checked per phase).
   std::size_t brokers = 0;
+
+  /// Transport between the runner and the engine (see ScenarioTransport).
+  ScenarioTransport transport = ScenarioTransport::kInProcess;
 
   // --- Durability / crash recovery -----------------------------------------
   /// Non-empty: the centralized runner opens its PubSub from this store
@@ -108,7 +123,7 @@ struct ScenarioPhaseReport {
 
 struct ScenarioReport {
   std::string domain;
-  std::string mode;  ///< "centralized" or "overlay"
+  std::string mode;  ///< "centralized", "overlay", or "sockets"
   std::size_t shards = 0;
   std::vector<ScenarioPhaseReport> phases;
   /// Aggregated pruning maintenance counters (all shards / brokers).
@@ -139,6 +154,7 @@ class ScenarioRunner {
  private:
   [[nodiscard]] ScenarioReport run_centralized();
   [[nodiscard]] ScenarioReport run_overlay();
+  [[nodiscard]] ScenarioReport run_sockets();
 
   const WorkloadDomain* domain_;
   ScenarioConfig config_;

@@ -1,0 +1,147 @@
+// FrameAssembler: incremental length-prefixed framing over an arbitrary
+// byte stream. The contract under test: a frame split at *any* byte
+// boundary — even inside the 4-byte length prefix — resumes cleanly on the
+// next push(); zero and over-limit length prefixes throw WireError before
+// the alleged payload is buffered.
+
+#include "routing/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace dbsp {
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+Bytes frame_of(const Bytes& payload) {
+  Bytes out;
+  append_frame(out, payload);
+  return out;
+}
+
+Bytes payload_of(std::size_t n, std::uint8_t seed = 7) {
+  Bytes p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = static_cast<std::uint8_t>(seed + i * 13);
+  }
+  return p;
+}
+
+TEST(FrameAssembler, RoundTripsOneFrame) {
+  const Bytes payload = payload_of(10);
+  FrameAssembler fa;
+  fa.push(frame_of(payload));
+  const auto got = fa.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+  EXPECT_FALSE(fa.next().has_value());
+  EXPECT_EQ(fa.buffered_bytes(), 0u);
+}
+
+TEST(FrameAssembler, ResumesAfterSplitAtEveryByteBoundary) {
+  const Bytes payload = payload_of(23);
+  const Bytes wire = frame_of(payload);
+  for (std::size_t cut = 0; cut <= wire.size(); ++cut) {
+    FrameAssembler fa;
+    fa.push(std::span<const std::uint8_t>(wire.data(), cut));
+    if (cut < wire.size()) {
+      EXPECT_FALSE(fa.next().has_value()) << "cut=" << cut;
+    }
+    fa.push(std::span<const std::uint8_t>(wire.data() + cut, wire.size() - cut));
+    const auto got = fa.next();
+    ASSERT_TRUE(got.has_value()) << "cut=" << cut;
+    EXPECT_EQ(*got, payload) << "cut=" << cut;
+    EXPECT_FALSE(fa.next().has_value());
+  }
+}
+
+TEST(FrameAssembler, RandomChunkingPreservesFrameSequence) {
+  std::mt19937_64 rng(1234);
+  std::vector<Bytes> payloads;
+  Bytes wire;
+  for (std::size_t i = 0; i < 64; ++i) {
+    std::uniform_int_distribution<std::size_t> len(1, 300);
+    payloads.push_back(payload_of(len(rng), static_cast<std::uint8_t>(i)));
+    append_frame(wire, payloads.back());
+  }
+
+  for (int round = 0; round < 20; ++round) {
+    FrameAssembler fa;
+    std::size_t pos = 0;
+    std::size_t decoded = 0;
+    std::uniform_int_distribution<std::size_t> chunk(1, 97);
+    while (pos < wire.size() || decoded < payloads.size()) {
+      if (pos < wire.size()) {
+        const std::size_t n = std::min(chunk(rng), wire.size() - pos);
+        fa.push(std::span<const std::uint8_t>(wire.data() + pos, n));
+        pos += n;
+      }
+      while (true) {
+        const auto got = fa.next();
+        if (!got.has_value()) break;
+        ASSERT_LT(decoded, payloads.size());
+        EXPECT_EQ(*got, payloads[decoded]) << "frame " << decoded;
+        ++decoded;
+      }
+    }
+    EXPECT_EQ(decoded, payloads.size());
+    EXPECT_EQ(fa.buffered_bytes(), 0u);
+  }
+}
+
+TEST(FrameAssembler, ZeroLengthPrefixThrows) {
+  FrameAssembler fa;
+  fa.push(Bytes{0, 0, 0, 0});
+  EXPECT_THROW((void)fa.next(), WireError);
+}
+
+TEST(FrameAssembler, OversizedLengthPrefixThrowsBeforeBuffering) {
+  FrameAssembler fa(/*max_frame_bytes=*/64);
+  // 0xFFFFFFFF little-endian: the hostile "please allocate 4 GiB" prefix.
+  fa.push(Bytes{0xFF, 0xFF, 0xFF, 0xFF});
+  EXPECT_THROW((void)fa.next(), WireError);
+}
+
+TEST(FrameAssembler, JustOverLimitThrowsAtLimitAccepted) {
+  FrameAssembler fa(/*max_frame_bytes=*/16);
+  const Bytes ok = payload_of(16);
+  Bytes wire;
+  append_frame(wire, ok, 16);
+  fa.push(wire);
+  const auto got = fa.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, ok);
+
+  // 17 > limit: the length prefix alone must trip the error.
+  FrameAssembler fb(/*max_frame_bytes=*/16);
+  fb.push(Bytes{17, 0, 0, 0});
+  EXPECT_THROW((void)fb.next(), WireError);
+}
+
+TEST(FrameAssembler, PartialPrefixIsNotAFrame) {
+  FrameAssembler fa;
+  fa.push(Bytes{5, 0});  // half a length prefix
+  EXPECT_FALSE(fa.next().has_value());
+  EXPECT_EQ(fa.buffered_bytes(), 2u);
+  fa.push(Bytes{0, 0});  // prefix complete: expecting 5 payload bytes
+  EXPECT_FALSE(fa.next().has_value());
+  fa.push(payload_of(5));
+  const auto got = fa.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->size(), 5u);
+}
+
+TEST(AppendFrame, RejectsEmptyAndOversizedPayloads) {
+  Bytes out;
+  EXPECT_THROW(append_frame(out, Bytes{}), WireError);
+  EXPECT_THROW(append_frame(out, payload_of(33), /*max_frame_bytes=*/32),
+               WireError);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace dbsp

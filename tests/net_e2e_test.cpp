@@ -1,0 +1,309 @@
+// End-to-end tests of the dbspd daemon core over real loopback TCP:
+// multi-client fan-out checked against a naive oracle, slow-reader
+// backpressure (bounded write queues -> slow-consumer disconnect), clean
+// disconnects releasing subscriptions, daemon kill -> warm restart via
+// PubSub::open() with clients re-adopting their ids, graceful drain
+// delivering every in-flight notification, and a full sockets-mode
+// scenario soak (churn + flash crowd + kill-and-recover) staying
+// oracle-exact across the wire. The TSan CI lane runs this suite to race
+// the io thread against the test thread's stats()/stop() surface.
+
+#include "net/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "api/pubsub.hpp"
+#include "net/client.hpp"
+#include "scenario/scenario_runner.hpp"
+#include "test_util.hpp"
+
+namespace dbsp::net {
+namespace {
+
+namespace fs = std::filesystem;
+using test::MiniDomain;
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    static int counter = 0;
+    path_ = fs::temp_directory_path() /
+            ("dbsp_net_" + tag + "_" + std::to_string(counter++));
+    fs::remove_all(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+std::unique_ptr<NetServer> start_server(PubSub pubsub,
+                                        NetServerOptions options = {}) {
+  auto server = NetServer::start(std::move(pubsub), options);
+  EXPECT_TRUE(server.ok()) << server.status().to_string();
+  return std::move(server).value();
+}
+
+DbspClient connect_to(const NetServer& server) {
+  auto client = DbspClient::connect("127.0.0.1", server.port());
+  EXPECT_TRUE(client.ok()) << client.status().to_string();
+  return std::move(client).value();
+}
+
+/// Polls `cond` for up to ~5s (the io thread applies disconnects async).
+template <class Cond>
+bool eventually(Cond&& cond) {
+  for (int i = 0; i < 500; ++i) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+TEST(NetE2eTest, MultiClientFanOutMatchesNaiveOracle) {
+  MiniDomain dom(6, 30);
+  auto server = start_server(PubSub(dom.schema()));
+
+  // Four subscriber clients, each holding several subscriptions; oracle
+  // clones stay on the test side.
+  struct Entry {
+    std::uint64_t id;
+    std::unique_ptr<Node> tree;
+  };
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kSubsPerClient = 8;
+  std::mt19937_64 rng(42);
+  std::vector<DbspClient> subscribers;
+  std::vector<std::vector<Entry>> entries(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    subscribers.push_back(connect_to(*server));
+    for (std::size_t s = 0; s < kSubsPerClient; ++s) {
+      auto tree = dom.random_tree(rng, 4, 0.2);
+      auto id = subscribers[c].subscribe(*tree);
+      ASSERT_TRUE(id.ok()) << id.status().to_string();
+      entries[c].push_back(Entry{id.value(), std::move(tree)});
+    }
+  }
+  DbspClient publisher = connect_to(*server);
+
+  for (int ev = 0; ev < 200; ++ev) {
+    const Event event = dom.random_event(rng);
+    auto matched = publisher.publish(event);
+    ASSERT_TRUE(matched.ok()) << matched.status().to_string();
+
+    std::uint64_t total_expected = 0;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      std::vector<std::uint64_t> expected;
+      for (const Entry& e : entries[c]) {
+        if (e.tree->evaluate_event(event)) expected.push_back(e.id);
+      }
+      total_expected += expected.size();
+      std::vector<std::uint64_t> got;
+      for (std::size_t k = 0; k < expected.size(); ++k) {
+        auto n = subscribers[c].next_notification(5000);
+        ASSERT_TRUE(n.ok()) << n.status().to_string();
+        ASSERT_TRUE(n.value().has_value())
+            << "client " << c << " missing notification " << k;
+        got.push_back(n.value()->subscription);
+      }
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, expected) << "client " << c << " event " << ev;
+      // And no strays beyond the expected count.
+      auto extra = subscribers[c].next_notification(0);
+      ASSERT_TRUE(extra.ok());
+      EXPECT_FALSE(extra.value().has_value()) << "client " << c;
+    }
+    EXPECT_EQ(matched.value(), total_expected);
+  }
+}
+
+TEST(NetE2eTest, SlowReaderHitsBoundedQueueAndIsDisconnected) {
+  // Blob schema: each notification carries ~64 KiB, so an unread consumer
+  // overruns kernel buffers and then the server-side bounded queue fast.
+  Schema schema;
+  const AttributeId x = schema.add_attribute("x", ValueType::Int);
+  const AttributeId blob = schema.add_attribute("blob", ValueType::String);
+  NetServerOptions options;
+  options.max_write_queue_bytes = 256 * 1024;
+  auto server = start_server(PubSub(schema), options);
+
+  DbspClient slow = connect_to(*server);
+  const auto match_all = Node::leaf(Predicate(x, Op::Ge, Value(0)));
+  auto id = slow.subscribe(*match_all);
+  ASSERT_TRUE(id.ok()) << id.status().to_string();
+
+  DbspClient publisher = connect_to(*server);
+  Event event;
+  event.set(x, Value(1));
+  event.set(blob, Value(std::string(64 * 1024, 'b')));
+  bool disconnected = false;
+  for (int i = 0; i < 400 && !disconnected; ++i) {
+    auto matched = publisher.publish(event);
+    ASSERT_TRUE(matched.ok()) << matched.status().to_string();
+    disconnected = server->stats().slow_consumer_disconnects > 0;
+  }
+  EXPECT_TRUE(disconnected) << "bounded write queue never tripped";
+  // The disconnect released the subscription; the daemon stays healthy.
+  EXPECT_TRUE(eventually([&] { return server->stats().subscriptions == 0; }));
+  auto pong = publisher.ping(1);
+  ASSERT_TRUE(pong.ok()) << pong.status().to_string();
+}
+
+TEST(NetE2eTest, CleanDisconnectReleasesSubscriptions) {
+  MiniDomain dom(4, 20);
+  auto server = start_server(PubSub(dom.schema()));
+  std::mt19937_64 rng(7);
+  {
+    DbspClient client = connect_to(*server);
+    for (int i = 0; i < 3; ++i) {
+      auto id = client.subscribe(*dom.random_tree(rng, 3));
+      ASSERT_TRUE(id.ok()) << id.status().to_string();
+    }
+    EXPECT_EQ(server->stats().subscriptions, 3u);
+  }  // client destroyed -> clean close
+  EXPECT_TRUE(eventually([&] { return server->stats().subscriptions == 0; }));
+}
+
+TEST(NetE2eTest, KillRestartWarmAndReAdoptStaysExact) {
+  MiniDomain dom(5, 25);
+  TempDir dir("warm");
+  const auto open_pubsub = [&] {
+    StoreOptions store;
+    store.directory = dir.str();
+    store.schema = dom.schema();
+    auto opened = PubSub::open(std::move(store));
+    EXPECT_TRUE(opened.ok()) << opened.status().to_string();
+    return std::move(opened).value();
+  };
+
+  std::mt19937_64 rng(99);
+  struct Entry {
+    std::uint64_t id;
+    std::unique_ptr<Node> tree;
+  };
+  std::vector<Entry> live;
+
+  auto server = start_server(open_pubsub());
+  {
+    DbspClient subscriber = connect_to(*server);
+    for (int i = 0; i < 6; ++i) {
+      auto tree = dom.random_tree(rng, 4, 0.25);
+      auto id = subscriber.subscribe(*tree);
+      ASSERT_TRUE(id.ok()) << id.status().to_string();
+      live.push_back(Entry{id.value(), std::move(tree)});
+    }
+    // Kill: no drain, no checkpoint, no client goodbye. The WAL already
+    // holds every acknowledged subscribe, so nothing is lost — and the
+    // kill must NOT unsubscribe anyone (only clean disconnects do).
+    server->stop(/*drain=*/false);
+  }
+
+  server = start_server(open_pubsub());
+  EXPECT_EQ(server->stats().subscriptions, live.size());
+
+  DbspClient subscriber = connect_to(*server);
+  DbspClient publisher = connect_to(*server);
+  for (const Entry& e : live) {
+    auto adopted = subscriber.adopt(e.id);
+    ASSERT_TRUE(adopted.ok()) << adopted.status().to_string();
+    EXPECT_EQ(adopted.value(), e.id);
+  }
+  // Adopting an id someone owns is refused.
+  DbspClient thief = connect_to(*server);
+  auto stolen = thief.adopt(live.front().id);
+  ASSERT_FALSE(stolen.ok());
+  EXPECT_EQ(stolen.status().code(), ErrorCode::kFailedPrecondition);
+
+  for (int ev = 0; ev < 120; ++ev) {
+    const Event event = dom.random_event(rng);
+    auto matched = publisher.publish(event);
+    ASSERT_TRUE(matched.ok()) << matched.status().to_string();
+    std::vector<std::uint64_t> expected;
+    for (const Entry& e : live) {
+      if (e.tree->evaluate_event(event)) expected.push_back(e.id);
+    }
+    std::vector<std::uint64_t> got;
+    for (std::size_t k = 0; k < expected.size(); ++k) {
+      auto n = subscriber.next_notification(5000);
+      ASSERT_TRUE(n.ok()) << n.status().to_string();
+      ASSERT_TRUE(n.value().has_value());
+      got.push_back(n.value()->subscription);
+    }
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, expected) << "event " << ev;
+    EXPECT_EQ(matched.value(), expected.size());
+  }
+}
+
+TEST(NetE2eTest, GracefulDrainDeliversQueuedNotifications) {
+  MiniDomain dom(4, 10);
+  auto server = start_server(PubSub(dom.schema()));
+
+  DbspClient subscriber = connect_to(*server);
+  const auto match_all = Node::leaf(Predicate(dom.attr(0), Op::Ge, Value(0)));
+  auto id = subscriber.subscribe(*match_all);
+  ASSERT_TRUE(id.ok()) << id.status().to_string();
+
+  DbspClient publisher = connect_to(*server);
+  constexpr int kEvents = 200;
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < kEvents; ++i) {
+    auto matched = publisher.publish(dom.random_event(rng));
+    ASSERT_TRUE(matched.ok()) << matched.status().to_string();
+    ASSERT_EQ(matched.value(), 1u);
+  }
+
+  // Graceful drain with the subscriber having read nothing: every queued
+  // notification must be flushed before the server closes.
+  server->stop(/*drain=*/true);
+
+  int received = 0;
+  for (; received < kEvents; ++received) {
+    auto n = subscriber.next_notification(5000);
+    if (!n.ok() || !n.value().has_value()) break;
+  }
+  EXPECT_EQ(received, kEvents);
+}
+
+TEST(NetE2eTest, SocketsScenarioSoakIsExact) {
+  // The full soak across the wire: churn + flash crowd + kill-and-recover
+  // over loopback TCP, every delivery checked against the naive oracle.
+  const auto domain = make_workload("auction");
+  TempDir dir("soak");
+  ScenarioConfig config = ScenarioConfig::soak(120, 80);
+  config.transport = ScenarioTransport::kSockets;
+  config.pruning = false;
+  config.check_every = 1;
+  config.store_directory = dir.str();
+  config.kill_recover_phases = {2};
+  ScenarioRunner runner(*domain, config);
+  const ScenarioReport report = runner.run();
+  EXPECT_EQ(report.mode, "sockets");
+  EXPECT_TRUE(report.exact()) << report.total_mismatches() << " mismatches";
+  EXPECT_EQ(report.total_recoveries(), 1u);
+  EXPECT_GT(report.total_events(), 0u);
+}
+
+TEST(NetE2eTest, SocketsTransportRejectsPruning) {
+  const auto domain = make_workload("auction");
+  ScenarioConfig config = ScenarioConfig::soak(10, 10);
+  config.transport = ScenarioTransport::kSockets;
+  config.pruning = true;
+  ScenarioRunner runner(*domain, config);
+  EXPECT_THROW((void)runner.run(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dbsp::net

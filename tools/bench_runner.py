@@ -2,9 +2,11 @@
 """Run the dbsp micro benchmarks (plus a scaled-down fig1 sweep) and emit a
 machine-readable BENCH_micro.json, run the durable-store benchmarks
 (WAL append / snapshot / crash-recovery replay throughput) into
-BENCH_store.json, then run the scenario soak (all three workload domains
-through churn + flash crowd + pruning maintenance + kill-and-recover) and
-emit BENCH_scenario.json.
+BENCH_store.json, run the network-edge benchmarks (ping RTT, publish and
+publish_batch throughput through an in-process NetServer over loopback
+TCP) into BENCH_net.json, then run the scenario soak (all three workload
+domains through churn + flash crowd + pruning maintenance +
+kill-and-recover) and emit BENCH_scenario.json.
 
 The JSON files are the repo's perf trajectory record: each entry carries
 the benchmark name, events/sec, and ns/event (micro) or events/sec,
@@ -203,6 +205,57 @@ def write_store_json(build_dir, out_path, quick, context):
     return result
 
 
+def net_summary(rows):
+    """Summarize micro_net: ping round-trip latency (the request-verb floor)
+    and publish / publish_batch events per second over loopback TCP."""
+    ping_us = None
+    publish = None
+    batch = None
+    for row in rows:
+        name = row.get("name", "")
+        base = name.split("/")[0]
+        if base == "BM_NetPingRoundTrip" and row.get("ns_per_event"):
+            ping_us = round(row["ns_per_event"] / 1e3, 3)
+        elif base == "BM_NetPublish":
+            publish = row.get("events_per_sec")
+        elif base == "BM_NetPublishBatch":
+            batch = row.get("events_per_sec")
+    if ping_us is None and publish is None and batch is None:
+        return None
+    return {
+        "ping_rtt_us": ping_us,
+        "publish_events_per_sec": publish,
+        "publish_batch_events_per_sec": batch,
+    }
+
+
+def write_net_json(build_dir, out_path, quick, context):
+    binary = find_binary(build_dir, "micro_net")
+    if binary is None:
+        print("[bench_runner] micro_net binary not found; skipping BENCH_net.json")
+        return None
+    print("[bench_runner] running micro_net ...", flush=True)
+    rows, ctx = run_micro(binary, quick)
+    result = {
+        "schema_version": 1,
+        "generated_unix_time": int(time.time()),
+        "host": {
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "num_cpus": (context or ctx).get("num_cpus"),
+            "mhz_per_cpu": (context or ctx).get("mhz_per_cpu"),
+        },
+        "mode": "quick" if quick else "full",
+        "benchmarks": rows,
+        "net": net_summary(rows),
+    }
+    with open(out_path, "w") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+    print(f"[bench_runner] wrote {out_path} ({len(rows)} benchmark rows)")
+    return result
+
+
 def run_fig1(binary):
     env = dict(os.environ)
     env.update(FIG1_ENV)
@@ -282,6 +335,11 @@ def main():
         help="default: <build-dir>/BENCH_store.json",
     )
     parser.add_argument(
+        "--net-out",
+        default=None,
+        help="default: <build-dir>/BENCH_net.json",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
         help="CI smoke mode: short min-time and only the small benchmark args",
@@ -298,6 +356,7 @@ def main():
     out_path = args.out or os.path.join(args.build_dir, "BENCH_micro.json")
     scenario_out = args.scenario_out or os.path.join(args.build_dir, "BENCH_scenario.json")
     store_out = args.store_out or os.path.join(args.build_dir, "BENCH_store.json")
+    net_out = args.net_out or os.path.join(args.build_dir, "BENCH_net.json")
 
     benchmarks = []
     context = {}
@@ -354,6 +413,7 @@ def main():
             )
 
     write_store_json(args.build_dir, store_out, args.quick, context)
+    write_net_json(args.build_dir, net_out, args.quick, context)
     write_scenario_json(args.build_dir, scenario_out, args.quick, context)
 
 

@@ -46,11 +46,17 @@ ALLOWED_DEPS: dict[str, set[str]] = {
     "workload": {"common", "event", "subscription"},
     "experiment": {"common", "core", "selectivity", "broker", "workload", "api"},
     # scenario is built entirely on the public API: the umbrella header is
-    # its only route to the engine. core/filter/store are deliberately NOT
-    # allowed here.
-    "scenario": {"common", "event", "subscription", "workload", "dbsp"},
+    # its only route to the engine — plus the net edge for the sockets
+    # transport (run_sockets drives a NetServer over real loopback TCP).
+    # core/filter/store are deliberately NOT allowed here.
+    "scenario": {"common", "event", "subscription", "workload", "dbsp", "net"},
     "store": {"common", "event", "subscription", "core", "routing", "selectivity"},
     "api": {"common", "event", "subscription", "core", "selectivity", "store"},
+    # The network edge of the daemon: wire protocol + epoll server + client.
+    # Sits on the public facade (api) and the codec; nothing inside src/ may
+    # include net except scenario's sockets transport — the daemon and CLI
+    # mains live outside src/ in daemon/, and tests/bench are exempt.
+    "net": {"common", "event", "subscription", "routing", "store", "api"},
     # The umbrella re-exports the public surface; it sits above everything.
     "dbsp": {
         "api", "broker", "common", "event", "routing", "scenario",
