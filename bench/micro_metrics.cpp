@@ -1,0 +1,124 @@
+// Metrics-overhead microbenchmark: (a) the raw record primitives — one
+// Counter::add and one striped Histogram::record — (b) the scrape cost of
+// a realistically sized registry snapshot, and (c) the contract that
+// matters: the same 10k-subscription auction publish_batch workload with
+// metrics on (default sampling) vs metrics off. bench_runner.py
+// summarizes (c) as `metrics_overhead` in BENCH_micro.json and the CI
+// bench smoke gates on it — the documented budget is <= 5%.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dbsp/dbsp.hpp"
+#include "obs/metrics.hpp"
+#include "workload/event_gen.hpp"
+#include "workload/subscription_gen.hpp"
+
+namespace {
+
+using namespace dbsp;
+
+struct Fixture {
+  WorkloadConfig cfg;
+  std::unique_ptr<AuctionDomain> domain;
+  std::vector<Event> events;
+
+  Fixture(std::size_t n_events) {
+    cfg.seed = 7;
+    domain = std::make_unique<AuctionDomain>(cfg);
+    events = AuctionEventGenerator(*domain, 2).generate(n_events);
+  }
+};
+
+constexpr std::size_t kSubs = 10000;
+constexpr std::size_t kEvents = 256;
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter& c = registry.counter("dbsp_bench_total");
+  for (auto _ : state) {
+    c.add(1);
+  }
+  benchmark::DoNotOptimize(c.value());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterAdd)->Unit(benchmark::kNanosecond);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("dbsp_bench_us");
+  double v = 0.0;
+  for (auto _ : state) {
+    h.record(v);
+    v = v < 4096.0 ? v + 1.0 : 0.0;  // sweep the buckets
+  }
+  benchmark::DoNotOptimize(h.snapshot().count);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord)->Unit(benchmark::kNanosecond);
+
+// One monitoring scrape of a registry shaped like a live broker's (a few
+// dozen counters/gauges, per-shard + phase histograms).
+void BM_MetricsSnapshot(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  for (int i = 0; i < 30; ++i) {
+    registry.counter("dbsp_bench_c" + std::to_string(i) + "_total").add(i);
+  }
+  for (int i = 0; i < 10; ++i) {
+    registry.gauge("dbsp_bench_g" + std::to_string(i)).set(i);
+  }
+  for (int shard = 0; shard < 8; ++shard) {
+    obs::Histogram& h = registry.histogram(
+        "dbsp_bench_us", {{"shard", std::to_string(shard)}});
+    for (int i = 0; i < 1000; ++i) h.record(static_cast<double>(i));
+  }
+  for (auto _ : state) {
+    const obs::MetricsSnapshot snapshot = registry.snapshot();
+    benchmark::DoNotOptimize(snapshot.metrics.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsSnapshot)->Unit(benchmark::kMicrosecond);
+
+// The overhead contract pair: identical workload to micro_api's
+// BM_PubSubPublishBatch, with the registry live (default sampling) vs
+// disabled. bench_runner.py reports on/off as `metrics_overhead`.
+void publish_batch_bench(benchmark::State& state, bool metrics) {
+  Fixture fx(kEvents);
+  PubSubOptions options;
+  options.engine.shards = static_cast<std::size_t>(state.range(0));
+  options.metrics = metrics;
+  PubSub pubsub(fx.domain->schema(), options);
+  AuctionSubscriptionGenerator sub_gen(*fx.domain, 1);
+  std::vector<SubscriptionHandle> handles;
+  handles.reserve(kSubs);
+  for (std::uint32_t i = 0; i < kSubs; ++i) {
+    handles.push_back(pubsub.subscribe(sub_gen.next_tree()).value());
+  }
+
+  for (auto _ : state) {
+    const std::uint64_t delivered = pubsub.publish_batch(fx.events);
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.events.size()));
+}
+
+void BM_PublishBatchMetricsOn(benchmark::State& state) {
+  publish_batch_bench(state, /*metrics=*/true);
+}
+BENCHMARK(BM_PublishBatchMetricsOn)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+void BM_PublishBatchMetricsOff(benchmark::State& state) {
+  publish_batch_bench(state, /*metrics=*/false);
+}
+BENCHMARK(BM_PublishBatchMetricsOff)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

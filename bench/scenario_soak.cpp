@@ -102,6 +102,11 @@ void print_run(const ScenarioReport& r, bool last) {
       static_cast<unsigned long long>(r.maintenance.releases),
       static_cast<unsigned long long>(r.maintenance.queue_compactions),
       static_cast<unsigned long long>(r.maintenance.full_rescores));
+  if (!r.metrics_json.empty()) {
+    // metrics_json is already a JSON object — embed it verbatim.
+    std::printf("      \"metrics\": %s,\n", r.metrics_json.c_str());
+    std::printf("      \"scrape_cost_us\": %.3f,\n", r.scrape_cost_us);
+  }
   std::printf("      \"phases\": [\n");
   for (std::size_t i = 0; i < r.phases.size(); ++i) {
     print_phase(r.phases[i], i + 1 == r.phases.size());

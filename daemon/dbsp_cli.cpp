@@ -6,6 +6,7 @@
 /// Commands:
 ///   ping [count]            round-trip latency check (default 1)
 ///   stats                   print the server's NetStats counters
+///   metrics                 print the server's full metrics scrape as JSON
 ///   publish a=v [b=v ...]   publish one event; values are parsed against
 ///                           the server's schema types
 ///   subscribe '<dsl>'       register a filter and stream notifications
@@ -26,6 +27,7 @@
 
 #include "event/event.hpp"
 #include "net/client.hpp"
+#include "obs/exposition.hpp"
 
 namespace {
 
@@ -34,8 +36,8 @@ using dbsp::net::DbspClient;
 int usage() {
   std::fprintf(stderr,
                "usage: dbsp-cli [--host H] [--port P] <command> [args]\n"
-               "  ping [count] | stats | publish a=v... | subscribe '<dsl>' "
-               "[--max N] | adopt <id> [--max N] | smoke <n>\n");
+               "  ping [count] | stats | metrics | publish a=v... | subscribe "
+               "'<dsl>' [--max N] | adopt <id> [--max N] | smoke <n>\n");
   return 2;
 }
 
@@ -198,6 +200,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(v.notifications_delivered),
                 static_cast<unsigned long long>(v.write_queue_high_water),
                 static_cast<unsigned long long>(v.draining));
+    return 0;
+  }
+
+  if (command == "metrics") {
+    auto s = client.metrics();
+    if (!s.ok()) return fail(s.status());
+    std::printf("%s\n", dbsp::obs::to_json(s.value()).c_str());
     return 0;
   }
 

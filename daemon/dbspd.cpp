@@ -4,6 +4,7 @@
 ///
 ///   dbspd [--host H] [--port P] [--domain auction|stock|iot]
 ///         [--store DIR] [--pruning] [--drain-timeout-ms N]
+///         [--metrics-port P]
 ///
 /// Unset options fall back to the DBSP_NET_* environment knobs (see
 /// README). SIGTERM/SIGINT trigger a graceful drain: stop accepting,
@@ -48,7 +49,8 @@ void raise_nofile_limit() {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host H] [--port P] [--domain auction|stock|iot]\n"
-               "          [--store DIR] [--pruning] [--drain-timeout-ms N]\n",
+               "          [--store DIR] [--pruning] [--drain-timeout-ms N]\n"
+               "          [--metrics-port P]\n",
                argv0);
   return 2;
 }
@@ -88,6 +90,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       options.drain_timeout_ms = std::atoi(v);
+    } else if (arg == "--metrics-port") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.metrics_port = std::atoi(v);
     } else if (arg == "--help" || arg == "-h") {
       (void)usage(argv[0]);
       return 0;
@@ -147,6 +153,11 @@ int main(int argc, char** argv) {
               server.value()->options().host.c_str(), server.value()->port(),
               domain.c_str(), store_dir.empty() ? "" : ", store=",
               store_dir.c_str());
+  if (server.value()->metrics_port() != 0) {
+    std::printf("dbspd metrics on http://%s:%u/metrics\n",
+                server.value()->options().host.c_str(),
+                server.value()->metrics_port());
+  }
   std::fflush(stdout);
 
   server.value()->wait();

@@ -6,8 +6,11 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/env.hpp"
 #include "common/mutex.hpp"
 #include "common/thread_annotations.hpp"
+#include "obs/exposition.hpp"
+#include "obs/trace.hpp"
 #include "selectivity/estimator.hpp"
 #include "selectivity/stats.hpp"
 #include "subscription/parser.hpp"
@@ -36,11 +39,21 @@ struct SubEntry {
 /// only during construction and immutable afterwards, so they are read
 /// without the lock.
 struct PubSubCore {
+  /// The effective trace-sampling stride: 0 when metrics are off, the
+  /// explicit option when set, else the DBSP_METRICS_SAMPLE knob.
+  static std::uint32_t resolve_sample(const PubSubOptions& options) {
+    if (!options.metrics) return 0;
+    if (options.metrics_sample != 0) return options.metrics_sample;
+    const std::int64_t every = env_int("DBSP_METRICS_SAMPLE", 8);
+    return every > 0 ? static_cast<std::uint32_t>(every) : 0;
+  }
+
   PubSubCore(Schema schema_in, PubSubOptions options_in)
       : schema(std::move(schema_in)),
         options(options_in),
         stats(schema),
-        engine(schema, options.engine) {
+        engine(schema, options.engine),
+        sampler(resolve_sample(options_in)) {
     if (options.pruning) {
       if (options.engine.backend != MatcherBackend::Counting) {
         throw std::logic_error("PubSub: pruning requires the Counting backend");
@@ -50,6 +63,16 @@ struct PubSubCore {
       stats.finalize();
       estimator.emplace(stats);
       pruning.emplace(engine, *estimator, options.prune);
+    }
+    if (options.metrics) {
+      registry = std::make_shared<obs::MetricsRegistry>();
+      publishes_total = &registry->counter("dbsp_publishes_total");
+      events_total = &registry->counter("dbsp_events_total");
+      notifications_total = &registry->counter("dbsp_notifications_total");
+      match_us = &registry->histogram("dbsp_phase_us", {{"phase", "match"}});
+      dispatch_us = &registry->histogram("dbsp_phase_us", {{"phase", "dispatch"}});
+      prune_us = &registry->histogram("dbsp_phase_us", {{"phase", "prune"}});
+      engine.attach_metrics(*registry);
     }
   }
 
@@ -93,6 +116,22 @@ struct PubSubCore {
 
   std::vector<SubscriptionId> match_scratch DBSP_GUARDED_BY(mutex);
   std::vector<std::vector<SubscriptionId>> batch_scratch DBSP_GUARDED_BY(mutex);
+
+  /// Observability (obs/metrics.hpp). All set once in the constructor and
+  /// immutable afterwards, so they are read without the facade lock; the
+  /// registry and its series are internally synchronized (lock-free on the
+  /// record path). Null / every==0 when options.metrics is off — the
+  /// publish path then pays one branch per pointer check and nothing else.
+  std::shared_ptr<obs::MetricsRegistry> registry;
+  obs::Counter* publishes_total = nullptr;
+  obs::Counter* events_total = nullptr;
+  obs::Counter* notifications_total = nullptr;
+  obs::Histogram* match_us = nullptr;
+  obs::Histogram* dispatch_us = nullptr;
+  obs::Histogram* prune_us = nullptr;
+  /// 1-in-N gate shared by the match and dispatch phase timers, so one
+  /// sampled publish contributes to both series.
+  obs::Sampler sampler;
 
   /// Runs one durable-store operation; converts a throw into the fail-stop
   /// detach. Returns ok when not durable (in-memory mode logs nothing).
@@ -190,6 +229,79 @@ struct PubSubCore {
 
 using api_detail::PubSubCore;
 
+namespace {
+
+/// Registers the scrape-time sync hook: every registry snapshot folds the
+/// facade's legacy stat structs (subscription table size, engine counters,
+/// store stats, pruning accounting) into registry series, so the structs
+/// stay authoritative and the registry never lags by more than one scrape.
+/// Counters use sync_to (monotone even across reset_counters); levels are
+/// gauges. The hook captures the core through a weak_ptr and no-ops once
+/// the facade is gone — it is never removed, it simply dies with the
+/// registry (removal from the core's destructor could deadlock when an
+/// in-flight scrape's promoted shared_ptr is the last owner).
+void register_metrics_hook(const std::shared_ptr<PubSubCore>& core) {
+  if (core->registry == nullptr) return;
+  auto& r = *core->registry;
+  // Series pointers are stable for the registry's lifetime, so the hook
+  // captures them raw (the hook cannot outlive the registry that owns it).
+  auto* subscriptions = &r.gauge("dbsp_subscriptions");
+  auto* durable = &r.gauge("dbsp_durable");
+  auto* match_events = &r.counter("dbsp_match_events_total");
+  auto* predicate_hits = &r.counter("dbsp_predicate_hits_total");
+  auto* counter_increments = &r.counter("dbsp_counter_increments_total");
+  auto* tree_evaluations = &r.counter("dbsp_tree_evaluations_total");
+  auto* matches = &r.counter("dbsp_matches_total");
+  auto* wal_records = &r.counter("dbsp_wal_records_total");
+  auto* wal_bytes = &r.counter("dbsp_wal_bytes_total");
+  auto* snapshots = &r.counter("dbsp_snapshots_written_total");
+  auto* wal_lag = &r.gauge("dbsp_wal_lag_records");
+  auto* epoch = &r.gauge("dbsp_store_epoch");
+  auto* pruning_tracked = &r.gauge("dbsp_pruning_tracked");
+  auto* pruning_capacity = &r.gauge("dbsp_pruning_capacity");
+  auto* pruning_performed = &r.gauge("dbsp_pruning_performed");
+  auto* drift_pending = &r.gauge("dbsp_drift_pending");
+  auto* admissions = &r.counter("dbsp_pruning_admissions_total");
+  auto* releases = &r.counter("dbsp_pruning_releases_total");
+  auto* compactions = &r.counter("dbsp_pruning_queue_compactions_total");
+  auto* rescores = &r.counter("dbsp_pruning_full_rescores_total");
+  std::weak_ptr<PubSubCore> weak = core;
+  r.add_hook([=]() {
+    const auto c = weak.lock();
+    if (c == nullptr) return;
+    MutexLock lock(c->mutex);
+    subscriptions->set(static_cast<double>(c->subs.size()));
+    durable->set(c->store ? 1.0 : 0.0);
+    const CountingMatcher::Counters counters = c->engine.counters();
+    match_events->sync_to(counters.events);
+    predicate_hits->sync_to(counters.predicate_hits);
+    counter_increments->sync_to(counters.counter_increments);
+    tree_evaluations->sync_to(counters.tree_evaluations);
+    matches->sync_to(counters.matches);
+    if (c->store) {
+      const StoreStats& st = c->store->stats();
+      wal_records->sync_to(st.wal_records);
+      wal_bytes->sync_to(st.wal_bytes);
+      snapshots->sync_to(st.snapshots_written);
+      wal_lag->set(static_cast<double>(st.records_since_checkpoint));
+      epoch->set(static_cast<double>(st.epoch));
+    }
+    if (c->pruning) {
+      pruning_tracked->set(static_cast<double>(c->pruning->subscription_count()));
+      pruning_capacity->set(static_cast<double>(c->pruning->total_possible()));
+      pruning_performed->set(static_cast<double>(c->pruning->performed()));
+      drift_pending->set(c->pruning->drift_pending() ? 1.0 : 0.0);
+      const auto m = c->pruning->maintenance();
+      admissions->sync_to(m.admissions);
+      releases->sync_to(m.releases);
+      compactions->sync_to(m.queue_compactions);
+      rescores->sync_to(m.full_rescores);
+    }
+  });
+}
+
+}  // namespace
+
 // --- SubscriptionHandle ------------------------------------------------------
 
 SubscriptionHandle::SubscriptionHandle(SubscriptionHandle&& other) noexcept
@@ -241,7 +353,9 @@ Status SubscriptionHandle::release() {
 // --- PubSub ------------------------------------------------------------------
 
 PubSub::PubSub(Schema schema, PubSubOptions options)
-    : core_(std::make_shared<PubSubCore>(std::move(schema), options)) {}
+    : core_(std::make_shared<PubSubCore>(std::move(schema), options)) {
+  register_metrics_hook(core_);
+}
 
 PubSub::~PubSub() = default;
 
@@ -316,6 +430,11 @@ Result<PubSub> PubSub::open(StoreOptions store_options, PubSubOptions options) {
   core->next_id = static_cast<SubscriptionId::value_type>(rec.next_id);
   core->next_seq = rec.next_seq;
   core->store = std::move(state_store);
+  if (core->registry) {
+    core->store->attach_metrics(
+        &core->registry->histogram("dbsp_phase_us", {{"phase", "wal_append"}}));
+  }
+  register_metrics_hook(core);
   return PubSub(std::move(core));
 }
 
@@ -469,22 +588,46 @@ Result<std::string> PubSub::subscription_text(SubscriptionId id) const {
 std::size_t PubSub::publish(const Event& event) {
   auto& c = *core_;
   MutexLock lock(c.mutex);
+  // One sampling decision covers both phase timers, so a traced publish
+  // contributes a matched (match, dispatch) pair to dbsp_phase_us.
+  const bool traced = c.sampler.should_sample();
   c.match_scratch.clear();
-  c.engine.match(event, c.match_scratch);
+  {
+    obs::PhaseTimer timer(traced ? c.match_us : nullptr);
+    c.engine.match(event, c.match_scratch);
+  }
   const std::uint64_t seq = c.next_seq++;
   c.notifications += c.match_scratch.size();
-  if (c.callbacks_registered > 0) c.dispatch(c.match_scratch, seq, event);
+  if (c.publishes_total != nullptr) {
+    c.publishes_total->inc();
+    c.events_total->inc();
+    c.notifications_total->add(c.match_scratch.size());
+  }
+  if (c.callbacks_registered > 0) {
+    obs::PhaseTimer timer(traced ? c.dispatch_us : nullptr);
+    c.dispatch(c.match_scratch, seq, event);
+  }
   return c.match_scratch.size();
 }
 
 std::uint64_t PubSub::publish_batch(std::span<const Event> events) {
   auto& c = *core_;
   MutexLock lock(c.mutex);
-  c.engine.match_batch(events, c.batch_scratch);
+  const bool traced = c.sampler.should_sample();
+  {
+    obs::PhaseTimer timer(traced ? c.match_us : nullptr);
+    c.engine.match_batch(events, c.batch_scratch);
+  }
   std::uint64_t total = 0;
   for (const auto& row : c.batch_scratch) total += row.size();
   c.notifications += total;
+  if (c.publishes_total != nullptr) {
+    c.publishes_total->inc();
+    c.events_total->add(events.size());
+    c.notifications_total->add(total);
+  }
   if (c.callbacks_registered > 0) {
+    obs::PhaseTimer timer(traced ? c.dispatch_us : nullptr);
     for (std::size_t i = 0; i < events.size(); ++i) {
       c.dispatch(c.batch_scratch[i], c.next_seq + i, events[i]);
     }
@@ -569,6 +712,7 @@ Result<std::size_t> PubSub::prune(std::size_t k) {
   if (!c.pruning) return pruning_disabled();
   return logged_prune(c, [&] {
     c.mutex.assert_held();  // runs inside logged_prune, under the lock
+    obs::PhaseTimer timer(c.prune_us);  // maintenance is off the hot path: unsampled
     return c.pruning->prune(k);
   });
 }
@@ -583,6 +727,7 @@ Result<std::size_t> PubSub::prune_to_fraction(double fraction) {
   }
   return logged_prune(c, [&] {
     c.mutex.assert_held();  // runs inside logged_prune, under the lock
+    obs::PhaseTimer timer(c.prune_us);  // maintenance is off the hot path: unsampled
     return c.pruning->prune_to_fraction(fraction);
   });
 }
@@ -664,6 +809,19 @@ void PubSub::reset_counters() {
   MutexLock lock(core_->mutex);
   core_->engine.reset_counters();
   core_->notifications = 0;
+}
+
+obs::MetricsSnapshot PubSub::metrics() const {
+  // Never holds the facade lock here: snapshot() runs the sync hook, and
+  // the hook takes that lock itself (facade -> registry is the one order).
+  if (core_->registry == nullptr) return {};
+  return core_->registry->snapshot();
+}
+
+std::string PubSub::metrics_json() const { return obs::to_json(metrics()); }
+
+std::shared_ptr<obs::MetricsRegistry> PubSub::metrics_registry() const {
+  return core_->registry;
 }
 
 }  // namespace dbsp

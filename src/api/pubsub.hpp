@@ -38,6 +38,7 @@
 #include "api/status.hpp"
 #include "core/pruning_set.hpp"
 #include "event/event.hpp"
+#include "obs/metrics.hpp"
 #include "store/state_store.hpp"
 
 namespace dbsp {
@@ -57,6 +58,15 @@ struct PubSubOptions {
   /// Dimension / tie-break order / bottom-up restriction of the pruning
   /// queues (used only when `pruning` is set).
   PruneEngineConfig prune;
+  /// Enables the metrics registry: throughput counters, per-shard match
+  /// histograms, phase timings (dbsp_phase_us), and the state synced at
+  /// every scrape (subscriptions, WAL lag, pruning gauges). Off: metrics()
+  /// returns an empty snapshot and the publish path pays nothing.
+  bool metrics = true;
+  /// Publish-path trace sampling: every Nth publish has its match and
+  /// dispatch phases timed into dbsp_phase_us (1 = every publish). 0 reads
+  /// the DBSP_METRICS_SAMPLE environment knob, falling back to 8.
+  std::uint32_t metrics_sample = 0;
 };
 
 /// One delivered notification: which subscription matched which event.
@@ -257,6 +267,22 @@ class PubSub {
   [[nodiscard]] std::size_t subscription_bytes() const;
   [[nodiscard]] CountingMatcher::Counters counters() const;
   void reset_counters();
+
+  // --- Observability -------------------------------------------------------
+
+  /// A point-in-time snapshot of every registered metric series: the
+  /// registry's own counters/histograms plus the scrape-time sync of the
+  /// legacy stat structs (subscriptions, engine counters, store stats,
+  /// pruning gauges). Empty when PubSubOptions::metrics is off. Safe to
+  /// call concurrently with publishing — never blocks the hot path.
+  [[nodiscard]] obs::MetricsSnapshot metrics() const;
+  /// The same snapshot rendered as JSON (see obs/exposition.hpp for the
+  /// shape). `{"metrics": []}` when metrics are disabled.
+  [[nodiscard]] std::string metrics_json() const;
+  /// The shared registry behind metrics() — null when metrics are
+  /// disabled. Embedding layers (the network server) register their own
+  /// series here so one scrape exports the whole process.
+  [[nodiscard]] std::shared_ptr<obs::MetricsRegistry> metrics_registry() const;
 
  private:
   explicit PubSub(std::shared_ptr<api_detail::PubSubCore> core)

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 
 #include "common/env.hpp"
+#include "obs/trace.hpp"
 
 namespace dbsp {
 
@@ -122,7 +124,10 @@ void ShardedEngine::match_shard(std::size_t shard, const Event& event,
 
 void ShardedEngine::match(const Event& event, std::vector<SubscriptionId>& out) {
   const auto base = static_cast<std::ptrdiff_t>(out.size());
-  for (std::size_t s = 0; s < shards_.size(); ++s) match_shard(s, event, out);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    obs::PhaseTimer timer(shard_hist(shard_match_us_, s));
+    match_shard(s, event, out);
+  }
   std::sort(out.begin() + base, out.end());
 }
 
@@ -135,6 +140,10 @@ void ShardedEngine::match_batch(std::span<const Event> events,
                                 std::vector<std::vector<SubscriptionId>>& out) {
   out.resize(events.size());
   if (shards_.size() == 1) {
+    obs::PhaseTimer timer(shard_hist(shard_match_us_, 0));
+    if (auto* hist = shard_hist(shard_batch_events_, 0)) {
+      hist->record(static_cast<double>(events.size()));
+    }
     for (std::size_t e = 0; e < events.size(); ++e) {
       out[e].clear();
       match_shard(0, events[e], out[e]);
@@ -143,7 +152,13 @@ void ShardedEngine::match_batch(std::span<const Event> events,
     return;
   }
 
+  // Each worker records only into its own shard's series, so the fan-out
+  // stays free of cross-thread cache-line contention.
   auto run_shard = [&](std::size_t s) {
+    obs::PhaseTimer timer(shard_hist(shard_match_us_, s));
+    if (auto* hist = shard_hist(shard_batch_events_, s)) {
+      hist->record(static_cast<double>(events.size()));
+    }
     auto& rows = batch_scratch_[s];
     rows.resize(events.size());
     for (std::size_t e = 0; e < events.size(); ++e) {
@@ -217,6 +232,20 @@ CountingMatcher::Counters ShardedEngine::counters() const {
     }
   }
   return total;
+}
+
+void ShardedEngine::attach_metrics(obs::MetricsRegistry& registry) {
+  shard_match_us_.clear();
+  shard_batch_events_.clear();
+  shard_match_us_.reserve(shards_.size());
+  shard_batch_events_.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::string shard = std::to_string(s);
+    shard_match_us_.push_back(
+        &registry.histogram("dbsp_shard_match_us", {{"shard", shard}}));
+    shard_batch_events_.push_back(
+        &registry.histogram("dbsp_shard_batch_events", {{"shard", shard}}));
+  }
 }
 
 void ShardedEngine::reset_counters() {

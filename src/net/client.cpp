@@ -190,6 +190,21 @@ Result<NetStats> DbspClient::stats() {
   }
 }
 
+Result<obs::MetricsSnapshot> DbspClient::metrics() {
+  auto reply =
+      request(make_empty_frame(MsgType::kMetrics), MsgType::kMetricsReply);
+  if (!reply.ok()) return reply.status();
+  try {
+    WireReader r(reply.value());
+    obs::MetricsSnapshot s = decode_metrics(r);
+    if (!r.exhausted()) throw WireError("metrics reply: trailing bytes");
+    return s;
+  } catch (const WireError& e) {
+    return fail(Status::error(ErrorCode::kDataLoss,
+                              std::string("metrics reply: ") + e.what()));
+  }
+}
+
 Result<std::optional<NetNotification>> DbspClient::next_notification(
     int timeout_ms) {
   if (!notifications_.empty()) {

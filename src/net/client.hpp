@@ -74,6 +74,9 @@ class DbspClient {
   /// Round trip with an echo token (returns the server's echo).
   [[nodiscard]] Result<std::uint64_t> ping(std::uint64_t token);
   [[nodiscard]] Result<NetStats> stats();
+  /// The server's full metrics scrape (kMetrics verb). Empty when the
+  /// server runs with metrics disabled.
+  [[nodiscard]] Result<obs::MetricsSnapshot> metrics();
 
   // --- Notifications ----------------------------------------------------------
 

@@ -12,6 +12,7 @@ MsgType checked_msg_type(std::uint8_t raw) {
     case MsgType::kPublishBatch:
     case MsgType::kPing:
     case MsgType::kStats:
+    case MsgType::kMetrics:
     case MsgType::kHelloReply:
     case MsgType::kSubscribeReply:
     case MsgType::kUnsubscribeReply:
@@ -20,6 +21,7 @@ MsgType checked_msg_type(std::uint8_t raw) {
     case MsgType::kPublishBatchReply:
     case MsgType::kPong:
     case MsgType::kStatsReply:
+    case MsgType::kMetricsReply:
     case MsgType::kNotify:
     case MsgType::kError:
       return static_cast<MsgType>(raw);
@@ -86,6 +88,91 @@ NetStats decode_stats(WireReader& in) {
   s.write_queue_high_water = fields[i++];
   s.draining = fields[i++];
   return s;
+}
+
+void encode_metrics(const obs::MetricsSnapshot& snapshot, WireWriter& out) {
+  out.put_u32(static_cast<std::uint32_t>(snapshot.metrics.size()));
+  for (const obs::MetricSnapshot& m : snapshot.metrics) {
+    WireWriter entry;
+    entry.put_string(m.name);
+    entry.put_u8(static_cast<std::uint8_t>(m.kind));
+    entry.put_u8(static_cast<std::uint8_t>(m.labels.size()));
+    for (const auto& [key, value] : m.labels) {
+      entry.put_string(key);
+      entry.put_string(value);
+    }
+    switch (m.kind) {
+      case obs::MetricKind::kCounter:
+        entry.put_u64(static_cast<std::uint64_t>(m.value));
+        break;
+      case obs::MetricKind::kGauge:
+        entry.put_f64(m.value);
+        break;
+      case obs::MetricKind::kHistogram:
+        entry.put_f64(m.histogram.sum);
+        entry.put_u64(m.histogram.count);
+        entry.put_u8(static_cast<std::uint8_t>(m.histogram.bucket_counts.size()));
+        for (const std::uint64_t c : m.histogram.bucket_counts) entry.put_u64(c);
+        break;
+    }
+    out.put_u32(static_cast<std::uint32_t>(entry.size()));
+    out.put_bytes(entry.bytes());
+  }
+}
+
+obs::MetricsSnapshot decode_metrics(WireReader& in) {
+  obs::MetricsSnapshot out;
+  const std::uint32_t count = in.get_u32();
+  out.metrics.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t entry_len = in.get_u32();
+    if (entry_len > in.remaining()) {
+      throw WireError("net: metric entry overruns the frame");
+    }
+    // Where this entry ends, measured in bytes still unread — the skip
+    // target for unknown kinds and newer-encoder trailing fields.
+    const std::size_t end_remaining = in.remaining() - entry_len;
+    obs::MetricSnapshot m;
+    m.name = in.get_string();
+    const std::uint8_t raw_kind = in.get_u8();
+    const std::uint8_t label_count = in.get_u8();
+    for (std::uint8_t l = 0; l < label_count; ++l) {
+      std::string key = in.get_string();
+      std::string value = in.get_string();
+      m.labels.emplace_back(std::move(key), std::move(value));
+    }
+    bool known = true;
+    switch (raw_kind) {
+      case static_cast<std::uint8_t>(obs::MetricKind::kCounter):
+        m.kind = obs::MetricKind::kCounter;
+        m.value = static_cast<double>(in.get_u64());
+        break;
+      case static_cast<std::uint8_t>(obs::MetricKind::kGauge):
+        m.kind = obs::MetricKind::kGauge;
+        m.value = in.get_f64();
+        break;
+      case static_cast<std::uint8_t>(obs::MetricKind::kHistogram): {
+        m.kind = obs::MetricKind::kHistogram;
+        m.histogram.sum = in.get_f64();
+        m.histogram.count = in.get_u64();
+        const std::uint8_t buckets = in.get_u8();
+        m.histogram.bucket_counts.reserve(buckets);
+        for (std::uint8_t b = 0; b < buckets; ++b) {
+          m.histogram.bucket_counts.push_back(in.get_u64());
+        }
+        break;
+      }
+      default:
+        known = false;  // a newer server's kind: skip the whole entry
+        break;
+    }
+    if (in.remaining() < end_remaining) {
+      throw WireError("net: metric entry shorter than its length prefix");
+    }
+    while (in.remaining() > end_remaining) (void)in.get_u8();
+    if (known) out.metrics.push_back(std::move(m));
+  }
+  return out;
 }
 
 std::vector<std::uint8_t> make_frame(MsgType type, const WireWriter& payload) {

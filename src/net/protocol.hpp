@@ -26,6 +26,7 @@
 #include "api/status.hpp"
 #include "event/event.hpp"
 #include "event/schema.hpp"
+#include "obs/metrics.hpp"
 #include "routing/codec.hpp"
 #include "subscription/node.hpp"
 
@@ -42,6 +43,7 @@ enum class MsgType : std::uint8_t {
   kPublishBatch = 6,  ///< count u32, event*
   kPing = 7,          ///< token u64
   kStats = 8,         ///< empty
+  kMetrics = 9,       ///< empty; full registry scrape
 
   // --- Replies (server -> client, one per request, in order) ---
   kHelloReply = 64,         ///< schema (store format codec)
@@ -52,6 +54,7 @@ enum class MsgType : std::uint8_t {
   kPublishBatchReply = 69,  ///< total matched count u64
   kPong = 70,               ///< token u64
   kStatsReply = 71,         ///< count u32, count x u64 (NetStats field order)
+  kMetricsReply = 72,       ///< encode_metrics payload (length-prefixed entries)
 
   // --- Pushes ---
   kNotify = 96,  ///< sub id u64, seq u64, event
@@ -84,6 +87,22 @@ struct NetStats {
 
 void encode_stats(const NetStats& stats, WireWriter& out);
 [[nodiscard]] NetStats decode_stats(WireReader& in);
+
+/// kMetricsReply payload: the full registry scrape. Layout:
+///
+///   count u32, then per metric:
+///     entry_len u32 | name string | kind u8 | label_count u8 |
+///     (key string, value string)* | kind-specific value
+///
+///   counter: value u64; gauge: value f64;
+///   histogram: sum f64, count u64, bucket_count u8, bucket_count x u64
+///
+/// The per-entry byte-length prefix is the forward-compat seam (the
+/// field-count analogue of the NetStats codec): a decoder skips entries
+/// whose kind it does not know, and skips trailing bytes a newer encoder
+/// appended inside an entry it does know.
+void encode_metrics(const obs::MetricsSnapshot& snapshot, WireWriter& out);
+[[nodiscard]] obs::MetricsSnapshot decode_metrics(WireReader& in);
 
 /// One notification as it crosses the wire.
 struct NetNotification {

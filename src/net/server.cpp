@@ -15,6 +15,7 @@
 
 #include "common/env.hpp"
 #include "net/socket.hpp"
+#include "obs/exposition.hpp"
 #include "store/format.hpp"
 
 namespace dbsp::net {
@@ -24,6 +25,27 @@ namespace {
 constexpr int kStopKill = 1;
 constexpr int kStopDrain = 2;
 constexpr std::size_t kReadChunk = 64 * 1024;
+
+/// Scrapers are few and short-lived; cap them so a misbehaving one cannot
+/// crowd out protocol connections' fd budget.
+constexpr std::size_t kMaxHttpConns = 64;
+constexpr std::size_t kMaxHttpRequestBytes = 8 * 1024;
+
+/// One HTTP /metrics connection: accumulate the request until the header
+/// terminator, write one response, close. Owned by the io thread; kept in
+/// a map separate from the protocol connections so scrapes never hold a
+/// graceful drain open (the drain's pending scan ignores them).
+struct HttpConn {
+  explicit HttpConn(Socket socket) : sock(std::move(socket)) {}
+
+  Socket sock;
+  std::string request;
+  std::string out;
+  std::size_t out_pos = 0;
+  bool responded = false;
+
+  [[nodiscard]] std::size_t pending_out() const { return out.size() - out_pos; }
+};
 
 }  // namespace
 
@@ -42,6 +64,8 @@ NetServerOptions NetServerOptions::from_env() {
               static_cast<std::int64_t>(o.max_write_queue_bytes)));
   o.drain_timeout_ms = static_cast<int>(
       env_int("DBSP_NET_DRAIN_TIMEOUT_MS", o.drain_timeout_ms));
+  o.metrics_port = static_cast<int>(
+      env_int("DBSP_NET_METRICS_PORT", o.metrics_port));
   return o;
 }
 
@@ -79,9 +103,11 @@ struct NetServer::Impl {
 
   std::optional<PubSub> pubsub;
   Socket listener;
+  Socket metrics_listener;  ///< HTTP /metrics; invalid when disabled
   int epoll_fd = -1;
   int wake_fd = -1;
   std::unordered_map<int, std::unique_ptr<Conn>> conns;
+  std::unordered_map<int, std::unique_ptr<HttpConn>> http_conns;
   /// Live subscription id -> owning connection fd (adopt-exclusivity).
   std::unordered_map<std::uint64_t, int> owners;
 
@@ -93,7 +119,9 @@ struct NetServer::Impl {
 
 NetServer::NetServer(PubSub pubsub, NetServerOptions options)
     : options_(std::move(options)),
-      impl_(std::make_unique<Impl>(std::move(pubsub))) {}
+      impl_(std::make_unique<Impl>(std::move(pubsub))) {
+  registry_ = impl_->pubsub->metrics_registry();
+}
 
 Result<std::unique_ptr<NetServer>> NetServer::start(PubSub pubsub,
                                                     NetServerOptions options) {
@@ -136,9 +164,82 @@ Status NetServer::init() {
   if (::epoll_ctl(impl_->epoll_fd, EPOLL_CTL_ADD, impl_->wake_fd, &ev) != 0) {
     return Status::error(ErrorCode::kIoError, "epoll_ctl(wake)");
   }
-  subscriptions_.store(impl_->pubsub->subscription_count(),
-                       std::memory_order_relaxed);
+  if (options_.metrics_port >= 0) {
+    if (options_.metrics_port > 65535) {
+      return Status::error(ErrorCode::kInvalidArgument,
+                           "metrics_port is out of range");
+    }
+    auto mlistener =
+        tcp_listen(options_.host, static_cast<std::uint16_t>(options_.metrics_port),
+                   options_.listen_backlog);
+    if (!mlistener.ok()) return mlistener.status();
+    auto mport = local_port(mlistener.value().fd());
+    if (!mport.ok()) return mport.status();
+    metrics_port_ = mport.value();
+    if (Status s = set_nonblocking(mlistener.value().fd(), true); !s.ok()) {
+      return s;
+    }
+    impl_->metrics_listener = std::move(mlistener).value();
+    ev.events = EPOLLIN;
+    ev.data.fd = impl_->metrics_listener.fd();
+    if (::epoll_ctl(impl_->epoll_fd, EPOLL_CTL_ADD, impl_->metrics_listener.fd(),
+                    &ev) != 0) {
+      return Status::error(ErrorCode::kIoError, "epoll_ctl(metrics listener)");
+    }
+  }
+
+  register_metrics_hook();
+  cells_->subscriptions.store(impl_->pubsub->subscription_count(),
+                              std::memory_order_relaxed);
   return Status();
+}
+
+void NetServer::register_metrics_hook() {
+  if (registry_ == nullptr) return;
+  auto& r = *registry_;
+  // Series pointers are registry-stable; captured raw (the hook dies with
+  // the registry, never after it). The cells go in through a weak_ptr so a
+  // scrape racing server destruction no-ops. Counters come from atomics
+  // that only ever grow, but sync_to keeps the exported series monotone
+  // even if that ever changes; levels are gauges.
+  auto* connections = &r.gauge("dbsp_net_connections");
+  auto* accepted = &r.counter("dbsp_net_connections_accepted_total");
+  auto* rejected = &r.counter("dbsp_net_connections_rejected_total");
+  auto* frames_received = &r.counter("dbsp_net_frames_received_total");
+  auto* frames_sent = &r.counter("dbsp_net_frames_sent_total");
+  auto* bytes_received = &r.counter("dbsp_net_bytes_received_total");
+  auto* bytes_sent = &r.counter("dbsp_net_bytes_sent_total");
+  auto* protocol_errors = &r.counter("dbsp_net_protocol_errors_total");
+  auto* slow_kills = &r.counter("dbsp_net_slow_consumer_disconnects_total");
+  auto* subscriptions = &r.gauge("dbsp_net_subscriptions");
+  auto* enqueued = &r.counter("dbsp_net_notifications_enqueued_total");
+  auto* published = &r.counter("dbsp_net_events_published_total");
+  auto* delivered = &r.counter("dbsp_net_notifications_delivered_total");
+  auto* high_water = &r.gauge("dbsp_net_write_queue_high_water_bytes");
+  auto* draining = &r.gauge("dbsp_net_draining");
+  std::weak_ptr<StatCells> weak = cells_;
+  r.add_hook([=]() {
+    const auto c = weak.lock();
+    if (c == nullptr) return;
+    const auto load = [](const std::atomic<std::uint64_t>& v) {
+      return v.load(std::memory_order_relaxed);
+    };
+    connections->set(static_cast<double>(load(c->connections)));
+    accepted->sync_to(load(c->connections_accepted));
+    rejected->sync_to(load(c->connections_rejected));
+    frames_received->sync_to(load(c->frames_received));
+    frames_sent->sync_to(load(c->frames_sent));
+    bytes_received->sync_to(load(c->bytes_received));
+    bytes_sent->sync_to(load(c->bytes_sent));
+    protocol_errors->sync_to(load(c->protocol_errors));
+    slow_kills->sync_to(load(c->slow_consumer_disconnects));
+    subscriptions->set(static_cast<double>(load(c->subscriptions)));
+    enqueued->sync_to(load(c->notifications_enqueued));
+    published->sync_to(load(c->events_published));
+    delivered->sync_to(load(c->notifications_delivered));
+    high_water->set(static_cast<double>(load(c->write_queue_high_water)));
+    draining->set(static_cast<double>(load(c->draining)));
+  });
 }
 
 NetServer::~NetServer() { stop(/*drain=*/true); }
@@ -174,23 +275,23 @@ PubSub* NetServer::pubsub() {
 
 NetStats NetServer::stats() const {
   NetStats s;
-  s.connections = connections_.load(std::memory_order_relaxed);
-  s.connections_accepted = connections_accepted_.load(std::memory_order_relaxed);
-  s.connections_rejected = connections_rejected_.load(std::memory_order_relaxed);
-  s.frames_received = frames_received_.load(std::memory_order_relaxed);
-  s.frames_sent = frames_sent_.load(std::memory_order_relaxed);
-  s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
-  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
-  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.connections = cells_->connections.load(std::memory_order_relaxed);
+  s.connections_accepted = cells_->connections_accepted.load(std::memory_order_relaxed);
+  s.connections_rejected = cells_->connections_rejected.load(std::memory_order_relaxed);
+  s.frames_received = cells_->frames_received.load(std::memory_order_relaxed);
+  s.frames_sent = cells_->frames_sent.load(std::memory_order_relaxed);
+  s.bytes_received = cells_->bytes_received.load(std::memory_order_relaxed);
+  s.bytes_sent = cells_->bytes_sent.load(std::memory_order_relaxed);
+  s.protocol_errors = cells_->protocol_errors.load(std::memory_order_relaxed);
   s.slow_consumer_disconnects =
-      slow_consumer_disconnects_.load(std::memory_order_relaxed);
-  s.subscriptions = subscriptions_.load(std::memory_order_relaxed);
-  s.notifications_enqueued = notifications_enqueued_.load(std::memory_order_relaxed);
-  s.events_published = events_published_.load(std::memory_order_relaxed);
+      cells_->slow_consumer_disconnects.load(std::memory_order_relaxed);
+  s.subscriptions = cells_->subscriptions.load(std::memory_order_relaxed);
+  s.notifications_enqueued = cells_->notifications_enqueued.load(std::memory_order_relaxed);
+  s.events_published = cells_->events_published.load(std::memory_order_relaxed);
   s.notifications_delivered =
-      notifications_delivered_.load(std::memory_order_relaxed);
-  s.write_queue_high_water = write_queue_high_water_.load(std::memory_order_relaxed);
-  s.draining = draining_.load(std::memory_order_relaxed);
+      cells_->notifications_delivered.load(std::memory_order_relaxed);
+  s.write_queue_high_water = cells_->write_queue_high_water.load(std::memory_order_relaxed);
+  s.draining = cells_->draining.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -206,7 +307,7 @@ void NetServer::run_loop() {
   };
 
   const auto update_subs_counter = [&] {
-    subscriptions_.store(impl.pubsub ? impl.pubsub->subscription_count() : 0,
+    cells_->subscriptions.store(impl.pubsub ? impl.pubsub->subscription_count() : 0,
                          std::memory_order_relaxed);
   };
 
@@ -235,17 +336,17 @@ void NetServer::run_loop() {
     }
     (void)::epoll_ctl(impl.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
     impl.conns.erase(it);
-    connections_.store(impl.conns.size(), std::memory_order_relaxed);
+    cells_->connections.store(impl.conns.size(), std::memory_order_relaxed);
     update_subs_counter();
   };
 
   const auto enqueue = [&](Conn& conn, std::span<const std::uint8_t> frame) {
     conn.queue(frame);
-    frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    cells_->frames_sent.fetch_add(1, std::memory_order_relaxed);
     const auto pending = static_cast<std::uint64_t>(conn.pending_out());
-    std::uint64_t seen = write_queue_high_water_.load(std::memory_order_relaxed);
+    std::uint64_t seen = cells_->write_queue_high_water.load(std::memory_order_relaxed);
     if (pending > seen) {
-      write_queue_high_water_.store(pending, std::memory_order_relaxed);
+      cells_->write_queue_high_water.store(pending, std::memory_order_relaxed);
     }
   };
 
@@ -261,7 +362,7 @@ void NetServer::run_loop() {
                  MSG_NOSIGNAL | MSG_DONTWAIT);
       if (n > 0) {
         conn.out_pos += static_cast<std::size_t>(n);
-        bytes_sent_.fetch_add(static_cast<std::uint64_t>(n),
+        cells_->bytes_sent.fetch_add(static_cast<std::uint64_t>(n),
                               std::memory_order_relaxed);
         continue;
       }
@@ -282,7 +383,7 @@ void NetServer::run_loop() {
   // and close once the error has been flushed. The connection is not
   // recoverable — framing may be lost.
   const auto protocol_error = [&](Conn& conn, const std::string& message) {
-    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    cells_->protocol_errors.fetch_add(1, std::memory_order_relaxed);
     try {
       enqueue(conn, make_error_frame(ErrorCode::kInvalidArgument, message));
     } catch (const WireError&) {
@@ -317,7 +418,7 @@ void NetServer::run_loop() {
     }
     enqueue(conn, frame);
     dirty.push_back(fd);
-    notifications_enqueued_.fetch_add(1, std::memory_order_relaxed);
+    cells_->notifications_enqueued.fetch_add(1, std::memory_order_relaxed);
   };
 
   // Deferred slow-consumer reap — runs after the publish that marked them
@@ -328,7 +429,7 @@ void NetServer::run_loop() {
       if (conn->kill_slow) victims.push_back(fd);
     }
     for (const int fd : victims) {
-      slow_consumer_disconnects_.fetch_add(1, std::memory_order_relaxed);
+      cells_->slow_consumer_disconnects.fetch_add(1, std::memory_order_relaxed);
       destroy_conn(fd);
     }
   };
@@ -337,7 +438,7 @@ void NetServer::run_loop() {
     const auto it = impl.conns.find(fd);
     if (it == impl.conns.end()) return;
     Conn& conn = *it->second;
-    frames_received_.fetch_add(1, std::memory_order_relaxed);
+    cells_->frames_received.fetch_add(1, std::memory_order_relaxed);
     PubSub& pubsub = *impl.pubsub;
     try {
       WireReader r(body);
@@ -431,8 +532,8 @@ void NetServer::run_loop() {
             break;
           }
           const std::size_t matched = pubsub.publish(event);
-          events_published_.fetch_add(1, std::memory_order_relaxed);
-          notifications_delivered_.fetch_add(matched, std::memory_order_relaxed);
+          cells_->events_published.fetch_add(1, std::memory_order_relaxed);
+          cells_->notifications_delivered.fetch_add(matched, std::memory_order_relaxed);
           enqueue(conn, make_u64_frame(MsgType::kPublishReply, matched));
           break;
         }
@@ -453,8 +554,8 @@ void NetServer::run_loop() {
           }
           if (events.empty() && count != 0) break;  // validation failed
           const std::uint64_t total = pubsub.publish_batch(events);
-          events_published_.fetch_add(events.size(), std::memory_order_relaxed);
-          notifications_delivered_.fetch_add(total, std::memory_order_relaxed);
+          cells_->events_published.fetch_add(events.size(), std::memory_order_relaxed);
+          cells_->notifications_delivered.fetch_add(total, std::memory_order_relaxed);
           enqueue(conn, make_u64_frame(MsgType::kPublishBatchReply, total));
           break;
         }
@@ -469,6 +570,17 @@ void NetServer::run_loop() {
           WireWriter payload;
           encode_stats(stats(), payload);
           enqueue(conn, make_frame(MsgType::kStatsReply, payload));
+          break;
+        }
+        case MsgType::kMetrics: {
+          require_exhausted();
+          WireWriter payload;
+          // Empty scrape (not an error) when the PubSub runs without
+          // metrics — the verb stays answerable either way.
+          encode_metrics(registry_ ? registry_->snapshot()
+                                   : obs::MetricsSnapshot{},
+                         payload);
+          enqueue(conn, make_frame(MsgType::kMetricsReply, payload));
           break;
         }
         default:
@@ -504,7 +616,7 @@ void NetServer::run_loop() {
         destroy_conn(fd);
         return;
       }
-      bytes_received_.fetch_add(static_cast<std::uint64_t>(n),
+      cells_->bytes_received.fetch_add(static_cast<std::uint64_t>(n),
                                 std::memory_order_relaxed);
       try {
         conn.assembler.push(std::span<const std::uint8_t>(
@@ -527,6 +639,116 @@ void NetServer::run_loop() {
     }
   };
 
+  // --- HTTP /metrics (scrape-only sideband on the same epoll loop) -----------
+
+  const auto destroy_http = [&](int fd) {
+    (void)::epoll_ctl(impl.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+    impl.http_conns.erase(fd);
+  };
+
+  // Flushes (and, once the response is fully written, closes) one scrape
+  // connection. HTTP connections are one-shot: request in, response out.
+  const auto flush_http = [&](int fd) {
+    const auto it = impl.http_conns.find(fd);
+    if (it == impl.http_conns.end()) return;
+    HttpConn& conn = *it->second;
+    while (conn.pending_out() > 0) {
+      const ssize_t n =
+          ::send(fd, conn.out.data() + conn.out_pos, conn.pending_out(),
+                 MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n > 0) {
+        conn.out_pos += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        epoll_event ev{};
+        ev.events = EPOLLOUT;
+        ev.data.fd = fd;
+        (void)::epoll_ctl(impl.epoll_fd, EPOLL_CTL_MOD, fd, &ev);
+        return;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      destroy_http(fd);
+      return;
+    }
+    destroy_http(fd);  // response fully written: close
+  };
+
+  const auto handle_http = [&](int fd, std::uint32_t mask) {
+    const auto it = impl.http_conns.find(fd);
+    if (it == impl.http_conns.end()) return;
+    HttpConn& conn = *it->second;
+    if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
+      destroy_http(fd);
+      return;
+    }
+    if ((mask & EPOLLOUT) != 0) {
+      flush_http(fd);
+      return;
+    }
+    char chunk[4096];
+    while (!conn.responded) {
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, MSG_DONTWAIT);
+      if (n == 0) {
+        destroy_http(fd);
+        return;
+      }
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        destroy_http(fd);
+        return;
+      }
+      conn.request.append(chunk, static_cast<std::size_t>(n));
+      if (conn.request.size() > kMaxHttpRequestBytes) {
+        destroy_http(fd);
+        return;
+      }
+      if (conn.request.find("\r\n\r\n") == std::string::npos) continue;
+      const std::string line = conn.request.substr(0, conn.request.find("\r\n"));
+      std::string status = "404 Not Found";
+      std::string content_type = "text/plain; charset=utf-8";
+      std::string body = "not found\n";
+      if (line.starts_with("GET /metrics ") || line.starts_with("GET /metrics?")) {
+        status = "200 OK";
+        content_type = obs::prometheus_content_type();
+        body = registry_ ? obs::to_prometheus(registry_->snapshot())
+                         : std::string();
+      }
+      conn.out = "HTTP/1.1 " + status +
+                 "\r\nContent-Type: " + content_type +
+                 "\r\nContent-Length: " + std::to_string(body.size()) +
+                 "\r\nConnection: close\r\n\r\n" + body;
+      conn.responded = true;
+    }
+    flush_http(fd);
+  };
+
+  // Accepts scrape connections. Not gated on `stopping`: /metrics keeps
+  // answering while a graceful drain flushes the protocol connections.
+  const auto accept_metrics = [&] {
+    while (true) {
+      const int fd = ::accept4(impl.metrics_listener.fd(), nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;
+      }
+      if (impl.http_conns.size() >= kMaxHttpConns) {
+        ::close(fd);
+        continue;
+      }
+      auto conn = std::make_unique<HttpConn>(Socket(fd));
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = fd;
+      if (::epoll_ctl(impl.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        continue;  // Socket closes with `conn` going out of scope.
+      }
+      impl.http_conns.emplace(fd, std::move(conn));
+    }
+  };
+
   const auto accept_ready = [&] {
     while (true) {
       const int fd = ::accept4(impl.listener.fd(), nullptr, nullptr,
@@ -537,7 +759,7 @@ void NetServer::run_loop() {
         return;  // transient accept failure; stay up
       }
       if (impl.conns.size() >= options_.max_connections) {
-        connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+        cells_->connections_rejected.fetch_add(1, std::memory_order_relaxed);
         ::close(fd);
         continue;
       }
@@ -552,8 +774,8 @@ void NetServer::run_loop() {
       }
       conn->interest = EPOLLIN;
       impl.conns.emplace(fd, std::move(conn));
-      connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-      connections_.store(impl.conns.size(), std::memory_order_relaxed);
+      cells_->connections_accepted.fetch_add(1, std::memory_order_relaxed);
+      cells_->connections.store(impl.conns.size(), std::memory_order_relaxed);
     }
   };
 
@@ -582,6 +804,14 @@ void NetServer::run_loop() {
         if (!stopping) accept_ready();
         continue;
       }
+      if (impl.metrics_listener.valid() && fd == impl.metrics_listener.fd()) {
+        accept_metrics();
+        continue;
+      }
+      if (impl.http_conns.contains(fd)) {
+        handle_http(fd, mask);
+        continue;
+      }
       if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
         destroy_conn(fd);
         continue;
@@ -595,7 +825,7 @@ void NetServer::run_loop() {
       if (req != 0) {
         stopping = true;
         drain = req == kStopDrain;
-        draining_.store(1, std::memory_order_relaxed);
+        cells_->draining.store(1, std::memory_order_relaxed);
         (void)::epoll_ctl(impl.epoll_fd, EPOLL_CTL_DEL, impl.listener.fd(),
                           nullptr);
         impl.listener.close();
@@ -629,11 +859,13 @@ void NetServer::run_loop() {
     (void)impl.pubsub->checkpoint();
   }
   impl.pubsub.reset();
-  subscriptions_.store(0, std::memory_order_relaxed);
+  cells_->subscriptions.store(0, std::memory_order_relaxed);
   impl.owners.clear();
   impl.conns.clear();
-  connections_.store(0, std::memory_order_relaxed);
-  draining_.store(0, std::memory_order_relaxed);
+  impl.http_conns.clear();
+  impl.metrics_listener.close();
+  cells_->connections.store(0, std::memory_order_relaxed);
+  cells_->draining.store(0, std::memory_order_relaxed);
   running_.store(false, std::memory_order_release);
 }
 

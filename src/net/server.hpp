@@ -36,6 +36,7 @@
 #include "api/status.hpp"
 #include "common/mutex.hpp"
 #include "net/protocol.hpp"
+#include "obs/metrics.hpp"
 
 namespace dbsp::net {
 
@@ -56,6 +57,11 @@ struct NetServerOptions {
   std::size_t max_write_queue_bytes = 4u << 20;
   /// stop(drain=true) flushes write queues for at most this long.
   int drain_timeout_ms = 5000;
+  /// Port of the HTTP GET /metrics endpoint (Prometheus text exposition),
+  /// served from the same epoll loop on `host`. -1 disables it; 0 binds a
+  /// kernel-assigned port (read back with metrics_port()). The endpoint
+  /// keeps serving while a graceful drain is in progress.
+  int metrics_port = -1;
 
   [[nodiscard]] static NetServerOptions from_env();
 };
@@ -77,6 +83,9 @@ class NetServer {
 
   /// The bound port (resolves option port 0 to the real ephemeral port).
   [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// The bound HTTP metrics port; 0 when the endpoint is disabled.
+  [[nodiscard]] std::uint16_t metrics_port() const { return metrics_port_; }
 
   /// The options the server was started with.
   [[nodiscard]] const NetServerOptions& options() const { return options_; }
@@ -109,14 +118,42 @@ class NetServer {
   struct Conn;
   struct Impl;
 
+  /// The NetStats counters (io thread writes, stats() reads, all atomic).
+  /// Held through a shared_ptr so the registry sync hook captures a weak
+  /// reference: a scrape that outlives the server (the caller kept the
+  /// registry's shared_ptr) then no-ops instead of reading freed memory.
+  struct StatCells {
+    std::atomic<std::uint64_t> connections{0};
+    std::atomic<std::uint64_t> connections_accepted{0};
+    std::atomic<std::uint64_t> connections_rejected{0};
+    std::atomic<std::uint64_t> frames_received{0};
+    std::atomic<std::uint64_t> frames_sent{0};
+    std::atomic<std::uint64_t> bytes_received{0};
+    std::atomic<std::uint64_t> bytes_sent{0};
+    std::atomic<std::uint64_t> protocol_errors{0};
+    std::atomic<std::uint64_t> slow_consumer_disconnects{0};
+    std::atomic<std::uint64_t> subscriptions{0};
+    std::atomic<std::uint64_t> notifications_enqueued{0};
+    std::atomic<std::uint64_t> events_published{0};
+    std::atomic<std::uint64_t> notifications_delivered{0};
+    std::atomic<std::uint64_t> write_queue_high_water{0};
+    std::atomic<std::uint64_t> draining{0};
+  };
+
   NetServer(PubSub pubsub, NetServerOptions options);
 
   [[nodiscard]] Status init();
+  void register_metrics_hook();
   void run_loop();
 
   NetServerOptions options_;
   std::uint16_t port_ = 0;
+  std::uint16_t metrics_port_ = 0;
   std::unique_ptr<Impl> impl_;
+  /// The owned PubSub's registry (null when its metrics are disabled) —
+  /// kept so the metrics verb and HTTP endpoint scrape without touching
+  /// the facade, even while it is being drained.
+  std::shared_ptr<obs::MetricsRegistry> registry_;
   std::thread thread_;
 
   std::atomic<bool> running_{false};
@@ -124,22 +161,7 @@ class NetServer {
 
   Mutex join_mutex_;
 
-  // Counters (io thread writes, stats() reads).
-  std::atomic<std::uint64_t> connections_{0};
-  std::atomic<std::uint64_t> connections_accepted_{0};
-  std::atomic<std::uint64_t> connections_rejected_{0};
-  std::atomic<std::uint64_t> frames_received_{0};
-  std::atomic<std::uint64_t> frames_sent_{0};
-  std::atomic<std::uint64_t> bytes_received_{0};
-  std::atomic<std::uint64_t> bytes_sent_{0};
-  std::atomic<std::uint64_t> protocol_errors_{0};
-  std::atomic<std::uint64_t> slow_consumer_disconnects_{0};
-  std::atomic<std::uint64_t> subscriptions_{0};
-  std::atomic<std::uint64_t> notifications_enqueued_{0};
-  std::atomic<std::uint64_t> events_published_{0};
-  std::atomic<std::uint64_t> notifications_delivered_{0};
-  std::atomic<std::uint64_t> write_queue_high_water_{0};
-  std::atomic<std::uint64_t> draining_{0};
+  std::shared_ptr<StatCells> cells_ = std::make_shared<StatCells>();
 };
 
 }  // namespace dbsp::net

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file
+/// The sampled publish-path tracer: a 1-in-N Sampler deciding whether a
+/// given publish is traced, and a scoped PhaseTimer recording one phase's
+/// elapsed microseconds into a Histogram. The facade wraps its publish
+/// phases (match, dispatch) in PhaseTimers gated on the sampler; the
+/// maintenance and WAL paths time unconditionally (they are off the hot
+/// path). A PhaseTimer built with a null histogram is inert — the
+/// untraced publish pays one branch, no clock read.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace dbsp::obs {
+
+/// Counter-based 1-in-N sampling. every == 0 never samples, every == 1
+/// samples everything. Thread-safe (one relaxed fetch_add per ask).
+class Sampler {
+ public:
+  explicit Sampler(std::uint32_t every) : every_(every) {}
+
+  [[nodiscard]] bool should_sample() {
+    if (every_ == 0) return false;
+    if (every_ == 1) return true;
+    return n_.fetch_add(1, std::memory_order_relaxed) % every_ == 0;
+  }
+
+  [[nodiscard]] std::uint32_t every() const { return every_; }
+
+ private:
+  std::uint32_t every_;
+  std::atomic<std::uint64_t> n_{0};
+};
+
+/// Scoped phase timer: records elapsed microseconds into `hist` on
+/// destruction; inert when `hist` is null.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(Histogram* hist) : hist_(hist) {
+    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~PhaseTimer() {
+    if (hist_ != nullptr) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+      hist_->record(static_cast<double>(ns) / 1000.0);
+    }
+  }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dbsp::obs

@@ -16,6 +16,16 @@ namespace {
 /// trigger stays pending until more traffic accumulated.
 constexpr std::size_t kMinRetrainSample = 32;
 
+/// End-of-run observability capture: the facade's full registry scrape and
+/// what producing it cost — the per-scrape price a monitoring agent pays.
+void capture_metrics(PubSub& pubsub, ScenarioReport& report) {
+  Stopwatch scrape;
+  scrape.start();
+  report.metrics_json = pubsub.metrics_json();
+  scrape.stop();
+  report.scrape_cost_us = scrape.seconds() * 1e6;
+}
+
 /// Rolling window of the most recent published events — the retraining
 /// sample of the drift-maintenance path. Ring storage; EventStats training
 /// is order-independent, so the rotated order is irrelevant.
@@ -352,6 +362,7 @@ ScenarioReport ScenarioRunner::run_centralized() {
     report.phases.push_back(std::move(pr));
   }
   report.maintenance = pubsub->pruning_stats().maintenance;
+  capture_metrics(*pubsub, report);
   return report;
 }
 
@@ -516,6 +527,7 @@ ScenarioReport ScenarioRunner::run_sockets() {
   // disconnect releases the subscriptions), then the daemon drains.
   subscriber.reset();
   publisher.reset();
+  if (PubSub* pubsub = server->pubsub()) capture_metrics(*pubsub, report);
   server->stop(/*drain=*/true);
   return report;
 }

@@ -128,6 +128,12 @@ struct ScenarioReport {
   std::vector<ScenarioPhaseReport> phases;
   /// Aggregated pruning maintenance counters (all shards / brokers).
   PruningEngine::MaintenanceCounters maintenance;
+  /// Full registry scrape (obs::to_json) captured after the last phase.
+  /// Empty in overlay mode (no single facade) or with metrics disabled.
+  std::string metrics_json;
+  /// Wall time of that final snapshot + serialization, in microseconds —
+  /// what one monitoring scrape costs the broker.
+  double scrape_cost_us = 0.0;
 
   /// True iff every oracle check passed in every phase.
   [[nodiscard]] bool exact() const;

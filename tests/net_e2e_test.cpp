@@ -22,6 +22,7 @@
 
 #include "api/pubsub.hpp"
 #include "net/client.hpp"
+#include "obs/exposition.hpp"
 #include "scenario/scenario_runner.hpp"
 #include "test_util.hpp"
 
@@ -275,6 +276,188 @@ TEST(NetE2eTest, GracefulDrainDeliversQueuedNotifications) {
     if (!n.ok() || !n.value().has_value()) break;
   }
   EXPECT_EQ(received, kEvents);
+}
+
+/// Minimal HTTP GET against the metrics endpoint over the raw socket
+/// helpers (the server closes after one response, so read to EOF).
+std::string http_get(std::uint16_t port, const std::string& target) {
+  auto sock = tcp_connect("127.0.0.1", port, 5000);
+  if (!sock.ok()) return {};
+  const std::string req = "GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n";
+  if (!send_all(sock.value().fd(),
+                std::span(reinterpret_cast<const std::uint8_t*>(req.data()),
+                          req.size()))
+           .ok()) {
+    return {};
+  }
+  std::string out;
+  std::uint8_t chunk[4096];
+  while (true) {
+    auto readable = wait_readable(sock.value().fd(), 5000);
+    if (!readable.ok() || readable.value() == 0) break;
+    auto got = recv_some(sock.value().fd(), chunk);
+    if (!got.ok() || got.value() == 0) break;
+    out.append(reinterpret_cast<const char*>(chunk), got.value());
+  }
+  return out;
+}
+
+/// The value of one exposition line ("series value"), or -1 when absent.
+double prom_value(const std::string& text, const std::string& series) {
+  const std::string needle = "\n" + series + " ";
+  const auto at = text.find(needle);
+  if (at == std::string::npos) return -1.0;
+  return std::stod(text.substr(at + needle.size()));
+}
+
+TEST(NetE2eTest, MetricsVerbHttpAndFacadeAgree) {
+  // The three-export contract: PubSub::metrics(), the kMetrics verb, and
+  // GET /metrics must report identical facade counters for a quiesced
+  // deterministic workload — and all three must answer during load.
+  MiniDomain dom(5, 20);
+  PubSubOptions options;
+  options.engine.shards = 2;
+  options.metrics_sample = 1;
+  NetServerOptions net;
+  net.metrics_port = 0;  // ephemeral
+  auto server = start_server(PubSub(dom.schema(), options), net);
+  ASSERT_NE(server->metrics_port(), 0);
+
+  std::mt19937_64 rng(11);
+  DbspClient subscriber = connect_to(*server);
+  for (int i = 0; i < 5; ++i) {
+    auto id = subscriber.subscribe(*dom.random_tree(rng, 3));
+    ASSERT_TRUE(id.ok()) << id.status().to_string();
+  }
+  DbspClient publisher = connect_to(*server);
+  constexpr std::uint64_t kEvents = 150;
+  for (std::uint64_t i = 0; i < kEvents; ++i) {
+    auto matched = publisher.publish(dom.random_event(rng));
+    ASSERT_TRUE(matched.ok()) << matched.status().to_string();
+    if (i % 50 == 25) {
+      // Scrapes during active publish load answer on both channels.
+      auto verb = publisher.metrics();
+      ASSERT_TRUE(verb.ok()) << verb.status().to_string();
+      EXPECT_FALSE(verb.value().metrics.empty());
+      EXPECT_NE(http_get(server->metrics_port(), "/metrics").find("200 OK"),
+                std::string::npos);
+    }
+  }
+
+  // Quiesced (the last publish reply is in): the facade-owned series must
+  // agree exactly across all three exports. Net-edge frame/byte counters
+  // are excluded — the scrapes themselves advance them.
+  const obs::MetricsSnapshot facade = server->pubsub()->metrics();
+  auto verb = publisher.metrics();
+  ASSERT_TRUE(verb.ok()) << verb.status().to_string();
+  const std::string http = http_get(server->metrics_port(), "/metrics");
+  ASSERT_NE(http.find("200 OK"), std::string::npos);
+  EXPECT_NE(http.find(obs::prometheus_content_type()), std::string::npos);
+
+  const auto agree = [&](const std::string& name) {
+    const double f = facade.value(name);
+    EXPECT_EQ(verb.value().value(name), f) << name;
+    EXPECT_EQ(prom_value(http, name), f) << name;
+  };
+  agree("dbsp_publishes_total");
+  agree("dbsp_events_total");
+  agree("dbsp_matches_total");
+  agree("dbsp_match_events_total");
+  agree("dbsp_subscriptions");
+  agree("dbsp_net_events_published_total");
+  EXPECT_EQ(facade.value("dbsp_publishes_total"),
+            static_cast<double>(kEvents));
+  EXPECT_EQ(facade.value("dbsp_net_events_published_total"),
+            static_cast<double>(kEvents));
+  EXPECT_EQ(facade.value("dbsp_subscriptions"), 5.0);
+
+  // Per-shard match histograms in all three exports: every published
+  // event visits every shard exactly once.
+  for (int shard = 0; shard < 2; ++shard) {
+    const obs::Labels labels = {{"shard", std::to_string(shard)}};
+    const obs::MetricSnapshot* fm = facade.find("dbsp_shard_match_us", labels);
+    ASSERT_NE(fm, nullptr) << "shard " << shard;
+    EXPECT_EQ(fm->histogram.count, kEvents);
+    const obs::MetricSnapshot* vm =
+        verb.value().find("dbsp_shard_match_us", labels);
+    ASSERT_NE(vm, nullptr) << "shard " << shard;
+    EXPECT_EQ(vm->histogram.count, fm->histogram.count);
+    EXPECT_EQ(prom_value(http, "dbsp_shard_match_us_count{shard=\"" +
+                                   std::to_string(shard) + "\"}"),
+              static_cast<double>(fm->histogram.count));
+  }
+
+  // WAL lag and the net write-queue high-water are visible everywhere
+  // (zero-valued here: non-durable store, fast consumer).
+  EXPECT_NE(facade.find("dbsp_wal_lag_records"), nullptr);
+  EXPECT_NE(verb.value().find("dbsp_wal_lag_records"), nullptr);
+  EXPECT_GE(prom_value(http, "dbsp_wal_lag_records"), 0.0);
+  EXPECT_NE(facade.find("dbsp_net_write_queue_high_water_bytes"), nullptr);
+  EXPECT_NE(verb.value().find("dbsp_net_write_queue_high_water_bytes"),
+            nullptr);
+  EXPECT_GE(prom_value(http, "dbsp_net_write_queue_high_water_bytes"), 0.0);
+
+  // NetStats parity: the registry's net series mirror the legacy struct.
+  const NetStats stats = server->stats();
+  EXPECT_EQ(verb.value().value("dbsp_net_events_published_total"),
+            static_cast<double>(stats.events_published));
+  EXPECT_EQ(verb.value().value("dbsp_net_subscriptions"),
+            static_cast<double>(stats.subscriptions));
+
+  // Anything but GET /metrics is a 404.
+  EXPECT_NE(http_get(server->metrics_port(), "/other").find("404"),
+            std::string::npos);
+}
+
+TEST(NetE2eTest, HttpMetricsKeepsServingDuringGracefulDrain) {
+  // Big notifications against an unread subscriber build real pending
+  // write-queue bytes; a graceful drain then has work to flush, and the
+  // HTTP endpoint must keep answering while it does.
+  Schema schema;
+  const AttributeId x = schema.add_attribute("x", ValueType::Int);
+  const AttributeId blob = schema.add_attribute("blob", ValueType::String);
+  NetServerOptions net;
+  net.metrics_port = 0;
+  net.drain_timeout_ms = 20000;
+  net.max_write_queue_bytes = 64u << 20;  // hold, don't disconnect
+  auto server = start_server(PubSub(schema), net);
+
+  DbspClient slow = connect_to(*server);
+  const auto match_all = Node::leaf(Predicate(x, Op::Ge, Value(0)));
+  auto id = slow.subscribe(*match_all);
+  ASSERT_TRUE(id.ok()) << id.status().to_string();
+
+  DbspClient publisher = connect_to(*server);
+  Event event;
+  event.set(x, Value(1));
+  event.set(blob, Value(std::string(64 * 1024, 'b')));
+  constexpr int kEvents = 100;
+  for (int i = 0; i < kEvents; ++i) {
+    auto matched = publisher.publish(event);
+    ASSERT_TRUE(matched.ok()) << matched.status().to_string();
+  }
+
+  server->request_stop_async(/*drain=*/true);
+  // ~6 MiB of unread notifications cannot fit the kernel buffers, so the
+  // drain stays in progress until the subscriber reads; meanwhile the
+  // scrape endpoint answers with the draining gauge raised.
+  ASSERT_TRUE(eventually([&] {
+    return prom_value(http_get(server->metrics_port(), "/metrics"),
+                      "dbsp_net_draining") == 1.0;
+  }));
+  const std::string http = http_get(server->metrics_port(), "/metrics");
+  EXPECT_NE(http.find("200 OK"), std::string::npos);
+  EXPECT_EQ(prom_value(http, "dbsp_net_events_published_total"),
+            static_cast<double>(kEvents));
+
+  int received = 0;
+  for (; received < kEvents; ++received) {
+    auto n = slow.next_notification(10000);
+    if (!n.ok() || !n.value().has_value()) break;
+  }
+  EXPECT_EQ(received, kEvents);
+  server->wait();
+  EXPECT_FALSE(server->running());
 }
 
 TEST(NetE2eTest, SocketsScenarioSoakIsExact) {

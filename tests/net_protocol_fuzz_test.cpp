@@ -194,7 +194,7 @@ TEST_F(NetProtocolFuzzTest, GarbageVersionByteGetsErrorNotCrash) {
 }
 
 TEST_F(NetProtocolFuzzTest, UnknownMessageTypeGetsErrorAndClose) {
-  for (const std::uint8_t type : {std::uint8_t{0}, std::uint8_t{9},
+  for (const std::uint8_t type : {std::uint8_t{0}, std::uint8_t{10},
                                   std::uint8_t{63}, std::uint8_t{200}}) {
     WireWriter body;
     encode_wire_header(body);

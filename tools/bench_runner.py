@@ -30,6 +30,7 @@ import time
 MICRO_BENCHES = [
     "micro_api",
     "micro_filter",
+    "micro_metrics",
     "micro_pruning",
     "micro_selectivity",
     "micro_sharded",
@@ -66,10 +67,12 @@ def run_micro(binary, quick):
     cmd = [binary, "--benchmark_format=json"]
     if quick:
         # Short min-time, and skip the large-argument variants (10k/50k subs).
-        # micro_api keeps a longer floor even in quick mode: its output is a
-        # direct-vs-facade ratio, and single-iteration timings are too noisy
-        # to hold the documented <= 5% overhead contract.
-        min_time = "0.5" if os.path.basename(binary) == "micro_api" else "0.05"
+        # micro_api and micro_metrics keep a longer floor even in quick mode:
+        # their outputs are ratios (direct-vs-facade, metrics on-vs-off), and
+        # single-iteration timings are too noisy to hold the documented <= 5%
+        # overhead contracts.
+        ratio_bench = os.path.basename(binary) in ("micro_api", "micro_metrics")
+        min_time = "0.5" if ratio_bench else "0.05"
         cmd += [f"--benchmark_min_time={min_time}", "--benchmark_filter=-/(10000|50000)$"]
     proc = subprocess.run(cmd, capture_output=True, text=True)
     if proc.returncode != 0:
@@ -146,6 +149,39 @@ def api_overhead(rows):
         "facade_overhead_pct": {
             str(k): round((direct[k] / facade[k] - 1.0) * 100.0, 2) for k in common
         },
+    }
+
+
+def metrics_overhead(rows):
+    """Summarize micro_metrics: the same publish_batch workload with the
+    metrics registry live (default sampling) vs disabled, per shard count,
+    plus what one registry scrape costs. overhead_pct > 0 means metrics-on
+    is slower; the documented contract keeps it <= 5%."""
+    on, off = {}, {}
+    scrape_cost_us = None
+    for row in rows:
+        name = row.get("name", "")
+        parts = name.split("/")
+        if parts[0] == "BM_MetricsSnapshot" and row.get("ns_per_event"):
+            scrape_cost_us = round(row["ns_per_event"] / 1e3, 3)
+            continue
+        eps = row.get("events_per_sec")
+        if not eps or len(parts) < 2 or not parts[1].isdigit():
+            continue
+        if parts[0] == "BM_PublishBatchMetricsOn":
+            on[int(parts[1])] = eps
+        elif parts[0] == "BM_PublishBatchMetricsOff":
+            off[int(parts[1])] = eps
+    common = sorted(set(on) & set(off))
+    if not common and scrape_cost_us is None:
+        return None
+    return {
+        "events_per_sec_metrics_on": {str(k): on[k] for k in common},
+        "events_per_sec_metrics_off": {str(k): off[k] for k in common},
+        "overhead_pct": {
+            str(k): round((off[k] / on[k] - 1.0) * 100.0, 2) for k in common
+        },
+        "scrape_cost_us": scrape_cost_us,
     }
 
 
@@ -352,6 +388,15 @@ def main():
         "direct engine call (documented contract: <= 5%%; the default leaves "
         "headroom for runner noise; 0 disables the gate)",
     )
+    parser.add_argument(
+        "--metrics-overhead-limit",
+        type=float,
+        default=10.0,
+        help="fail when publishing with the metrics registry live is more than "
+        "this %% slower than with metrics disabled (documented contract: "
+        "<= 5%%; the default leaves headroom for runner noise; 0 disables "
+        "the gate)",
+    )
     args = parser.parse_args()
     out_path = args.out or os.path.join(args.build_dir, "BENCH_micro.json")
     scenario_out = args.scenario_out or os.path.join(args.build_dir, "BENCH_scenario.json")
@@ -395,6 +440,7 @@ def main():
         "benchmarks": benchmarks,
         "sharded": sharded_speedup(benchmarks),
         "api_overhead": api_overhead(benchmarks),
+        "metrics": metrics_overhead(benchmarks),
         "fig1_smoke": fig1,
     }
     with open(out_path, "w") as f:
@@ -411,6 +457,25 @@ def main():
                 f"PubSub facade is {worst:.2f}% slower than the direct engine "
                 f"call (limit {args.api_overhead_limit}%; contract <= 5%)"
             )
+
+    metrics = result["metrics"]
+    if metrics is not None and metrics["overhead_pct"]:
+        worst = max(metrics["overhead_pct"].values())
+        scrape = metrics.get("scrape_cost_us")
+        print(f"[bench_runner] metrics_overhead: worst publish overhead "
+              f"{worst:+.2f}%, scrape_cost_us={scrape}")
+        if args.metrics_overhead_limit > 0 and worst > args.metrics_overhead_limit:
+            raise SystemExit(
+                f"publishing with metrics on is {worst:.2f}% slower than with "
+                f"metrics off (limit {args.metrics_overhead_limit}%; "
+                "contract <= 5%)"
+            )
+
+    num_cpus = context.get("num_cpus")
+    if num_cpus is not None and num_cpus < 4:
+        print(f"[bench_runner] WARNING: only {num_cpus} CPUs visible; "
+              "overhead ratios and sharded speedups are unreliable on "
+              "machines with fewer than 4 cores", file=sys.stderr)
 
     write_store_json(args.build_dir, store_out, args.quick, context)
     write_net_json(args.build_dir, net_out, args.quick, context)

@@ -35,13 +35,16 @@ from pathlib import Path
 # A module may always include itself; nothing else is implicit.
 ALLOWED_DEPS: dict[str, set[str]] = {
     "common": set(),
+    # The metrics/tracing substrate: registry, histograms, exposition.
+    # Depends only on common so every other module may instrument itself.
+    "obs": {"common"},
     "event": {"common"},
     "subscription": {"common", "event"},
     "filter": {"common", "event", "subscription"},
     # routing/codec.hpp serializes trees for histogram/stats persistence.
     "selectivity": {"common", "event", "subscription", "routing"},
     "routing": {"common", "event", "subscription"},
-    "core": {"common", "event", "subscription", "filter", "selectivity"},
+    "core": {"common", "event", "subscription", "filter", "selectivity", "obs"},
     "broker": {"common", "event", "subscription", "core", "routing"},
     "workload": {"common", "event", "subscription"},
     "experiment": {"common", "core", "selectivity", "broker", "workload", "api"},
@@ -49,17 +52,20 @@ ALLOWED_DEPS: dict[str, set[str]] = {
     # its only route to the engine — plus the net edge for the sockets
     # transport (run_sockets drives a NetServer over real loopback TCP).
     # core/filter/store are deliberately NOT allowed here.
-    "scenario": {"common", "event", "subscription", "workload", "dbsp", "net"},
-    "store": {"common", "event", "subscription", "core", "routing", "selectivity"},
-    "api": {"common", "event", "subscription", "core", "selectivity", "store"},
+    "scenario": {"common", "event", "subscription", "workload", "dbsp", "net",
+                 "obs"},
+    "store": {"common", "event", "subscription", "core", "routing",
+              "selectivity", "obs"},
+    "api": {"common", "event", "subscription", "core", "selectivity", "store",
+            "obs"},
     # The network edge of the daemon: wire protocol + epoll server + client.
     # Sits on the public facade (api) and the codec; nothing inside src/ may
     # include net except scenario's sockets transport — the daemon and CLI
     # mains live outside src/ in daemon/, and tests/bench are exempt.
-    "net": {"common", "event", "subscription", "routing", "store", "api"},
+    "net": {"common", "event", "subscription", "routing", "store", "api", "obs"},
     # The umbrella re-exports the public surface; it sits above everything.
     "dbsp": {
-        "api", "broker", "common", "event", "routing", "scenario",
+        "api", "broker", "common", "event", "obs", "routing", "scenario",
         "selectivity", "store", "subscription",
     },
 }

@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text exposition (dbspd's GET /metrics).
+
+Checks, against one scrape (a URL or a file) and optionally a second
+scrape of the same URL:
+
+  * every exposed series parses as ``name{labels} value``;
+  * metric and label names stay inside the Prometheus charset;
+  * every family has exactly one ``# TYPE`` line, placed before its
+    samples, with a known type;
+  * histogram families expose ``_bucket`` series whose ``le`` counts are
+    cumulative (non-decreasing, ending at ``+Inf`` == ``_count``);
+  * counters never decrease between the two scrapes (monotonicity — the
+    property Counter::sync_to exists to protect).
+
+Usage:
+  check_metrics.py http://127.0.0.1:7412/metrics   # two scrapes, full lint
+  check_metrics.py scrape.txt                      # single-scrape lint
+
+Exit status: 0 clean, 1 lint findings, 2 scrape/read failure.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import time
+import urllib.request
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[^\s{]+)(?:\{(?P<labels>.*)\})?\s+(?P<value>\S+)(?:\s+\d+)?$"
+)
+LABEL_RE = re.compile(r'(?P<k>[^=,]+)="(?P<v>(?:[^"\\]|\\.)*)"')
+KNOWN_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def fetch(target: str) -> str:
+    if target.startswith("http://") or target.startswith("https://"):
+        with urllib.request.urlopen(target, timeout=10) as resp:
+            ctype = resp.headers.get("Content-Type", "")
+            if "text/plain" not in ctype:
+                raise RuntimeError(f"unexpected Content-Type: {ctype!r}")
+            return resp.read().decode("utf-8")
+    with open(target, encoding="utf-8") as f:
+        return f.read()
+
+
+def family_of(series_name: str) -> str:
+    """The family a series belongs to (histogram suffixes stripped)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if series_name.endswith(suffix):
+            return series_name[: -len(suffix)]
+    return series_name
+
+
+class Scrape:
+    def __init__(self, text: str):
+        self.types: dict[str, str] = {}
+        # (name, sorted-label-tuple) -> float value
+        self.samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+        self.errors: list[str] = []
+        self.order_errors: list[str] = []
+        seen_samples: set[str] = set()
+        for lineno, line in enumerate(text.splitlines(), 1):
+            if not line or line.startswith("# HELP"):
+                continue
+            if line.startswith("# TYPE"):
+                parts = line.split()
+                if len(parts) != 4:
+                    self.errors.append(f"line {lineno}: malformed TYPE line")
+                    continue
+                _, _, fam, typ = parts
+                if typ not in KNOWN_TYPES:
+                    self.errors.append(f"line {lineno}: unknown type '{typ}'")
+                if fam in self.types:
+                    self.errors.append(f"line {lineno}: duplicate TYPE for '{fam}'")
+                if fam in seen_samples:
+                    self.order_errors.append(
+                        f"line {lineno}: TYPE for '{fam}' after its samples")
+                self.types[fam] = typ
+                continue
+            if line.startswith("#"):
+                continue
+            m = SAMPLE_RE.match(line)
+            if not m:
+                self.errors.append(f"line {lineno}: unparseable sample: {line!r}")
+                continue
+            name = m.group("name")
+            if not METRIC_NAME_RE.match(name):
+                self.errors.append(f"line {lineno}: bad metric name '{name}'")
+                continue
+            labels = []
+            if m.group("labels"):
+                for lm in LABEL_RE.finditer(m.group("labels")):
+                    k = lm.group("k")
+                    if not LABEL_NAME_RE.match(k):
+                        self.errors.append(
+                            f"line {lineno}: bad label name '{k}' on '{name}'")
+                    labels.append((k, lm.group("v")))
+            try:
+                value = float(m.group("value"))
+            except ValueError:
+                self.errors.append(
+                    f"line {lineno}: non-numeric value on '{name}'")
+                continue
+            key = (name, tuple(sorted(labels)))
+            if key in self.samples:
+                self.errors.append(f"line {lineno}: duplicate series {key}")
+            self.samples[key] = value
+            seen_samples.add(family_of(name))
+        self.check_families()
+
+    def check_families(self) -> None:
+        untyped = set()
+        for (name, _labels) in self.samples:
+            fam = family_of(name)
+            if fam not in self.types and name not in self.types:
+                untyped.add(name)
+        for name in sorted(untyped):
+            self.errors.append(f"series '{name}' has no TYPE line")
+        # Histogram coherence: cumulative le buckets ending at +Inf==count.
+        for fam, typ in self.types.items():
+            if typ != "histogram":
+                continue
+            groups: dict[tuple[tuple[str, str], ...], dict[float, float]] = {}
+            for (name, labels), value in self.samples.items():
+                if name != fam + "_bucket":
+                    continue
+                le = None
+                rest = []
+                for k, v in labels:
+                    if k == "le":
+                        le = float("inf") if v == "+Inf" else float(v)
+                    else:
+                        rest.append((k, v))
+                if le is None:
+                    self.errors.append(f"'{fam}_bucket' sample without le")
+                    continue
+                groups.setdefault(tuple(rest), {})[le] = value
+            for rest, buckets in groups.items():
+                bounds = sorted(buckets)
+                counts = [buckets[b] for b in bounds]
+                if any(b > a + 1e-9 for a, b in zip(counts[1:], counts)):
+                    self.errors.append(
+                        f"'{fam}' {dict(rest)}: buckets not cumulative")
+                if bounds and bounds[-1] != float("inf"):
+                    self.errors.append(f"'{fam}' {dict(rest)}: no +Inf bucket")
+                total = self.samples.get((fam + "_count", tuple(sorted(rest))))
+                if total is not None and counts and counts[-1] != total:
+                    self.errors.append(
+                        f"'{fam}' {dict(rest)}: +Inf bucket {counts[-1]} != "
+                        f"_count {total}")
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    target = sys.argv[1]
+    try:
+        first = Scrape(fetch(target))
+    except Exception as e:  # noqa: BLE001 - report and exit
+        print(f"check_metrics: scrape failed: {e}", file=sys.stderr)
+        return 2
+    errors = list(first.errors) + list(first.order_errors)
+
+    if target.startswith("http"):
+        time.sleep(0.2)
+        try:
+            second = Scrape(fetch(target))
+        except Exception as e:  # noqa: BLE001
+            print(f"check_metrics: second scrape failed: {e}", file=sys.stderr)
+            return 2
+        errors += second.errors + second.order_errors
+        # Counter monotonicity across the two scrapes.
+        for key, before in first.samples.items():
+            name, _labels = key
+            fam = family_of(name)
+            typ = first.types.get(fam) or first.types.get(name)
+            is_monotone = typ == "counter" or (
+                typ == "histogram" and not name.endswith("_sum"))
+            if not is_monotone:
+                continue
+            after = second.samples.get(key)
+            if after is not None and after < before:
+                errors.append(
+                    f"counter '{key}' decreased between scrapes: "
+                    f"{before} -> {after}")
+        print(f"check_metrics: {len(second.samples)} series, "
+              f"{len(second.types)} families, 2 scrapes")
+    else:
+        print(f"check_metrics: {len(first.samples)} series, "
+              f"{len(first.types)} families, 1 scrape")
+
+    for e in errors:
+        print(f"check_metrics: {e}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
