@@ -1,0 +1,83 @@
+// Baseline cost of classical routing-table compaction: pairwise
+// covering checks and predicate merging over auction subscription trees.
+// This is the O(N^2)-shaped work a broker performs when it compacts its
+// routing table subscription-by-subscription — the approach the agg/
+// subgroup summaries replace with an O(subgroups) advertisement. Read next
+// to micro_routing's sub-linear advertised_bytes/candidate curves, these
+// numbers are the "why": all-pairs covering over even a few thousand
+// subscriptions already costs milliseconds per update wave, and it only
+// removes subscriptions that are *exactly* subsumed.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "routing/covering.hpp"
+#include "routing/merging.hpp"
+#include "workload/subscription_gen.hpp"
+
+namespace {
+
+using namespace dbsp;
+
+std::vector<std::unique_ptr<Node>> make_trees(std::size_t n) {
+  WorkloadConfig cfg;
+  cfg.seed = 11;
+  AuctionDomain domain(cfg);
+  AuctionSubscriptionGenerator gen(domain, 1);
+  std::vector<std::unique_ptr<Node>> trees;
+  trees.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) trees.push_back(gen.next_tree());
+  return trees;
+}
+
+// All-pairs covering sweep: how many subscriptions a broker could drop
+// from its routing table because another one subsumes them.
+void BM_CoveringPairs(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto trees = make_trees(n);
+  std::size_t covered = 0;
+  for (auto _ : state) {
+    covered = 0;
+    for (std::size_t j = 0; j < trees.size(); ++j) {
+      for (std::size_t i = 0; i < trees.size(); ++i) {
+        if (i == j) continue;
+        const auto result = covers(*trees[i], *trees[j]);
+        if (result.has_value() && *result) {
+          ++covered;
+          break;  // one coverer is enough to elide j's advertisement
+        }
+      }
+    }
+    benchmark::DoNotOptimize(covered);
+  }
+  state.counters["covered"] = static_cast<double>(covered);
+  state.counters["pairs"] = static_cast<double>(n) * static_cast<double>(n - 1);
+}
+
+// Fixpoint pairwise merging: collapse perfect-merge pairs until none
+// remain — the strongest lossless compaction pairwise reasoning offers.
+void BM_MergeAll(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto trees = make_trees(n);
+  std::vector<const Node*> roots;
+  roots.reserve(trees.size());
+  for (const auto& tree : trees) roots.push_back(tree.get());
+  std::size_t merged_size = 0;
+  for (auto _ : state) {
+    auto merged = merge_all(roots);
+    merged_size = merged.size();
+    benchmark::DoNotOptimize(merged);
+  }
+  state.counters["out"] = static_cast<double>(merged_size);
+}
+
+}  // namespace
+
+BENCHMARK(BM_CoveringPairs)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MergeAll)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

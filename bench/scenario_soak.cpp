@@ -14,7 +14,9 @@
 // sampling, default 7), DBSP_SCENARIO_RECOVER (default 1: one extra
 // store-backed kill-and-recover run per domain — crash mid-churn and
 // mid-flash-crowd, reopen, assert oracle exactness — reporting recovery
-// timings and replayed WAL record counts), DBSP_SCENARIO_TRANSPORT
+// timings and replayed WAL record counts), DBSP_SCENARIO_AGGREGATION
+// (default 0: enable the src/agg/ aggregation front stage on every
+// centralized run, with the DBSP_AGG_* knobs honored), DBSP_SCENARIO_TRANSPORT
 // ("inprocess" default, or "sockets": drive every run through a real
 // NetServer over loopback TCP — pruning is forced off and the overlay
 // runs are skipped, both unsupported by the sockets transport).
@@ -124,6 +126,7 @@ int main() {
   const auto check_every =
       static_cast<std::size_t>(env_int("DBSP_SCENARIO_CHECK_EVERY", 7));
   const bool recover = env_bool("DBSP_SCENARIO_RECOVER", true);
+  const bool aggregation = env_bool("DBSP_SCENARIO_AGGREGATION", false);
   const char* transport_raw = std::getenv("DBSP_SCENARIO_TRANSPORT");
   const std::string transport =
       (transport_raw != nullptr && *transport_raw != '\0') ? transport_raw
@@ -171,6 +174,8 @@ int main() {
       if (sockets) {
         config.transport = ScenarioTransport::kSockets;
         config.pruning = false;  // the wire oracle holds unpruned clones
+      } else {
+        config.aggregation = aggregation;
       }
       std::fprintf(stderr, "[scenario_soak] %s %s N=%zu ...\n", name.c_str(),
                    sockets ? "sockets" : "centralized", shards);
@@ -210,6 +215,8 @@ int main() {
       if (sockets) {
         config.transport = ScenarioTransport::kSockets;
         config.pruning = false;
+      } else {
+        config.aggregation = aggregation;
       }
       std::fprintf(stderr, "[scenario_soak] %s kill-and-recover (%s) ...\n",
                    name.c_str(), transport.c_str());
@@ -226,9 +233,9 @@ int main() {
   std::printf(
       "  \"config\": {\"subs\": %zu, \"events_per_phase\": %zu, \"brokers\": %zu, "
       "\"drift_threshold\": %zu, \"check_every\": %zu, \"recover\": %s, "
-      "\"transport\": \"%s\"},\n",
+      "\"aggregation\": %s, \"transport\": \"%s\"},\n",
       subs, events, brokers, drift, check_every, recover ? "true" : "false",
-      transport.c_str());
+      aggregation ? "true" : "false", transport.c_str());
   std::printf("  \"exact\": %s,\n", exact ? "true" : "false");
   std::printf("  \"runs\": [\n");
   for (std::size_t i = 0; i < reports.size(); ++i) {

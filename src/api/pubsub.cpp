@@ -64,6 +64,13 @@ struct PubSubCore {
       estimator.emplace(stats);
       pruning.emplace(engine, *estimator, options.prune);
     }
+    if (options.aggregation) {
+      aggregator.emplace(schema, options.agg);
+      // The engine forwards all add/remove/reindex churn and routes
+      // matching through the aggregator from here on; the facade only
+      // drives training, thresholds and introspection.
+      engine.attach_aggregation(&*aggregator);
+    }
     if (options.metrics) {
       registry = std::make_shared<obs::MetricsRegistry>();
       publishes_total = &registry->counter("dbsp_publishes_total");
@@ -99,6 +106,10 @@ struct PubSubCore {
   // fans out internally; its workers touch disjoint per-shard state).
   ShardedEngine engine DBSP_GUARDED_BY(mutex);
   std::optional<ShardedPruningSet> pruning DBSP_GUARDED_BY(mutex);
+  /// The aggregation front stage (options.aggregation). The engine holds a
+  /// raw pointer to it and is the only churn path; matching under `mutex`
+  /// satisfies the aggregator's probe-vs-churn exclusion contract.
+  std::optional<agg::SubscriptionAggregator> aggregator DBSP_GUARDED_BY(mutex);
 
   /// Durable mode (PubSub::open). Fail-stop: the first append/checkpoint
   /// failure moves its Status into store_failure and drops the store, so
@@ -265,6 +276,17 @@ void register_metrics_hook(const std::shared_ptr<PubSubCore>& core) {
   auto* releases = &r.counter("dbsp_pruning_releases_total");
   auto* compactions = &r.counter("dbsp_pruning_queue_compactions_total");
   auto* rescores = &r.counter("dbsp_pruning_full_rescores_total");
+  auto* agg_subgroups = &r.gauge("dbsp_agg_subgroups");
+  auto* agg_dimensions = &r.gauge("dbsp_agg_dimensions");
+  auto* agg_advertised = &r.gauge("dbsp_agg_advertised_bytes");
+  auto* agg_probes = &r.counter("dbsp_agg_events_probed_total");
+  auto* agg_admitted = &r.counter("dbsp_agg_subgroups_admitted_total");
+  auto* agg_skipped = &r.counter("dbsp_agg_subgroups_skipped_total");
+  auto* agg_candidates = &r.counter("dbsp_agg_candidates_total");
+  auto* agg_matches = &r.counter("dbsp_agg_matches_total");
+  auto* agg_widenings = &r.counter("dbsp_agg_summary_widenings_total");
+  auto* agg_subgroup_rebuilds = &r.counter("dbsp_agg_subgroup_rebuilds_total");
+  auto* agg_full_rebuilds = &r.counter("dbsp_agg_full_rebuilds_total");
   std::weak_ptr<PubSubCore> weak = core;
   r.add_hook([=]() {
     const auto c = weak.lock();
@@ -296,6 +318,20 @@ void register_metrics_hook(const std::shared_ptr<PubSubCore>& core) {
       releases->sync_to(m.releases);
       compactions->sync_to(m.queue_compactions);
       rescores->sync_to(m.full_rescores);
+    }
+    if (c->aggregator) {
+      agg_subgroups->set(static_cast<double>(c->aggregator->subgroup_count()));
+      agg_dimensions->set(static_cast<double>(c->aggregator->dimensions().size()));
+      agg_advertised->set(static_cast<double>(c->aggregator->advertised_bytes()));
+      const agg::AggregationCounters ac = c->aggregator->counters();
+      agg_probes->sync_to(ac.events_probed);
+      agg_admitted->sync_to(ac.subgroups_admitted);
+      agg_skipped->sync_to(ac.subgroups_skipped);
+      agg_candidates->sync_to(ac.candidates_evaluated);
+      agg_matches->sync_to(ac.matches);
+      agg_widenings->sync_to(ac.summary_widenings);
+      agg_subgroup_rebuilds->sync_to(ac.subgroup_rebuilds);
+      agg_full_rebuilds->sync_to(ac.full_rebuilds);
     }
   });
 }
@@ -653,11 +689,14 @@ Status pruning_disabled() {
 Status PubSub::train(std::span<const Event> sample) {
   auto& c = *core_;
   MutexLock lock(c.mutex);
-  if (!c.options.pruning) return pruning_disabled();
+  if (!c.options.pruning && !c.aggregator) return pruning_disabled();
   c.stats.reset();
   for (const Event& e : sample) c.stats.observe(e);
   c.stats.finalize();
   c.stats_trained = true;
+  // Aggregation dimensions rescore against the fresh statistics (full
+  // subgroup rebuild when the top-scored dimensions changed).
+  if (c.aggregator) c.aggregator->train(c.stats);
   // The estimator holds the stats by reference; queued candidate scores go
   // stale until the caller's next rescore_all().
   const Status logged = c.log_to_store([&](store::StateStore& s) {
@@ -677,25 +716,33 @@ namespace {
 /// simply one generation behind — and the error is reported.
 template <class Fn>
 Result<std::size_t> logged_prune(PubSubCore& c, Fn&& fn) DBSP_REQUIRES(c.mutex) {
+  // The aggregator also walks the history deltas: the per-shard pruning
+  // engines reindex their counting matchers directly (bypassing the
+  // ShardedEngine forwarding), so pruned trees must be re-joined into
+  // their subgroup summaries here to keep the probe stage sound.
+  const bool track = c.store != nullptr || c.aggregator.has_value();
   std::vector<std::size_t> history_before;
-  if (c.store) {
+  if (track) {
     history_before.resize(c.pruning->shard_count());
     for (std::size_t i = 0; i < c.pruning->shard_count(); ++i) {
       history_before[i] = c.pruning->shard(i).history().size();
     }
   }
   const std::size_t done = std::forward<Fn>(fn)();
-  if (c.store && done > 0) {
+  if (track && done > 0) {
     for (std::size_t i = 0; i < c.pruning->shard_count(); ++i) {
       const auto& history = c.pruning->shard(i).history();
       for (std::size_t j = history_before[i]; j < history.size(); ++j) {
         const SubscriptionId id = history[j].sub;
         const auto it = c.subs.find(id.value());
         if (it == c.subs.end()) continue;  // released since; nothing to log
-        const Status logged = c.log_to_store([&](store::StateStore& s) {
-          s.append_prune(id, it->second.sub->root());
-        });
-        if (!logged.ok()) return logged;
+        if (c.aggregator) c.aggregator->refresh(*it->second.sub);
+        if (c.store) {
+          const Status logged = c.log_to_store([&](store::StateStore& s) {
+            s.append_prune(id, it->second.sub->root());
+          });
+          if (!logged.ok()) return logged;
+        }
       }
     }
     const Status snapped = c.maybe_checkpoint();
@@ -750,21 +797,29 @@ Status PubSub::set_prune_dimension(PruneDimension dimension) {
 }
 
 Status PubSub::set_drift_threshold(std::size_t mutations) {
-  MutexLock lock(core_->mutex);
-  if (!core_->pruning) return pruning_disabled();
-  core_->pruning->set_drift_threshold(mutations);
+  auto& c = *core_;
+  MutexLock lock(c.mutex);
+  if (!c.pruning && !c.aggregator) return pruning_disabled();
+  if (c.pruning) c.pruning->set_drift_threshold(mutations);
+  if (c.aggregator) c.aggregator->set_rescore_threshold(mutations);
   return Status();
 }
 
 bool PubSub::drift_pending() const {
   MutexLock lock(core_->mutex);
-  return core_->pruning && core_->pruning->drift_pending();
+  return (core_->pruning && core_->pruning->drift_pending()) ||
+         (core_->aggregator && core_->aggregator->rescore_pending());
 }
 
 Status PubSub::rescore_all() {
-  MutexLock lock(core_->mutex);
-  if (!core_->pruning) return pruning_disabled();
-  core_->pruning->rescore_all();
+  auto& c = *core_;
+  MutexLock lock(c.mutex);
+  if (!c.pruning && !c.aggregator) return pruning_disabled();
+  if (c.pruning) c.pruning->rescore_all();
+  // train() is the aggregation rescore: it re-ranks dimensions over the
+  // current statistics and clears the rescore trigger. Safe untrained —
+  // the scorer falls back to constraint frequency.
+  if (c.aggregator) c.aggregator->train(c.stats);
   return Status();
 }
 
@@ -778,6 +833,19 @@ PubSub::PruningStats PubSub::pruning_stats() const {
   out.total_possible = c.pruning->total_possible();
   out.performed = c.pruning->performed();
   out.maintenance = c.pruning->maintenance();
+  return out;
+}
+
+PubSub::AggregationStats PubSub::aggregation_stats() const {
+  AggregationStats out;
+  const auto& c = *core_;
+  MutexLock lock(c.mutex);
+  if (!c.aggregator) return out;
+  out.enabled = true;
+  out.subgroups = c.aggregator->subgroup_count();
+  out.dimensions = c.aggregator->dimensions().size();
+  out.advertised_bytes = c.aggregator->advertised_bytes();
+  out.counters = c.aggregator->counters();
   return out;
 }
 
@@ -808,6 +876,7 @@ CountingMatcher::Counters PubSub::counters() const {
 void PubSub::reset_counters() {
   MutexLock lock(core_->mutex);
   core_->engine.reset_counters();
+  if (core_->aggregator) core_->aggregator->reset_counters();
   core_->notifications = 0;
 }
 

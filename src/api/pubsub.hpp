@@ -34,6 +34,7 @@
 #include <string_view>
 #include <vector>
 
+#include "agg/aggregator.hpp"
 #include "api/filter.hpp"
 #include "api/status.hpp"
 #include "core/pruning_set.hpp"
@@ -58,6 +59,18 @@ struct PubSubOptions {
   /// Dimension / tie-break order / bottom-up restriction of the pruning
   /// queues (used only when `pruning` is set).
   PruneEngineConfig prune;
+  /// Enables the aggregation front stage (src/agg/): subscriptions are
+  /// clustered into subgroups with bounded per-dimension summaries, and
+  /// every publish probes the subgroup summaries before evaluating the
+  /// member trees of admitted subgroups. Matching results are identical to
+  /// the unaggregated path (summary rejects are sound); match cost and
+  /// advertisement bytes scale with subgroups instead of subscriptions.
+  /// Composes with pruning and any backend.
+  bool aggregation = false;
+  /// Aggregation knobs (dimensions, subgroup cap, widening limits); used
+  /// only when `aggregation` is set. agg::AggregatorOptions::from_env()
+  /// reads the DBSP_AGG_* environment overrides.
+  agg::AggregatorOptions agg;
   /// Enables the metrics registry: throughput counters, per-shard match
   /// histograms, phase timings (dbsp_phase_us), and the state synced at
   /// every scrape (subscriptions, WAL lag, pruning gauges). Off: metrics()
@@ -257,6 +270,21 @@ class PubSub {
     PruningEngine::MaintenanceCounters maintenance;
   };
   [[nodiscard]] PruningStats pruning_stats() const;
+
+  // --- Aggregation ---------------------------------------------------------
+
+  struct AggregationStats {
+    bool enabled = false;
+    std::size_t subgroups = 0;         ///< non-empty subgroups
+    std::size_t dimensions = 0;        ///< active aggregation dimensions
+    std::size_t advertised_bytes = 0;  ///< summary advertisement footprint
+    agg::AggregationCounters counters;
+  };
+  /// Probe/maintenance counters of the aggregation front stage; default
+  /// (enabled == false) when PubSubOptions::aggregation is off. train()
+  /// also rescores the aggregation dimensions, and drift_pending() folds
+  /// in the aggregator's rescore trigger.
+  [[nodiscard]] AggregationStats aggregation_stats() const;
 
   // --- Introspection -------------------------------------------------------
 

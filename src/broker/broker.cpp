@@ -10,12 +10,21 @@ namespace dbsp {
 
 Broker::Broker(BrokerId id, const Schema& schema, SimulatedNetwork& net,
                ShardedEngineOptions engine_options)
-    : id_(id), net_(&net), engine_(schema, engine_options) {}
+    : id_(id), net_(&net), schema_(&schema), engine_(schema, engine_options) {}
 
 Broker::~Broker() = default;
 
 void Broker::subscribe_local(SubscriptionId id, ClientId client,
                              std::unique_ptr<Node> tree) {
+  if (aggregator_ != nullptr) {
+    // Aggregated routing: the tree stays local; the engine forwards it
+    // into the aggregator, and only the subgroup summaries it changed are
+    // advertised.
+    Subscription& sub = table_.add_local(id, client, std::move(tree));
+    engine_.add(sub);
+    advertise_changes();
+    return;
+  }
   std::shared_ptr<const Node> wire_copy(tree->clone().release());
   Subscription& sub = table_.add_local(id, client, std::move(tree));
   engine_.add(sub);
@@ -45,6 +54,12 @@ void Broker::unsubscribe_local(SubscriptionId id) {
   if (pruning_ != nullptr) pruning_->remove(id);
   engine_.remove(id);
   table_.remove(id);
+  if (aggregator_ != nullptr) {
+    // No tree was ever flooded, so there is nothing to unsubscribe
+    // remotely — only the changed subgroup summaries (possibly a retract).
+    advertise_changes();
+    return;
+  }
   Message m;
   m.type = Message::Type::Unsubscribe;
   m.sub_id = id;
@@ -84,6 +99,66 @@ void Broker::handle(BrokerId from, const Message& message) {
       }
       break;
     }
+    case Message::Type::Summary: {
+      // Remember the summary under the neighbor it arrived through (the
+      // next hop toward its origin) and flood it onward; the overlay is
+      // acyclic, so propagation terminates at the leaves. The origin only
+      // advertises actual changes, so no re-diffing is needed here.
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(message.origin.value()) << 32) |
+          message.subgroup;
+      auto& learned = neighbor_summaries_[from.value()];
+      if (message.summary == nullptr) {
+        learned.erase(key);
+      } else {
+        learned.insert_or_assign(key, message.summary);
+      }
+      send_summary(from, message.origin, message.subgroup, message.summary);
+      break;
+    }
+  }
+}
+
+agg::SubscriptionAggregator& Broker::enable_aggregation(agg::AggregatorOptions options) {
+  if (table_.size() != 0) {
+    throw std::logic_error("broker: enable_aggregation on a non-empty broker");
+  }
+  aggregator_ = std::make_unique<agg::SubscriptionAggregator>(*schema_, options);
+  engine_.attach_aggregation(aggregator_.get());
+  return *aggregator_;
+}
+
+void Broker::advertise_changes() {
+  const std::size_t slots =
+      std::max(aggregator_->subgroup_slots(), advertised_.size());
+  if (advertised_.size() < slots) advertised_.resize(slots);
+  for (std::size_t g = 0; g < slots; ++g) {
+    const std::uint32_t slot = static_cast<std::uint32_t>(g);
+    const agg::SummarySet* current = aggregator_->subgroup_summary(g);
+    if (current == nullptr) {
+      if (advertised_[g] != nullptr) {  // emptied: retract
+        advertised_[g] = nullptr;
+        send_summary(BrokerId{}, id_, slot, nullptr);
+      }
+      continue;
+    }
+    if (advertised_[g] != nullptr && advertised_[g]->equals(*current)) continue;
+    auto copy = std::make_shared<const agg::SummarySet>(*current);
+    advertised_[g] = copy;
+    send_summary(BrokerId{}, id_, slot, copy);
+  }
+}
+
+void Broker::send_summary(BrokerId except, BrokerId origin, std::uint32_t subgroup,
+                          const std::shared_ptr<const agg::SummarySet>& summary) {
+  for (const BrokerId neighbor : net_->neighbors(id_)) {
+    if (neighbor == except) continue;
+    Message m;
+    m.type = Message::Type::Summary;
+    m.origin = origin;
+    m.subgroup = subgroup;
+    m.summary = summary;
+    net_->send(id_, neighbor, std::move(m));
   }
 }
 
@@ -107,6 +182,22 @@ void Broker::route_event(BrokerId from, const Event& event, std::uint64_t seq) {
       if (std::find(scratch_targets_.begin(), scratch_targets_.end(), entry->from) ==
           scratch_targets_.end()) {
         scratch_targets_.push_back(entry->from);
+      }
+    }
+  }
+  if (aggregator_ != nullptr) {
+    // Aggregated forwarding: all table entries are local, so the loop
+    // above produced only notifications; transit targets come from the
+    // neighbor summaries instead — forward once toward every neighbor
+    // through which some admitting subgroup summary was learned.
+    for (const auto& [neighbor_raw, learned] : neighbor_summaries_) {
+      const BrokerId neighbor(neighbor_raw);
+      if (neighbor == from) continue;
+      for (const auto& [key, summary] : learned) {
+        if (summary->admits(event)) {
+          scratch_targets_.push_back(neighbor);
+          break;
+        }
       }
     }
   }
@@ -214,6 +305,7 @@ void Broker::reset_metrics() {
   events_filtered_ = 0;
   notification_log_.clear();
   engine_.reset_counters();
+  if (aggregator_ != nullptr) aggregator_->reset_counters();
 }
 
 }  // namespace dbsp

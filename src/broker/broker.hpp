@@ -2,8 +2,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
+#include "agg/aggregator.hpp"
 #include "common/ids.hpp"
 #include "common/timer.hpp"
 #include "broker/simnet.hpp"
@@ -99,6 +101,24 @@ class Broker {
   /// (the distributed memory metric, Fig. 1(f)).
   [[nodiscard]] std::size_t remote_association_count() const;
 
+  // --- Aggregated routing --------------------------------------------------
+
+  /// Switches this broker to aggregated summary routing: local
+  /// subscriptions are clustered into subgroups (src/agg/) and only the
+  /// bounded subgroup summaries are advertised to neighbors — no
+  /// per-subscription tree ever leaves this broker. An event is forwarded
+  /// toward a neighbor exactly when a summary learned through it admits the
+  /// event (sound over-approximation), and delivered by exact local
+  /// matching at the subscriber's broker, so end-to-end delivery stays
+  /// oracle-exact while control traffic scales with subgroups instead of
+  /// subscriptions. Must be called on an empty broker (throws
+  /// std::logic_error otherwise) and on every broker of the overlay before
+  /// subscriptions flow (see Overlay::enable_aggregation). Pruning is
+  /// moot in this mode: no remote trees exist to prune.
+  agg::SubscriptionAggregator& enable_aggregation(agg::AggregatorOptions options = {});
+  /// The local subgroup aggregator, nullptr when aggregation is off.
+  [[nodiscard]] agg::SubscriptionAggregator* aggregation() { return aggregator_.get(); }
+
   // --- Warm restart --------------------------------------------------------
 
   /// Serializes the whole routing table — local and remote entries with
@@ -139,11 +159,28 @@ class Broker {
   void route_event(BrokerId from, const Event& event, std::uint64_t seq);
   void forward_subscription(BrokerId except, SubscriptionId id,
                             const std::shared_ptr<const Node>& tree);
+  /// Diff-advertises every subgroup summary that changed (or vanished)
+  /// since the last call — the aggregated-mode control traffic.
+  void advertise_changes();
+  void send_summary(BrokerId except, BrokerId origin, std::uint32_t subgroup,
+                    const std::shared_ptr<const agg::SummarySet>& summary);
 
   BrokerId id_;
   SimulatedNetwork* net_;
+  const Schema* schema_;
   RoutingTable table_;
   ShardedEngine engine_;
+  /// Aggregated routing state (enable_aggregation). `advertised_` caches
+  /// the last summary sent per subgroup slot (exact equals() diffing — a
+  /// missed widening advertisement would cost deliveries downstream);
+  /// `neighbor_summaries_` holds, per neighbor, the summaries learned
+  /// through it keyed by (origin broker, subgroup slot).
+  std::unique_ptr<agg::SubscriptionAggregator> aggregator_;
+  std::vector<std::shared_ptr<const agg::SummarySet>> advertised_;
+  std::unordered_map<
+      BrokerId::value_type,
+      std::unordered_map<std::uint64_t, std::shared_ptr<const agg::SummarySet>>>
+      neighbor_summaries_;
   /// Set via enable_pruning(); pruning_ aliases it (or an externally
   /// attached set through the deprecated set_pruning()).
   std::unique_ptr<ShardedPruningSet> owned_pruning_;

@@ -38,6 +38,10 @@ Overlay::Overlay(const Schema& schema, std::size_t brokers, const Topology& topo
   }
 }
 
+void Overlay::enable_aggregation(agg::AggregatorOptions options) {
+  for (auto& b : brokers_) b->enable_aggregation(options);
+}
+
 void Overlay::subscribe(BrokerId at, ClientId client, SubscriptionId id,
                         std::unique_ptr<Node> tree) {
   broker(at).subscribe_local(id, client, std::move(tree));

@@ -29,6 +29,13 @@ class Overlay {
           SimulatedNetwork::Config net_config = {},
           ShardedEngineOptions engine_options = {});
 
+  /// Switches every broker to aggregated summary routing (src/agg/):
+  /// subscriptions stay at their home broker, only subgroup summaries are
+  /// flooded, and events travel along admitting summaries. Must run before
+  /// any subscription enters the overlay (throws std::logic_error
+  /// otherwise, from the first non-empty broker).
+  void enable_aggregation(agg::AggregatorOptions options = {});
+
   /// Registers a client subscription at `at` and floods it through the
   /// overlay (subscription forwarding) until quiescence.
   void subscribe(BrokerId at, ClientId client, SubscriptionId id,

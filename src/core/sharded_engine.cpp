@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
+#include "agg/aggregator.hpp"
 #include "common/env.hpp"
 #include "obs/trace.hpp"
 
@@ -29,6 +32,10 @@ std::size_t resolve_shard_count(std::size_t requested) {
 ShardedEngine::ShardedEngine(const Schema& schema, ShardedEngineOptions options)
     : options_(options) {
   options_.shards = resolve_shard_count(options_.shards);
+  if (options_.agg_fallback_pct == static_cast<std::size_t>(-1)) {
+    options_.agg_fallback_pct = static_cast<std::size_t>(
+        std::max<std::int64_t>(0, env_int("DBSP_AGG_FALLBACK_PCT", 10)));
+  }
   shards_.reserve(options_.shards);
   for (std::size_t i = 0; i < options_.shards; ++i) {
     switch (options_.backend) {
@@ -58,21 +65,27 @@ std::size_t ShardedEngine::shard_of(SubscriptionId id) const {
   return static_cast<std::size_t>(x % shards_.size());
 }
 
+void ShardedEngine::attach_aggregation(agg::SubscriptionAggregator* aggregator) {
+  aggregator_ = aggregator;
+}
+
 bool ShardedEngine::add(Subscription& sub) {
   ShardMatcher& m = *shards_[shard_of(sub.id())];
+  bool added = true;
   if (auto* counting = std::get_if<CountingMatcher>(&m)) {
     counting->add(sub);
-    return true;
+  } else if (auto* dnf = std::get_if<DnfMatcher>(&m)) {
+    added = dnf->add(sub, options_.max_dnf_conjunctions);
+  } else {
+    std::get<NaiveMatcher>(m).add(sub);
   }
-  if (auto* dnf = std::get_if<DnfMatcher>(&m)) {
-    return dnf->add(sub, options_.max_dnf_conjunctions);
-  }
-  std::get<NaiveMatcher>(m).add(sub);
-  return true;
+  if (added && aggregator_ != nullptr) aggregator_->add(sub);
+  return added;
 }
 
 void ShardedEngine::remove(SubscriptionId id) {
   std::visit([id](auto& matcher) { matcher.remove(id); }, *shards_[shard_of(id)]);
+  if (aggregator_ != nullptr) aggregator_->remove(id);
 }
 
 void ShardedEngine::reindex(Subscription& sub) {
@@ -82,6 +95,7 @@ void ShardedEngine::reindex(Subscription& sub) {
     throw std::logic_error("sharded engine: reindex requires the counting backend");
   }
   counting->reindex(sub);
+  if (aggregator_ != nullptr) aggregator_->refresh(sub);
 }
 
 bool ShardedEngine::contains(SubscriptionId id) const {
@@ -122,11 +136,30 @@ void ShardedEngine::match_shard(std::size_t shard, const Event& event,
   std::visit([&](auto& matcher) { matcher.match(event, out); }, *shards_[shard]);
 }
 
+std::size_t ShardedEngine::aggregated_budget() const {
+  if (options_.agg_fallback_pct == 0) {
+    return std::numeric_limits<std::size_t>::max();
+  }
+  return aggregator_->subscription_count() * options_.agg_fallback_pct / 100;
+}
+
+bool ShardedEngine::use_aggregated_path() const {
+  return aggregator_ != nullptr &&
+         aggregated_budget() >= aggregator_->subgroup_slots();
+}
+
 void ShardedEngine::match(const Event& event, std::vector<SubscriptionId>& out) {
   const auto base = static_cast<std::ptrdiff_t>(out.size());
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    obs::PhaseTimer timer(shard_hist(shard_match_us_, s));
-    match_shard(s, event, out);
+  bool matched = false;
+  if (use_aggregated_path()) {
+    obs::PhaseTimer timer(shard_hist(shard_match_us_, 0));
+    matched = aggregator_->match_within(event, out, aggregated_budget());
+  }
+  if (!matched) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      obs::PhaseTimer timer(shard_hist(shard_match_us_, s));
+      match_shard(s, event, out);
+    }
   }
   std::sort(out.begin() + base, out.end());
 }
@@ -136,8 +169,77 @@ ThreadPool& ShardedEngine::pool() {
   return *pool_;
 }
 
+void ShardedEngine::match_batch_aggregated(
+    std::span<const Event> events, std::vector<std::vector<SubscriptionId>>& out) {
+  out.resize(events.size());
+  // With the aggregation front stage every probe sees the whole (read-only)
+  // subgroup index, so the pool parallelizes over events instead of shards:
+  // each worker fills a disjoint chunk of result rows. Budget-declined
+  // events are flagged (disjoint element writes) and re-run through the
+  // shard-parallel path afterwards.
+  const std::size_t budget = aggregated_budget();
+  std::vector<char> declined(events.size(), 0);
+  const std::size_t workers =
+      std::min(shards_.size(), events.size() == 0 ? std::size_t{1} : events.size());
+  auto run_chunk = [&](std::size_t w) {
+    obs::PhaseTimer timer(shard_hist(shard_match_us_, w));
+    if (auto* hist = shard_hist(shard_batch_events_, w)) {
+      hist->record(static_cast<double>(events.size()));
+    }
+    for (std::size_t e = w; e < events.size(); e += workers) {
+      out[e].clear();
+      if (aggregator_->match_within(events[e], out[e], budget)) {
+        std::sort(out[e].begin(), out[e].end());
+      } else {
+        declined[e] = 1;
+      }
+    }
+  };
+  if (workers <= 1) {
+    run_chunk(0);
+  } else {
+    std::vector<std::future<void>> futures;
+    futures.reserve(workers - 1);
+    for (std::size_t w = 1; w < workers; ++w) {
+      futures.push_back(pool().submit([&run_chunk, w] { run_chunk(w); }));
+    }
+    std::exception_ptr error;
+    try {
+      run_chunk(0);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    for (auto& f : futures) f.wait();
+    if (error) std::rethrow_exception(error);
+    for (auto& f : futures) f.get();
+  }
+
+  std::vector<std::size_t> rest;
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    if (declined[e] != 0) rest.push_back(e);
+  }
+  if (rest.empty()) return;
+  std::vector<Event> rest_events;
+  rest_events.reserve(rest.size());
+  for (const std::size_t e : rest) rest_events.push_back(events[e]);
+  std::vector<std::vector<SubscriptionId>> rest_out;
+  match_batch_sharded(rest_events, rest_out);
+  for (std::size_t k = 0; k < rest.size(); ++k) {
+    out[rest[k]] = std::move(rest_out[k]);
+  }
+}
+
 void ShardedEngine::match_batch(std::span<const Event> events,
                                 std::vector<std::vector<SubscriptionId>>& out) {
+  if (use_aggregated_path()) {
+    match_batch_aggregated(events, out);
+    return;
+  }
+  match_batch_sharded(events, out);
+}
+
+void ShardedEngine::match_batch_sharded(
+    std::span<const Event> events, std::vector<std::vector<SubscriptionId>>& out) {
   out.resize(events.size());
   if (shards_.size() == 1) {
     obs::PhaseTimer timer(shard_hist(shard_match_us_, 0));

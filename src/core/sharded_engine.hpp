@@ -22,6 +22,10 @@
 
 namespace dbsp {
 
+namespace agg {
+class SubscriptionAggregator;
+}  // namespace agg
+
 /// Which matcher algorithm each shard runs. All shards of one engine use
 /// the same backend; the choice trades per-event cost against feature set
 /// (only Counting supports reindex-after-pruning and the pmin trigger).
@@ -41,6 +45,13 @@ struct ShardedEngineOptions {
   MatcherBackend backend = MatcherBackend::Counting;
   /// Conversion cap forwarded to DnfMatcher::add (Dnf backend only).
   std::size_t max_dnf_conjunctions = 4096;
+  /// Aggregated-match candidate budget as a percentage of the table: when
+  /// the summary probe admits more than this share of the subscriptions,
+  /// the event falls back to the exact shard index (whose per-subscription
+  /// cost is far below a naive tree evaluation). 0 disables the fallback
+  /// (always evaluate the admitted candidates). SIZE_MAX = auto: the
+  /// DBSP_AGG_FALLBACK_PCT environment knob, default 10.
+  std::size_t agg_fallback_pct = static_cast<std::size_t>(-1);
 };
 
 /// Resolves a requested shard count: a positive request is taken verbatim;
@@ -142,6 +153,26 @@ class ShardedEngine {
   [[nodiscard]] CountingMatcher::Counters counters() const;
   void reset_counters();
 
+  /// Attaches an aggregation front stage (or nullptr to detach). While
+  /// attached the engine forwards add/remove/reindex churn to the
+  /// aggregator and routes match()/match_batch() through it: events probe
+  /// the subgroup summaries and only the member trees of admitted
+  /// subgroups are evaluated (false-positive-only probing, so results stay
+  /// identical to the unaggregated path). When the probe admits more than
+  /// agg_fallback_pct percent of the table, the event is matched by the
+  /// exact shard index instead — same results, index-speed worst case —
+  /// and while that budget is still below the subgroup count (small
+  /// populations), the probe is skipped entirely since it could not pay
+  /// for itself. The shard matchers keep indexing
+  /// every subscription, so pruning and the introspection surface keep
+  /// working. The aggregator must outlive the attachment, be empty when
+  /// attached to a non-empty engine's owner flow (attach before the first
+  /// add), and be churned exclusively through this engine afterwards.
+  /// In match_batch() the internal pool parallelizes over *events* instead
+  /// of shards while an aggregator is attached.
+  void attach_aggregation(agg::SubscriptionAggregator* aggregator);
+  [[nodiscard]] agg::SubscriptionAggregator* aggregation() const { return aggregator_; }
+
   /// Registers per-shard observability series with `registry`:
   /// `dbsp_shard_match_us{shard="i"}` (per-shard match latency in
   /// microseconds — per event in match(), per batch in match_batch()) and
@@ -166,8 +197,30 @@ class ShardedEngine {
     return shard < hists.size() ? hists[shard] : nullptr;
   }
 
+  /// Aggregated-match candidate budget for one event (SIZE_MAX when the
+  /// fallback is disabled).
+  [[nodiscard]] std::size_t aggregated_budget() const;
+
+  /// Probing costs one admit check per subgroup slot; when the candidate
+  /// budget is below that, even a perfectly pruned probe cannot save more
+  /// work than it spends, so small populations route straight to the
+  /// counting shards.
+  [[nodiscard]] bool use_aggregated_path() const;
+
+  /// Aggregated batch dispatch: the pool chunks `events` across workers,
+  /// each probing the (read-only) aggregator into disjoint `out` rows.
+  /// Events whose probe exceeds the candidate budget are re-run through
+  /// the shard-parallel path afterwards.
+  void match_batch_aggregated(std::span<const Event> events,
+                              std::vector<std::vector<SubscriptionId>>& out);
+
+  /// Unaggregated batch dispatch (shard fan-out on the pool).
+  void match_batch_sharded(std::span<const Event> events,
+                           std::vector<std::vector<SubscriptionId>>& out);
+
   ShardedEngineOptions options_;
   std::vector<std::unique_ptr<ShardMatcher>> shards_;
+  agg::SubscriptionAggregator* aggregator_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;
   /// Per-shard result rows reused across match_batch calls.
   std::vector<std::vector<std::vector<SubscriptionId>>> batch_scratch_;

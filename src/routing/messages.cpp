@@ -18,6 +18,12 @@ std::size_t Message::wire_size_bytes() const {
       return kHeaderBytes + (sub_tree ? encoded_size(*sub_tree) : 0);
     case Type::Unsubscribe:
       return kHeaderBytes;
+    case Type::Summary:
+      // origin + subgroup slot + presence flag + the summary's own wire
+      // footprint (the routing-table bytes aggregation advertises instead
+      // of per-subscription trees).
+      return kHeaderBytes + 4 + 4 + 1 +
+             (summary ? summary->wire_size_bytes() : 0);
   }
   return kHeaderBytes;
 }

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "agg/summary.hpp"
 #include "common/ids.hpp"
 #include "event/event.hpp"
 #include "subscription/node.hpp"
@@ -14,7 +15,7 @@ namespace dbsp {
 /// encoding); each receiving broker clones its own mutable routing copy so
 /// per-broker pruning never aliases.
 struct Message {
-  enum class Type : std::uint8_t { Event, Subscribe, Unsubscribe };
+  enum class Type : std::uint8_t { Event, Subscribe, Unsubscribe, Summary };
 
   Type type = Type::Event;
   /// Event payload (Type::Event).
@@ -24,6 +25,12 @@ struct Message {
   /// Subscription payload (Type::Subscribe / Unsubscribe).
   SubscriptionId sub_id;
   std::shared_ptr<const Node> sub_tree;
+  /// Summary advertisement (Type::Summary, aggregated routing): the broker
+  /// whose subgroup changed, the subgroup's stable slot index, and its
+  /// current summary — null retracts a previously advertised subgroup.
+  BrokerId origin;
+  std::uint32_t subgroup = 0;
+  std::shared_ptr<const agg::SummarySet> summary;
 
   /// Exact wire size: header plus the codec-encoded payload (see
   /// routing/codec.hpp for the format). This is what the simulated

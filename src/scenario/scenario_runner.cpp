@@ -212,6 +212,14 @@ ScenarioReport ScenarioRunner::run_centralized() {
   options.engine.shards = config_.shards == 0 ? 1 : config_.shards;
   options.pruning = config_.pruning;
   options.prune.dimension = config_.dimension;
+  options.aggregation = config_.aggregation;
+  if (config_.aggregation) {
+    options.agg = agg::AggregatorOptions::from_env();
+    // Soak populations are small enough that the engine's cost-based
+    // fallback would route around the probe; disable it so the scenario
+    // actually stresses the aggregated path it is here to verify.
+    options.engine.agg_fallback_pct = 0;
+  }
   const bool durable = !config_.store_directory.empty();
   const auto make_pubsub = [&]() -> PubSub {
     if (!durable) return PubSub(domain_->schema(), options);
@@ -226,7 +234,7 @@ ScenarioReport ScenarioRunner::run_centralized() {
   std::optional<PubSub> pubsub(make_pubsub());
 
   RollingWindow window(config_.stats_window);
-  if (config_.pruning) {
+  if (config_.pruning || config_.aggregation) {
     auto training = domain_->events(3);
     std::vector<Event> sample;
     sample.reserve(config_.training_events);
@@ -266,6 +274,8 @@ ScenarioReport ScenarioRunner::run_centralized() {
   }
   if (config_.pruning) {
     (void)pubsub->prune_to_fraction(config_.prune_fraction).value();
+  }
+  if (config_.pruning || config_.aggregation) {
     // Armed only now: the initial bulk load is not churn.
     pubsub->set_drift_threshold(config_.drift_threshold).expect_ok();
   }
@@ -315,7 +325,7 @@ ScenarioReport ScenarioRunner::run_centralized() {
           adopted.push_back(std::move(handle).value());
         }
         live = std::move(adopted);
-        if (config_.pruning) {
+        if (config_.pruning || config_.aggregation) {
           // Runtime-only knobs are re-armed, not recovered.
           pubsub->set_drift_threshold(config_.drift_threshold).expect_ok();
         }
@@ -328,6 +338,8 @@ ScenarioReport ScenarioRunner::run_centralized() {
       churn_tick(churn, arrivals, pr, admit, [&] { return live.size(); }, release);
       if (config_.pruning) {
         pr.prunings += pubsub->prune_to_fraction(config_.prune_fraction).value();
+      }
+      if (config_.pruning || config_.aggregation) {
         if (pubsub->drift_pending() && window.ready()) {
           pubsub->train(window.events()).expect_ok();
           pubsub->rescore_all().expect_ok();

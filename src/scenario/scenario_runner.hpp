@@ -50,6 +50,13 @@ struct ScenarioConfig {
   std::size_t shards = 1;
   std::vector<ScenarioPhase> phases;
 
+  // --- Aggregation ---------------------------------------------------------
+  /// Centralized mode: run the aggregation front stage
+  /// (PubSubOptions::aggregation) with DBSP_AGG_* knobs from the
+  /// environment. Composes with pruning; drift retrains also rescore the
+  /// aggregation dimensions.
+  bool aggregation = false;
+
   // --- Pruning maintenance -------------------------------------------------
   bool pruning = true;
   PruneDimension dimension = PruneDimension::NetworkLoad;

@@ -4,7 +4,10 @@ machine-readable BENCH_micro.json, run the durable-store benchmarks
 (WAL append / snapshot / crash-recovery replay throughput) into
 BENCH_store.json, run the network-edge benchmarks (ping RTT, publish and
 publish_batch throughput through an in-process NetServer over loopback
-TCP) into BENCH_net.json, then run the scenario soak (all three workload
+TCP) into BENCH_net.json, run the aggregated-routing scale sweep
+(micro_routing's subscription-population sweep with sub-linearity and
+latency gates, plus the micro_covering pairwise baseline) into
+BENCH_routing.json, then run the scenario soak (all three workload
 domains through churn + flash crowd + pruning maintenance +
 kill-and-recover) and emit BENCH_scenario.json.
 
@@ -356,6 +359,144 @@ def write_scenario_json(build_dir, out_path, quick, context):
     return result
 
 
+# Quick-mode routing sweep: small enough for a CI smoke lane while still
+# crossing the subgroup-cap saturation point that makes the growth curves
+# meaningful.
+ROUTING_QUICK_ENV = {
+    "DBSP_ROUTING_SUBS": "100000",
+    "DBSP_ROUTING_EVENTS": "64",
+    # The full-scale default (4096) only saturates around a million
+    # subscriptions; pin a cap the quick population actually fills so the
+    # sub-linearity gates measure the saturated regime.
+    "DBSP_AGG_SUBGROUPS": "512",
+}
+
+
+def covering_summary(rows):
+    """Summarize micro_covering: milliseconds per all-pairs covering sweep
+    and per merge_all fixpoint, by subscription count — the quadratic
+    baseline the aggregation layer replaces."""
+    covering = {}
+    merge = {}
+    for row in rows:
+        name = row.get("name", "")
+        parts = name.split("/")
+        if len(parts) < 2 or not parts[1].isdigit() or not row.get("ns_per_event"):
+            continue
+        ms = round(row["ns_per_event"] / 1e6, 3)
+        if parts[0] == "BM_CoveringPairs":
+            covering[int(parts[1])] = ms
+        elif parts[0] == "BM_MergeAll":
+            merge[int(parts[1])] = ms
+    if not covering and not merge:
+        return None
+    return {
+        "covering_sweep_ms_by_subs": {str(k): v for k, v in sorted(covering.items())},
+        "merge_all_ms_by_subs": {str(k): v for k, v in sorted(merge.items())},
+    }
+
+
+def run_routing(binary, quick):
+    """Run the micro_routing scale sweep and return its parsed JSON report.
+    Raises on a non-zero exit (the binary exits 1 on an oracle mismatch)."""
+    env = dict(os.environ)
+    if quick:
+        env.update(ROUTING_QUICK_ENV)
+    start = time.monotonic()
+    proc = subprocess.run([binary], capture_output=True, text=True, env=env)
+    elapsed = time.monotonic() - start
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        raise SystemExit(f"{binary} exited with {proc.returncode} (oracle mismatch?)")
+    report = json.loads(proc.stdout)
+    report["elapsed_seconds"] = round(elapsed, 3)
+    return report
+
+
+def check_routing_gates(report, latency_limit):
+    """The tentpole acceptance gates over the routing sweep. Sub-linearity
+    is asserted between the top two scales (a 10x population step): the
+    advertisement bytes and the per-event admitted-subgroup count must grow
+    by well under the population ratio — the subgroup cap plus bounded
+    summaries make both nearly flat once the table is large. The latency
+    gate compares the aggregated match path against the unaggregated engine
+    at the smallest scale (10k subs in the full run)."""
+    scales = report.get("scales", [])
+    failures = []
+    if not report.get("exact", False):
+        failures.append("sampled oracle exactness does not hold")
+    for scale in scales:
+        if scale.get("oracle_mismatches", 1) != 0:
+            failures.append(f"oracle mismatches at {scale.get('subs')} subs")
+    if len(scales) >= 2:
+        lo, hi = scales[-2], scales[-1]
+        pop_ratio = hi["subs"] / lo["subs"]
+        bytes_ratio = hi["advertised_bytes"] / max(1, lo["advertised_bytes"])
+        admitted_ratio = (hi["avg_admitted_subgroups"]
+                         / max(1e-9, lo["avg_admitted_subgroups"]))
+        print(f"[bench_runner] routing: population x{pop_ratio:.0f} -> "
+              f"advertised bytes x{bytes_ratio:.2f}, "
+              f"admitted subgroups x{admitted_ratio:.2f}")
+        if bytes_ratio > pop_ratio / 2:
+            failures.append(
+                f"advertised bytes grew x{bytes_ratio:.2f} over a x{pop_ratio:.0f} "
+                "population step (not sub-linear)")
+        if admitted_ratio > pop_ratio / 2:
+            failures.append(
+                f"admitted subgroups grew x{admitted_ratio:.2f} over a "
+                f"x{pop_ratio:.0f} population step (not sub-linear)")
+    baseline = report.get("baseline", {})
+    if scales and baseline.get("match_us_per_event") and latency_limit > 0:
+        aggregated = scales[0]["match_us_per_event"]
+        unaggregated = baseline["match_us_per_event"]
+        print(f"[bench_runner] routing: {baseline.get('subs')}-sub match "
+              f"aggregated {aggregated:.1f}us vs unaggregated {unaggregated:.1f}us")
+        if aggregated > unaggregated * latency_limit:
+            failures.append(
+                f"aggregated match is {aggregated / unaggregated:.2f}x the "
+                f"unaggregated path at {baseline.get('subs')} subs "
+                f"(limit {latency_limit}x)")
+    return failures
+
+
+def write_routing_json(build_dir, out_path, quick, context, latency_limit):
+    routing_binary = find_binary(build_dir, "micro_routing")
+    if routing_binary is None:
+        print("[bench_runner] micro_routing binary not found; skipping BENCH_routing.json")
+        return None
+    covering_rows = []
+    covering_binary = find_binary(build_dir, "micro_covering")
+    if covering_binary is not None:
+        print("[bench_runner] running micro_covering ...", flush=True)
+        covering_rows, _ = run_micro(covering_binary, quick)
+    print("[bench_runner] running micro_routing scale sweep ...", flush=True)
+    report = run_routing(routing_binary, quick)
+    failures = check_routing_gates(report, latency_limit)
+    result = {
+        "schema_version": 1,
+        "generated_unix_time": int(time.time()),
+        "host": {
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "num_cpus": context.get("num_cpus"),
+            "mhz_per_cpu": context.get("mhz_per_cpu"),
+        },
+        "mode": "quick" if quick else "full",
+        "exact": report.get("exact", False),
+        "routing": report,
+        "covering_baseline": covering_summary(covering_rows),
+        "benchmarks": covering_rows,
+    }
+    with open(out_path, "w") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+    print(f"[bench_runner] wrote {out_path} "
+          f"({len(report.get('scales', []))} scales, exact={result['exact']})")
+    if failures:
+        raise SystemExit("routing gates failed: " + "; ".join(failures))
+    return result
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
@@ -374,6 +515,19 @@ def main():
         "--net-out",
         default=None,
         help="default: <build-dir>/BENCH_net.json",
+    )
+    parser.add_argument(
+        "--routing-out",
+        default=None,
+        help="default: <build-dir>/BENCH_routing.json",
+    )
+    parser.add_argument(
+        "--routing-latency-limit",
+        type=float,
+        default=2.0,
+        help="fail when the aggregated match path is more than this factor "
+        "slower than the unaggregated engine at the smallest routing scale "
+        "(0 disables the gate)",
     )
     parser.add_argument(
         "--quick",
@@ -402,6 +556,7 @@ def main():
     scenario_out = args.scenario_out or os.path.join(args.build_dir, "BENCH_scenario.json")
     store_out = args.store_out or os.path.join(args.build_dir, "BENCH_store.json")
     net_out = args.net_out or os.path.join(args.build_dir, "BENCH_net.json")
+    routing_out = args.routing_out or os.path.join(args.build_dir, "BENCH_routing.json")
 
     benchmarks = []
     context = {}
@@ -479,6 +634,8 @@ def main():
 
     write_store_json(args.build_dir, store_out, args.quick, context)
     write_net_json(args.build_dir, net_out, args.quick, context)
+    write_routing_json(args.build_dir, routing_out, args.quick, context,
+                       args.routing_latency_limit)
     write_scenario_json(args.build_dir, scenario_out, args.quick, context)
 
 

@@ -43,9 +43,14 @@ ALLOWED_DEPS: dict[str, set[str]] = {
     "filter": {"common", "event", "subscription"},
     # routing/codec.hpp serializes trees for histogram/stats persistence.
     "selectivity": {"common", "event", "subscription", "routing"},
-    "routing": {"common", "event", "subscription"},
-    "core": {"common", "event", "subscription", "filter", "selectivity", "obs"},
-    "broker": {"common", "event", "subscription", "core", "routing"},
+    # Subscription aggregation: bounded per-dimension summaries + subgroup
+    # clustering. Scores dimensions with selectivity's EventStats.
+    "agg": {"common", "event", "subscription", "filter", "selectivity", "obs"},
+    # routing/messages.hpp carries subgroup summaries (aggregated routing).
+    "routing": {"common", "event", "subscription", "agg"},
+    "core": {"common", "event", "subscription", "filter", "selectivity", "obs",
+             "agg"},
+    "broker": {"common", "event", "subscription", "core", "routing", "agg"},
     "workload": {"common", "event", "subscription"},
     "experiment": {"common", "core", "selectivity", "broker", "workload", "api"},
     # scenario is built entirely on the public API: the umbrella header is
@@ -57,7 +62,7 @@ ALLOWED_DEPS: dict[str, set[str]] = {
     "store": {"common", "event", "subscription", "core", "routing",
               "selectivity", "obs"},
     "api": {"common", "event", "subscription", "core", "selectivity", "store",
-            "obs"},
+            "obs", "agg"},
     # The network edge of the daemon: wire protocol + epoll server + client.
     # Sits on the public facade (api) and the codec; nothing inside src/ may
     # include net except scenario's sockets transport — the daemon and CLI
