@@ -19,7 +19,10 @@
 // centralized run, with the DBSP_AGG_* knobs honored), DBSP_SCENARIO_TRANSPORT
 // ("inprocess" default, or "sockets": drive every run through a real
 // NetServer over loopback TCP — pruning is forced off and the overlay
-// runs are skipped, both unsupported by the sockets transport).
+// runs are skipped, both unsupported by the sockets transport),
+// DBSP_SCENARIO_TRACING (default 0, sockets only: flight-record every
+// publish with DBSP_TRACE_* sampling and report two-sided span coverage
+// in a "tracing" object per run).
 
 #include <algorithm>
 #include <cstdio>
@@ -109,6 +112,16 @@ void print_run(const ScenarioReport& r, bool last) {
     std::printf("      \"metrics\": %s,\n", r.metrics_json.c_str());
     std::printf("      \"scrape_cost_us\": %.3f,\n", r.scrape_cost_us);
   }
+  if (r.traced_publishes > 0) {
+    std::printf(
+        "      \"tracing\": {\"traced_publishes\": %zu, "
+        "\"sampled_publishes\": %zu, \"client_traces\": %zu, "
+        "\"server_traces\": %zu, \"joined_traces\": %zu, "
+        "\"e2e_latency_samples\": %llu},\n",
+        r.traced_publishes, r.sampled_publishes, r.client_traces,
+        r.server_traces, r.joined_traces,
+        static_cast<unsigned long long>(r.e2e_latency_samples));
+  }
   std::printf("      \"phases\": [\n");
   for (std::size_t i = 0; i < r.phases.size(); ++i) {
     print_phase(r.phases[i], i + 1 == r.phases.size());
@@ -127,6 +140,7 @@ int main() {
       static_cast<std::size_t>(env_int("DBSP_SCENARIO_CHECK_EVERY", 7));
   const bool recover = env_bool("DBSP_SCENARIO_RECOVER", true);
   const bool aggregation = env_bool("DBSP_SCENARIO_AGGREGATION", false);
+  const bool tracing = env_bool("DBSP_SCENARIO_TRACING", false);
   const char* transport_raw = std::getenv("DBSP_SCENARIO_TRANSPORT");
   const std::string transport =
       (transport_raw != nullptr && *transport_raw != '\0') ? transport_raw
@@ -174,6 +188,7 @@ int main() {
       if (sockets) {
         config.transport = ScenarioTransport::kSockets;
         config.pruning = false;  // the wire oracle holds unpruned clones
+        config.tracing = tracing;
       } else {
         config.aggregation = aggregation;
       }
@@ -215,6 +230,7 @@ int main() {
       if (sockets) {
         config.transport = ScenarioTransport::kSockets;
         config.pruning = false;
+        config.tracing = tracing;
       } else {
         config.aggregation = aggregation;
       }
@@ -233,9 +249,10 @@ int main() {
   std::printf(
       "  \"config\": {\"subs\": %zu, \"events_per_phase\": %zu, \"brokers\": %zu, "
       "\"drift_threshold\": %zu, \"check_every\": %zu, \"recover\": %s, "
-      "\"aggregation\": %s, \"transport\": \"%s\"},\n",
+      "\"aggregation\": %s, \"transport\": \"%s\", \"tracing\": %s},\n",
       subs, events, brokers, drift, check_every, recover ? "true" : "false",
-      aggregation ? "true" : "false", transport.c_str());
+      aggregation ? "true" : "false", transport.c_str(),
+      tracing ? "true" : "false");
   std::printf("  \"exact\": %s,\n", exact ? "true" : "false");
   std::printf("  \"runs\": [\n");
   for (std::size_t i = 0; i < reports.size(); ++i) {

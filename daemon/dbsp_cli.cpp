@@ -6,7 +6,10 @@
 /// Commands:
 ///   ping [count]            round-trip latency check (default 1)
 ///   stats                   print the server's NetStats counters
-///   metrics                 print the server's full metrics scrape as JSON
+///   metrics [--table]       print the server's full metrics scrape as
+///                           JSON, or as aligned name/labels/value columns
+///   traces                  print the server's flight-recorder traces as
+///                           JSON (same shape as GET /traces)
 ///   publish a=v [b=v ...]   publish one event; values are parsed against
 ///                           the server's schema types
 ///   subscribe '<dsl>'       register a filter and stream notifications
@@ -17,6 +20,8 @@
 ///
 /// Exit status: 0 success, 1 server/protocol error, 2 usage error.
 
+#include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +33,7 @@
 #include "event/event.hpp"
 #include "net/client.hpp"
 #include "obs/exposition.hpp"
+#include "obs/flight.hpp"
 
 namespace {
 
@@ -36,8 +42,9 @@ using dbsp::net::DbspClient;
 int usage() {
   std::fprintf(stderr,
                "usage: dbsp-cli [--host H] [--port P] <command> [args]\n"
-               "  ping [count] | stats | metrics | publish a=v... | subscribe "
-               "'<dsl>' [--max N] | adopt <id> [--max N] | smoke <n>\n");
+               "  ping [count] | stats | metrics [--table] | traces | publish "
+               "a=v... | subscribe '<dsl>' [--max N] | adopt <id> [--max N] | "
+               "smoke <n>\n");
   return 2;
 }
 
@@ -86,6 +93,49 @@ dbsp::Result<std::pair<dbsp::AttributeId, dbsp::Value>> parse_pair(
   }
   return dbsp::Status::error(dbsp::ErrorCode::kInvalidArgument,
                              "cannot parse value '" + raw + "' for '" + name + "'");
+}
+
+/// Renders one series' value column: counters/gauges as numbers (integral
+/// ones without a trailing ".000000"), histograms as count/sum/mean.
+std::string metric_value_cell(const dbsp::obs::MetricSnapshot& m) {
+  char buf[96];
+  if (m.kind == dbsp::obs::MetricKind::kHistogram) {
+    const auto& h = m.histogram;
+    const double mean = h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0;
+    std::snprintf(buf, sizeof(buf), "count=%llu sum=%.3f mean=%.3f",
+                  static_cast<unsigned long long>(h.count), h.sum, mean);
+    return buf;
+  }
+  if (m.value == static_cast<double>(static_cast<long long>(m.value))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(m.value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6f", m.value);
+  }
+  return buf;
+}
+
+/// `metrics --table`: one aligned row per series next to the raw JSON and
+/// Prometheus forms — the human-skimmable view.
+void print_metrics_table(const dbsp::obs::MetricsSnapshot& snapshot) {
+  std::vector<std::array<std::string, 3>> rows;
+  rows.push_back({"NAME", "LABELS", "VALUE"});
+  for (const auto& m : snapshot.metrics) {
+    std::string labels;
+    for (const auto& [k, v] : m.labels) {
+      if (!labels.empty()) labels += ",";
+      labels += k + "=" + v;
+    }
+    if (labels.empty()) labels = "-";
+    rows.push_back({m.name, std::move(labels), metric_value_cell(m)});
+  }
+  std::size_t width[2] = {0, 0};
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < 2; ++c) width[c] = std::max(width[c], row[c].size());
+  }
+  for (const auto& row : rows) {
+    std::printf("%-*s  %-*s  %s\n", static_cast<int>(width[0]), row[0].c_str(),
+                static_cast<int>(width[1]), row[1].c_str(), row[2].c_str());
+  }
 }
 
 int stream_notifications(DbspClient& client, long long max) {
@@ -206,7 +256,22 @@ int main(int argc, char** argv) {
   if (command == "metrics") {
     auto s = client.metrics();
     if (!s.ok()) return fail(s.status());
+    if (i < argc && std::strcmp(argv[i], "--table") == 0) {
+      print_metrics_table(s.value());
+      return 0;
+    }
     std::printf("%s\n", dbsp::obs::to_json(s.value()).c_str());
+    return 0;
+  }
+
+  if (command == "traces") {
+    auto t = client.traces();
+    if (!t.ok()) return fail(t.status());
+    std::printf("%s\n",
+                dbsp::obs::traces_json(t.value().traces,
+                                       t.value().recorded_total,
+                                       t.value().dropped_total)
+                    .c_str());
     return 0;
   }
 

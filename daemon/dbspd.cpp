@@ -4,13 +4,19 @@
 ///
 ///   dbspd [--host H] [--port P] [--domain auction|stock|iot]
 ///         [--store DIR] [--pruning] [--drain-timeout-ms N]
-///         [--metrics-port P]
+///         [--metrics-port P] [--trace-dump PATH]
 ///
 /// Unset options fall back to the DBSP_NET_* environment knobs (see
 /// README). SIGTERM/SIGINT trigger a graceful drain: stop accepting,
 /// flush every client's delivery queue, checkpoint the store, exit 0. A
 /// second signal (or SIGQUIT) kills immediately — the crash path the
-/// warm-restart tests exercise.
+/// warm-restart tests exercise. SIGUSR1 dumps the flight recorder's
+/// current traces to --trace-dump (default dbsp_traces.json) without
+/// disturbing service.
+///
+/// Diagnostics go to stderr as structured key=value lines (obs/log.hpp,
+/// level from DBSP_LOG_LEVEL); the stdout "listening"/"metrics" readiness
+/// lines are a stable interface scripts wait for.
 
 #include <atomic>
 #include <csignal>
@@ -22,6 +28,7 @@
 
 #include "api/pubsub.hpp"
 #include "net/server.hpp"
+#include "obs/log.hpp"
 #include "scenario/workload_domain.hpp"
 
 namespace {
@@ -30,11 +37,14 @@ dbsp::net::NetServer* g_server = nullptr;
 std::atomic<int> g_signals{0};
 
 void on_signal(int sig) {
-  const int prior = g_signals.fetch_add(1, std::memory_order_relaxed);
-  if (g_server != nullptr) {
-    const bool drain = sig != SIGQUIT && prior == 0;
-    g_server->request_stop_async(drain);
+  if (g_server == nullptr) return;
+  if (sig == SIGUSR1) {
+    g_server->request_trace_dump_async();
+    return;
   }
+  const int prior = g_signals.fetch_add(1, std::memory_order_relaxed);
+  const bool drain = sig != SIGQUIT && prior == 0;
+  g_server->request_stop_async(drain);
 }
 
 void raise_nofile_limit() {
@@ -50,7 +60,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host H] [--port P] [--domain auction|stock|iot]\n"
                "          [--store DIR] [--pruning] [--drain-timeout-ms N]\n"
-               "          [--metrics-port P]\n",
+               "          [--metrics-port P] [--trace-dump PATH]\n",
                argv0);
   return 2;
 }
@@ -94,6 +104,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       options.metrics_port = std::atoi(v);
+    } else if (arg == "--trace-dump") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.trace_dump_path = v;
     } else if (arg == "--help" || arg == "-h") {
       (void)usage(argv[0]);
       return 0;
@@ -109,7 +123,8 @@ int main(int argc, char** argv) {
   try {
     workload = dbsp::make_workload(domain);
   } catch (const std::invalid_argument& e) {
-    std::fprintf(stderr, "dbspd: %s\n", e.what());
+    dbsp::obs::LogEvent(dbsp::obs::LogLevel::kError, "dbspd", "bad domain")
+        .kv("error", e.what());
     return 2;
   }
 
@@ -123,13 +138,16 @@ int main(int argc, char** argv) {
     store.schema = workload->schema();
     auto opened = dbsp::PubSub::open(std::move(store), pubsub_options);
     if (!opened.ok()) {
-      std::fprintf(stderr, "dbspd: open store '%s': %s\n", store_dir.c_str(),
-                   opened.status().to_string().c_str());
+      dbsp::obs::LogEvent(dbsp::obs::LogLevel::kError, "dbspd", "open store failed")
+          .kv("store", store_dir)
+          .kv("error", opened.status().to_string());
       return 1;
     }
     pubsub.emplace(std::move(opened).value());
-    std::fprintf(stderr, "dbspd: store %s recovered %zu subscription(s)\n",
-                 store_dir.c_str(), pubsub->subscription_count());
+    dbsp::obs::LogEvent(dbsp::obs::LogLevel::kInfo, "dbspd", "store recovered")
+        .kv("store", store_dir)
+        .kv("subscriptions",
+            static_cast<std::uint64_t>(pubsub->subscription_count()));
   } else {
     pubsub.emplace(workload->schema(), pubsub_options);
   }
@@ -137,7 +155,8 @@ int main(int argc, char** argv) {
   auto server =
       dbsp::net::NetServer::start(std::move(*pubsub), std::move(options));
   if (!server.ok()) {
-    std::fprintf(stderr, "dbspd: %s\n", server.status().to_string().c_str());
+    dbsp::obs::LogEvent(dbsp::obs::LogLevel::kError, "dbspd", "start failed")
+        .kv("error", server.status().to_string());
     return 1;
   }
   g_server = server.value().get();
@@ -147,6 +166,7 @@ int main(int argc, char** argv) {
   ::sigaction(SIGTERM, &sa, nullptr);
   ::sigaction(SIGINT, &sa, nullptr);
   ::sigaction(SIGQUIT, &sa, nullptr);
+  ::sigaction(SIGUSR1, &sa, nullptr);
 
   // The readiness line CI scripts wait for (stdout, flushed).
   std::printf("dbspd listening on %s:%u (domain=%s%s%s)\n",
@@ -162,15 +182,13 @@ int main(int argc, char** argv) {
 
   server.value()->wait();
   const auto stats = server.value()->stats();
-  std::fprintf(stderr,
-               "dbspd: stopped (accepted=%llu frames=%llu published=%llu "
-               "delivered=%llu protocol_errors=%llu slow_disconnects=%llu)\n",
-               static_cast<unsigned long long>(stats.connections_accepted),
-               static_cast<unsigned long long>(stats.frames_received),
-               static_cast<unsigned long long>(stats.events_published),
-               static_cast<unsigned long long>(stats.notifications_delivered),
-               static_cast<unsigned long long>(stats.protocol_errors),
-               static_cast<unsigned long long>(stats.slow_consumer_disconnects));
+  dbsp::obs::LogEvent(dbsp::obs::LogLevel::kInfo, "dbspd", "stopped")
+      .kv("accepted", stats.connections_accepted)
+      .kv("frames", stats.frames_received)
+      .kv("published", stats.events_published)
+      .kv("delivered", stats.notifications_delivered)
+      .kv("protocol_errors", stats.protocol_errors)
+      .kv("slow_disconnects", stats.slow_consumer_disconnects);
   g_server = nullptr;
   return 0;
 }

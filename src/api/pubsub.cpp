@@ -81,6 +81,9 @@ struct PubSubCore {
       prune_us = &registry->histogram("dbsp_phase_us", {{"phase", "prune"}});
       engine.attach_metrics(*registry);
     }
+    if (options.tracing) {
+      recorder = std::make_shared<obs::FlightRecorder>(options.trace);
+    }
   }
 
   /// Immutable after construction (the facade is the schema authority).
@@ -143,6 +146,26 @@ struct PubSubCore {
   /// 1-in-N gate shared by the match and dispatch phase timers, so one
   /// sampled publish contributes to both series.
   obs::Sampler sampler;
+
+  /// Per-event tracing (options.tracing): the flight recorder is shared so
+  /// embedding layers (the net server) can join its export surface, and
+  /// internally synchronized. The builder collects one in-flight trace at
+  /// a time, which the facade lock already serializes.
+  std::shared_ptr<obs::FlightRecorder> recorder;
+  obs::TraceBuilder trace_builder DBSP_GUARDED_BY(mutex);
+
+  /// Arms the trace builder for this publish when tracing is on: a
+  /// propagated context joins the caller's trace; a fresh context is
+  /// head-sampled here. Returns the builder or null.
+  obs::TraceBuilder* begin_trace(obs::TraceContext& context)
+      DBSP_REQUIRES(mutex) {
+    if (recorder == nullptr) return nullptr;
+    if (!context.active()) {
+      context = obs::make_trace_context(recorder->should_sample());
+    }
+    trace_builder.begin(context);
+    return &trace_builder;
+  }
 
   /// Runs one durable-store operation; converts a throw into the fail-stop
   /// detach. Returns ok when not durable (in-memory mode logs nothing).
@@ -226,11 +249,13 @@ struct PubSubCore {
   /// Callbacks run under `mutex` (the dispatch order is part of the
   /// serialized publish) — which is why they must not re-enter the facade.
   void dispatch(std::span<const SubscriptionId> matched, std::uint64_t seq,
-                const Event& event) DBSP_REQUIRES(mutex) {
+                const Event& event, const obs::TraceContext& trace = {},
+                std::uint64_t published_unix_us = 0) DBSP_REQUIRES(mutex) {
     for (const SubscriptionId id : matched) {
       const auto it = subs.find(id.value());
       if (it != subs.end() && it->second.callback) {
-        it->second.callback(Notification{id, seq, event});
+        it->second.callback(
+            Notification{id, seq, event, trace, published_unix_us});
       }
     }
   }
@@ -547,11 +572,21 @@ Result<SubscriptionHandle> PubSub::subscribe(std::unique_ptr<Node> tree,
   // auto-checkpoint runs *before* the append (the pre-registration state
   // it snapshots is exactly what c.subs holds here), so its failure also
   // surfaces through this rollback instead of being swallowed.
-  const Status logged = c.log_to_store([&](store::StateStore& s) {
-    c.mutex.assert_held();  // runs inside log_to_store, under the lock
-    if (s.wants_checkpoint()) s.checkpoint(c.build_snapshot());
-    s.append_subscribe(id, sub->root());
-  });
+  // Durable subscribes are the WAL hot path worth tracing: a head-sampled
+  // (or tail-admitted slow) append gets its own single-span trace.
+  obs::TraceContext wal_ctx;
+  obs::TraceBuilder* tb =
+      c.store != nullptr ? c.begin_trace(wal_ctx) : nullptr;
+  Status logged;
+  {
+    obs::ScopedSpan span(tb, obs::TraceStage::kWalAppend);
+    logged = c.log_to_store([&](store::StateStore& s) {
+      c.mutex.assert_held();  // runs inside log_to_store, under the lock
+      if (s.wants_checkpoint()) s.checkpoint(c.build_snapshot());
+      s.append_subscribe(id, sub->root());
+    });
+  }
+  if (tb != nullptr) tb->finish(*c.recorder);
   if (!logged.ok()) {
     c.engine.remove(id);
     return logged;
@@ -622,15 +657,22 @@ Result<std::string> PubSub::subscription_text(SubscriptionId id) const {
 }
 
 std::size_t PubSub::publish(const Event& event) {
+  return publish(event, obs::TraceContext{});
+}
+
+std::size_t PubSub::publish(const Event& event, obs::TraceContext context) {
   auto& c = *core_;
   MutexLock lock(c.mutex);
   // One sampling decision covers both phase timers, so a traced publish
   // contributes a matched (match, dispatch) pair to dbsp_phase_us.
   const bool traced = c.sampler.should_sample();
+  obs::TraceBuilder* tb = c.begin_trace(context);
   c.match_scratch.clear();
   {
     obs::PhaseTimer timer(traced ? c.match_us : nullptr);
-    c.engine.match(event, c.match_scratch);
+    obs::ScopedSpan span(tb, obs::TraceStage::kMatch);
+    c.engine.match(event, c.match_scratch, tb);
+    span.set_detail(c.match_scratch.size());
   }
   const std::uint64_t seq = c.next_seq++;
   c.notifications += c.match_scratch.size();
@@ -641,8 +683,16 @@ std::size_t PubSub::publish(const Event& event) {
   }
   if (c.callbacks_registered > 0) {
     obs::PhaseTimer timer(traced ? c.dispatch_us : nullptr);
-    c.dispatch(c.match_scratch, seq, event);
+    obs::ScopedSpan span(tb, obs::TraceStage::kDispatch);
+    span.set_detail(c.match_scratch.size());
+    // Deliveries (queue wait, socket write on the net edge) parent under
+    // the dispatch span that caused them.
+    obs::TraceContext delivery = context;
+    if (span.span_id() != 0) delivery.parent_span = span.span_id();
+    c.dispatch(c.match_scratch, seq, event, delivery,
+               tb != nullptr ? tb->start_unix_us() : 0);
   }
+  if (tb != nullptr) tb->finish(*c.recorder);
   return c.match_scratch.size();
 }
 
@@ -650,8 +700,14 @@ std::uint64_t PubSub::publish_batch(std::span<const Event> events) {
   auto& c = *core_;
   MutexLock lock(c.mutex);
   const bool traced = c.sampler.should_sample();
+  // One trace covers the whole batch: the per-event fan-out is the
+  // engine's concern, not a causal boundary worth a span each.
+  obs::TraceContext context;
+  obs::TraceBuilder* tb = c.begin_trace(context);
   {
     obs::PhaseTimer timer(traced ? c.match_us : nullptr);
+    obs::ScopedSpan span(tb, obs::TraceStage::kMatch);
+    span.set_detail(events.size());
     c.engine.match_batch(events, c.batch_scratch);
   }
   std::uint64_t total = 0;
@@ -664,11 +720,19 @@ std::uint64_t PubSub::publish_batch(std::span<const Event> events) {
   }
   if (c.callbacks_registered > 0) {
     obs::PhaseTimer timer(traced ? c.dispatch_us : nullptr);
+    obs::ScopedSpan span(tb, obs::TraceStage::kDispatch);
+    span.set_detail(total);
+    obs::TraceContext delivery = context;
+    if (span.span_id() != 0) delivery.parent_span = span.span_id();
+    const std::uint64_t published_us =
+        tb != nullptr ? tb->start_unix_us() : 0;
     for (std::size_t i = 0; i < events.size(); ++i) {
-      c.dispatch(c.batch_scratch[i], c.next_seq + i, events[i]);
+      c.dispatch(c.batch_scratch[i], c.next_seq + i, events[i], delivery,
+                 published_us);
     }
   }
   c.next_seq += events.size();
+  if (tb != nullptr) tb->finish(*c.recorder);
   return total;
 }
 
@@ -757,11 +821,18 @@ Result<std::size_t> PubSub::prune(std::size_t k) {
   auto& c = *core_;
   MutexLock lock(c.mutex);
   if (!c.pruning) return pruning_disabled();
-  return logged_prune(c, [&] {
+  obs::TraceContext prune_ctx;
+  obs::TraceBuilder* tb = c.begin_trace(prune_ctx);
+  Result<std::size_t> result = logged_prune(c, [&] {
     c.mutex.assert_held();  // runs inside logged_prune, under the lock
     obs::PhaseTimer timer(c.prune_us);  // maintenance is off the hot path: unsampled
-    return c.pruning->prune(k);
+    obs::ScopedSpan span(tb, obs::TraceStage::kPrune);
+    const std::size_t done = c.pruning->prune(k);
+    span.set_detail(done);
+    return done;
   });
+  if (tb != nullptr) tb->finish(*c.recorder);
+  return result;
 }
 
 Result<std::size_t> PubSub::prune_to_fraction(double fraction) {
@@ -772,11 +843,18 @@ Result<std::size_t> PubSub::prune_to_fraction(double fraction) {
     return Status::error(ErrorCode::kInvalidArgument,
                          "fraction must be in [0, 1]");
   }
-  return logged_prune(c, [&] {
+  obs::TraceContext prune_ctx;
+  obs::TraceBuilder* tb = c.begin_trace(prune_ctx);
+  Result<std::size_t> result = logged_prune(c, [&] {
     c.mutex.assert_held();  // runs inside logged_prune, under the lock
     obs::PhaseTimer timer(c.prune_us);  // maintenance is off the hot path: unsampled
-    return c.pruning->prune_to_fraction(fraction);
+    obs::ScopedSpan span(tb, obs::TraceStage::kPrune);
+    const std::size_t done = c.pruning->prune_to_fraction(fraction);
+    span.set_detail(done);
+    return done;
   });
+  if (tb != nullptr) tb->finish(*c.recorder);
+  return result;
 }
 
 Status PubSub::set_prune_dimension(PruneDimension dimension) {
@@ -891,6 +969,22 @@ std::string PubSub::metrics_json() const { return obs::to_json(metrics()); }
 
 std::shared_ptr<obs::MetricsRegistry> PubSub::metrics_registry() const {
   return core_->registry;
+}
+
+std::vector<obs::Trace> PubSub::traces() const {
+  // Like metrics(): the recorder is internally synchronized, so the facade
+  // lock stays out of the export path.
+  if (core_->recorder == nullptr) return {};
+  return core_->recorder->snapshot();
+}
+
+std::string PubSub::traces_json() const {
+  if (core_->recorder == nullptr) return obs::traces_json({}, 0, 0);
+  return obs::traces_json(*core_->recorder);
+}
+
+std::shared_ptr<obs::FlightRecorder> PubSub::trace_recorder() const {
+  return core_->recorder;
 }
 
 }  // namespace dbsp

@@ -39,6 +39,7 @@
 #include "api/status.hpp"
 #include "core/pruning_set.hpp"
 #include "event/event.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "store/state_store.hpp"
 
@@ -80,6 +81,18 @@ struct PubSubOptions {
   /// dispatch phases timed into dbsp_phase_us (1 = every publish). 0 reads
   /// the DBSP_METRICS_SAMPLE environment knob, falling back to 8.
   std::uint32_t metrics_sample = 0;
+  /// Enables per-event tracing: every publish carries an obs::TraceContext
+  /// (propagated into Notifications and across the wire), head-sampled
+  /// publishes collect detailed spans (per-shard match, aggregation probe),
+  /// every publish takes coarse stage timings so the tail sampler can
+  /// retain the slowest K of the rolling window, and completed traces land
+  /// in the flight recorder behind traces()/traces_json(). Off: traces()
+  /// is empty and the publish path pays one null check.
+  bool tracing = true;
+  /// Flight-recorder knobs (ring capacity, 1-in-N head sampling stride,
+  /// slowest-K, window). Zero fields resolve from the DBSP_TRACE_*
+  /// environment knobs; used only when `tracing` is set.
+  obs::FlightRecorderOptions trace;
 };
 
 /// One delivered notification: which subscription matched which event.
@@ -90,6 +103,12 @@ struct Notification {
   SubscriptionId subscription;
   std::uint64_t seq = 0;
   const Event& event;
+  /// The publish's trace context (trace_id 0 when tracing is off) — what a
+  /// delivery layer propagates to the subscriber's hop of the trace.
+  obs::TraceContext trace{};
+  /// Publish wall clock in unix microseconds (0 when tracing is off) — the
+  /// base a subscriber-side dbsp_e2e_latency_us observation subtracts.
+  std::uint64_t published_unix_us = 0;
 };
 
 /// RAII claim on one registration: destruction (or release()) unsubscribes
@@ -230,6 +249,11 @@ class PubSub {
   /// Matches one event, dispatches callbacks in ascending subscription-id
   /// order, and returns the number of notifications.
   std::size_t publish(const Event& event);
+  /// The same publish carrying a propagated trace context (wire or overlay
+  /// ingress): the facade's spans join the caller's trace instead of
+  /// starting a fresh one. An inactive context (trace_id 0) behaves like
+  /// plain publish().
+  std::size_t publish(const Event& event, obs::TraceContext context);
   /// Batched dispatch through ShardedEngine::match_batch (shards fan out
   /// on the internal pool); returns total notifications over the batch.
   std::uint64_t publish_batch(std::span<const Event> events);
@@ -311,6 +335,19 @@ class PubSub {
   /// disabled. Embedding layers (the network server) register their own
   /// series here so one scrape exports the whole process.
   [[nodiscard]] std::shared_ptr<obs::MetricsRegistry> metrics_registry() const;
+
+  /// Every trace currently readable from the flight recorder, oldest
+  /// first: head-sampled publishes plus the tail-admitted slowest of the
+  /// rolling window. Empty when PubSubOptions::tracing is off. Lock-free —
+  /// never blocks the publish path.
+  [[nodiscard]] std::vector<obs::Trace> traces() const;
+  /// The same traces rendered as JSON (see obs/flight.hpp for the shape).
+  /// `{"traces": [], ...}` when tracing is disabled.
+  [[nodiscard]] std::string traces_json() const;
+  /// The shared flight recorder behind traces() — null when tracing is
+  /// disabled. Embedding layers (the network server) record their own
+  /// hop entries here so one pull exports the whole process's spans.
+  [[nodiscard]] std::shared_ptr<obs::FlightRecorder> trace_recorder() const;
 
  private:
   explicit PubSub(std::shared_ptr<api_detail::PubSubCore> core)

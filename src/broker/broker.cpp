@@ -69,13 +69,21 @@ void Broker::unsubscribe_local(SubscriptionId id) {
 }
 
 void Broker::publish_local(const Event& event, std::uint64_t seq) {
-  route_event(BrokerId{}, event, seq);
+  publish_local(event, seq, obs::TraceContext{});
+}
+
+void Broker::publish_local(const Event& event, std::uint64_t seq,
+                           obs::TraceContext context) {
+  if (trace_recorder_ != nullptr && !context.active()) {
+    context = obs::make_trace_context(trace_recorder_->should_sample());
+  }
+  route_event(BrokerId{}, event, seq, context);
 }
 
 void Broker::handle(BrokerId from, const Message& message) {
   switch (message.type) {
     case Message::Type::Event:
-      route_event(from, message.event, message.event_seq);
+      route_event(from, message.event, message.event_seq, message.trace);
       break;
     case Message::Type::Subscribe: {
       Subscription& sub =
@@ -162,13 +170,27 @@ void Broker::send_summary(BrokerId except, BrokerId origin, std::uint32_t subgro
   }
 }
 
-void Broker::route_event(BrokerId from, const Event& event, std::uint64_t seq) {
+void Broker::route_event(BrokerId from, const Event& event, std::uint64_t seq,
+                         const obs::TraceContext& trace) {
   ++events_filtered_;
   scratch_matches_.clear();
   scratch_targets_.clear();
 
+  // One trace entry per hop: every broker the event crosses appends its
+  // own overlay_hop span (detail = broker id) under the shared trace id,
+  // so a recorded distributed trace reads as the event's overlay path.
+  obs::TraceBuilder* tb = nullptr;
+  if (trace_recorder_ != nullptr && trace.active()) {
+    trace_builder_.begin(trace);
+    tb = &trace_builder_;
+  }
+  obs::ScopedSpan hop(tb, obs::TraceStage::kOverlayHop);
+  hop.set_detail(id_.value());
+  obs::TraceContext forwarded = trace;
+  if (hop.span_id() != 0) forwarded.parent_span = hop.span_id();
+
   filter_time_.start();
-  engine_.match(event, scratch_matches_);
+  engine_.match(event, scratch_matches_, tb);
   filter_time_.stop();
 
   for (const SubscriptionId sid : scratch_matches_) {
@@ -206,8 +228,11 @@ void Broker::route_event(BrokerId from, const Event& event, std::uint64_t seq) {
     m.type = Message::Type::Event;
     m.event = event;
     m.event_seq = seq;
+    m.trace = forwarded;
     net_->send(id_, target, std::move(m));
   }
+  hop.close();
+  if (tb != nullptr) tb->finish(*trace_recorder_);
 }
 
 namespace {

@@ -10,6 +10,7 @@
 #include "common/timer.hpp"
 #include "broker/simnet.hpp"
 #include "core/sharded_engine.hpp"
+#include "obs/flight.hpp"
 #include "routing/routing_table.hpp"
 
 namespace dbsp {
@@ -55,8 +56,27 @@ class Broker {
   /// Publishes an event received from a directly connected publisher.
   void publish_local(const Event& event, std::uint64_t seq);
 
+  /// Publishes under `context`: an inactive context starts a fresh
+  /// head-sampled trace when a recorder is attached, an active one joins
+  /// the caller's trace. Each broker the event crosses records one
+  /// overlay_hop entry (detail = broker id) into the shared recorder, all
+  /// under the same trace id.
+  void publish_local(const Event& event, std::uint64_t seq,
+                     obs::TraceContext context);
+
   /// Delivers one network message to this broker.
   void handle(BrokerId from, const Message& message);
+
+  /// Attaches (or detaches, with nullptr) a flight recorder shared by the
+  /// overlay: route_event then records a per-hop trace entry whenever the
+  /// event carries an active context. See Overlay::attach_trace_recorder.
+  void attach_trace_recorder(std::shared_ptr<obs::FlightRecorder> recorder) {
+    trace_recorder_ = std::move(recorder);
+  }
+  [[nodiscard]] const std::shared_ptr<obs::FlightRecorder>& trace_recorder()
+      const {
+    return trace_recorder_;
+  }
 
   [[nodiscard]] BrokerId id() const { return id_; }
   [[nodiscard]] RoutingTable& table() { return table_; }
@@ -155,8 +175,10 @@ class Broker {
 
  private:
   /// Matches and forwards an event arriving from `from` (invalid id =
-  /// local publisher).
-  void route_event(BrokerId from, const Event& event, std::uint64_t seq);
+  /// local publisher). An active `trace` context wraps the hop in an
+  /// overlay_hop span and re-parents the contexts of forwarded copies.
+  void route_event(BrokerId from, const Event& event, std::uint64_t seq,
+                   const obs::TraceContext& trace);
   void forward_subscription(BrokerId except, SubscriptionId id,
                             const std::shared_ptr<const Node>& tree);
   /// Diff-advertises every subgroup summary that changed (or vanished)
@@ -185,6 +207,11 @@ class Broker {
   /// attached set through the deprecated set_pruning()).
   std::unique_ptr<ShardedPruningSet> owned_pruning_;
   ShardedPruningSet* pruning_ = nullptr;
+
+  /// Overlay tracing (attach_trace_recorder): the builder is reusable
+  /// scratch — brokers are single-threaded under the overlay pump.
+  std::shared_ptr<obs::FlightRecorder> trace_recorder_;
+  obs::TraceBuilder trace_builder_;
 
   Stopwatch filter_time_;
   std::uint64_t notifications_ = 0;

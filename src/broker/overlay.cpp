@@ -54,10 +54,20 @@ void Overlay::unsubscribe(BrokerId at, SubscriptionId id) {
 }
 
 std::uint64_t Overlay::publish(BrokerId at, const Event& event) {
+  return publish(at, event, obs::TraceContext{});
+}
+
+std::uint64_t Overlay::publish(BrokerId at, const Event& event,
+                               obs::TraceContext context) {
   const std::uint64_t seq = next_event_seq_++;
-  broker(at).publish_local(event, seq);
+  broker(at).publish_local(event, seq, context);
   pump();
   return seq;
+}
+
+void Overlay::attach_trace_recorder(
+    std::shared_ptr<obs::FlightRecorder> recorder) {
+  for (auto& b : brokers_) b->attach_trace_recorder(recorder);
 }
 
 void Overlay::pump() {

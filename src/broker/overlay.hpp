@@ -49,6 +49,16 @@ class Overlay {
   /// event's global sequence number.
   std::uint64_t publish(BrokerId at, const Event& event);
 
+  /// Publishes under an explicit trace context (see
+  /// Broker::publish_local(event, seq, context)).
+  std::uint64_t publish(BrokerId at, const Event& event,
+                        obs::TraceContext context);
+
+  /// Attaches one shared flight recorder to every broker: each overlay hop
+  /// of a traced event then records an overlay_hop entry under the event's
+  /// trace id. Pass nullptr to detach.
+  void attach_trace_recorder(std::shared_ptr<obs::FlightRecorder> recorder);
+
   [[nodiscard]] Broker& broker(BrokerId id) { return *brokers_.at(id.value()); }
   [[nodiscard]] const Broker& broker(BrokerId id) const { return *brokers_.at(id.value()); }
   [[nodiscard]] std::size_t broker_count() const { return brokers_.size(); }

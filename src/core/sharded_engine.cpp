@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "agg/aggregator.hpp"
 #include "common/env.hpp"
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 
 namespace dbsp {
@@ -148,16 +150,32 @@ bool ShardedEngine::use_aggregated_path() const {
          aggregated_budget() >= aggregator_->subgroup_slots();
 }
 
-void ShardedEngine::match(const Event& event, std::vector<SubscriptionId>& out) {
+void ShardedEngine::match(const Event& event, std::vector<SubscriptionId>& out,
+                          obs::TraceBuilder* trace) {
   const auto base = static_cast<std::ptrdiff_t>(out.size());
+  const bool probed = use_aggregated_path();
   bool matched = false;
-  if (use_aggregated_path()) {
+  if (probed) {
     obs::PhaseTimer timer(shard_hist(shard_match_us_, 0));
+    obs::ScopedSpan span(trace, obs::TraceStage::kAggProbe,
+                         /*detailed_only=*/true);
     matched = aggregator_->match_within(event, out, aggregated_budget());
+    span.set_detail(static_cast<std::uint64_t>(out.size() -
+                                               static_cast<std::size_t>(base)));
   }
   if (!matched) {
+    // Span only when the probe actually declined; the plain sharded path
+    // records per-shard spans without a fallback wrapper.
+    std::optional<obs::ScopedSpan> fallback;
+    if (probed) {
+      fallback.emplace(trace, obs::TraceStage::kAggFallback,
+                       /*detailed_only=*/true);
+    }
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       obs::PhaseTimer timer(shard_hist(shard_match_us_, s));
+      obs::ScopedSpan span(trace, obs::TraceStage::kShardMatch,
+                           /*detailed_only=*/true);
+      span.set_detail(s);
       match_shard(s, event, out);
     }
   }

@@ -26,6 +26,10 @@ namespace agg {
 class SubscriptionAggregator;
 }  // namespace agg
 
+namespace obs {
+class TraceBuilder;
+}  // namespace obs
+
 /// Which matcher algorithm each shard runs. All shards of one engine use
 /// the same backend; the choice trades per-event cost against feature set
 /// (only Counting supports reindex-after-pruning and the pmin trigger).
@@ -124,7 +128,10 @@ class ShardedEngine {
 
   /// Matches one event against every shard on the calling thread and
   /// appends the union of the shard results to `out`, sorted by id.
-  void match(const Event& event, std::vector<SubscriptionId>& out);
+  /// A non-null `trace` collects per-stage spans (aggregation probe,
+  /// fallback, per-shard match) for head-sampled traces.
+  void match(const Event& event, std::vector<SubscriptionId>& out,
+             obs::TraceBuilder* trace = nullptr);
 
   /// Batched dispatch: fans `events` out to the shards (shard 0 runs on the
   /// calling thread, the rest on the internal pool), then merges the

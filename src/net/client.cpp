@@ -1,5 +1,6 @@
 #include "net/client.hpp"
 
+#include <chrono>
 #include <utility>
 
 #include "routing/codec.hpp"
@@ -16,7 +17,42 @@ Status unavailable(const std::string& what) {
   return Status::error(ErrorCode::kUnavailable, what);
 }
 
+std::uint64_t unix_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
+
+NetNotification DbspClient::decode_notify(WireReader& r) {
+  NetNotification n;
+  n.subscription = r.get_u64();
+  n.seq = r.get_u64();
+  n.event = decode_event(r);
+  n.trace = decode_trace_context_opt(r);
+  if (n.trace.active()) n.published_unix_us = r.get_u64();
+  if (!r.exhausted()) throw WireError("notify: trailing bytes");
+  if (e2e_latency_us_ != nullptr && n.published_unix_us != 0) {
+    const std::uint64_t now = unix_now_us();
+    if (now >= n.published_unix_us) {
+      e2e_latency_us_->record(static_cast<double>(now - n.published_unix_us));
+    }
+  }
+  return n;
+}
+
+void DbspClient::attach_metrics(std::shared_ptr<obs::MetricsRegistry> registry) {
+  registry_ = std::move(registry);
+  e2e_latency_us_ =
+      registry_ != nullptr ? &registry_->histogram("dbsp_e2e_latency_us") : nullptr;
+}
+
+void DbspClient::attach_trace_recorder(
+    std::shared_ptr<obs::FlightRecorder> recorder) {
+  recorder_ = std::move(recorder);
+}
 
 Result<DbspClient> DbspClient::connect(const std::string& host,
                                        std::uint16_t port, int timeout_ms) {
@@ -54,12 +90,7 @@ Result<std::vector<std::uint8_t>> DbspClient::read_until(MsgType stop_type,
         (void)decode_wire_header(r);
         const MsgType type = checked_msg_type(r.get_u8());
         if (type == MsgType::kNotify) {
-          NetNotification n;
-          n.subscription = r.get_u64();
-          n.seq = r.get_u64();
-          n.event = decode_event(r);
-          if (!r.exhausted()) throw WireError("notify: trailing bytes");
-          notifications_.push_back(std::move(n));
+          notifications_.push_back(decode_notify(r));
           continue;
         }
         if (type == MsgType::kError) {
@@ -158,10 +189,35 @@ Result<std::uint64_t> DbspClient::adopt(std::uint64_t id) {
 }
 
 Result<std::uint64_t> DbspClient::publish(const Event& event) {
-  WireWriter payload;
-  encode_event(event, payload);
-  return u64_request(make_frame(MsgType::kPublish, payload),
-                     MsgType::kPublishReply);
+  return publish(event, obs::TraceContext{});
+}
+
+Result<std::uint64_t> DbspClient::publish(const Event& event,
+                                          obs::TraceContext context) {
+  obs::TraceBuilder* tb = nullptr;
+  if (recorder_ != nullptr) {
+    if (!context.active()) {
+      context = obs::make_trace_context(recorder_->should_sample());
+    }
+    trace_builder_.begin(context);
+    tb = &trace_builder_;
+  }
+  Result<std::uint64_t> out = Status::error(ErrorCode::kUnavailable, "");
+  {
+    obs::ScopedSpan span(tb, obs::TraceStage::kClientRequest);
+    obs::TraceContext wire = context;
+    if (span.span_id() != 0) wire.parent_span = span.span_id();
+    WireWriter payload;
+    encode_event(event, payload);
+    // Trailer only on traced publishes: untraced requests stay
+    // byte-identical to the previous protocol revision.
+    if (wire.active()) encode_trace_context(wire, payload);
+    out = u64_request(make_frame(MsgType::kPublish, payload),
+                      MsgType::kPublishReply);
+    if (out.ok()) span.set_detail(out.value());
+  }
+  if (tb != nullptr) (void)tb->finish(*recorder_);
+  return out;
 }
 
 Result<std::uint64_t> DbspClient::publish_batch(std::span<const Event> events) {
@@ -205,6 +261,21 @@ Result<obs::MetricsSnapshot> DbspClient::metrics() {
   }
 }
 
+Result<WireTraces> DbspClient::traces() {
+  auto reply =
+      request(make_empty_frame(MsgType::kTraces), MsgType::kTracesReply);
+  if (!reply.ok()) return reply.status();
+  try {
+    WireReader r(reply.value());
+    WireTraces t = decode_traces(r);
+    if (!r.exhausted()) throw WireError("traces reply: trailing bytes");
+    return t;
+  } catch (const WireError& e) {
+    return fail(Status::error(ErrorCode::kDataLoss,
+                              std::string("traces reply: ") + e.what()));
+  }
+}
+
 Result<std::optional<NetNotification>> DbspClient::next_notification(
     int timeout_ms) {
   if (!notifications_.empty()) {
@@ -222,12 +293,7 @@ Result<std::optional<NetNotification>> DbspClient::next_notification(
         (void)decode_wire_header(r);
         const MsgType type = checked_msg_type(r.get_u8());
         if (type == MsgType::kNotify) {
-          NetNotification n;
-          n.subscription = r.get_u64();
-          n.seq = r.get_u64();
-          n.event = decode_event(r);
-          if (!r.exhausted()) throw WireError("notify: trailing bytes");
-          notifications_.push_back(std::move(n));
+          notifications_.push_back(decode_notify(r));
           break;
         }
         if (type == MsgType::kError) {

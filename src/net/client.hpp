@@ -69,6 +69,12 @@ class DbspClient {
   [[nodiscard]] Result<std::uint64_t> adopt(std::uint64_t id);
   /// Publishes one event; returns the matched-subscription count.
   [[nodiscard]] Result<std::uint64_t> publish(const Event& event);
+  /// Publishes one event under `context` (an inactive context starts a
+  /// fresh head-sampled trace when a recorder is attached). The request
+  /// round trip is recorded as a client_request span, and the context
+  /// rides the wire so the server's spans share the trace id.
+  [[nodiscard]] Result<std::uint64_t> publish(const Event& event,
+                                              obs::TraceContext context);
   /// Publishes a batch; returns the total matched count.
   [[nodiscard]] Result<std::uint64_t> publish_batch(std::span<const Event> events);
   /// Round trip with an echo token (returns the server's echo).
@@ -77,6 +83,23 @@ class DbspClient {
   /// The server's full metrics scrape (kMetrics verb). Empty when the
   /// server runs with metrics disabled.
   [[nodiscard]] Result<obs::MetricsSnapshot> metrics();
+  /// The server's flight-recorder snapshot (kTraces verb). Empty when the
+  /// server runs with tracing disabled.
+  [[nodiscard]] Result<WireTraces> traces();
+
+  // --- Client-side observability ---------------------------------------------
+
+  /// Attaches a registry for client-side series: dbsp_e2e_latency_us, the
+  /// publish-to-receipt latency histogram recorded when a notification
+  /// carries the server's publish wall clock (same-host clocks assumed).
+  void attach_metrics(std::shared_ptr<obs::MetricsRegistry> registry);
+  /// Attaches a recorder for client_request trace entries (and head
+  /// sampling of fresh publish(event, {}) contexts).
+  void attach_trace_recorder(std::shared_ptr<obs::FlightRecorder> recorder);
+  [[nodiscard]] const std::shared_ptr<obs::FlightRecorder>& trace_recorder()
+      const {
+    return recorder_;
+  }
 
   // --- Notifications ----------------------------------------------------------
 
@@ -107,11 +130,18 @@ class DbspClient {
   [[nodiscard]] Result<std::uint64_t> u64_request(
       std::span<const std::uint8_t> frame, MsgType expected_reply);
   [[nodiscard]] Status fail(Status status);
+  /// Decodes one kNotify payload (shared by read_until and
+  /// next_notification); records dbsp_e2e_latency_us when attached.
+  [[nodiscard]] NetNotification decode_notify(WireReader& r);
 
   Socket sock_;
   FrameAssembler assembler_;
   Schema schema_;
   std::deque<NetNotification> notifications_;
+  std::shared_ptr<obs::MetricsRegistry> registry_;
+  obs::Histogram* e2e_latency_us_ = nullptr;
+  std::shared_ptr<obs::FlightRecorder> recorder_;
+  obs::TraceBuilder trace_builder_;
 };
 
 }  // namespace dbsp::net

@@ -13,6 +13,7 @@ MsgType checked_msg_type(std::uint8_t raw) {
     case MsgType::kPing:
     case MsgType::kStats:
     case MsgType::kMetrics:
+    case MsgType::kTraces:
     case MsgType::kHelloReply:
     case MsgType::kSubscribeReply:
     case MsgType::kUnsubscribeReply:
@@ -22,6 +23,7 @@ MsgType checked_msg_type(std::uint8_t raw) {
     case MsgType::kPong:
     case MsgType::kStatsReply:
     case MsgType::kMetricsReply:
+    case MsgType::kTracesReply:
     case MsgType::kNotify:
     case MsgType::kError:
       return static_cast<MsgType>(raw);
@@ -175,6 +177,90 @@ obs::MetricsSnapshot decode_metrics(WireReader& in) {
   return out;
 }
 
+void encode_traces(const WireTraces& traces, WireWriter& out) {
+  out.put_u64(traces.recorded_total);
+  out.put_u64(traces.dropped_total);
+  out.put_u32(static_cast<std::uint32_t>(traces.traces.size()));
+  for (const obs::Trace& t : traces.traces) {
+    WireWriter entry;
+    entry.put_u64(t.trace_id);
+    entry.put_u64(t.parent_span);
+    entry.put_u8(t.sampled ? 1 : 0);
+    entry.put_u64(t.start_unix_us);
+    entry.put_u64(t.duration_us);
+    entry.put_u8(static_cast<std::uint8_t>(t.spans.size()));
+    for (const obs::TraceSpan& s : t.spans) {
+      entry.put_u8(static_cast<std::uint8_t>(s.stage));
+      entry.put_u64(s.span_id);
+      entry.put_u64(s.parent_span);
+      entry.put_u64(s.start_us);
+      entry.put_u64(s.duration_us);
+      entry.put_u64(s.detail);
+    }
+    out.put_u32(static_cast<std::uint32_t>(entry.size()));
+    out.put_bytes(entry.bytes());
+  }
+}
+
+WireTraces decode_traces(WireReader& in) {
+  WireTraces out;
+  out.recorded_total = in.get_u64();
+  out.dropped_total = in.get_u64();
+  const std::uint32_t count = in.get_u32();
+  out.traces.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t entry_len = in.get_u32();
+    if (entry_len > in.remaining()) {
+      throw WireError("net: trace entry overruns the frame");
+    }
+    const std::size_t end_remaining = in.remaining() - entry_len;
+    obs::Trace t;
+    t.trace_id = in.get_u64();
+    t.parent_span = in.get_u64();
+    t.sampled = in.get_u8() != 0;
+    t.start_unix_us = in.get_u64();
+    t.duration_us = in.get_u64();
+    const std::uint8_t span_count = in.get_u8();
+    t.spans.reserve(span_count);
+    for (std::uint8_t s = 0; s < span_count; ++s) {
+      obs::TraceSpan span;
+      const std::uint8_t raw_stage = in.get_u8();
+      span.span_id = in.get_u64();
+      span.parent_span = in.get_u64();
+      span.start_us = in.get_u64();
+      span.duration_us = in.get_u64();
+      span.detail = in.get_u64();
+      // A stage byte from a newer server: drop the span, keep the trace.
+      if (raw_stage > static_cast<std::uint8_t>(obs::TraceStage::kOverlayHop)) {
+        continue;
+      }
+      span.stage = static_cast<obs::TraceStage>(raw_stage);
+      t.spans.push_back(span);
+    }
+    if (in.remaining() < end_remaining) {
+      throw WireError("net: trace entry shorter than its length prefix");
+    }
+    while (in.remaining() > end_remaining) (void)in.get_u8();
+    out.traces.push_back(std::move(t));
+  }
+  return out;
+}
+
+void encode_trace_context(const obs::TraceContext& context, WireWriter& out) {
+  out.put_u8(context.sampled ? 1 : 0);
+  out.put_u64(context.trace_id);
+  out.put_u64(context.parent_span);
+}
+
+obs::TraceContext decode_trace_context_opt(WireReader& in) {
+  obs::TraceContext context;
+  if (in.remaining() == 0) return context;
+  context.sampled = (in.get_u8() & 1) != 0;
+  context.trace_id = in.get_u64();
+  context.parent_span = in.get_u64();
+  return context;
+}
+
 std::vector<std::uint8_t> make_frame(MsgType type, const WireWriter& payload) {
   WireWriter body;
   encode_wire_header(body);
@@ -205,11 +291,19 @@ std::vector<std::uint8_t> make_error_frame(ErrorCode code,
 }
 
 std::vector<std::uint8_t> make_notify_frame(std::uint64_t sub, std::uint64_t seq,
-                                            const Event& event) {
+                                            const Event& event,
+                                            const obs::TraceContext& trace,
+                                            std::uint64_t published_unix_us) {
   WireWriter payload;
   payload.put_u64(sub);
   payload.put_u64(seq);
   encode_event(event, payload);
+  // Trailer only when a trace rides along, so untraced servers emit frames
+  // byte-identical to the previous protocol revision.
+  if (trace.active()) {
+    encode_trace_context(trace, payload);
+    payload.put_u64(published_unix_us);
+  }
   return make_frame(MsgType::kNotify, payload);
 }
 

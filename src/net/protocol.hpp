@@ -26,6 +26,7 @@
 #include "api/status.hpp"
 #include "event/event.hpp"
 #include "event/schema.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "routing/codec.hpp"
 #include "subscription/node.hpp"
@@ -44,6 +45,7 @@ enum class MsgType : std::uint8_t {
   kPing = 7,          ///< token u64
   kStats = 8,         ///< empty
   kMetrics = 9,       ///< empty; full registry scrape
+  kTraces = 10,       ///< empty; flight-recorder snapshot
 
   // --- Replies (server -> client, one per request, in order) ---
   kHelloReply = 64,         ///< schema (store format codec)
@@ -55,9 +57,10 @@ enum class MsgType : std::uint8_t {
   kPong = 70,               ///< token u64
   kStatsReply = 71,         ///< count u32, count x u64 (NetStats field order)
   kMetricsReply = 72,       ///< encode_metrics payload (length-prefixed entries)
+  kTracesReply = 73,        ///< encode_traces payload (length-prefixed entries)
 
   // --- Pushes ---
-  kNotify = 96,  ///< sub id u64, seq u64, event
+  kNotify = 96,  ///< sub id u64, seq u64, event [, trace context, published u64]
   kError = 97,   ///< code u8 (ErrorCode), message string
 };
 
@@ -104,11 +107,43 @@ void encode_stats(const NetStats& stats, WireWriter& out);
 void encode_metrics(const obs::MetricsSnapshot& snapshot, WireWriter& out);
 [[nodiscard]] obs::MetricsSnapshot decode_metrics(WireReader& in);
 
-/// One notification as it crosses the wire.
+/// kTracesReply payload: the flight-recorder snapshot plus its lifetime
+/// counters. Layout:
+///
+///   recorded_total u64 | dropped_total u64 | count u32, then per trace:
+///     entry_len u32 | trace_id u64 | parent_span u64 | sampled u8 |
+///     start_unix_us u64 | duration_us u64 | span_count u8 |
+///     span_count x (stage u8, span_id u64, parent_span u64,
+///                   start_us u64, duration_us u64, detail u64)
+///
+/// Forward compat mirrors the metrics codec: the per-entry byte-length
+/// prefix lets a decoder skip trailing bytes a newer encoder appended,
+/// and spans with an unknown stage byte are dropped individually.
+struct WireTraces {
+  std::vector<obs::Trace> traces;
+  std::uint64_t recorded_total = 0;
+  std::uint64_t dropped_total = 0;
+};
+void encode_traces(const WireTraces& traces, WireWriter& out);
+[[nodiscard]] WireTraces decode_traces(WireReader& in);
+
+/// The optional trailing trace context of kPublish and kNotify frames:
+/// flags u8 (bit 0 = head-sampled) | trace_id u64 | parent_span u64. An
+/// absent trailer (an older peer, or an untraced publish) decodes as the
+/// inactive context.
+void encode_trace_context(const obs::TraceContext& context, WireWriter& out);
+[[nodiscard]] obs::TraceContext decode_trace_context_opt(WireReader& in);
+
+/// One notification as it crosses the wire. `trace` and `published_unix_us`
+/// arrive through the optional kNotify trailer (zero from older servers);
+/// the publish wall clock lets same-host clients histogram end-to-end
+/// latency without a clock exchange.
 struct NetNotification {
   std::uint64_t subscription = 0;
   std::uint64_t seq = 0;
   Event event;
+  obs::TraceContext trace{};
+  std::uint64_t published_unix_us = 0;
 };
 
 // --- Frame builders ----------------------------------------------------------
@@ -121,9 +156,9 @@ struct NetNotification {
                                                        std::uint64_t value);
 [[nodiscard]] std::vector<std::uint8_t> make_error_frame(ErrorCode code,
                                                          const std::string& message);
-[[nodiscard]] std::vector<std::uint8_t> make_notify_frame(std::uint64_t sub,
-                                                          std::uint64_t seq,
-                                                          const Event& event);
+[[nodiscard]] std::vector<std::uint8_t> make_notify_frame(
+    std::uint64_t sub, std::uint64_t seq, const Event& event,
+    const obs::TraceContext& trace = {}, std::uint64_t published_unix_us = 0);
 
 /// Decoded kError payload.
 struct WireStatus {

@@ -2,7 +2,9 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <deque>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
@@ -16,6 +18,7 @@
 #include "common/env.hpp"
 #include "net/socket.hpp"
 #include "obs/exposition.hpp"
+#include "obs/log.hpp"
 #include "store/format.hpp"
 
 namespace dbsp::net {
@@ -46,6 +49,34 @@ struct HttpConn {
 
   [[nodiscard]] std::size_t pending_out() const { return out.size() - out_pos; }
 };
+
+[[nodiscard]] std::uint64_t unix_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// GET /buildinfo body — static facts about this binary, assembled once.
+[[nodiscard]] std::string build_info_json() {
+  std::string out = "{\"name\": \"dbspd\", \"wire_format_version\": ";
+  out += std::to_string(static_cast<unsigned>(kWireFormatVersion));
+  out += ", \"compiler\": \"";
+#if defined(__clang__)
+  out += "clang " __clang_version__;
+#elif defined(__GNUC__)
+  out += "gcc " __VERSION__;
+#else
+  out += "unknown";
+#endif
+  out += "\", \"cxx_standard\": " + std::to_string(__cplusplus / 100);
+#ifdef NDEBUG
+  out += ", \"assertions\": false}";
+#else
+  out += ", \"assertions\": true}";
+#endif
+  return out;
+}
 
 }  // namespace
 
@@ -86,6 +117,20 @@ struct NetServer::Conn {
   /// Subscriptions owned by this connection; released on disconnect.
   std::unordered_map<std::uint64_t, SubscriptionHandle> subs;
 
+  /// One traced notification waiting in this connection's write queue; it
+  /// completes (and records its queue-wait/socket-write spans) when
+  /// `total_written` passes `end_bytes`.
+  struct DeliveryMarker {
+    std::uint64_t end_bytes = 0;  ///< total_queued after the notify frame
+    obs::TraceContext trace{};
+    std::uint64_t frame_bytes = 0;
+    std::uint64_t enqueue_unix_us = 0;
+    std::chrono::steady_clock::time_point enqueue_steady{};
+  };
+  std::uint64_t total_queued = 0;   ///< lifetime bytes entering `out`
+  std::uint64_t total_written = 0;  ///< lifetime bytes handed to the socket
+  std::deque<DeliveryMarker> deliveries;
+
   [[nodiscard]] std::size_t pending_out() const { return out.size() - out_pos; }
 
   void queue(std::span<const std::uint8_t> bytes) {
@@ -95,6 +140,7 @@ struct NetServer::Conn {
       out_pos = 0;
     }
     out.insert(out.end(), bytes.begin(), bytes.end());
+    total_queued += bytes.size();
   }
 };
 
@@ -121,6 +167,7 @@ NetServer::NetServer(PubSub pubsub, NetServerOptions options)
     : options_(std::move(options)),
       impl_(std::make_unique<Impl>(std::move(pubsub))) {
   registry_ = impl_->pubsub->metrics_registry();
+  recorder_ = impl_->pubsub->trace_recorder();
 }
 
 Result<std::unique_ptr<NetServer>> NetServer::start(PubSub pubsub,
@@ -191,6 +238,7 @@ Status NetServer::init() {
   register_metrics_hook();
   cells_->subscriptions.store(impl_->pubsub->subscription_count(),
                               std::memory_order_relaxed);
+  start_time_ = std::chrono::steady_clock::now();
   return Status();
 }
 
@@ -258,6 +306,12 @@ void NetServer::request_stop_async(bool drain) noexcept {
   [[maybe_unused]] const ssize_t rc = ::write(impl_->wake_fd, &one, sizeof one);
 }
 
+void NetServer::request_trace_dump_async() noexcept {
+  trace_dump_requested_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t rc = ::write(impl_->wake_fd, &one, sizeof one);
+}
+
 void NetServer::stop(bool drain) {
   request_stop_async(drain);
   wait();
@@ -298,6 +352,27 @@ NetStats NetServer::stats() const {
 // --- io thread ---------------------------------------------------------------
 // Everything below runs exclusively on the io thread.
 
+void NetServer::write_trace_dump() {
+  if (recorder_ == nullptr) {
+    obs::LogEvent(obs::LogLevel::kWarn, "net",
+                  "trace dump skipped: tracing disabled");
+    return;
+  }
+  const std::string json = obs::traces_json(*recorder_);
+  std::FILE* file = std::fopen(options_.trace_dump_path.c_str(), "w");
+  if (file == nullptr) {
+    obs::LogEvent(obs::LogLevel::kError, "net", "trace dump open failed")
+        .kv("path", options_.trace_dump_path)
+        .kv("errno", errno);
+    return;
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  obs::LogEvent(obs::LogLevel::kInfo, "net", "trace dump written")
+      .kv("path", options_.trace_dump_path)
+      .kv("bytes", static_cast<std::uint64_t>(written));
+}
+
 void NetServer::run_loop() {
   auto& impl = *impl_;
   const auto now_ms = [] {
@@ -305,6 +380,10 @@ void NetServer::run_loop() {
                std::chrono::steady_clock::now().time_since_epoch())
         .count();
   };
+
+  // The io thread's span collector for kServerDispatch (one in-flight
+  // request at a time — the thread dispatches frames serially).
+  obs::TraceBuilder server_trace;
 
   const auto update_subs_counter = [&] {
     cells_->subscriptions.store(impl.pubsub ? impl.pubsub->subscription_count() : 0,
@@ -350,18 +429,58 @@ void NetServer::run_loop() {
     }
   };
 
+  // Completes delivery markers whose bytes fully entered the socket:
+  // records one trace entry per traced notification with a queue-wait span
+  // (enqueue -> this flush) and a socket-write span (this flush -> done).
+  // Kept when head-sampled or tail-admitted as slow, like any trace.
+  const auto complete_deliveries =
+      [&](Conn& conn, std::chrono::steady_clock::time_point flush_start) {
+        if (recorder_ == nullptr) return;
+        const auto now = std::chrono::steady_clock::now();
+        while (!conn.deliveries.empty() &&
+               conn.deliveries.front().end_bytes <= conn.total_written) {
+          const Conn::DeliveryMarker m = conn.deliveries.front();
+          conn.deliveries.pop_front();
+          const auto us_since = [&m](std::chrono::steady_clock::time_point t) {
+            return t <= m.enqueue_steady
+                       ? std::uint64_t{0}
+                       : static_cast<std::uint64_t>(
+                             std::chrono::duration_cast<std::chrono::microseconds>(
+                                 t - m.enqueue_steady)
+                                 .count());
+          };
+          const std::uint64_t total_us = us_since(now);
+          if (!m.trace.sampled && !recorder_->admit_slow(total_us)) continue;
+          const std::uint64_t wait_us = std::min(us_since(flush_start), total_us);
+          obs::Trace t;
+          t.trace_id = m.trace.trace_id;
+          t.parent_span = m.trace.parent_span;
+          t.sampled = m.trace.sampled;
+          t.start_unix_us = m.enqueue_unix_us;
+          t.duration_us = total_us;
+          t.spans.push_back({obs::TraceStage::kQueueWait, obs::next_span_id(),
+                             m.trace.parent_span, 0, wait_us, 0});
+          t.spans.push_back({obs::TraceStage::kSocketWrite, obs::next_span_id(),
+                             m.trace.parent_span, wait_us, total_us - wait_us,
+                             m.frame_bytes});
+          recorder_->record(t);
+        }
+      };
+
   // Non-blocking flush of one connection's write queue. Returns false when
   // the connection died mid-write (already destroyed).
   const auto flush_writes = [&](int fd) -> bool {
     const auto it = impl.conns.find(fd);
     if (it == impl.conns.end()) return false;
     Conn& conn = *it->second;
+    const auto flush_start = std::chrono::steady_clock::now();
     while (conn.pending_out() > 0) {
       const ssize_t n =
           ::send(fd, conn.out.data() + conn.out_pos, conn.pending_out(),
                  MSG_NOSIGNAL | MSG_DONTWAIT);
       if (n > 0) {
         conn.out_pos += static_cast<std::size_t>(n);
+        conn.total_written += static_cast<std::uint64_t>(n);
         cells_->bytes_sent.fetch_add(static_cast<std::uint64_t>(n),
                               std::memory_order_relaxed);
         continue;
@@ -371,6 +490,7 @@ void NetServer::run_loop() {
       destroy_conn(fd);
       return false;
     }
+    complete_deliveries(conn, flush_start);
     if (conn.pending_out() == 0 && conn.close_after_flush) {
       destroy_conn(fd);
       return false;
@@ -384,6 +504,13 @@ void NetServer::run_loop() {
   // recoverable — framing may be lost.
   const auto protocol_error = [&](Conn& conn, const std::string& message) {
     cells_->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    static obs::LogRateLimit rate(/*max_per_sec=*/10);
+    if (rate.allow()) {
+      obs::LogEvent(obs::LogLevel::kWarn, "net", "protocol error")
+          .kv("fd", conn.sock.fd())
+          .kv("error", message)
+          .kv("suppressed", rate.suppressed());
+    }
     try {
       enqueue(conn, make_error_frame(ErrorCode::kInvalidArgument, message));
     } catch (const WireError&) {
@@ -410,13 +537,18 @@ void NetServer::run_loop() {
     if (it == impl.conns.end()) return;
     Conn& conn = *it->second;
     if (conn.close_after_flush || conn.kill_slow) return;
-    const auto frame =
-        make_notify_frame(n.subscription.value(), n.seq, n.event);
+    const auto frame = make_notify_frame(n.subscription.value(), n.seq, n.event,
+                                         n.trace, n.published_unix_us);
     if (conn.pending_out() + frame.size() > options_.max_write_queue_bytes) {
       conn.kill_slow = true;
       return;
     }
     enqueue(conn, frame);
+    if (n.trace.active() && recorder_ != nullptr) {
+      conn.deliveries.push_back({conn.total_queued, n.trace, frame.size(),
+                                 unix_now_us(),
+                                 std::chrono::steady_clock::now()});
+    }
     dirty.push_back(fd);
     cells_->notifications_enqueued.fetch_add(1, std::memory_order_relaxed);
   };
@@ -430,6 +562,14 @@ void NetServer::run_loop() {
     }
     for (const int fd : victims) {
       cells_->slow_consumer_disconnects.fetch_add(1, std::memory_order_relaxed);
+      static obs::LogRateLimit rate(/*max_per_sec=*/10);
+      if (rate.allow()) {
+        obs::LogEvent(obs::LogLevel::kWarn, "net", "slow consumer disconnected")
+            .kv("fd", fd)
+            .kv("max_write_queue_bytes",
+                static_cast<std::uint64_t>(options_.max_write_queue_bytes))
+            .kv("suppressed", rate.suppressed());
+      }
       destroy_conn(fd);
     }
   };
@@ -526,12 +666,30 @@ void NetServer::run_loop() {
         }
         case MsgType::kPublish: {
           const Event event = decode_event(r);
+          const obs::TraceContext ctx = decode_trace_context_opt(r);
           require_exhausted();
           if (Status v = validate_event(event, pubsub.schema()); !v.ok()) {
             status_error(conn, v);
             break;
           }
-          const std::size_t matched = pubsub.publish(event);
+          std::size_t matched = 0;
+          if (recorder_ != nullptr && ctx.active()) {
+            // The client traced this publish: record a server-side entry
+            // whose kServerDispatch span parents the facade's spans and
+            // the delivery entries (same trace id across all of them).
+            server_trace.begin(ctx);
+            {
+              obs::ScopedSpan span(&server_trace,
+                                   obs::TraceStage::kServerDispatch);
+              obs::TraceContext child = ctx;
+              if (span.span_id() != 0) child.parent_span = span.span_id();
+              matched = pubsub.publish(event, child);
+              span.set_detail(matched);
+            }
+            (void)server_trace.finish(*recorder_);
+          } else {
+            matched = pubsub.publish(event, ctx);
+          }
           cells_->events_published.fetch_add(1, std::memory_order_relaxed);
           cells_->notifications_delivered.fetch_add(matched, std::memory_order_relaxed);
           enqueue(conn, make_u64_frame(MsgType::kPublishReply, matched));
@@ -581,6 +739,21 @@ void NetServer::run_loop() {
                                    : obs::MetricsSnapshot{},
                          payload);
           enqueue(conn, make_frame(MsgType::kMetricsReply, payload));
+          break;
+        }
+        case MsgType::kTraces: {
+          require_exhausted();
+          WireWriter payload;
+          // Empty snapshot (not an error) when tracing is off, mirroring
+          // the metrics verb.
+          WireTraces wt;
+          if (recorder_ != nullptr) {
+            wt.traces = recorder_->snapshot();
+            wt.recorded_total = recorder_->recorded_total();
+            wt.dropped_total = recorder_->dropped_total();
+          }
+          encode_traces(wt, payload);
+          enqueue(conn, make_frame(MsgType::kTracesReply, payload));
           break;
         }
         default:
@@ -714,6 +887,31 @@ void NetServer::run_loop() {
         content_type = obs::prometheus_content_type();
         body = registry_ ? obs::to_prometheus(registry_->snapshot())
                          : std::string();
+      } else if (line.starts_with("GET /traces ") ||
+                 line.starts_with("GET /traces?")) {
+        status = "200 OK";
+        content_type = "application/json; charset=utf-8";
+        body = recorder_ ? obs::traces_json(*recorder_)
+                         : obs::traces_json({}, 0, 0);
+      } else if (line.starts_with("GET /healthz ") ||
+                 line.starts_with("GET /healthz?")) {
+        status = "200 OK";
+        content_type = "application/json; charset=utf-8";
+        const auto uptime_s =
+            std::chrono::duration_cast<std::chrono::seconds>(
+                std::chrono::steady_clock::now() - start_time_)
+                .count();
+        body = "{\"status\": \"ok\", \"draining\": " +
+               std::to_string(cells_->draining.load(std::memory_order_relaxed)) +
+               ", \"uptime_s\": " + std::to_string(uptime_s) +
+               ", \"connections\": " +
+               std::to_string(cells_->connections.load(std::memory_order_relaxed)) +
+               "}";
+      } else if (line.starts_with("GET /buildinfo ") ||
+                 line.starts_with("GET /buildinfo?")) {
+        status = "200 OK";
+        content_type = "application/json; charset=utf-8";
+        body = build_info_json();
       }
       conn.out = "HTTP/1.1 " + status +
                  "\r\nContent-Type: " + content_type +
@@ -820,11 +1018,19 @@ void NetServer::run_loop() {
       if ((mask & EPOLLOUT) != 0) (void)flush_writes(fd);
     }
 
+    if (trace_dump_requested_.exchange(false, std::memory_order_acq_rel)) {
+      write_trace_dump();
+    }
+
     if (!stopping) {
       const int req = stop_request_.load(std::memory_order_acquire);
       if (req != 0) {
         stopping = true;
         drain = req == kStopDrain;
+        obs::LogEvent(obs::LogLevel::kInfo, "net", "stop requested")
+            .kv("drain", drain)
+            .kv("connections",
+                static_cast<std::uint64_t>(impl.conns.size()));
         cells_->draining.store(1, std::memory_order_relaxed);
         (void)::epoll_ctl(impl.epoll_fd, EPOLL_CTL_DEL, impl.listener.fd(),
                           nullptr);

@@ -27,6 +27,7 @@
 /// connection handles, so shutdown never unsubscribes anyone durably.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -60,8 +61,12 @@ struct NetServerOptions {
   /// Port of the HTTP GET /metrics endpoint (Prometheus text exposition),
   /// served from the same epoll loop on `host`. -1 disables it; 0 binds a
   /// kernel-assigned port (read back with metrics_port()). The endpoint
-  /// keeps serving while a graceful drain is in progress.
+  /// keeps serving while a graceful drain is in progress, and also answers
+  /// GET /traces (flight-recorder JSON), GET /healthz, and GET /buildinfo.
   int metrics_port = -1;
+  /// Where request_trace_dump_async() (dbspd's SIGUSR1 handler) writes the
+  /// flight-recorder JSON.
+  std::string trace_dump_path = "dbsp_traces.json";
 
   [[nodiscard]] static NetServerOptions from_env();
 };
@@ -100,6 +105,11 @@ class NetServer {
   /// Async-signal-safe stop request (an eventfd write) — the SIGTERM path
   /// of dbspd. Pair with wait() from a normal thread.
   void request_stop_async(bool drain) noexcept;
+
+  /// Async-signal-safe trace-dump request (dbspd's SIGUSR1 path): the io
+  /// thread writes the flight-recorder JSON to options().trace_dump_path.
+  /// A no-op when the owned PubSub runs without tracing.
+  void request_trace_dump_async() noexcept;
 
   /// Blocks until the io thread has exited (after some stop request).
   void wait();
@@ -145,6 +155,8 @@ class NetServer {
   [[nodiscard]] Status init();
   void register_metrics_hook();
   void run_loop();
+  /// io thread: writes the flight-recorder JSON to options_.trace_dump_path.
+  void write_trace_dump();
 
   NetServerOptions options_;
   std::uint16_t port_ = 0;
@@ -154,12 +166,20 @@ class NetServer {
   /// kept so the metrics verb and HTTP endpoint scrape without touching
   /// the facade, even while it is being drained.
   std::shared_ptr<obs::MetricsRegistry> registry_;
+  /// The owned PubSub's flight recorder (null when tracing is disabled);
+  /// same rationale as registry_ — the traces verb, GET /traces, and the
+  /// delivery spans all go through this pointer.
+  std::shared_ptr<obs::FlightRecorder> recorder_;
   std::thread thread_;
 
   std::atomic<bool> running_{false};
   std::atomic<int> stop_request_{0};  ///< 0 none, 1 kill, 2 drain
+  std::atomic<bool> trace_dump_requested_{false};
 
   Mutex join_mutex_;
+
+  /// Process-lifecycle anchor for /healthz uptime.
+  std::chrono::steady_clock::time_point start_time_{};
 
   std::shared_ptr<StatCells> cells_ = std::make_shared<StatCells>();
 };

@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file
+/// The structured logger: leveled key=value lines on stderr, one write per
+/// line, with per-call-site rate limiting. Replaces the ad-hoc fprintf
+/// diagnostics in the net server and the daemon so operators get
+/// machine-parseable output:
+///
+///   ts=2026-08-08T09:15:03.120Z level=info component=net msg="listening" port=7411
+///
+/// Usage — a LogEvent emits on destruction (end of the full expression):
+///
+///   obs::LogEvent(obs::LogLevel::kWarn, "net", "slow consumer killed")
+///       .kv("fd", fd).kv("queued_bytes", bytes);
+///
+/// The process level comes from DBSP_LOG_LEVEL (debug|info|warn|error|off,
+/// default info) and can be overridden with set_log_level(). A LogEvent
+/// below the level is inert: no clock read, no formatting, no write.
+///
+/// Rate limiting guards hot diagnostic sites (per-connection errors under
+/// hostile load): a static LogRateLimit at the call site caps emissions
+/// per second and counts what it suppressed:
+///
+///   static obs::LogRateLimit rate(/*max_per_sec=*/10);
+///   if (rate.allow()) obs::LogEvent(...).kv("suppressed", rate.suppressed());
+///
+/// Thread safety: levels and rate limiters are relaxed atomics; each line
+/// is a single fwrite, so concurrent lines interleave whole, never torn.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dbsp::obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+[[nodiscard]] const char* to_string(LogLevel level);
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-sensitive);
+/// `fallback` on anything else.
+[[nodiscard]] LogLevel parse_log_level(std::string_view text, LogLevel fallback);
+
+/// The process log level (first call reads DBSP_LOG_LEVEL, default info).
+[[nodiscard]] LogLevel log_level();
+void set_log_level(LogLevel level);
+[[nodiscard]] inline bool log_enabled(LogLevel level) {
+  return level >= log_level() && level != LogLevel::kOff;
+}
+
+/// One structured line, emitted on destruction. Inert (every kv() a no-op)
+/// when the level is below the process level.
+class LogEvent {
+ public:
+  LogEvent(LogLevel level, std::string_view component, std::string_view message);
+  ~LogEvent();
+
+  LogEvent(const LogEvent&) = delete;
+  LogEvent& operator=(const LogEvent&) = delete;
+
+  LogEvent& kv(std::string_view key, std::string_view value);
+  LogEvent& kv(std::string_view key, const char* value) {
+    return kv(key, std::string_view(value));
+  }
+  LogEvent& kv(std::string_view key, std::uint64_t value);
+  LogEvent& kv(std::string_view key, std::int64_t value);
+  LogEvent& kv(std::string_view key, int value) {
+    return kv(key, static_cast<std::int64_t>(value));
+  }
+  LogEvent& kv(std::string_view key, unsigned value) {
+    return kv(key, static_cast<std::uint64_t>(value));
+  }
+  LogEvent& kv(std::string_view key, double value);
+  LogEvent& kv(std::string_view key, bool value) {
+    return kv(key, std::string_view(value ? "true" : "false"));
+  }
+
+ private:
+  bool enabled_;
+  std::string line_;
+};
+
+/// Per-call-site emission cap: at most `max_per_sec` allow()s per wall
+/// second; everything else is suppressed and counted. Lock-free.
+class LogRateLimit {
+ public:
+  explicit LogRateLimit(std::uint32_t max_per_sec) : max_per_sec_(max_per_sec) {}
+
+  /// True when this call may log. Relaxed atomics only.
+  [[nodiscard]] bool allow();
+
+  /// Total calls suppressed so far.
+  [[nodiscard]] std::uint64_t suppressed() const {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::uint32_t max_per_sec_;
+  std::atomic<std::uint64_t> window_start_s_{0};
+  std::atomic<std::uint32_t> in_window_{0};
+  std::atomic<std::uint64_t> suppressed_{0};
+};
+
+}  // namespace dbsp::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <stdexcept>
+#include <unordered_set>
 #include <utility>
 
 #include "net/client.hpp"
@@ -388,6 +389,7 @@ ScenarioReport ScenarioRunner::run_sockets() {
   // unpruned local oracle clones of the live trees.
   PubSubOptions options;
   options.engine.shards = config_.shards == 0 ? 1 : config_.shards;
+  if (config_.tracing) options.trace = config_.trace;
   const bool durable = !config_.store_directory.empty();
   const auto make_pubsub = [&]() -> PubSub {
     if (!durable) return PubSub(domain_->schema(), options);
@@ -414,8 +416,24 @@ ScenarioReport ScenarioRunner::run_sockets() {
     if (!client.ok()) throw std::logic_error(client.status().to_string());
     return std::move(client).value();
   };
+  // Tracing: the publisher owns a client-side flight recorder (so every
+  // publish carries an active context whose sampled flag crosses the wire)
+  // and the subscriber records publish-to-receipt e2e latency.
+  std::shared_ptr<obs::FlightRecorder> client_recorder;
+  std::shared_ptr<obs::MetricsRegistry> client_registry;
+  if (config_.tracing) {
+    client_recorder = std::make_shared<obs::FlightRecorder>(config_.trace);
+    client_registry = std::make_shared<obs::MetricsRegistry>();
+  }
+  const auto arm_clients = [&](net::DbspClient& sub, net::DbspClient& pub) {
+    if (!config_.tracing) return;
+    pub.attach_trace_recorder(client_recorder);
+    sub.attach_metrics(client_registry);
+  };
+
   std::optional<net::DbspClient> subscriber(connect());
   std::optional<net::DbspClient> publisher(connect());
+  arm_clients(*subscriber, *publisher);
 
   // Live population in arrival (= ascending server-assigned id) order,
   // each with an unpruned oracle clone of its tree.
@@ -482,6 +500,7 @@ ScenarioReport ScenarioRunner::run_sockets() {
         server = start_server();
         subscriber.emplace(connect());
         publisher.emplace(connect());
+        arm_clients(*subscriber, *publisher);
         for (const LiveSub& sub : live) {
           auto adopted = subscriber->adopt(sub.id);
           if (!adopted.ok()) throw std::logic_error(adopted.status().to_string());
@@ -497,8 +516,16 @@ ScenarioReport ScenarioRunner::run_sockets() {
       churn_tick(churn, arrivals, pr, admit, [&] { return live.size(); }, release);
 
       const Event event = events->next();
+      // Tracing: mint the context here (rather than inside the client) so
+      // the runner can count head-sampled publishes for the coverage report.
+      obs::TraceContext trace_ctx;
+      if (config_.tracing) {
+        trace_ctx = obs::make_trace_context(client_recorder->should_sample());
+        ++report.traced_publishes;
+        if (trace_ctx.sampled) ++report.sampled_publishes;
+      }
       match_watch.start();
-      auto matched = publisher->publish(event);
+      auto matched = publisher->publish(event, trace_ctx);
       match_watch.stop();
       if (!matched.ok()) throw std::logic_error(matched.status().to_string());
       pr.matches += matched.value();
@@ -533,6 +560,29 @@ ScenarioReport ScenarioRunner::run_sockets() {
     pr.match_seconds = match_watch.seconds();
     pr.wall_seconds = wall.seconds();
     report.phases.push_back(std::move(pr));
+  }
+
+  // Tracing coverage: join the client-side ring against the server's
+  // through the traces wire verb while the clients are still connected.
+  if (config_.tracing) {
+    const std::vector<obs::Trace> client_snapshot = client_recorder->snapshot();
+    report.client_traces = client_snapshot.size();
+    auto server_traces = publisher->traces();
+    if (server_traces.ok()) {
+      report.server_traces = server_traces.value().traces.size();
+      std::unordered_set<std::uint64_t> server_ids;
+      for (const obs::Trace& t : server_traces.value().traces) {
+        server_ids.insert(t.trace_id);
+      }
+      for (const obs::Trace& t : client_snapshot) {
+        if (server_ids.count(t.trace_id) != 0) ++report.joined_traces;
+      }
+    }
+    const obs::MetricsSnapshot client_metrics = client_registry->snapshot();
+    if (const obs::MetricSnapshot* h =
+            client_metrics.find("dbsp_e2e_latency_us")) {
+      report.e2e_latency_samples = h->histogram.count;
+    }
   }
 
   // Graceful end of the soak: clients say goodbye first (their clean

@@ -85,6 +85,16 @@ struct ScenarioConfig {
   /// Transport between the runner and the engine (see ScenarioTransport).
   ScenarioTransport transport = ScenarioTransport::kInProcess;
 
+  // --- Tracing (sockets transport only) ------------------------------------
+  /// Attach a client-side flight recorder to the publisher (every publish
+  /// then carries an active trace context, head-sampled per
+  /// `trace.sample_every`), record client-side e2e latency on the
+  /// subscriber, pull the server's recorder through the traces wire verb
+  /// at soak end, and report two-sided span coverage in ScenarioReport.
+  bool tracing = false;
+  /// Recorder knobs for both sides (zero fields resolve from DBSP_TRACE_*).
+  obs::FlightRecorderOptions trace;
+
   // --- Durability / crash recovery -----------------------------------------
   /// Non-empty: the centralized runner opens its PubSub from this store
   /// directory (PubSub::open; created when missing) and every churn and
@@ -141,6 +151,22 @@ struct ScenarioReport {
   /// Wall time of that final snapshot + serialization, in microseconds —
   /// what one monitoring scrape costs the broker.
   double scrape_cost_us = 0.0;
+
+  // --- Tracing coverage (sockets transport with config.tracing) ------------
+  /// Publishes sent while tracing was on (every one carried a context).
+  std::size_t traced_publishes = 0;
+  /// Of those, head-sampled ones — retained on both sides by contract.
+  std::size_t sampled_publishes = 0;
+  /// Entries readable from the client-side recorder at soak end.
+  std::size_t client_traces = 0;
+  /// Entries pulled from the server through the traces wire verb.
+  std::size_t server_traces = 0;
+  /// Trace ids with spans on *both* sides — a client_request entry here
+  /// and a server entry (server_dispatch or delivery) over the wire.
+  std::size_t joined_traces = 0;
+  /// Client-side publish-to-notification latency samples recorded into
+  /// dbsp_e2e_latency_us (subscriber side).
+  std::uint64_t e2e_latency_samples = 0;
 
   /// True iff every oracle check passed in every phase.
   [[nodiscard]] bool exact() const;

@@ -24,8 +24,11 @@
 #endif
 
 #include "dbsp/dbsp.hpp"
+#include "net/protocol.hpp"
 #include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "routing/codec.hpp"
 
 namespace dbsp::obs {
 namespace {
@@ -501,6 +504,69 @@ TEST(FacadeMetricsTest, DurableStoreSeriesTrackStoreStats) {
     EXPECT_EQ(wal->histogram.count, stats.wal_records);
   }
   fs::remove_all(dir);
+}
+
+// --- Sampler / PhaseTimer ----------------------------------------------------
+
+TEST(SamplerTest, EdgeRatesNeverAndAlways) {
+  Sampler never(0);
+  Sampler always(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(never.should_sample());
+    EXPECT_TRUE(always.should_sample());
+  }
+}
+
+TEST(SamplerTest, OneInNIsExactAcrossThreads) {
+  // The sampler's counter is a single global fetch_add, so 1-in-N holds
+  // exactly over the union of all threads' asks, not just per thread.
+  Sampler sampler(8);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::atomic<std::uint64_t> sampled{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      std::uint64_t mine = 0;
+      for (int i = 0; i < kPerThread; ++i) {
+        if (sampler.should_sample()) ++mine;
+      }
+      sampled.fetch_add(mine, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(sampled.load(), kThreads * kPerThread / 8);
+}
+
+TEST(PhaseTimerTest, NullHistogramIsInertAndRealOneRecordsASample) {
+  { PhaseTimer inert(nullptr); }  // must not crash or touch anything
+  Histogram hist;
+  { PhaseTimer timed(&hist); }
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_GE(snap.sum, 0.0);
+}
+
+// --- Empty-registry exposition -----------------------------------------------
+
+TEST(ExpositionTest, EmptyRegistryRoundTripsThroughEveryExport) {
+  MetricsRegistry registry;
+  const MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_TRUE(snapshot.metrics.empty());
+
+  // Both text renderers must produce valid (if empty) documents.
+  EXPECT_EQ(to_prometheus(snapshot), "");
+  const std::string json = to_json(snapshot);
+  EXPECT_NE(json.find("\"metrics\": []"), std::string::npos) << json;
+
+  // And the wire codec must round-trip the empty snapshot.
+  WireWriter writer;
+  net::encode_metrics(snapshot, writer);
+  WireReader reader(writer.bytes());
+  const MetricsSnapshot decoded = net::decode_metrics(reader);
+  EXPECT_TRUE(decoded.metrics.empty());
+  EXPECT_TRUE(reader.exhausted());
 }
 
 }  // namespace

@@ -16,13 +16,17 @@
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
+#include <memory>
 #include <random>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "api/pubsub.hpp"
 #include "net/client.hpp"
 #include "obs/exposition.hpp"
+#include "obs/flight.hpp"
 #include "scenario/scenario_runner.hpp"
 #include "test_util.hpp"
 
@@ -460,6 +464,167 @@ TEST(NetE2eTest, HttpMetricsKeepsServingDuringGracefulDrain) {
   EXPECT_FALSE(server->running());
 }
 
+TEST(NetE2eTest, HealthzAndBuildinfoAnswerOnTheMetricsPort) {
+  Schema schema;
+  schema.add_attribute("x", ValueType::Int);
+  NetServerOptions net;
+  net.metrics_port = 0;
+  auto server = start_server(PubSub(schema), net);
+  ASSERT_NE(server->metrics_port(), 0);
+
+  const std::string health = http_get(server->metrics_port(), "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos) << health;
+  EXPECT_NE(health.find("\"status\": \"ok\""), std::string::npos) << health;
+  EXPECT_NE(health.find("\"draining\": 0"), std::string::npos) << health;
+  EXPECT_NE(health.find("\"uptime_s\": "), std::string::npos) << health;
+  EXPECT_NE(health.find("\"connections\": "), std::string::npos) << health;
+
+  const std::string build = http_get(server->metrics_port(), "/buildinfo");
+  EXPECT_NE(build.find("200 OK"), std::string::npos) << build;
+  EXPECT_NE(build.find("\"name\": \"dbspd\""), std::string::npos) << build;
+  EXPECT_NE(build.find("\"wire_format_version\": "), std::string::npos)
+      << build;
+}
+
+TEST(NetE2eTest, TracesAgreeAcrossFacadeVerbAndHttp) {
+  // The three-export contract for traces: PubSub::traces()/traces_json(),
+  // the kTraces verb, and GET /traces must all serve the same flight
+  // recorder — same entries, same trace ids, same spans.
+  Schema schema;
+  const AttributeId x = schema.add_attribute("x", ValueType::Int);
+  PubSubOptions options;
+  options.trace.sample_every = 1;  // every publish head-sampled
+  options.trace.capacity = 512;
+  options.trace.slow_k = 4;
+  options.trace.window_ms = 60000;
+  NetServerOptions net;
+  net.metrics_port = 0;
+  auto server = start_server(PubSub(schema, options), net);
+  ASSERT_NE(server->metrics_port(), 0);
+
+  DbspClient subscriber = connect_to(*server);
+  const auto match_all = Node::leaf(Predicate(x, Op::Ge, Value(0)));
+  auto id = subscriber.subscribe(*match_all);
+  ASSERT_TRUE(id.ok()) << id.status().to_string();
+
+  // A traced publisher: every request carries an active sampled context,
+  // so the server records a server_dispatch entry joining the same trace.
+  DbspClient publisher = connect_to(*server);
+  publisher.attach_trace_recorder(
+      std::make_shared<obs::FlightRecorder>(options.trace));
+
+  Event event;
+  event.set(x, Value(7));
+  constexpr int kEvents = 20;
+  for (int i = 0; i < kEvents; ++i) {
+    auto matched = publisher.publish(event);
+    ASSERT_TRUE(matched.ok()) << matched.status().to_string();
+    EXPECT_EQ(matched.value(), 1u);
+  }
+  for (int i = 0; i < kEvents; ++i) {
+    auto n = subscriber.next_notification(5000);
+    ASSERT_TRUE(n.ok()) << n.status().to_string();
+    ASSERT_TRUE(n.value().has_value()) << "notification " << i;
+  }
+
+  // Quiesce: the delivery entries land asynchronously after the socket
+  // flush; wait for the recorder to go stable.
+  const auto recorder = server->pubsub()->trace_recorder();
+  ASSERT_NE(recorder, nullptr);
+  std::uint64_t prev = 0;
+  ASSERT_TRUE(eventually([&] {
+    const std::uint64_t now = recorder->recorded_total();
+    const bool stable = now > 0 && now == prev;
+    prev = now;
+    return stable;
+  }));
+
+  const std::vector<obs::Trace> facade = server->pubsub()->traces();
+  const std::string facade_json = server->pubsub()->traces_json();
+  auto verb = publisher.traces();
+  ASSERT_TRUE(verb.ok()) << verb.status().to_string();
+  const std::string http = http_get(server->metrics_port(), "/traces");
+  ASSERT_NE(http.find("200 OK"), std::string::npos);
+  ASSERT_FALSE(facade.empty());
+
+  // Same entry set everywhere (nothing records between the three pulls).
+  EXPECT_EQ(verb.value().traces.size(), facade.size());
+  EXPECT_EQ(verb.value().recorded_total, recorder->recorded_total());
+  EXPECT_EQ(verb.value().dropped_total, recorder->dropped_total());
+
+  // Pick the slowest entry and find the same one (trace id, span count,
+  // span ids, stage names) through the wire verb.
+  const obs::Trace* slow = &facade[0];
+  for (const obs::Trace& t : facade) {
+    if (t.duration_us > slow->duration_us) slow = &t;
+  }
+  ASSERT_FALSE(slow->spans.empty());
+  const auto stages = [](const obs::Trace& t) {
+    std::vector<std::string> names;
+    names.reserve(t.spans.size());
+    for (const obs::TraceSpan& s : t.spans) {
+      names.emplace_back(obs::to_string(s.stage));
+    }
+    return names;
+  };
+  const obs::Trace* over_wire = nullptr;
+  for (const obs::Trace& t : verb.value().traces) {
+    if (t.trace_id == slow->trace_id && t.spans.size() == slow->spans.size() &&
+        t.spans[0].span_id == slow->spans[0].span_id) {
+      over_wire = &t;
+    }
+  }
+  ASSERT_NE(over_wire, nullptr);
+  EXPECT_EQ(stages(*over_wire), stages(*slow));
+  EXPECT_EQ(over_wire->duration_us, slow->duration_us);
+  EXPECT_EQ(over_wire->parent_span, slow->parent_span);
+  EXPECT_EQ(over_wire->sampled, slow->sampled);
+
+  // Both JSON exports carry that trace — same id, same number of entries.
+  const std::string id_token =
+      "\"trace_id\": \"" + std::to_string(slow->trace_id) + "\"";
+  const auto count_occurrences = [](const std::string& hay,
+                                    const std::string& needle) {
+    std::size_t count = 0;
+    for (std::size_t at = hay.find(needle); at != std::string::npos;
+         at = hay.find(needle, at + needle.size())) {
+      ++count;
+    }
+    return count;
+  };
+  EXPECT_GE(count_occurrences(facade_json, id_token), 1u);
+  EXPECT_EQ(count_occurrences(http, id_token),
+            count_occurrences(facade_json, id_token));
+  for (const std::string& name : stages(*slow)) {
+    EXPECT_NE(http.find("\"stage\": \"" + name + "\""), std::string::npos)
+        << name;
+  }
+
+  // End-to-end span coverage: across the entries of that trace the server
+  // saw the dispatch, the match, and the delivery out the socket.
+  std::set<std::string> across;
+  for (const obs::Trace& t : facade) {
+    if (t.trace_id != slow->trace_id) continue;
+    for (const obs::TraceSpan& s : t.spans) {
+      across.insert(obs::to_string(s.stage));
+    }
+  }
+  for (const char* required : {"server_dispatch", "match", "dispatch",
+                               "queue_wait", "socket_write"}) {
+    EXPECT_EQ(across.count(required), 1u) << required;
+  }
+  // And the client side of the same trace sits in the publisher's
+  // recorder under the same trace id.
+  bool client_side = false;
+  for (const obs::Trace& t : publisher.trace_recorder()->snapshot()) {
+    if (t.trace_id != slow->trace_id) continue;
+    for (const obs::TraceSpan& s : t.spans) {
+      client_side |= s.stage == obs::TraceStage::kClientRequest;
+    }
+  }
+  EXPECT_TRUE(client_side);
+}
+
 TEST(NetE2eTest, SocketsScenarioSoakIsExact) {
   // The full soak across the wire: churn + flash crowd + kill-and-recover
   // over loopback TCP, every delivery checked against the naive oracle.
@@ -477,6 +642,41 @@ TEST(NetE2eTest, SocketsScenarioSoakIsExact) {
   EXPECT_TRUE(report.exact()) << report.total_mismatches() << " mismatches";
   EXPECT_EQ(report.total_recoveries(), 1u);
   EXPECT_GT(report.total_events(), 0u);
+}
+
+TEST(NetE2eTest, TracedSocketsSoakStaysExactWithTwoSidedSpans) {
+  // The soak with tracing armed on both sides: every publish carries a
+  // sampled context, the oracle must stay exact (tracing cannot perturb
+  // matching), and every sampled trace must have spans on both the client
+  // and the server side of the wire.
+  const auto domain = make_workload("auction");
+  ScenarioConfig config = ScenarioConfig::soak(100, 60);
+  config.transport = ScenarioTransport::kSockets;
+  config.pruning = false;
+  config.check_every = 1;
+  config.tracing = true;
+  config.trace.sample_every = 1;  // every publish sampled: full coverage
+  // Both rings must hold the whole soak without wrapping: the server side
+  // records one entry per delivery on top of the per-publish entries.
+  config.trace.capacity = 16384;
+  config.trace.slow_k = 8;
+  config.trace.window_ms = 60000;
+  ScenarioRunner runner(*domain, config);
+  const ScenarioReport report = runner.run();
+  EXPECT_EQ(report.mode, "sockets");
+  EXPECT_TRUE(report.exact()) << report.total_mismatches() << " mismatches";
+  EXPECT_GT(report.total_events(), 0u);
+
+  // Every publish was traced and head-sampled...
+  EXPECT_EQ(report.traced_publishes, report.total_events());
+  EXPECT_EQ(report.sampled_publishes, report.traced_publishes);
+  // ...the client recorder kept an entry for each (ring is big enough)...
+  EXPECT_GE(report.client_traces, report.sampled_publishes);
+  EXPECT_GE(report.server_traces, report.sampled_publishes);
+  // ...and every sampled trace id has entries on *both* sides.
+  EXPECT_EQ(report.joined_traces, report.sampled_publishes);
+  // The subscriber measured publish-to-notification latency.
+  EXPECT_GT(report.e2e_latency_samples, 0u);
 }
 
 TEST(NetE2eTest, SocketsTransportRejectsPruning) {

@@ -194,7 +194,8 @@ TEST_F(NetProtocolFuzzTest, GarbageVersionByteGetsErrorNotCrash) {
 }
 
 TEST_F(NetProtocolFuzzTest, UnknownMessageTypeGetsErrorAndClose) {
-  for (const std::uint8_t type : {std::uint8_t{0}, std::uint8_t{10},
+  // 11 is the first unassigned request verb (kTraces = 10 is valid).
+  for (const std::uint8_t type : {std::uint8_t{0}, std::uint8_t{11},
                                   std::uint8_t{63}, std::uint8_t{200}}) {
     WireWriter body;
     encode_wire_header(body);

@@ -37,7 +37,35 @@ MICRO_BENCHES = [
     "micro_pruning",
     "micro_selectivity",
     "micro_sharded",
+    "micro_trace",
 ]
+
+
+def host_info(context):
+    """The host block of every BENCH_*.json. Google Benchmark's context
+    provides num_cpus/mhz_per_cpu, but both are null when the first binary
+    ran without JSON context (or the runner summarized non-benchmark
+    sources); fall back to os.cpu_count() and /proc/cpuinfo so the
+    perf-trajectory record always says what machine produced it."""
+    num_cpus = (context or {}).get("num_cpus")
+    if num_cpus is None:
+        num_cpus = os.cpu_count()
+    mhz_per_cpu = (context or {}).get("mhz_per_cpu")
+    if mhz_per_cpu is None:
+        try:
+            with open("/proc/cpuinfo") as f:
+                for line in f:
+                    if line.lower().startswith("cpu mhz"):
+                        mhz_per_cpu = round(float(line.split(":", 1)[1]), 1)
+                        break
+        except (OSError, ValueError):
+            pass
+    return {
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "num_cpus": num_cpus,
+        "mhz_per_cpu": mhz_per_cpu,
+    }
 
 # Scaled-down fig1 workload: big enough to exercise the full pipeline
 # (training, pruning grid, filtering), small enough for a CI smoke run.
@@ -70,11 +98,12 @@ def run_micro(binary, quick):
     cmd = [binary, "--benchmark_format=json"]
     if quick:
         # Short min-time, and skip the large-argument variants (10k/50k subs).
-        # micro_api and micro_metrics keep a longer floor even in quick mode:
-        # their outputs are ratios (direct-vs-facade, metrics on-vs-off), and
-        # single-iteration timings are too noisy to hold the documented <= 5%
-        # overhead contracts.
-        ratio_bench = os.path.basename(binary) in ("micro_api", "micro_metrics")
+        # micro_api, micro_metrics, and micro_trace keep a longer floor even
+        # in quick mode: their outputs are ratios (direct-vs-facade, metrics
+        # on-vs-off, tracing on-vs-off), and single-iteration timings are too
+        # noisy to hold the documented <= 5% overhead contracts.
+        ratio_bench = os.path.basename(binary) in (
+            "micro_api", "micro_metrics", "micro_trace")
         min_time = "0.5" if ratio_bench else "0.05"
         cmd += [f"--benchmark_min_time={min_time}", "--benchmark_filter=-/(10000|50000)$"]
     proc = subprocess.run(cmd, capture_output=True, text=True)
@@ -188,6 +217,44 @@ def metrics_overhead(rows):
     }
 
 
+def trace_overhead(rows):
+    """Summarize micro_trace: the same publish_batch workload with per-event
+    tracing live (default 1-in-8 head sampling) vs disabled, per shard
+    count, plus the raw ring-write and snapshot costs. overhead_pct > 0
+    means tracing-on is slower; the documented contract keeps it <= 5%."""
+    on, off = {}, {}
+    record_ns = None
+    snapshot_cost_us = None
+    for row in rows:
+        name = row.get("name", "")
+        parts = name.split("/")
+        if parts[0] == "BM_FlightRecorderRecord" and row.get("ns_per_event"):
+            record_ns = round(row["ns_per_event"], 1)
+            continue
+        if parts[0] == "BM_TracesSnapshot" and row.get("ns_per_event"):
+            snapshot_cost_us = round(row["ns_per_event"] / 1e3, 3)
+            continue
+        eps = row.get("events_per_sec")
+        if not eps or len(parts) < 2 or not parts[1].isdigit():
+            continue
+        if parts[0] == "BM_PublishBatchTracingOn":
+            on[int(parts[1])] = eps
+        elif parts[0] == "BM_PublishBatchTracingOff":
+            off[int(parts[1])] = eps
+    common = sorted(set(on) & set(off))
+    if not common and record_ns is None and snapshot_cost_us is None:
+        return None
+    return {
+        "events_per_sec_tracing_on": {str(k): on[k] for k in common},
+        "events_per_sec_tracing_off": {str(k): off[k] for k in common},
+        "overhead_pct": {
+            str(k): round((off[k] / on[k] - 1.0) * 100.0, 2) for k in common
+        },
+        "ring_record_ns": record_ns,
+        "snapshot_cost_us": snapshot_cost_us,
+    }
+
+
 def store_summary(rows):
     """Summarize micro_store: durable subscribes (WAL appends) per second,
     snapshot and recovery-replay throughput per table size."""
@@ -227,12 +294,7 @@ def write_store_json(build_dir, out_path, quick, context):
     result = {
         "schema_version": 1,
         "generated_unix_time": int(time.time()),
-        "host": {
-            "machine": platform.machine(),
-            "system": platform.system(),
-            "num_cpus": (context or ctx).get("num_cpus"),
-            "mhz_per_cpu": (context or ctx).get("mhz_per_cpu"),
-        },
+        "host": host_info(context or ctx),
         "mode": "quick" if quick else "full",
         "benchmarks": rows,
         "store": store_summary(rows),
@@ -278,12 +340,7 @@ def write_net_json(build_dir, out_path, quick, context):
     result = {
         "schema_version": 1,
         "generated_unix_time": int(time.time()),
-        "host": {
-            "machine": platform.machine(),
-            "system": platform.system(),
-            "num_cpus": (context or ctx).get("num_cpus"),
-            "mhz_per_cpu": (context or ctx).get("mhz_per_cpu"),
-        },
+        "host": host_info(context or ctx),
         "mode": "quick" if quick else "full",
         "benchmarks": rows,
         "net": net_summary(rows),
@@ -339,12 +396,7 @@ def write_scenario_json(build_dir, out_path, quick, context):
     result = {
         "schema_version": 1,
         "generated_unix_time": int(time.time()),
-        "host": {
-            "machine": platform.machine(),
-            "system": platform.system(),
-            "num_cpus": context.get("num_cpus"),
-            "mhz_per_cpu": context.get("mhz_per_cpu"),
-        },
+        "host": host_info(context),
         "mode": "quick" if quick else "full",
         "exact": report.get("exact", False),
         "scenario": report,
@@ -475,12 +527,7 @@ def write_routing_json(build_dir, out_path, quick, context, latency_limit):
     result = {
         "schema_version": 1,
         "generated_unix_time": int(time.time()),
-        "host": {
-            "machine": platform.machine(),
-            "system": platform.system(),
-            "num_cpus": context.get("num_cpus"),
-            "mhz_per_cpu": context.get("mhz_per_cpu"),
-        },
+        "host": host_info(context),
         "mode": "quick" if quick else "full",
         "exact": report.get("exact", False),
         "routing": report,
@@ -551,6 +598,15 @@ def main():
         "<= 5%%; the default leaves headroom for runner noise; 0 disables "
         "the gate)",
     )
+    parser.add_argument(
+        "--trace-overhead-limit",
+        type=float,
+        default=10.0,
+        help="fail when publishing with per-event tracing live is more than "
+        "this %% slower than with tracing disabled (documented contract: "
+        "<= 5%% at the default 1-in-8 sampling; the default leaves headroom "
+        "for runner noise; 0 disables the gate)",
+    )
     args = parser.parse_args()
     out_path = args.out or os.path.join(args.build_dir, "BENCH_micro.json")
     scenario_out = args.scenario_out or os.path.join(args.build_dir, "BENCH_scenario.json")
@@ -585,17 +641,13 @@ def main():
     result = {
         "schema_version": 1,
         "generated_unix_time": int(time.time()),
-        "host": {
-            "machine": platform.machine(),
-            "system": platform.system(),
-            "num_cpus": context.get("num_cpus"),
-            "mhz_per_cpu": context.get("mhz_per_cpu"),
-        },
+        "host": host_info(context),
         "mode": "quick" if args.quick else "full",
         "benchmarks": benchmarks,
         "sharded": sharded_speedup(benchmarks),
         "api_overhead": api_overhead(benchmarks),
         "metrics": metrics_overhead(benchmarks),
+        "trace": trace_overhead(benchmarks),
         "fig1_smoke": fig1,
     }
     with open(out_path, "w") as f:
@@ -624,6 +676,19 @@ def main():
                 f"publishing with metrics on is {worst:.2f}% slower than with "
                 f"metrics off (limit {args.metrics_overhead_limit}%; "
                 "contract <= 5%)"
+            )
+
+    trace = result["trace"]
+    if trace is not None and trace["overhead_pct"]:
+        worst = max(trace["overhead_pct"].values())
+        print(f"[bench_runner] trace_overhead: worst publish overhead "
+              f"{worst:+.2f}%, ring_record_ns={trace.get('ring_record_ns')}, "
+              f"snapshot_cost_us={trace.get('snapshot_cost_us')}")
+        if args.trace_overhead_limit > 0 and worst > args.trace_overhead_limit:
+            raise SystemExit(
+                f"publishing with tracing on is {worst:.2f}% slower than with "
+                f"tracing off (limit {args.trace_overhead_limit}%; "
+                "contract <= 5% at default 1-in-8 sampling)"
             )
 
     num_cpus = context.get("num_cpus")

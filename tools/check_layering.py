@@ -46,11 +46,13 @@ ALLOWED_DEPS: dict[str, set[str]] = {
     # Subscription aggregation: bounded per-dimension summaries + subgroup
     # clustering. Scores dimensions with selectivity's EventStats.
     "agg": {"common", "event", "subscription", "filter", "selectivity", "obs"},
-    # routing/messages.hpp carries subgroup summaries (aggregated routing).
-    "routing": {"common", "event", "subscription", "agg"},
+    # routing/messages.hpp carries subgroup summaries (aggregated routing)
+    # and the per-event trace context (obs) overlay hops propagate.
+    "routing": {"common", "event", "subscription", "agg", "obs"},
     "core": {"common", "event", "subscription", "filter", "selectivity", "obs",
              "agg"},
-    "broker": {"common", "event", "subscription", "core", "routing", "agg"},
+    "broker": {"common", "event", "subscription", "core", "routing", "agg",
+               "obs"},
     "workload": {"common", "event", "subscription"},
     "experiment": {"common", "core", "selectivity", "broker", "workload", "api"},
     # scenario is built entirely on the public API: the umbrella header is

@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""Lint a Prometheus text exposition (dbspd's GET /metrics).
+"""Lint a Prometheus text exposition (dbspd's GET /metrics) and/or a
+flight-recorder trace dump (dbspd's GET /traces).
 
-Checks, against one scrape (a URL or a file) and optionally a second
-scrape of the same URL:
+Metrics checks, against one scrape (a URL or a file) and optionally a
+second scrape of the same URL:
 
   * every exposed series parses as ``name{labels} value``;
   * metric and label names stay inside the Prometheus charset;
@@ -13,15 +14,28 @@ scrape of the same URL:
   * counters never decrease between the two scrapes (monotonicity — the
     property Counter::sync_to exists to protect).
 
+Trace checks (a target ending in ``/traces`` or ``.json``):
+
+  * the document has the ``traces``/``recorded_total``/``dropped_total``
+    shape with ids rendered as decimal strings;
+  * span ``start_us`` offsets are monotone within each trace entry and
+    bounded by the entry's duration;
+  * span parent ids are referentially sound: each span's ``parent_span``
+    is 0, the entry's propagated parent, or a sibling span of the entry.
+
 Usage:
   check_metrics.py http://127.0.0.1:7412/metrics   # two scrapes, full lint
   check_metrics.py scrape.txt                      # single-scrape lint
+  check_metrics.py http://127.0.0.1:7412/traces    # trace-dump lint
+  check_metrics.py dump.json                       # trace-dump file lint
+  check_metrics.py http://h:p/metrics http://h:p/traces   # both
 
 Exit status: 0 clean, 1 lint findings, 2 scrape/read failure.
 """
 
 from __future__ import annotations
 
+import json
 import re
 import sys
 import time
@@ -154,11 +168,129 @@ class Scrape:
                         f"_count {total}")
 
 
-def main() -> int:
-    if len(sys.argv) != 2:
-        print(__doc__, file=sys.stderr)
+DECIMAL_ID_RE = re.compile(r"^\d+$")
+
+
+def fetch_json(target: str) -> dict:
+    if target.startswith("http://") or target.startswith("https://"):
+        with urllib.request.urlopen(target, timeout=10) as resp:
+            ctype = resp.headers.get("Content-Type", "")
+            if "json" not in ctype:
+                raise RuntimeError(f"unexpected Content-Type: {ctype!r}")
+            return json.loads(resp.read().decode("utf-8"))
+    with open(target, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def check_id(errors: list[str], where: str, key: str, value) -> str | None:
+    """Ids travel as decimal strings (u64 overflows a double-parsing JSON
+    reader). Returns the id, or None after reporting."""
+    if not isinstance(value, str) or not DECIMAL_ID_RE.match(value):
+        errors.append(f"{where}: {key} is {value!r}, want a decimal string")
+        return None
+    return value
+
+
+def check_traces(doc) -> list[str]:
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["trace document is not a JSON object"]
+    for key in ("traces", "recorded_total", "dropped_total"):
+        if key not in doc:
+            errors.append(f"trace document missing '{key}'")
+    traces = doc.get("traces", [])
+    if not isinstance(traces, list):
+        return errors + ["'traces' is not a list"]
+    for key in ("recorded_total", "dropped_total"):
+        total = doc.get(key, 0)
+        if not isinstance(total, int) or total < 0:
+            errors.append(f"'{key}' is {total!r}, want a non-negative integer")
+    if isinstance(doc.get("recorded_total"), int) and len(traces) > doc["recorded_total"]:
+        errors.append(
+            f"{len(traces)} trace entries exceed recorded_total "
+            f"{doc['recorded_total']}")
+    for i, trace in enumerate(traces):
+        where = f"traces[{i}]"
+        if not isinstance(trace, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in ("trace_id", "parent_span", "sampled", "start_unix_us",
+                    "duration_us", "spans"):
+            if key not in trace:
+                errors.append(f"{where}: missing '{key}'")
+        trace_id = check_id(errors, where, "trace_id", trace.get("trace_id", ""))
+        if trace_id == "0":
+            errors.append(f"{where}: trace_id 0 (the no-trace sentinel)")
+        trace_parent = check_id(
+            errors, where, "parent_span", trace.get("parent_span", "0"))
+        if not isinstance(trace.get("sampled"), bool):
+            errors.append(f"{where}: 'sampled' is not a bool")
+        spans = trace.get("spans", [])
+        if not isinstance(spans, list):
+            errors.append(f"{where}: 'spans' is not a list")
+            continue
+        span_ids = set()
+        for j, span in enumerate(spans):
+            if isinstance(span, dict):
+                sid = check_id(errors, f"{where}.spans[{j}]", "span_id",
+                               span.get("span_id", ""))
+                if sid is not None:
+                    span_ids.add(sid)
+        prev_start = -1
+        for j, span in enumerate(spans):
+            swhere = f"{where}.spans[{j}]"
+            if not isinstance(span, dict):
+                errors.append(f"{swhere}: not an object")
+                continue
+            stage = span.get("stage")
+            if not isinstance(stage, str) or not stage:
+                errors.append(f"{swhere}: missing stage name")
+            for key in ("start_us", "duration_us", "detail"):
+                v = span.get(key)
+                if not isinstance(v, int) or v < 0:
+                    errors.append(
+                        f"{swhere}: '{key}' is {v!r}, want a non-negative "
+                        "integer")
+            start = span.get("start_us")
+            if isinstance(start, int):
+                if start < prev_start:
+                    errors.append(
+                        f"{swhere}: start_us {start} after a span starting at "
+                        f"{prev_start} (spans must be sorted by offset)")
+                prev_start = max(prev_start, start)
+            parent = check_id(errors, swhere, "parent_span",
+                              span.get("parent_span", "0"))
+            if parent is not None and parent != "0" and parent != trace_parent \
+                    and parent not in span_ids:
+                errors.append(
+                    f"{swhere}: parent_span {parent} is neither 0, the "
+                    "entry's propagated parent, nor a sibling span id")
+    return errors
+
+
+def is_traces_target(target: str) -> bool:
+    return target.rstrip("/").endswith("/traces") or target.endswith(".json")
+
+
+def run_traces(target: str) -> int:
+    try:
+        doc = fetch_json(target)
+    except Exception as e:  # noqa: BLE001 - report and exit
+        print(f"check_metrics: trace fetch failed: {e}", file=sys.stderr)
         return 2
-    target = sys.argv[1]
+    errors = check_traces(doc)
+    n = len(doc.get("traces", [])) if isinstance(doc, dict) else 0
+    spans = sum(len(t.get("spans", [])) for t in doc.get("traces", [])
+                if isinstance(t, dict)) if isinstance(doc, dict) else 0
+    print(f"check_metrics: {n} trace entries, {spans} spans, "
+          f"recorded_total={doc.get('recorded_total')}, "
+          f"dropped_total={doc.get('dropped_total')}")
+    for e in errors:
+        print(f"check_metrics: {e}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+def run_metrics(target: str) -> int:
     try:
         first = Scrape(fetch(target))
     except Exception as e:  # noqa: BLE001 - report and exit
@@ -197,6 +329,18 @@ def main() -> int:
     for e in errors:
         print(f"check_metrics: {e}", file=sys.stderr)
     return 1 if errors else 0
+
+
+def main() -> int:
+    targets = sys.argv[1:]
+    if not targets or len(targets) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    status = 0
+    for target in targets:
+        rc = run_traces(target) if is_traces_target(target) else run_metrics(target)
+        status = max(status, rc)
+    return status
 
 
 if __name__ == "__main__":
